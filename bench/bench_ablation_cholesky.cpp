@@ -1,0 +1,40 @@
+// Ablation (§V-A): Cholesky vs LU for step S3. The paper credits the
+// Cholesky-based solve for part of its largest win (YahooMusic R4).
+#include <cstdio>
+
+#include "als/solver.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Ablation — Cholesky vs LU for the S3 solve",
+               "§V-A (S3 optimization, largest effect on YMR4)");
+
+  const auto datasets = load_table1(extra);
+  std::printf("%-6s %14s %14s %10s | %14s %14s\n", "data", "S3 chol[s]",
+              "S3 lu[s]", "S3 gain", "total chol[s]", "total lu[s]");
+  for (const auto& d : datasets) {
+    AlsOptions options = paper_options();
+    const AlsVariant v = AlsVariant::batch_local_reg();
+
+    options.solver = LinearSolverKind::kCholesky;
+    devsim::Device d_chol(devsim::k20c());
+    AlsSolver chol(d.train, options, v, d_chol);
+    chol.run();
+
+    options.solver = LinearSolverKind::kLu;
+    devsim::Device d_lu(devsim::k20c());
+    AlsSolver lu(d.train, options, v, d_lu);
+    lu.run();
+
+    const double s3c = d_chol.modeled_seconds_scaled_matching("/S3", d.scale);
+    const double s3l = d_lu.modeled_seconds_scaled_matching("/S3", d.scale);
+    std::printf("%-6s %14.4f %14.4f %9.2fx | %14.3f %14.3f\n", d.abbr.c_str(),
+                s3c, s3l, s3l / s3c, d_chol.modeled_seconds_scaled(d.scale),
+                d_lu.modeled_seconds_scaled(d.scale));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension: convergence comparison of the three solver families the
+// paper's related work discusses — ALS (ours), Hogwild-SGD, and CCD++ —
+// on a MovieLens-shaped replica (functional execution, host wall-clock).
+#include <cstdio>
+
+#include "als/metrics.hpp"
+#include "als/reference.hpp"
+#include "baselines/ccd.hpp"
+#include "baselines/sgd.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "sparse/convert.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Extension — ALS vs SGD vs CCD++ convergence",
+               "Related work (§VI): the three MF solver families");
+
+  const auto& info = dataset_by_abbr("MVLE");
+  const double scale = std::max(1.0, default_scale(info) * 4.0 * extra);
+  const Csr train = make_replica(info.abbr, scale);
+  const Coo train_coo = csr_to_coo(train);
+  std::printf("MVLE replica 1/%.0f: %lld x %lld, %lld ratings\n\n", scale,
+              static_cast<long long>(train.rows()),
+              static_cast<long long>(train.cols()),
+              static_cast<long long>(train.nnz()));
+
+  const int k = 10;
+  const int rounds = 6;
+
+  // ALS: log RMSE per full iteration.
+  AlsOptions als_opts;
+  als_opts.k = k;
+  als_opts.lambda = 0.1f;
+  Matrix x, y;
+  init_factors(train.rows(), train.cols(), als_opts, x, y);
+  const Csr train_t = transpose(train);
+  std::vector<double> als_rmse;
+  Timer als_timer;
+  for (int it = 0; it < rounds; ++it) {
+    reference_half_update(train, y, x, als_opts);
+    reference_half_update(train_t, x, y, als_opts);
+    als_rmse.push_back(rmse(train, x, y));
+  }
+  const double als_s = als_timer.seconds();
+
+  SgdOptions sgd_opts;
+  sgd_opts.k = k;
+  sgd_opts.epochs = rounds;
+  Timer sgd_timer;
+  const SgdResult sgd = sgd_train(train_coo, sgd_opts);
+  const double sgd_s = sgd_timer.seconds();
+
+  CcdOptions ccd_opts;
+  ccd_opts.k = k;
+  ccd_opts.outer_iterations = rounds;
+  Timer ccd_timer;
+  const CcdResult ccd = ccd_train(train, ccd_opts);
+  const double ccd_s = ccd_timer.seconds();
+
+  std::printf("%-8s %12s %12s %12s   (training RMSE)\n", "round", "ALS",
+              "SGD", "CCD++");
+  for (int it = 0; it < rounds; ++it) {
+    std::printf("%-8d %12.4f %12.4f %12.4f\n", it + 1, als_rmse[static_cast<std::size_t>(it)],
+                sgd.epoch_rmse[static_cast<std::size_t>(it)],
+                ccd.iter_rmse[static_cast<std::size_t>(it)]);
+  }
+  std::printf("\nhost wall seconds: ALS %.3f | SGD %.3f | CCD++ %.3f\n", als_s,
+              sgd_s, ccd_s);
+  std::printf("Expected shape: ALS reaches low RMSE in the fewest rounds\n"
+              "(each round solves exactly); SGD/CCD++ approach it gradually.\n");
+  return 0;
+}

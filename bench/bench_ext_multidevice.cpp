@@ -1,0 +1,43 @@
+// Extension: data-parallel scaling across devices (the multi-GPU axis on
+// which cuMF positions itself). Strong scaling of one Netflix iteration
+// over 1..4 modeled K20c cards, with the factor all-gather priced at PCIe
+// bandwidth.
+#include <cstdio>
+
+#include "als/multi_device.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Extension — multi-device strong scaling (modeled K20c cards)",
+               "cuMF-style data parallelism with all-gather communication");
+
+  const auto& info = dataset_by_abbr("NTFX");
+  BenchDataset d;
+  d.abbr = info.abbr;
+  d.scale = std::max(1.0, default_scale(info) * extra);
+  d.train = make_replica(info.abbr, d.scale);
+
+  AlsOptions options = paper_options();
+
+  std::printf("%-10s %14s %14s %12s %12s\n", "devices", "replica[s]",
+              "comm[s]", "speedup", "efficiency");
+  double base = 0;
+  for (int n : {1, 2, 4, 8, 16}) {
+    std::vector<devsim::DeviceProfile> profiles(static_cast<std::size_t>(n),
+                                                devsim::k20c());
+    MultiDeviceAls solver(d.train, options, AlsVariant::batch_local_reg(),
+                          profiles);
+    const double t = solver.run();
+    if (n == 1) base = t;
+    std::printf("%-10d %14.4f %14.4f %11.2fx %11.0f%%\n", n, t,
+                solver.communication_seconds(), base / t,
+                100.0 * base / t / n);
+  }
+  std::printf("\nExpected shape: near-linear at 2 cards, efficiency decaying\n"
+              "as the all-gather grows relative to the shrinking compute.\n");
+  return 0;
+}

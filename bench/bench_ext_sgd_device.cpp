@@ -1,0 +1,64 @@
+// Extension (§VII future work): thread-batched SGD on the device substrate
+// — per-epoch modeled time across architectures and convergence on a
+// MovieLens replica, next to ALS per-iteration cost.
+#include <cstdio>
+
+#include "als/solver.hpp"
+#include "baselines/sgd_device.hpp"
+#include "bench_util.hpp"
+#include "sparse/convert.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Extension — thread-batched SGD on the device substrate",
+               "§VII future work (cuMF-SGD-style batch-Hogwild mapping)");
+
+  const auto& info = dataset_by_abbr("MVLE");
+  BenchDataset d;
+  d.abbr = info.abbr;
+  d.scale = std::max(1.0, default_scale(info) * extra);
+  d.train = make_replica(info.abbr, d.scale);
+  const Coo train_coo = csr_to_coo(d.train);
+
+  std::printf("per-round full-dataset modeled seconds (k=10):\n");
+  std::printf("%-18s %16s %16s\n", "device", "SGD epoch", "ALS iteration");
+  for (const char* dev : {"gpu", "cpu", "mic"}) {
+    const auto profile = devsim::profile_by_name(dev);
+
+    DeviceSgdOptions sgd_opts;
+    sgd_opts.k = 10;
+    sgd_opts.epochs = 1;
+    sgd_opts.functional = false;
+    devsim::Device sgd_device(profile);
+    DeviceSgd sgd(train_coo, sgd_opts, sgd_device);
+    sgd.run();
+    const double sgd_epoch = sgd_device.modeled_seconds_scaled(d.scale);
+
+    AlsOptions als_opts = paper_options();
+    als_opts.iterations = 1;
+    devsim::Device als_device(profile);
+    AlsSolver als(d.train, als_opts, AlsVariant::batch_local_reg(), als_device);
+    als.run();
+    const double als_iter = als_device.modeled_seconds_scaled(d.scale);
+
+    std::printf("%-18s %16.4f %16.4f\n", profile.name.c_str(), sgd_epoch,
+                als_iter);
+  }
+
+  // Convergence: functional run on the replica.
+  std::printf("\nconvergence on the replica (functional, k=10):\n");
+  DeviceSgdOptions conv_opts;
+  conv_opts.k = 10;
+  conv_opts.epochs = 8;
+  devsim::Device device(devsim::k20c());
+  DeviceSgd sgd(train_coo, conv_opts, device);
+  std::printf("%-8s %12s\n", "epoch", "train RMSE");
+  for (int e = 0; e < conv_opts.epochs; ++e) {
+    sgd.run_epoch();
+    std::printf("%-8d %12.4f\n", e + 1, sgd.train_rmse());
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 10(a-d): sensitivity to the work-group (thread block) size, per
+// dataset and device. GPU uses batching+local+registers; CPU/MIC use
+// batching+local, exactly as the paper's caption states.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Figure 10 — execution time vs threads per group",
+               "Fig. 10(a-d) (GPU min at 16/32; CPU prefers small groups; "
+               "MIC optimum varies)");
+
+  const auto datasets = load_table1(extra);
+  const int sizes[] = {8, 16, 32, 64, 128};
+
+  for (const auto& d : datasets) {
+    std::printf("--- %s --- full-dataset modeled seconds\n", d.abbr.c_str());
+    std::printf("%-8s %12s %12s %12s\n", "ws", "GPU", "CPU", "MIC");
+    for (int ws : sizes) {
+      AlsOptions options = paper_options();
+      options.group_size = ws;
+      const double gpu =
+          run_als(d, options, AlsVariant::batch_local_reg(), devsim::k20c()).full;
+      const double cpu = run_als(d, options, AlsVariant::batch_local(),
+                                 devsim::xeon_e5_2670_dual())
+                             .full;
+      const double mic =
+          run_als(d, options, AlsVariant::batch_local(), devsim::xeon_phi_31sp())
+              .full;
+      std::printf("%-8d %12.3f %12.3f %12.3f\n", ws, gpu, cpu, mic);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

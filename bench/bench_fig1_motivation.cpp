@@ -1,0 +1,39 @@
+// Fig. 1: motivation — the SAC'15 flat baseline runs much faster on the
+// 16-core CPU (OpenMP) than on the K20c (CUDA), ~8.4x on average.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Figure 1 — flat baseline: OpenMP on 16-core CPU vs CUDA on K20c",
+               "Fig. 1 (log-scale execution time, 4 datasets, 5 iters, k=10)");
+
+  const auto datasets = load_table1(extra);
+  const AlsOptions options = paper_options();
+  const AlsVariant flat = AlsVariant::flat_baseline();
+
+  std::printf("%-6s %14s %14s %14s %14s %10s\n", "data", "CPU repl[s]",
+              "GPU repl[s]", "CPU full[s]", "GPU full[s]", "GPU/CPU");
+  double geo = 1.0;
+  for (const auto& d : datasets) {
+    // Flat mapping: the paper's OpenMP baseline is one thread per row (no
+    // grouping); the CUDA baseline uses 32-lane blocks.
+    AlsOptions cpu_opts = options;
+    cpu_opts.group_size = 1;
+    AlsOptions gpu_opts = options;
+    gpu_opts.group_size = 32;
+    const RunTimes cpu = run_als(d, cpu_opts, flat, devsim::xeon_e5_2670_dual());
+    const RunTimes gpu = run_als(d, gpu_opts, flat, devsim::k20c());
+    const double ratio = gpu.full / cpu.full;
+    geo *= ratio;
+    std::printf("%-6s %14.4f %14.4f %14.3f %14.3f %10.2f\n", d.abbr.c_str(),
+                cpu.replica, gpu.replica, cpu.full, gpu.full, ratio);
+  }
+  std::printf("\ngeomean GPU/CPU slowdown: %.2fx  (paper: ~8.4x average)\n",
+              std::pow(geo, 1.0 / static_cast<double>(datasets.size())));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 6(a-d): the four optimization stacks the paper plots — thread
+// batching, +local memory, +local+register, +vector — on GPU, MIC and CPU
+// for each dataset.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header(
+      "Figure 6 — optimization stacks per architecture and dataset",
+      "Fig. 6(a-d) (8192x32 threads, 5 iterations, k=10)");
+
+  const auto datasets = load_table1(extra);
+  const AlsOptions options = paper_options();
+  const AlsVariant stacks[] = {
+      AlsVariant::batching_only(), AlsVariant::batch_local(),
+      AlsVariant::batch_local_reg(), AlsVariant::batch_vectors()};
+  const char* stack_names[] = {"batching", "+local", "+local+reg", "+vector"};
+
+  for (const auto& d : datasets) {
+    std::printf("--- %s (replica 1/%.0f) --- full-dataset modeled seconds\n",
+                d.abbr.c_str(), d.scale);
+    std::printf("%-12s %12s %12s %12s\n", "variant", "GPU", "MIC", "CPU");
+    for (int s = 0; s < 4; ++s) {
+      const double gpu = run_als(d, options, stacks[s], devsim::k20c()).full;
+      const double mic =
+          run_als(d, options, stacks[s], devsim::xeon_phi_31sp()).full;
+      const double cpu =
+          run_als(d, options, stacks[s], devsim::xeon_e5_2670_dual()).full;
+      std::printf("%-12s %12.3f %12.3f %12.3f\n", stack_names[s], gpu, mic,
+                  cpu);
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: GPU gains up to 2.6x from local+registers and\n"
+              "~nothing from vectors; CPU/MIC gain up to 1.6x/1.4x from\n"
+              "local memory and slightly from vectors.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 8(a-d): step-time breakdown (S1 = YtY, S2 = Ytr, S3 = solve) as the
+// optimizations are applied step by step — Netflix on the K20c.
+#include <cstdio>
+
+#include "als/solver.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  using namespace alsmf::bench;
+  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+
+  print_header("Figure 8 — S1/S2/S3 breakdown while optimizing step by step",
+               "Fig. 8(a-d) (Netflix on K20c; paper: 65/19/16 -> 68/19/13 -> "
+               "32/44/24 -> 41/32/27)");
+
+  const auto& info = dataset_by_abbr("NTFX");
+  BenchDataset d;
+  d.abbr = info.abbr;
+  d.scale = std::max(1.0, default_scale(info) * extra);
+  d.train = make_replica(info.abbr, d.scale);
+
+  struct Stage {
+    const char* name;
+    AlsVariant variant;
+  };
+  const Stage stages[] = {
+      {"(a) baseline (flat)", AlsVariant::flat_baseline()},
+      {"(b) thread batching", AlsVariant::batching_only()},
+      {"(c) optimizing S1 (+registers)", AlsVariant::from_mask(1)},
+      {"(d) optimizing S2 (+local)", AlsVariant::batch_local_reg()},
+  };
+
+  const AlsOptions options = paper_options();
+  std::printf("%-34s %8s %8s %8s %14s\n", "stage", "S1 %", "S2 %", "S3 %",
+              "total full[s]");
+  for (const auto& stage : stages) {
+    devsim::Device device(devsim::k20c());
+    AlsSolver solver(d.train, options, stage.variant, device);
+    solver.run();
+    const StepBreakdown b = solver.step_breakdown();
+    std::printf("%-34s %8.2f %8.2f %8.2f %14.3f\n", stage.name, b.s1_pct(),
+                b.s2_pct(), b.s3_pct(), device.modeled_seconds_scaled(d.scale));
+  }
+  std::printf("\nNarrative check: S1 dominates after batching; optimizing S1\n"
+              "shifts share toward S2; optimizing S2 returns focus to S1.\n");
+  return 0;
+}

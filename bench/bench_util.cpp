@@ -1,0 +1,62 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "als/solver.hpp"
+
+namespace alsmf::bench {
+
+double default_scale(const DatasetInfo& info) {
+  const double target_nnz = 5e5;
+  double scale = static_cast<double>(info.nnz) / target_nnz;
+  if (scale <= 1.0) return 1.0;
+  // Round to the nearest power of two for tidy reporting.
+  return std::pow(2.0, std::round(std::log2(scale)));
+}
+
+std::vector<BenchDataset> load_table1(double extra_scale) {
+  std::vector<BenchDataset> result;
+  for (const auto& info : table1_datasets()) {
+    BenchDataset d;
+    d.abbr = info.abbr;
+    d.scale = std::max(1.0, default_scale(info) * extra_scale);
+    d.train = make_replica(info.abbr, d.scale);
+    result.push_back(std::move(d));
+  }
+  return result;
+}
+
+AlsOptions paper_options() {
+  AlsOptions o;
+  o.k = 10;
+  o.lambda = 0.1f;
+  o.iterations = 5;
+  o.num_groups = 8192;
+  o.group_size = 32;
+  o.functional = false;
+  return o;
+}
+
+RunTimes run_als(const BenchDataset& data, const AlsOptions& options,
+                 const AlsVariant& variant,
+                 const devsim::DeviceProfile& profile) {
+  devsim::Device device(profile);
+  AlsSolver solver(data.train, options, variant, device);
+  solver.run();
+  RunTimes t;
+  t.replica = device.modeled_seconds();
+  t.full = device.modeled_seconds_scaled(data.scale);
+  return t;
+}
+
+void print_header(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Times are modeled device seconds; `full` extrapolates the\n");
+  std::printf("replica's counters to the full Table I dataset size.\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace alsmf::bench

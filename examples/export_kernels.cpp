@@ -1,0 +1,52 @@
+// Exports the OpenCL C kernels for all code variants (the sources a
+// deployment on real OpenCL hardware would compile) and a modeled-timeline
+// Chrome trace of one training run.
+//
+//   ./export_kernels [--out /tmp/alsmf_kernels] [--k 10] [--group 32]
+//                    [--trace /tmp/alsmf_trace.json] [--device gpu]
+#include <iostream>
+
+#include "als/solver.hpp"
+#include "common/cli.hpp"
+#include "data/datasets.hpp"
+#include "devsim/trace.hpp"
+#include "ocl/kernel_source.hpp"
+
+int main(int argc, char** argv) {
+  using namespace alsmf;
+  CliArgs args(argc, argv);
+
+  ocl::KernelConfig config;
+  config.k = static_cast<int>(args.get_long("k", 10));
+  config.group_size = static_cast<int>(args.get_long("group", 32));
+  const std::string out_dir = args.get_or("out", "/tmp/alsmf_kernels");
+  const int files = ocl::write_kernel_files(out_dir, config);
+  const std::string driver = ocl::write_host_driver(
+      out_dir, AlsVariant::batch_local_reg(), config);
+  std::cout << "wrote " << files << " OpenCL kernels + host driver ("
+            << driver << ") to " << out_dir << "\n";
+  std::cout << "build: cc -O2 " << driver << " -lOpenCL -o als_ocl\n";
+  std::cout << "build options: " << ocl::build_options(config) << "\n\n";
+
+  // Print one kernel as a sample.
+  std::cout << ocl::batched_kernel_source(AlsVariant::batch_local_reg(),
+                                          config)
+            << "\n";
+
+  // Modeled timeline of a short training run.
+  const std::string trace_path = args.get_or("trace", "/tmp/alsmf_trace.json");
+  const Csr train = make_replica("YMR4", 8.0);
+  AlsOptions options;
+  options.k = config.k;
+  options.iterations = 3;
+  devsim::TraceRecorder trace;
+  devsim::Device device(devsim::profile_by_name(args.get_or("device", "gpu")));
+  device.set_trace(&trace);
+  AlsSolver solver(train, options, AlsVariant::batch_local_reg(), device);
+  solver.run();
+  trace.write_chrome_trace_file(trace_path);
+  std::cout << "wrote a " << trace.events().size()
+            << "-event modeled timeline to " << trace_path
+            << " (open in chrome://tracing)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "als/autotune.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "als/solver.hpp"
+#include "common/error.hpp"
+#include "devsim/device.hpp"
+
+namespace alsmf {
+
+std::string TunedConfig::to_string() const {
+  std::ostringstream os;
+  os << variant.name() << " ws=" << group_size;
+  if (variant.use_local) {
+    os << " tile=" << (tile_rows == 0 ? std::string("auto")
+                                      : std::to_string(tile_rows));
+  }
+  return os.str();
+}
+
+std::vector<TunedConfig> autotune_all(const Csr& train,
+                                      const AlsOptions& options,
+                                      const devsim::DeviceProfile& profile,
+                                      const AutotuneGrid& grid) {
+  ALSMF_CHECK(!grid.group_sizes.empty());
+  ALSMF_CHECK(!grid.tile_rows.empty());
+
+  std::vector<AlsVariant> variants;
+  if (grid.all_variants) {
+    for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+      variants.push_back(AlsVariant::from_mask(mask));
+    }
+  } else {
+    variants = {AlsVariant::batching_only(), AlsVariant::batch_local(),
+                AlsVariant::batch_local_reg(), AlsVariant::batch_vectors()};
+  }
+
+  std::vector<TunedConfig> results;
+  for (const AlsVariant& v : variants) {
+    for (int ws : grid.group_sizes) {
+      // Tile size only matters for local-memory variants.
+      const std::vector<int> tiles =
+          v.use_local ? grid.tile_rows : std::vector<int>{0};
+      for (int tile : tiles) {
+        AlsOptions opts = options;
+        opts.functional = false;
+        opts.group_size = ws;
+        opts.tile_rows = tile;
+        devsim::Device device(profile);
+        AlsSolver solver(train, opts, v, device);
+        TunedConfig config;
+        config.variant = v;
+        config.group_size = ws;
+        config.tile_rows = tile;
+        config.modeled_seconds = solver.run();
+        results.push_back(config);
+      }
+    }
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const TunedConfig& a, const TunedConfig& b) {
+                     return a.modeled_seconds < b.modeled_seconds;
+                   });
+  return results;
+}
+
+TunedConfig autotune(const Csr& train, const AlsOptions& options,
+                     const devsim::DeviceProfile& profile,
+                     const AutotuneGrid& grid) {
+  return autotune_all(train, options, profile, grid).front();
+}
+
+AlsOptions apply_tuning(const AlsOptions& options, const TunedConfig& config) {
+  AlsOptions tuned = options;
+  tuned.group_size = config.group_size;
+  tuned.tile_rows = config.tile_rows;
+  return tuned;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,49 @@
+// Whole-configuration autotuning: jointly search the code variant
+// (§III-D), the work-group size (§V-E) and the staging tile size over the
+// cost model, for a given (device, dataset, k). This is the complete
+// "execution context -> best implementation" selection loop the paper
+// describes, in one call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "als/options.hpp"
+#include "devsim/profile.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+struct TunedConfig {
+  AlsVariant variant;
+  int group_size = 32;
+  int tile_rows = 0;       ///< 0 = kernel auto
+  double modeled_seconds = 0;
+
+  std::string to_string() const;
+};
+
+struct AutotuneGrid {
+  std::vector<int> group_sizes = {8, 16, 32, 64};
+  /// Tile sizes tried for local-memory variants (0 = kernel auto).
+  std::vector<int> tile_rows = {0, 32, 64, 128};
+  /// Evaluate all 8 variants; when false only the 4 paper stacks.
+  bool all_variants = true;
+};
+
+/// Scores every grid point in accounting-only mode and returns them sorted
+/// ascending by modeled time (best first).
+std::vector<TunedConfig> autotune_all(const Csr& train,
+                                      const AlsOptions& options,
+                                      const devsim::DeviceProfile& profile,
+                                      const AutotuneGrid& grid = {});
+
+/// Best entry of autotune_all.
+TunedConfig autotune(const Csr& train, const AlsOptions& options,
+                     const devsim::DeviceProfile& profile,
+                     const AutotuneGrid& grid = {});
+
+/// Applies a tuned configuration onto an options struct.
+AlsOptions apply_tuning(const AlsOptions& options, const TunedConfig& config);
+
+}  // namespace alsmf

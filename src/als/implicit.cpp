@@ -1,0 +1,124 @@
+#include "als/implicit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "als/row_solve.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/vecops.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+namespace {
+
+/// One implicit half-update: recompute every row of dst from src.
+void implicit_half_update(const Csr& r, const Matrix& src, Matrix& dst,
+                          const ImplicitOptions& options, ThreadPool& pool) {
+  const int k = options.k;
+  const auto kk = static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+
+  // Gram matrix G = srcᵀ·src + λI once per half-iteration.
+  std::vector<real> gram(kk);
+  gram_full(src, options.lambda, gram.data());
+
+  pool.parallel_for(
+      0, static_cast<std::size_t>(r.rows()),
+      [&](std::size_t b, std::size_t e, unsigned) {
+        std::vector<real> a(kk);
+        std::vector<real> rhs(static_cast<std::size_t>(k));
+        for (std::size_t u = b; u < e; ++u) {
+          auto cols = r.row_cols(static_cast<index_t>(u));
+          auto vals = r.row_values(static_cast<index_t>(u));
+          std::copy(gram.begin(), gram.end(), a.begin());
+          std::fill(rhs.begin(), rhs.end(), real{0});
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            const real conf = real{1} + options.alpha * vals[p];
+            auto yrow = src.row(cols[p]);
+            // A += (c-1)·y yᵀ ; rhs += c·y   (p_ui = 1)
+            for (int i = 0; i < k; ++i) {
+              const real ci = (conf - real{1}) * yrow[static_cast<std::size_t>(i)];
+              real* arow = a.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+              for (int j = 0; j < k; ++j) {
+                arow[j] += ci * yrow[static_cast<std::size_t>(j)];
+              }
+              rhs[static_cast<std::size_t>(i)] += conf * yrow[static_cast<std::size_t>(i)];
+            }
+          }
+          if (!cholesky_solve(a.data(), k, rhs.data())) {
+            std::fill(rhs.begin(), rhs.end(), real{0});
+          }
+          auto drow = dst.row(static_cast<index_t>(u));
+          std::copy(rhs.begin(), rhs.end(), drow.begin());
+        }
+      });
+}
+
+}  // namespace
+
+ImplicitResult implicit_als(const Csr& r, const ImplicitOptions& options,
+                            ThreadPool* pool) {
+  ALSMF_CHECK(options.k > 0);
+  ALSMF_CHECK(options.lambda > 0.0f);
+  ALSMF_CHECK(options.alpha >= 0.0f);
+  if (!pool) pool = &ThreadPool::global();
+
+  ImplicitResult result;
+  Rng rng(options.seed);
+  const real scale =
+      static_cast<real>(1.0 / std::sqrt(static_cast<double>(options.k)));
+  result.x = Matrix(r.rows(), options.k, real{0});
+  result.y = Matrix(r.cols(), options.k);
+  result.y.fill_uniform(rng, -0.5f * scale, 0.5f * scale);
+
+  const Csr rt = transpose(r);
+  for (int it = 0; it < options.iterations; ++it) {
+    implicit_half_update(r, result.y, result.x, options, *pool);
+    implicit_half_update(rt, result.x, result.y, options, *pool);
+  }
+  return result;
+}
+
+double implicit_loss(const Csr& r, const Matrix& x, const Matrix& y,
+                     const ImplicitOptions& options) {
+  ALSMF_CHECK(x.rows() == r.rows() && y.rows() == r.cols());
+  const int k = options.k;
+  ALSMF_CHECK(x.cols() == k && y.cols() == k);
+  const auto kk = static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+
+  // Unobserved part: Σ_all ŷ² = Σ_u x_uᵀ (YᵀY) x_u via the Gram trick.
+  std::vector<real> gram(kk);
+  gram_full(y, real{0}, gram.data());
+  double total = 0;
+  std::vector<real> gx(static_cast<std::size_t>(k));
+  for (index_t u = 0; u < x.rows(); ++u) {
+    auto xu = x.row(u);
+    for (int i = 0; i < k; ++i) {
+      real s = 0;
+      const real* grow = gram.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+      for (int j = 0; j < k; ++j) s += grow[j] * xu[static_cast<std::size_t>(j)];
+      gx[static_cast<std::size_t>(i)] = s;
+    }
+    total += static_cast<double>(vdot(xu.data(), gx.data(), static_cast<std::size_t>(k)));
+  }
+
+  // Observed corrections: c(1-ŷ)² - ŷ² per stored entry.
+  for (index_t u = 0; u < r.rows(); ++u) {
+    auto cols = r.row_cols(u);
+    auto vals = r.row_values(u);
+    auto xu = x.row(u);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const double pred = vdot(xu.data(), y.row(cols[p]).data(),
+                               static_cast<std::size_t>(k));
+      const double conf = 1.0 + static_cast<double>(options.alpha) * vals[p];
+      total += conf * (1.0 - pred) * (1.0 - pred) - pred * pred;
+    }
+  }
+
+  return total + static_cast<double>(options.lambda) * (x.frob2() + y.frob2());
+}
+
+}  // namespace alsmf

@@ -1,0 +1,126 @@
+#include "als/implicit_device.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+namespace {
+using devsim::GroupCtx;
+}
+
+DeviceImplicitAls::DeviceImplicitAls(const Csr& interactions,
+                                     const ImplicitOptions& options,
+                                     devsim::Device& device)
+    : r_(interactions),
+      rt_(transpose(interactions)),
+      options_(options),
+      device_(device) {
+  ALSMF_CHECK(options.k > 0);
+  ALSMF_CHECK(options.lambda > 0.0f);
+  ALSMF_CHECK(options.alpha >= 0.0f);
+  Rng rng(options_.seed);
+  const real scale =
+      static_cast<real>(1.0 / std::sqrt(static_cast<double>(options_.k)));
+  x_ = Matrix(interactions.rows(), options_.k, real{0});
+  y_ = Matrix(interactions.cols(), options_.k);
+  y_.fill_uniform(rng, -0.5f * scale, 0.5f * scale);
+}
+
+void DeviceImplicitAls::half_update(const Csr& r, const Matrix& src,
+                                    Matrix& dst, const char* name) {
+  const int k = options_.k;
+  const auto kk = static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+
+  // Host-side Gram precompute (matches implicit_als exactly: λ included).
+  std::vector<real> gram(kk);
+  gram_full(src, options_.lambda, gram.data());
+
+  devsim::LaunchConfig config;
+  config.group_size = group_size;
+  config.num_groups = std::max<std::size_t>(
+      1, std::min<std::size_t>(num_groups, static_cast<std::size_t>(r.rows())));
+  config.functional = functional;
+  const std::size_t stride = config.num_groups;
+  const real alpha = options_.alpha;
+
+  device_.launch(name, config, [&, k, alpha, stride](GroupCtx& ctx) {
+    const int W = ctx.simd_width();
+    const double bundles = ctx.num_bundles();
+    const double passes =
+        std::ceil(static_cast<double>(k) / ctx.group_size());
+    auto a = ctx.local_alloc<real>(kk);
+    auto rhs = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+
+    for (index_t u = static_cast<index_t>(ctx.group_id()); u < r.rows();
+         u += static_cast<index_t>(stride)) {
+      const auto omega = static_cast<double>(r.row_nnz(u));
+
+      // --- accounting ---
+      ctx.section("S1");
+      // Gram broadcast: k*k coalesced floats per row, then the
+      // Ω-restricted rank-1 confidence corrections (full k x k each, not
+      // just the upper triangle — the asymmetric (c-1) weight).
+      ctx.global_read_coalesced(static_cast<double>(kk) * 4.0);
+      ctx.ops_scalar(bundles * W * passes * omega * k);
+      ctx.flops(2.0 * k * k * omega + static_cast<double>(kk));
+      ctx.global_read_coalesced(omega * 8.0);
+      ctx.global_read_scattered(omega, k * 4.0);
+      ctx.section("S2");
+      ctx.ops_scalar(bundles * W * passes * omega);
+      ctx.flops(2.0 * k * omega);
+      ctx.section("S3");
+      const double s3 = cholesky_solve_flops(k);
+      ctx.ops_scalar(bundles * W * s3);
+      ctx.flops(s3);
+      ctx.global_write_scattered(1.0, k * 4.0);
+
+      if (!ctx.functional()) continue;
+
+      // --- functional: identical arithmetic to implicit_als ---
+      std::copy(gram.begin(), gram.end(), a.begin());
+      std::fill(rhs.begin(), rhs.end(), real{0});
+      auto cols = r.row_cols(u);
+      auto vals = r.row_values(u);
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        const real conf = real{1} + alpha * vals[p];
+        auto yrow = src.row(cols[p]);
+        for (int i = 0; i < k; ++i) {
+          const real ci = (conf - real{1}) * yrow[static_cast<std::size_t>(i)];
+          real* arow = a.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+          for (int j = 0; j < k; ++j) {
+            arow[j] += ci * yrow[static_cast<std::size_t>(j)];
+          }
+          rhs[static_cast<std::size_t>(i)] += conf * yrow[static_cast<std::size_t>(i)];
+        }
+      }
+      if (!cholesky_solve(a.data(), k, rhs.data())) {
+        std::fill(rhs.begin(), rhs.end(), real{0});
+      }
+      auto out = dst.row(u);
+      std::copy(rhs.begin(), rhs.begin() + k, out.begin());
+    }
+  });
+}
+
+void DeviceImplicitAls::run_iteration() {
+  half_update(r_, y_, x_, "implicit_update_x");
+  half_update(rt_, x_, y_, "implicit_update_y");
+}
+
+double DeviceImplicitAls::run() {
+  const double before = device_.modeled_seconds();
+  for (int it = 0; it < options_.iterations; ++it) run_iteration();
+  return device_.modeled_seconds() - before;
+}
+
+double DeviceImplicitAls::modeled_seconds() const {
+  return device_.modeled_seconds_matching("implicit_update");
+}
+
+}  // namespace alsmf

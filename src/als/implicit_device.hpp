@@ -1,0 +1,45 @@
+// Implicit-feedback ALS on the device substrate: the thread-batched
+// mapping applied to the Hu/Koren/Volinsky solver. The dense Gram matrix
+// YᵀY is computed once per half-iteration on the host (it is O(n·k²),
+// dwarfed by the per-row work) and broadcast to every work-group; each
+// group then applies its row's Ω-restricted confidence correction and
+// solves — the same batching/staging structure as the explicit kernels.
+#pragma once
+
+#include "als/implicit.hpp"
+#include "als/options.hpp"
+#include "devsim/device.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+class DeviceImplicitAls {
+ public:
+  DeviceImplicitAls(const Csr& interactions, const ImplicitOptions& options,
+                    devsim::Device& device);
+
+  void run_iteration();
+  double run();  ///< all iterations; returns modeled seconds consumed
+
+  const Matrix& x() const { return x_; }
+  const Matrix& y() const { return y_; }
+  double modeled_seconds() const;
+
+  /// Launch shape (the paper's defaults).
+  std::size_t num_groups = 8192;
+  int group_size = 32;
+  bool functional = true;
+
+ private:
+  void half_update(const Csr& r, const Matrix& src, Matrix& dst,
+                   const char* name);
+
+  const Csr& r_;
+  Csr rt_;
+  ImplicitOptions options_;
+  devsim::Device& device_;
+  Matrix x_, y_;
+};
+
+}  // namespace alsmf

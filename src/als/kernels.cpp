@@ -1,0 +1,382 @@
+#include "als/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "als/row_solve.hpp"
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace alsmf {
+
+namespace {
+
+using devsim::DeviceKind;
+using devsim::GroupCtx;
+
+double solver_flops(LinearSolverKind s, int k) {
+  return s == LinearSolverKind::kCholesky ? cholesky_solve_flops(k)
+                                          : lu_solve_flops(k);
+}
+
+// Op-count conventions. The batched kernels issue fused multiply-adds over
+// packed lanes: 1 issue-op per scalar fma. The flat baseline's per-row
+// scalar code (Algorithm 2) issues separate mul/add plus the CSR index
+// arithmetic for every element: ~4 ops per fma.
+constexpr double kBatchedOpsPerFma = 1.0;
+constexpr double kFlatOpsPerFma = 4.0;
+
+// §V-B: combining registers + local memory on CPU/MIC defeats the implicit
+// (cross-work-item) vectorizer — the unrolled per-lane scalar accumulators
+// force scalar codegen, roughly tripling S1 issue.
+constexpr double kRegLocalScalarPenalty = 3.0;
+
+/// Registers a lane needs beyond the accumulators (pointers, indices, λ).
+constexpr int kBaseRegisters = 8;
+
+/// Work-groups the auto tile sizing tries to keep resident per compute
+/// unit (occupancy vs. staging-tile size trade-off). Matching the
+/// scheduler's in-flight capacity keeps occupancy at 1.0; the barrier cost
+/// of the resulting smaller tiles is minor (see bench_ablation_tilesize).
+constexpr std::size_t kResidencyTarget = 16;
+
+/// Issue slots a work-group barrier costs each resident bundle.
+constexpr double kBarrierSlots = 30.0;
+
+/// The paper's thread-batched kernel: one work-group cooperates on one row,
+/// striding over rows by the launch's group count.
+class BatchedKernel {
+ public:
+  BatchedKernel(const UpdateArgs& args, std::size_t stride)
+      : a_(args), stride_(stride) {}
+
+  void operator()(GroupCtx& ctx) const {
+    const Csr& r = *a_.r;
+    const int k = a_.k;
+    const int ws = ctx.group_size();
+    const int W = ctx.simd_width();
+    const double bundles = ctx.num_bundles();
+    // Lane coverage of the k accumulator columns: with ws < k the lane loop
+    // runs multiple passes (the paper's Fig. 10 discussion).
+    const double passes = std::ceil(static_cast<double>(k) / ws);
+    const double pairs = 0.5 * k * (k + 1);
+    const AlsVariant& v = a_.variant;
+    const bool cpu_like = ctx.profile().kind != DeviceKind::kGpu;
+    const double s3_flops = solver_flops(a_.solver, k);
+
+    // Group-shared scratch: the k×k system and the rhs.
+    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k);
+    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+
+    // Staging tile for the local-memory variant: chunks of y rows plus the
+    // matching ratings, sized to the remaining scratch-pad capacity.
+    std::span<real> tile, rstage;
+    std::size_t tile_rows = 0;
+    if (v.use_local) {
+      const std::size_t per_row = (static_cast<std::size_t>(k) + 1) * sizeof(real);
+      if (a_.tile_rows > 0) {
+        tile_rows = static_cast<std::size_t>(a_.tile_rows);
+        const std::size_t cap = ctx.local_remaining() * 3 / 4 / per_row;
+        tile_rows = std::clamp<std::size_t>(tile_rows, 1, std::max<std::size_t>(cap, 1));
+      } else {
+        // Auto: leave room for kResidencyTarget groups per compute unit.
+        const std::size_t budget =
+            ctx.local_remaining() / kResidencyTarget * 3 / 4;
+        tile_rows = std::clamp<std::size_t>(budget / per_row, 1, 1024);
+      }
+      tile = ctx.local_alloc<real>(tile_rows * static_cast<std::size_t>(k));
+      rstage = ctx.local_alloc<real>(tile_rows);
+    }
+
+    for (index_t u = static_cast<index_t>(ctx.group_id()); u < r.rows();
+         u += static_cast<index_t>(stride_)) {
+      const auto omega = static_cast<double>(r.row_nnz(u));
+      if (omega == 0) {
+        if (ctx.functional()) {
+          auto row = a_.dst->row(u);
+          std::fill(row.begin(), row.end(), real{0});
+        }
+        continue;
+      }
+
+      record_s1(ctx, omega, k, W, bundles, passes, pairs, cpu_like, v,
+                tile_rows);
+      record_s2(ctx, omega, k, W, bundles, passes, v);
+      record_s3(ctx, k, W, bundles, s3_flops);
+
+      if (ctx.functional()) {
+        solve_row(u, smat, svec, tile, rstage, tile_rows);
+      }
+    }
+  }
+
+ private:
+  void record_s1(GroupCtx& ctx, double omega, int k, int W, double bundles,
+                 double passes, double pairs, bool cpu_like,
+                 const AlsVariant& v, std::size_t tile_rows) const {
+    ctx.section("S1");
+    // Every resident bundle steps the z loop; per z each lane issues the k
+    // unrolled accumulator fmas (idle lanes padded — Fig. 10's shape).
+    double ops = bundles * W * passes * omega * k * kBatchedOpsPerFma;
+    bool vectorized = v.use_vectors;
+    if (v.use_registers && v.use_local && cpu_like) {
+      ops *= kRegLocalScalarPenalty;
+      vectorized = false;
+    }
+    if (vectorized) {
+      ctx.ops_vector(ops);
+    } else {
+      ctx.ops_scalar(ops);
+    }
+    ctx.flops(2.0 * pairs * omega);
+
+    // The row's CSR segment (col_idx + values) streams in once.
+    ctx.global_read_coalesced(omega * 8.0);
+    // Cold gather of the needed y rows: one scattered access per nonzero,
+    // k·4 useful bytes each (consecutive lanes read consecutive floats).
+    ctx.global_read_scattered(omega, k * 4.0);
+    if (v.use_local) {
+      // Stage once, then both operand streams replay from the scratch-pad.
+      ctx.local_write(omega * k * 4.0);
+      ctx.local_read(2.0 * passes * omega * k * 4.0);
+      // Chunked staging synchronizes the group twice per tile refill.
+      const double chunks =
+          std::ceil(omega / static_cast<double>(std::max<std::size_t>(tile_rows, 1)));
+      ctx.ops_scalar(chunks * 2.0 * bundles * W * kBarrierSlots);
+    } else {
+      // Operand re-traversals go back through the memory system. Lanes of
+      // a bundle read adjacent elements of the same y row, so each replay
+      // is one row-granular (partially coalesced) access.
+      ctx.reread(std::max(0.0, 2.0 * passes * omega - omega), k * 4.0);
+      // On CPU/MIC every indirectly-addressed *element* costs a scalar
+      // load+insert chain that staging would have hoisted out.
+      if (ctx.profile().gather_scalar_ops > 0) {
+        ctx.ops_flat(2.0 * passes * omega * k * ctx.profile().gather_scalar_ops);
+      }
+      // On GPU every unstaged inner-loop load exposes memory latency to
+      // each resident bundle.
+      if (ctx.profile().global_latency_slots > 0) {
+        ctx.ops_scalar(2.0 * passes * omega * bundles * W *
+                       ctx.profile().global_latency_slots);
+      }
+    }
+
+    if (v.use_registers) {
+      ctx.register_demand(k + kBaseRegisters);
+    } else {
+      // Dynamically-indexed private accumulator sum[k*k] (paper Fig. 3a):
+      // one read+write per lane per z step.
+      ctx.register_demand(k * k + kBaseRegisters);
+      ctx.private_array_traffic(8.0 * k * passes * omega * bundles * W);
+    }
+  }
+
+  void record_s2(GroupCtx& ctx, double omega, int k, int W, double bundles,
+                 double passes, const AlsVariant& v) const {
+    ctx.section("S2");
+    const double ops = bundles * W * passes * omega * kBatchedOpsPerFma;
+    if (v.use_vectors) {
+      ctx.ops_vector(ops);
+    } else {
+      ctx.ops_scalar(ops);
+    }
+    ctx.flops(2.0 * k * omega);
+    if (v.use_local) {
+      // Ratings staged next to the y tile; reads replay from scratch-pad.
+      ctx.local_write(omega * 4.0);
+      ctx.local_read(passes * omega * (k + 1) * 4.0);
+    } else {
+      ctx.reread(passes * omega, k * 4.0);
+      if (ctx.profile().gather_scalar_ops > 0) {
+        ctx.ops_flat(passes * omega * k * ctx.profile().gather_scalar_ops);
+      }
+      if (ctx.profile().global_latency_slots > 0) {
+        ctx.ops_scalar(passes * omega * bundles * W *
+                       ctx.profile().global_latency_slots);
+      }
+    }
+    if (!v.use_registers) {
+      ctx.private_array_traffic(8.0 * passes * omega * bundles * W);
+    }
+  }
+
+  void record_s3(GroupCtx& ctx, int k, int W, double bundles,
+                 double s3_flops) const {
+    ctx.section("S3");
+    // The small solve runs on lane 0; the other lanes (and bundles) of the
+    // group wait at the trailing barrier.
+    ctx.ops_scalar(bundles * W * s3_flops);
+    ctx.flops(s3_flops);
+    ctx.global_write_scattered(1.0, k * 4.0);
+  }
+
+  void solve_row(index_t u, std::span<real> smat, std::span<real> svec,
+                 std::span<real> tile, std::span<real> rstage,
+                 std::size_t tile_rows) const {
+    const Csr& r = *a_.r;
+    const int k = a_.k;
+    auto cols = r.row_cols(u);
+    auto vals = r.row_values(u);
+    const real lambda =
+        a_.weighted_lambda
+            ? a_.lambda * static_cast<real>(cols.size())
+            : a_.lambda;
+    if (a_.variant.use_local && tile_rows > 0) {
+      // Chunked staging: copy up to tile_rows gathered y rows (and their
+      // ratings) into the scratch-pad, then accumulate from the tile.
+      std::fill(smat.begin(), smat.end(), real{0});
+      std::fill(svec.begin(), svec.end(), real{0});
+      for (std::size_t base = 0; base < cols.size(); base += tile_rows) {
+        const std::size_t chunk = std::min(tile_rows, cols.size() - base);
+        for (std::size_t p = 0; p < chunk; ++p) {
+          auto yrow = a_.src->row(cols[base + p]);
+          std::copy(yrow.begin(), yrow.end(),
+                    tile.begin() + static_cast<std::ptrdiff_t>(p * static_cast<std::size_t>(k)));
+          rstage[p] = vals[base + p];
+        }
+        for (std::size_t p = 0; p < chunk; ++p) {
+          accumulate_normal_row(tile.data() + p * static_cast<std::size_t>(k),
+                                rstage[p], k, smat.data(), svec.data());
+        }
+      }
+      finalize_normal_equations(lambda, k, smat.data());
+    } else {
+      assemble_normal_equations(cols, vals, *a_.src, lambda, k, smat.data(),
+                                svec.data());
+    }
+    solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
+    auto dst = a_.dst->row(u);
+    std::copy(svec.begin(), svec.begin() + k, dst.begin());
+  }
+
+  UpdateArgs a_;
+  std::size_t stride_;
+};
+
+/// The SAC'15 flat baseline: one work-item per row. Uneven row lengths
+/// serialize inside each SIMT bundle; every access is a per-lane gather.
+class FlatKernel {
+ public:
+  explicit FlatKernel(const UpdateArgs& args) : a_(args) {}
+
+  void operator()(GroupCtx& ctx) const {
+    const Csr& r = *a_.r;
+    const int k = a_.k;
+    const int ws = ctx.group_size();
+    const int W = ctx.simd_width();
+    const double pairs = 0.5 * k * (k + 1);
+    const bool simt = ctx.profile().kind == DeviceKind::kGpu;
+    const double s3_flops = solver_flops(a_.solver, k);
+    const index_t base = static_cast<index_t>(ctx.group_id()) * ws;
+    if (base >= r.rows()) return;
+    const index_t end = std::min<index_t>(base + ws, r.rows());
+
+    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k);
+    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+
+    // Accounting per SIMD bundle: divergence pads every lane to the bundle
+    // maximum row length. SIMT hardware pads idle lanes to the full warp;
+    // CPU/MIC flat code is scalar so only occupied lanes count (the
+    // scalar-execution penalty is in ops_flat / flat_mapping_efficiency).
+    for (index_t bstart = base; bstart < end; bstart += W) {
+      const index_t bend = std::min<index_t>(bstart + W, end);
+      double omega_max = 0, omega_sum = 0, active = 0;
+      for (index_t u = bstart; u < bend; ++u) {
+        const auto omega = static_cast<double>(r.row_nnz(u));
+        omega_max = std::max(omega_max, omega);
+        omega_sum += omega;
+        if (omega > 0) active += 1;
+      }
+      if (omega_sum == 0) continue;
+      const double lanes =
+          simt ? static_cast<double>(W) : static_cast<double>(bend - bstart);
+
+      ctx.section("S1");
+      ctx.ops_flat(lanes * omega_max * pairs * kFlatOpsPerFma);
+      if (ctx.profile().gather_scalar_ops > 0) {
+        ctx.ops_flat(2.0 * pairs * omega_sum * ctx.profile().gather_scalar_ops);
+      }
+      // SIMT: every per-lane gather is a warp-wide long-latency instruction
+      // (the flat mapping has no staging to hide it behind).
+      if (ctx.profile().global_latency_slots > 0) {
+        ctx.ops_scalar(lanes * omega_max * 2.0 * pairs *
+                       ctx.profile().global_latency_slots);
+      }
+      ctx.flops(2.0 * pairs * omega_sum);
+      // Per-lane elementwise gathers of y: cold fetch + operand re-reads.
+      ctx.global_read_scattered(omega_sum, k * 4.0);
+      ctx.reread(std::max(0.0, 2.0 * pairs * omega_sum - omega_sum * k), 4.0);
+      // sum[k*k] private accumulator (never optimized in the baseline).
+      ctx.register_demand(k * k + kBaseRegisters);
+      ctx.private_array_traffic(8.0 * pairs * omega_sum);
+
+      ctx.section("S2");
+      ctx.ops_flat(lanes * omega_max * k * kFlatOpsPerFma);
+      if (ctx.profile().global_latency_slots > 0) {
+        ctx.ops_scalar(lanes * omega_max * (k + 2.0) *
+                       ctx.profile().global_latency_slots);
+      }
+      ctx.flops(2.0 * k * omega_sum);
+      // Ratings through the colMajored_sparse_id indirection: two
+      // dependent scattered accesses per nonzero (Algorithm 2, line 10).
+      ctx.global_read_scattered(2.0 * omega_sum, 4.0);
+      ctx.reread(omega_sum * k, 4.0);
+      ctx.private_array_traffic(8.0 * k * omega_sum);
+
+      ctx.section("S3");
+      ctx.ops_flat(lanes * s3_flops);
+      ctx.flops(s3_flops * active);
+      ctx.private_array_traffic(8.0 * k * k * active);
+      ctx.global_write_scattered(active, k * 4.0);
+    }
+
+    if (!ctx.functional()) return;
+    for (index_t u = base; u < end; ++u) {
+      auto dst = a_.dst->row(u);
+      if (r.row_nnz(u) == 0) {
+        std::fill(dst.begin(), dst.end(), real{0});
+        continue;
+      }
+      const real lambda = a_.weighted_lambda
+                              ? a_.lambda * static_cast<real>(r.row_nnz(u))
+                              : a_.lambda;
+      assemble_normal_equations(r.row_cols(u), r.row_values(u), *a_.src,
+                                lambda, k, smat.data(), svec.data());
+      solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
+      std::copy(svec.begin(), svec.begin() + k, dst.begin());
+    }
+  }
+
+ private:
+  UpdateArgs a_;
+};
+
+}  // namespace
+
+devsim::LaunchResult launch_update(devsim::Device& device,
+                                   const std::string& kernel_name,
+                                   const UpdateArgs& args,
+                                   std::size_t num_groups, int group_size,
+                                   bool functional) {
+  ALSMF_CHECK(args.r && args.src && args.dst);
+  ALSMF_CHECK(args.r->rows() == args.dst->rows());
+  ALSMF_CHECK(args.r->cols() == args.src->rows());
+  ALSMF_CHECK(args.src->cols() == args.k && args.dst->cols() == args.k);
+  ALSMF_CHECK(group_size > 0);
+
+  devsim::LaunchConfig config;
+  config.group_size = group_size;
+  config.functional = functional;
+  const auto rows = static_cast<std::size_t>(args.r->rows());
+  if (args.variant.thread_batching) {
+    config.num_groups = std::max<std::size_t>(1, std::min(num_groups, rows));
+    return device.launch(kernel_name, config,
+                         BatchedKernel(args, config.num_groups));
+  }
+  config.num_groups = (rows + static_cast<std::size_t>(group_size) - 1) /
+                      static_cast<std::size_t>(group_size);
+  return device.launch(kernel_name, config, FlatKernel(args));
+}
+
+}  // namespace alsmf

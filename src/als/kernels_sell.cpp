@@ -1,0 +1,132 @@
+#include "als/kernels_sell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "als/row_solve.hpp"
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace alsmf {
+
+namespace {
+
+using devsim::DeviceKind;
+using devsim::GroupCtx;
+
+class FlatSellKernel {
+ public:
+  explicit FlatSellKernel(const SellUpdateArgs& args) : a_(args) {}
+
+  void operator()(GroupCtx& ctx) const {
+    const SellMatrix& r = *a_.r;
+    const int k = a_.k;
+    const int c = r.c();
+    const auto s = static_cast<index_t>(ctx.group_id());
+    const double pairs = 0.5 * k * (k + 1);
+    const bool simt = ctx.profile().kind == DeviceKind::kGpu;
+    const double s3_flops = a_.solver == LinearSolverKind::kCholesky
+                                ? cholesky_solve_flops(k)
+                                : lu_solve_flops(k);
+
+    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k);
+    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+
+    // --- Accounting: padding replaces divergence. Every lane of the slice
+    // steps the slice width; the local sort keeps width close to the mean.
+    const double width = static_cast<double>(r.slice_width(s));
+    double omega_sum = 0, active = 0;
+    for (int lane = 0; lane < c; ++lane) {
+      const double len = static_cast<double>(r.lane_length(s, lane));
+      omega_sum += len;
+      if (len > 0) active += 1;
+    }
+    if (omega_sum > 0) {
+      const double lanes = simt ? static_cast<double>(c) : active;
+
+      ctx.section("S1");
+      ctx.ops_flat(lanes * width * pairs * 4.0);
+      if (ctx.profile().gather_scalar_ops > 0) {
+        ctx.ops_flat(2.0 * pairs * omega_sum * ctx.profile().gather_scalar_ops);
+      }
+      if (ctx.profile().global_latency_slots > 0) {
+        ctx.ops_scalar(lanes * width * 2.0 * pairs *
+                       ctx.profile().global_latency_slots);
+      }
+      ctx.flops(2.0 * pairs * omega_sum);
+      // The slice itself streams in contiguously (the format's win)...
+      ctx.global_read_coalesced(width * c * 8.0);
+      // ...but the gathered y rows stay scattered, as in flat-CSR.
+      ctx.global_read_scattered(omega_sum, k * 4.0);
+      ctx.reread(std::max(0.0, 2.0 * pairs * omega_sum - omega_sum * k), 4.0);
+      ctx.register_demand(k * k + 8);
+      ctx.private_array_traffic(8.0 * pairs * omega_sum);
+
+      ctx.section("S2");
+      ctx.ops_flat(lanes * width * k * 4.0);
+      if (ctx.profile().global_latency_slots > 0) {
+        ctx.ops_scalar(lanes * width * (k + 2.0) *
+                       ctx.profile().global_latency_slots);
+      }
+      ctx.flops(2.0 * k * omega_sum);
+      ctx.reread(omega_sum * k, 4.0);
+      ctx.private_array_traffic(8.0 * k * omega_sum);
+
+      ctx.section("S3");
+      ctx.ops_flat(lanes * s3_flops);
+      ctx.flops(s3_flops * active);
+      ctx.global_write_scattered(active, k * 4.0);
+    }
+
+    if (!ctx.functional()) return;
+    // --- Functional: same arithmetic as the CSR reference, row by row,
+    // reading through the SELL layout.
+    std::vector<index_t> cols;
+    std::vector<real> vals;
+    for (int lane = 0; lane < c; ++lane) {
+      const index_t row = r.row_of(s, lane);
+      if (row < 0) continue;
+      auto dst = a_.dst->row(row);
+      const nnz_t len = r.lane_length(s, lane);
+      if (len == 0) {
+        std::fill(dst.begin(), dst.end(), real{0});
+        continue;
+      }
+      cols.resize(static_cast<std::size_t>(len));
+      vals.resize(static_cast<std::size_t>(len));
+      for (nnz_t j = 0; j < len; ++j) {
+        cols[static_cast<std::size_t>(j)] = r.entry_col(s, lane, j);
+        vals[static_cast<std::size_t>(j)] = r.entry_value(s, lane, j);
+      }
+      assemble_normal_equations(cols, vals, *a_.src, a_.lambda, k, smat.data(),
+                                svec.data());
+      solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
+      std::copy(svec.begin(), svec.begin() + k, dst.begin());
+    }
+  }
+
+ private:
+  SellUpdateArgs a_;
+};
+
+}  // namespace
+
+devsim::LaunchResult launch_update_flat_sell(devsim::Device& device,
+                                             const std::string& kernel_name,
+                                             const SellUpdateArgs& args,
+                                             bool functional) {
+  ALSMF_CHECK(args.r && args.src && args.dst);
+  ALSMF_CHECK(args.r->rows() == args.dst->rows());
+  ALSMF_CHECK(args.r->cols() == args.src->rows());
+  ALSMF_CHECK(args.src->cols() == args.k && args.dst->cols() == args.k);
+
+  devsim::LaunchConfig config;
+  config.group_size = args.r->c();
+  config.num_groups = static_cast<std::size_t>(args.r->num_slices());
+  config.functional = functional;
+  return device.launch(kernel_name, config, FlatSellKernel(args));
+}
+
+}  // namespace alsmf

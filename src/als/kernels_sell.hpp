@@ -1,0 +1,33 @@
+// Flat ALS update over SELL-C-sigma storage: the *format-side* remedy for
+// warp divergence, contrasted with the paper's *mapping-side* remedy
+// (thread batching) in the ablation benches. One lane still owns one row,
+// but slices are locally sorted so lanes of a bundle walk similar-length
+// rows and accesses within a slice are contiguous.
+#pragma once
+
+#include <string>
+
+#include "als/options.hpp"
+#include "devsim/device.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/sell.hpp"
+
+namespace alsmf {
+
+struct SellUpdateArgs {
+  const SellMatrix* r = nullptr;  ///< rows correspond to dst rows
+  const Matrix* src = nullptr;
+  Matrix* dst = nullptr;
+  real lambda = 0.1f;
+  int k = 10;
+  LinearSolverKind solver = LinearSolverKind::kCholesky;
+};
+
+/// Launches the flat-on-SELL half-update: one work-group per slice (C lanes,
+/// one row each). Returns the launch record.
+devsim::LaunchResult launch_update_flat_sell(devsim::Device& device,
+                                             const std::string& kernel_name,
+                                             const SellUpdateArgs& args,
+                                             bool functional);
+
+}  // namespace alsmf

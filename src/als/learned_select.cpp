@@ -1,0 +1,349 @@
+#include "als/learned_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "als/variant_select.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/stats.hpp"
+
+namespace alsmf {
+
+std::array<double, SelectorFeatures::kCount> SelectorFeatures::as_array() const {
+  return {is_gpu,         is_mic,
+          simd_width,     has_hw_local,
+          gather_scalar_ops, global_latency_slots,
+          scalar_efficiency, vector_efficiency,
+          k,              group_size,
+          mean_row_nnz,   row_gini};
+}
+
+const std::array<const char*, SelectorFeatures::kCount>&
+SelectorFeatures::names() {
+  static const std::array<const char*, kCount> kNames = {
+      "is_gpu",          "is_mic",
+      "simd_width",      "has_hw_local",
+      "gather_ops",      "latency_slots",
+      "scalar_eff",      "vector_eff",
+      "k",               "group_size",
+      "mean_row_nnz",    "row_gini"};
+  return kNames;
+}
+
+SelectorFeatures extract_features(const Csr& train, const AlsOptions& options,
+                                  const devsim::DeviceProfile& profile) {
+  SelectorFeatures f;
+  f.is_gpu = profile.kind == devsim::DeviceKind::kGpu ? 1.0 : 0.0;
+  f.is_mic = profile.kind == devsim::DeviceKind::kMic ? 1.0 : 0.0;
+  f.simd_width = profile.simd_width;
+  f.has_hw_local = profile.has_hw_local_mem ? 1.0 : 0.0;
+  f.gather_scalar_ops = profile.gather_scalar_ops;
+  f.global_latency_slots = profile.global_latency_slots;
+  f.scalar_efficiency = profile.scalar_efficiency;
+  f.vector_efficiency = profile.vector_efficiency;
+  f.k = options.k;
+  f.group_size = options.group_size;
+  const SliceStats rows = row_stats(train);
+  f.mean_row_nnz = rows.mean;
+  f.row_gini = rows.gini;
+  return f;
+}
+
+namespace {
+
+using FeatureRow = std::array<double, SelectorFeatures::kCount>;
+
+double gini_impurity(const std::map<unsigned, std::size_t>& counts,
+                     std::size_t total) {
+  if (total == 0) return 0;
+  double impurity = 1.0;
+  for (const auto& [label, n] : counts) {
+    const double p = static_cast<double>(n) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+unsigned majority(const std::vector<unsigned>& labels,
+                  const std::vector<std::size_t>& idx) {
+  std::map<unsigned, std::size_t> counts;
+  for (auto i : idx) ++counts[labels[i]];
+  unsigned best = 0;
+  std::size_t best_n = 0;
+  for (const auto& [label, n] : counts) {
+    if (n > best_n) {
+      best = label;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::fit(const std::vector<FeatureRow>& features,
+                               const std::vector<unsigned>& labels,
+                               int max_depth, std::size_t min_leaf) {
+  ALSMF_CHECK(features.size() == labels.size());
+  ALSMF_CHECK(!features.empty());
+  DecisionTree tree;
+
+  struct Frame {
+    std::vector<std::size_t> idx;
+    int depth;
+    int node;  ///< index into nodes_ to fill in
+  };
+
+  std::vector<std::size_t> all(features.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  tree.nodes_.push_back({});
+  std::vector<Frame> stack{{std::move(all), 0, 0}};
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    Node& node = tree.nodes_[static_cast<std::size_t>(frame.node)];
+
+    // Purity / depth / size stopping rules.
+    std::map<unsigned, std::size_t> counts;
+    for (auto i : frame.idx) ++counts[labels[i]];
+    const double impurity = gini_impurity(counts, frame.idx.size());
+    if (impurity == 0.0 || frame.depth >= max_depth ||
+        frame.idx.size() < 2 * min_leaf) {
+      node.feature = -1;
+      node.label = majority(labels, frame.idx);
+      continue;
+    }
+
+    // Exhaustive best (feature, threshold) split by Gini gain. Thresholds
+    // are midpoints between consecutive distinct sorted values.
+    int best_feature = -1;
+    double best_threshold = 0, best_score = impurity;
+    for (std::size_t f = 0; f < SelectorFeatures::kCount; ++f) {
+      std::vector<double> values;
+      values.reserve(frame.idx.size());
+      for (auto i : frame.idx) values.push_back(features[i][f]);
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      for (std::size_t v = 1; v < values.size(); ++v) {
+        const double threshold = 0.5 * (values[v - 1] + values[v]);
+        std::map<unsigned, std::size_t> lc, rc;
+        std::size_t ln = 0, rn = 0;
+        for (auto i : frame.idx) {
+          if (features[i][f] <= threshold) {
+            ++lc[labels[i]];
+            ++ln;
+          } else {
+            ++rc[labels[i]];
+            ++rn;
+          }
+        }
+        if (ln < min_leaf || rn < min_leaf) continue;
+        const double score =
+            (static_cast<double>(ln) * gini_impurity(lc, ln) +
+             static_cast<double>(rn) * gini_impurity(rc, rn)) /
+            static_cast<double>(frame.idx.size());
+        if (score + 1e-12 < best_score) {
+          best_score = score;
+          best_feature = static_cast<int>(f);
+          best_threshold = threshold;
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      // No split reduces impurity at this level (e.g. XOR-like data).
+      // Accept any balanced zero-gain split while depth remains, so deeper
+      // levels can still separate the classes.
+      for (std::size_t f = 0; f < SelectorFeatures::kCount && best_feature < 0;
+           ++f) {
+        std::vector<double> values;
+        for (auto i : frame.idx) values.push_back(features[i][f]);
+        std::sort(values.begin(), values.end());
+        values.erase(std::unique(values.begin(), values.end()), values.end());
+        for (std::size_t v = 1; v < values.size(); ++v) {
+          const double threshold = 0.5 * (values[v - 1] + values[v]);
+          std::size_t ln = 0;
+          for (auto i : frame.idx) {
+            if (features[i][f] <= threshold) ++ln;
+          }
+          if (ln >= min_leaf && frame.idx.size() - ln >= min_leaf) {
+            best_feature = static_cast<int>(f);
+            best_threshold = threshold;
+            break;
+          }
+        }
+      }
+    }
+    if (best_feature < 0) {  // nothing splittable at all
+      node.feature = -1;
+      node.label = majority(labels, frame.idx);
+      continue;
+    }
+
+    std::vector<std::size_t> left, right;
+    for (auto i : frame.idx) {
+      (features[i][static_cast<std::size_t>(best_feature)] <= best_threshold
+           ? left
+           : right)
+          .push_back(i);
+    }
+    // push_back invalidates references into nodes_: write via the index.
+    const int left_node = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    const int right_node = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    Node& parent = tree.nodes_[static_cast<std::size_t>(frame.node)];
+    parent.feature = best_feature;
+    parent.threshold = best_threshold;
+    parent.left = left_node;
+    parent.right = right_node;
+    stack.push_back({std::move(right), frame.depth + 1, right_node});
+    stack.push_back({std::move(left), frame.depth + 1, left_node});
+  }
+  return tree;
+}
+
+unsigned DecisionTree::predict(const FeatureRow& x) const {
+  ALSMF_CHECK_MSG(!nodes_.empty(), "predict on an empty tree");
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                 : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].label;
+}
+
+void DecisionTree::append_text(int node, int depth, std::string& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  if (n.feature < 0) {
+    out += indent + "-> " + AlsVariant::from_mask(n.label).name() + "\n";
+    return;
+  }
+  std::ostringstream os;
+  os << indent << "if " << SelectorFeatures::names()[static_cast<std::size_t>(n.feature)]
+     << " <= " << n.threshold << ":\n";
+  out += os.str();
+  append_text(n.left, depth + 1, out);
+  out += indent + "else:\n";
+  append_text(n.right, depth + 1, out);
+}
+
+std::string DecisionTree::to_string() const {
+  if (nodes_.empty()) return "(empty tree)";
+  std::string out;
+  append_text(0, 0, out);
+  return out;
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "alsmf-dtree-v1 " << nodes_.size() << "\n";
+  for (const Node& n : nodes_) {
+    out << n.feature << " " << n.threshold << " " << n.left << " " << n.right
+        << " " << n.label << "\n";
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  std::string magic;
+  std::size_t count = 0;
+  in >> magic >> count;
+  ALSMF_CHECK_MSG(in.good() && magic == "alsmf-dtree-v1", "bad tree header");
+  DecisionTree tree;
+  tree.nodes_.resize(count);
+  for (Node& n : tree.nodes_) {
+    in >> n.feature >> n.threshold >> n.left >> n.right >> n.label;
+    ALSMF_CHECK_MSG(!in.fail(), "truncated tree stream");
+  }
+  return tree;
+}
+
+std::vector<SelectorExample> generate_selector_corpus(std::uint64_t seed) {
+  std::vector<SelectorExample> corpus;
+
+  // Dataset shapes spanning skew and row-length regimes.
+  struct Shape {
+    index_t users, items;
+    nnz_t nnz;
+    double alpha;
+  };
+  const Shape shapes[] = {
+      {3000, 800, 60000, 0.6},   // short, mildly skewed rows
+      {2000, 1500, 120000, 0.9}, // medium rows
+      {1000, 2000, 150000, 1.1}, // long, highly skewed rows
+  };
+  const int ks[] = {5, 10, 30};
+  const int group_sizes[] = {8, 32, 128};
+  const devsim::DeviceProfile profiles[] = {
+      devsim::k20c(), devsim::xeon_e5_2670_dual(), devsim::xeon_phi_31sp()};
+
+  for (const Shape& shape : shapes) {
+    SyntheticSpec spec;
+    spec.users = shape.users;
+    spec.items = shape.items;
+    spec.nnz = shape.nnz;
+    spec.user_alpha = shape.alpha;
+    spec.seed = seed++;
+    const Csr train = coo_to_csr(generate_synthetic(spec));
+    for (int k : ks) {
+      for (int ws : group_sizes) {
+        for (const auto& profile : profiles) {
+          AlsOptions options;
+          options.k = k;
+          options.group_size = ws;
+          options.iterations = 1;
+          options.num_groups = 2048;
+          options.functional = false;
+          SelectorExample ex;
+          ex.features = extract_features(train, options, profile).as_array();
+          ex.best_mask = 0;
+          double best_time = -1;
+          const auto scores = score_variants(train, options, profile);
+          // score_variants sorts ascending; recover the winner's mask.
+          for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+            if (AlsVariant::from_mask(mask) == scores.front().variant) {
+              ex.best_mask = mask;
+              best_time = scores.front().modeled_seconds;
+              break;
+            }
+          }
+          ALSMF_CHECK(best_time >= 0);
+          corpus.push_back(ex);
+        }
+      }
+    }
+  }
+  return corpus;
+}
+
+DecisionTree train_variant_selector(const std::vector<SelectorExample>& corpus,
+                                    int max_depth) {
+  std::vector<std::array<double, SelectorFeatures::kCount>> features;
+  std::vector<unsigned> labels;
+  features.reserve(corpus.size());
+  labels.reserve(corpus.size());
+  for (const auto& ex : corpus) {
+    features.push_back(ex.features);
+    labels.push_back(ex.best_mask);
+  }
+  return DecisionTree::fit(features, labels, max_depth);
+}
+
+AlsVariant select_variant_learned(const DecisionTree& tree, const Csr& train,
+                                  const AlsOptions& options,
+                                  const devsim::DeviceProfile& profile) {
+  const unsigned mask =
+      tree.predict(extract_features(train, options, profile).as_array()) %
+      AlsVariant::kVariantCount;
+  return AlsVariant::from_mask(mask);
+}
+
+}  // namespace alsmf

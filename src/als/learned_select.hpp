@@ -1,0 +1,97 @@
+// Learned code-variant selection — the paper's stated future work (§VII:
+// "we will introduce the machine learning technique to select an
+// appropriate code variant according to the target architecture and input
+// dataset").
+//
+// A small CART decision tree is trained on (architecture, dataset, launch)
+// features, labeled with the empirically best of the 8 variants (measured
+// through the cost model). The tree is interpretable, serializable, and
+// predicts in O(depth) without running any variant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "als/options.hpp"
+#include "devsim/profile.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// Feature vector describing one (device, dataset, launch) context.
+struct SelectorFeatures {
+  static constexpr std::size_t kCount = 12;
+
+  double is_gpu = 0, is_mic = 0;
+  double simd_width = 0;
+  double has_hw_local = 0;
+  double gather_scalar_ops = 0;
+  double global_latency_slots = 0;
+  double scalar_efficiency = 0, vector_efficiency = 0;
+  double k = 0, group_size = 0;
+  double mean_row_nnz = 0;
+  double row_gini = 0;
+
+  std::array<double, kCount> as_array() const;
+  static const std::array<const char*, kCount>& names();
+};
+
+/// Extracts features from a concrete context.
+SelectorFeatures extract_features(const Csr& train, const AlsOptions& options,
+                                  const devsim::DeviceProfile& profile);
+
+/// Depth-limited CART classifier over dense double features.
+class DecisionTree {
+ public:
+  /// Fits with Gini impurity; features.size() == labels.size().
+  static DecisionTree fit(const std::vector<std::array<double, SelectorFeatures::kCount>>& features,
+                          const std::vector<unsigned>& labels, int max_depth = 5,
+                          std::size_t min_leaf = 2);
+
+  unsigned predict(const std::array<double, SelectorFeatures::kCount>& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Human-readable if/else dump (uses SelectorFeatures::names()).
+  std::string to_string() const;
+
+  /// Line-based text serialization (versioned).
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 => leaf
+    double threshold = 0;
+    int left = -1, right = -1;
+    unsigned label = 0;     ///< leaf class (variant mask)
+  };
+  std::vector<Node> nodes_;
+
+  void append_text(int node, int depth, std::string& out) const;
+};
+
+/// One labeled training example.
+struct SelectorExample {
+  std::array<double, SelectorFeatures::kCount> features;
+  unsigned best_mask = 0;  ///< empirically best variant (cost model)
+};
+
+/// Sweeps synthetic datasets x device profiles x (k, group size) and labels
+/// each context with its empirically best variant. Deterministic in seed.
+std::vector<SelectorExample> generate_selector_corpus(std::uint64_t seed = 7);
+
+/// Fits the selector tree on a corpus.
+DecisionTree train_variant_selector(const std::vector<SelectorExample>& corpus,
+                                    int max_depth = 5);
+
+/// Predicts a variant for a concrete context with a trained tree.
+AlsVariant select_variant_learned(const DecisionTree& tree, const Csr& train,
+                                  const AlsOptions& options,
+                                  const devsim::DeviceProfile& profile);
+
+}  // namespace alsmf

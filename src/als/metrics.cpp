@@ -1,0 +1,88 @@
+#include "als/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/vecops.hpp"
+
+namespace alsmf {
+
+namespace {
+
+/// Accumulates Σ f(r_ui - x_uᵀ y_i) over stored entries.
+template <class F>
+double accumulate_errors(const Csr& ratings, const Matrix& x, const Matrix& y,
+                         F f) {
+  ALSMF_CHECK(ratings.rows() == x.rows());
+  ALSMF_CHECK(ratings.cols() == y.rows());
+  ALSMF_CHECK(x.cols() == y.cols());
+  const auto k = static_cast<std::size_t>(x.cols());
+  double total = 0.0;
+  for (index_t u = 0; u < ratings.rows(); ++u) {
+    auto cols = ratings.row_cols(u);
+    auto vals = ratings.row_values(u);
+    auto xu = x.row(u);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const double pred = vdot(xu.data(), y.row(cols[p]).data(), k);
+      total += f(static_cast<double>(vals[p]) - pred);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double rmse(const Csr& ratings, const Matrix& x, const Matrix& y) {
+  if (ratings.nnz() == 0) return 0.0;
+  const double sse =
+      accumulate_errors(ratings, x, y, [](double e) { return e * e; });
+  return std::sqrt(sse / static_cast<double>(ratings.nnz()));
+}
+
+double rmse(const Coo& ratings, const Matrix& x, const Matrix& y) {
+  if (ratings.nnz() == 0) return 0.0;
+  const auto k = static_cast<std::size_t>(x.cols());
+  double sse = 0.0;
+  for (const auto& t : ratings.entries()) {
+    const double pred = vdot(x.row(t.row).data(), y.row(t.col).data(), k);
+    const double e = static_cast<double>(t.value) - pred;
+    sse += e * e;
+  }
+  return std::sqrt(sse / static_cast<double>(ratings.nnz()));
+}
+
+double mae(const Csr& ratings, const Matrix& x, const Matrix& y) {
+  if (ratings.nnz() == 0) return 0.0;
+  const double sae =
+      accumulate_errors(ratings, x, y, [](double e) { return std::abs(e); });
+  return sae / static_cast<double>(ratings.nnz());
+}
+
+double als_loss(const Csr& ratings, const Matrix& x, const Matrix& y,
+                real lambda) {
+  const double sse =
+      accumulate_errors(ratings, x, y, [](double e) { return e * e; });
+  return sse + static_cast<double>(lambda) * (x.frob2() + y.frob2());
+}
+
+double als_wr_loss(const Csr& ratings, const Matrix& x, const Matrix& y,
+                   real lambda) {
+  const double sse =
+      accumulate_errors(ratings, x, y, [](double e) { return e * e; });
+  const auto k = static_cast<std::size_t>(x.cols());
+  double reg = 0.0;
+  // Row counts weight the user side; column counts weight the item side.
+  std::vector<double> col_count(static_cast<std::size_t>(ratings.cols()), 0.0);
+  for (index_t u = 0; u < ratings.rows(); ++u) {
+    const auto nnz_u = static_cast<double>(ratings.row_nnz(u));
+    reg += nnz_u * vnorm2(x.row(u).data(), k);
+    for (auto j : ratings.row_cols(u)) col_count[static_cast<std::size_t>(j)] += 1.0;
+  }
+  for (index_t i = 0; i < ratings.cols(); ++i) {
+    reg += col_count[static_cast<std::size_t>(i)] * vnorm2(y.row(i).data(), k);
+  }
+  return sse + static_cast<double>(lambda) * reg;
+}
+
+}  // namespace alsmf

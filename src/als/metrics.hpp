@@ -1,0 +1,28 @@
+// Evaluation metrics for factor models.
+#pragma once
+
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// Root-mean-square error of x_uᵀ y_i against the stored ratings.
+double rmse(const Csr& ratings, const Matrix& x, const Matrix& y);
+double rmse(const Coo& ratings, const Matrix& x, const Matrix& y);
+
+/// Mean absolute error.
+double mae(const Csr& ratings, const Matrix& x, const Matrix& y);
+
+/// The paper's objective (Eq. 2): squared error over observed ratings plus
+/// λ(Σ_u |x_u|² + Σ_i |y_i|²). Each ALS half-step minimizes this exactly,
+/// so it decreases monotonically over iterations (a test invariant).
+double als_loss(const Csr& ratings, const Matrix& x, const Matrix& y,
+                real lambda);
+
+/// ALS-WR objective: squared error plus λ(Σ_u |Ω_u||x_u|² + Σ_i |Ω_i||y_i|²)
+/// (weighted-λ regularization; minimized by AlsOptions::weighted_regularization).
+double als_wr_loss(const Csr& ratings, const Matrix& x, const Matrix& y,
+                   real lambda);
+
+}  // namespace alsmf

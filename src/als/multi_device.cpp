@@ -1,0 +1,135 @@
+#include "als/multi_device.hpp"
+
+#include <algorithm>
+
+#include "als/reference.hpp"
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+MultiDeviceAls::MultiDeviceAls(const Csr& train, const AlsOptions& options,
+                               const AlsVariant& variant,
+                               std::vector<devsim::DeviceProfile> profiles)
+    : options_(options), variant_(variant) {
+  ALSMF_CHECK_MSG(!profiles.empty(), "need at least one device profile");
+  for (auto& p : profiles) {
+    devices_.push_back(std::make_unique<devsim::Device>(std::move(p)));
+  }
+
+  const Csr train_t = transpose(train);
+  row_parts_ = balance_by_nnz(train, devices_.size());
+  col_parts_ = balance_by_nnz(train_t, devices_.size());
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    x_shards_.push_back(
+        {slice_rows(train, row_parts_[d].first, row_parts_[d].second),
+         row_parts_[d].first});
+    y_shards_.push_back(
+        {slice_rows(train_t, col_parts_[d].first, col_parts_[d].second),
+         col_parts_[d].first});
+  }
+
+  init_factors(train.rows(), train.cols(), options_, x_, y_);
+}
+
+std::vector<std::pair<index_t, index_t>> MultiDeviceAls::balance_by_nnz(
+    const Csr& csr, std::size_t parts) {
+  // Contiguous ranges whose cumulative nonzeros approximate p/parts of the
+  // total — the standard 1-D prefix-sum partitioning.
+  std::vector<std::pair<index_t, index_t>> ranges;
+  const double target =
+      static_cast<double>(csr.nnz()) / static_cast<double>(parts);
+  index_t begin = 0;
+  nnz_t running = 0;
+  for (std::size_t p = 0; p + 1 < parts; ++p) {
+    const double goal = static_cast<double>(p + 1) * target;
+    index_t end = begin;
+    while (end < csr.rows() && static_cast<double>(running) < goal) {
+      running += csr.row_nnz(end);
+      ++end;
+    }
+    ranges.push_back({begin, end});
+    begin = end;
+  }
+  ranges.push_back({begin, csr.rows()});
+  return ranges;
+}
+
+Csr MultiDeviceAls::slice_rows(const Csr& csr, index_t begin, index_t end) {
+  ALSMF_CHECK(begin >= 0 && begin <= end && end <= csr.rows());
+  aligned_vector<nnz_t> row_ptr(static_cast<std::size_t>(end - begin) + 1, 0);
+  const nnz_t base = csr.row_ptr()[static_cast<std::size_t>(begin)];
+  for (index_t u = begin; u <= end; ++u) {
+    row_ptr[static_cast<std::size_t>(u - begin)] =
+        csr.row_ptr()[static_cast<std::size_t>(u)] - base;
+  }
+  const auto first = static_cast<std::size_t>(base);
+  const auto count = static_cast<std::size_t>(
+      csr.row_ptr()[static_cast<std::size_t>(end)] - base);
+  aligned_vector<index_t> col_idx(csr.col_idx().begin() + static_cast<std::ptrdiff_t>(first),
+                                  csr.col_idx().begin() + static_cast<std::ptrdiff_t>(first + count));
+  aligned_vector<real> values(csr.values().begin() + static_cast<std::ptrdiff_t>(first),
+                              csr.values().begin() + static_cast<std::ptrdiff_t>(first + count));
+  return Csr(end - begin, csr.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+void MultiDeviceAls::half_update(std::vector<Shard>& shards, const Matrix& src,
+                                 Matrix& dst, const char* name) {
+  const int k = options_.k;
+  double slowest = 0;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    Shard& shard = shards[d];
+    Matrix local(shard.matrix.rows(), k);
+    UpdateArgs args;
+    args.r = &shard.matrix;
+    args.src = &src;
+    args.dst = &local;
+    args.lambda = options_.lambda;
+    args.weighted_lambda = options_.weighted_regularization;
+    args.k = k;
+    args.variant = variant_;
+    args.solver = options_.solver;
+    const auto result =
+        launch_update(*devices_[d], name, args, options_.num_groups,
+                      options_.group_size, options_.functional);
+    slowest = std::max(slowest, result.time.total_s());
+    if (options_.functional) {
+      for (index_t u = 0; u < local.rows(); ++u) {
+        auto from = local.row(u);
+        auto to = dst.row(shard.first_row + u);
+        std::copy(from.begin(), from.end(), to.begin());
+      }
+    }
+  }
+  modeled_seconds_ += slowest;
+
+  // All-gather of the refreshed factor: with P devices each must receive
+  // the (P-1)/P fraction it did not compute, over its own interconnect.
+  if (devices_.size() > 1) {
+    const double factor_bytes = static_cast<double>(dst.rows()) *
+                                static_cast<double>(k) * sizeof(real);
+    double slowest_comm = 0;
+    const auto parts = static_cast<double>(devices_.size());
+    for (const auto& device : devices_) {
+      const double bytes = factor_bytes * (parts - 1.0) / parts;
+      slowest_comm = std::max(
+          slowest_comm, bytes / (device->profile().pcie_bw_gbs * 1e9));
+    }
+    modeled_seconds_ += slowest_comm;
+    comm_seconds_ += slowest_comm;
+  }
+}
+
+void MultiDeviceAls::run_iteration() {
+  half_update(x_shards_, y_, x_, "update_x");
+  half_update(y_shards_, x_, y_, "update_y");
+}
+
+double MultiDeviceAls::run() {
+  const double before = modeled_seconds_;
+  for (int it = 0; it < options_.iterations; ++it) run_iteration();
+  return modeled_seconds_ - before;
+}
+
+}  // namespace alsmf

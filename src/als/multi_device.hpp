@@ -1,0 +1,67 @@
+// Data-parallel ALS across multiple devices — the scaling scheme cuMF
+// (HPDC'16) uses on multi-GPU systems, built on this library's kernels:
+// rows of X are partitioned across devices (each holding the full Y), then
+// columns of Y are partitioned (each holding the full X), with an
+// all-gather of the updated factor between half-steps, priced at the
+// devices' interconnect bandwidth.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "als/kernels.hpp"
+#include "als/options.hpp"
+#include "devsim/device.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+class MultiDeviceAls {
+ public:
+  /// One Device is created per profile; the rating matrix is partitioned
+  /// by balancing nonzeros (contiguous row/column ranges).
+  MultiDeviceAls(const Csr& train, const AlsOptions& options,
+                 const AlsVariant& variant,
+                 std::vector<devsim::DeviceProfile> profiles);
+
+  void run_iteration();
+  double run();  ///< all iterations; returns total modeled seconds
+
+  const Matrix& x() const { return x_; }
+  const Matrix& y() const { return y_; }
+
+  /// Modeled wall time: per half-step the slowest device's kernel time,
+  /// plus the factor all-gather.
+  double modeled_seconds() const { return modeled_seconds_; }
+  double communication_seconds() const { return comm_seconds_; }
+  int device_count() const { return static_cast<int>(devices_.size()); }
+
+  /// Row ranges assigned per device for the X update (exposed for tests).
+  const std::vector<std::pair<index_t, index_t>>& row_partitions() const {
+    return row_parts_;
+  }
+
+ private:
+  struct Shard {
+    Csr matrix;          ///< contiguous slice of rows (or transposed cols)
+    index_t first_row;   ///< offset into the global factor
+  };
+
+  void half_update(std::vector<Shard>& shards, const Matrix& src, Matrix& dst,
+                   const char* name);
+  static std::vector<std::pair<index_t, index_t>> balance_by_nnz(
+      const Csr& csr, std::size_t parts);
+  static Csr slice_rows(const Csr& csr, index_t begin, index_t end);
+
+  AlsOptions options_;
+  AlsVariant variant_;
+  std::vector<std::unique_ptr<devsim::Device>> devices_;
+  std::vector<Shard> x_shards_, y_shards_;
+  std::vector<std::pair<index_t, index_t>> row_parts_, col_parts_;
+  Matrix x_, y_;
+  double modeled_seconds_ = 0;
+  double comm_seconds_ = 0;
+};
+
+}  // namespace alsmf

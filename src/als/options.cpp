@@ -1,0 +1,48 @@
+#include "als/options.hpp"
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+const char* to_string(LinearSolverKind kind) {
+  switch (kind) {
+    case LinearSolverKind::kCholesky: return "cholesky";
+    case LinearSolverKind::kLu: return "lu";
+  }
+  return "?";
+}
+
+std::string AlsVariant::name() const {
+  if (!thread_batching) return "flat";
+  std::string n = "batch";
+  if (use_local) n += "+local";
+  if (use_registers) n += "+reg";
+  if (use_vectors) n += "+vec";
+  return n;
+}
+
+AlsVariant AlsVariant::from_mask(unsigned mask) {
+  ALSMF_CHECK(mask < kVariantCount);
+  AlsVariant v;
+  v.thread_batching = true;
+  v.use_registers = (mask & 1u) != 0;
+  v.use_local = (mask & 2u) != 0;
+  v.use_vectors = (mask & 4u) != 0;
+  return v;
+}
+
+AlsVariant AlsVariant::flat_baseline() {
+  AlsVariant v;
+  v.thread_batching = false;
+  v.use_registers = false;
+  v.use_local = false;
+  v.use_vectors = false;
+  return v;
+}
+
+AlsVariant AlsVariant::batching_only() { return from_mask(0); }
+AlsVariant AlsVariant::batch_local() { return from_mask(2); }
+AlsVariant AlsVariant::batch_local_reg() { return from_mask(3); }
+AlsVariant AlsVariant::batch_vectors() { return from_mask(4); }
+
+}  // namespace alsmf

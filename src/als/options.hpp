@@ -1,0 +1,74 @@
+// Solver options and the paper's code-variant toggles (§III-D: 8 variants
+// from individually applying/combining the three optimizations on top of
+// thread batching, plus the flat SAC'15-style baseline mapping).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// Which dense solver factorizes the k×k normal equations (step S3).
+enum class LinearSolverKind {
+  kCholesky,  ///< the paper's choice (symmetric positive definite smat)
+  kLu,        ///< ablation comparator
+};
+
+const char* to_string(LinearSolverKind kind);
+
+/// One code variant of the ALS update kernel.
+struct AlsVariant {
+  /// Thread batching (§III-B): a whole work-group updates one row. When
+  /// false, the flat baseline mapping is used (one lane per row) and the
+  /// other toggles are ignored (the baseline has none of them).
+  bool thread_batching = true;
+  /// §III-C1: replace the k×k dynamically-indexed private accumulator with
+  /// unrolled per-lane registers.
+  bool use_registers = false;
+  /// §III-C2: stage the needed columns of Y and the nonzeros of r_u in
+  /// local (scratch-pad) memory.
+  bool use_local = false;
+  /// §III-C3: explicit vector types for the inner loops.
+  bool use_vectors = false;
+
+  /// Short display name, e.g. "batch+local+reg".
+  std::string name() const;
+
+  /// The 8 batched variants in toggle order (index = bitmask reg|local|vec).
+  static AlsVariant from_mask(unsigned mask);
+  static constexpr unsigned kVariantCount = 8;
+
+  /// Named presets used throughout the paper's figures.
+  static AlsVariant flat_baseline();       ///< SAC'15 mapping
+  static AlsVariant batching_only();       ///< "thread batching"
+  static AlsVariant batch_local();         ///< "+local memory"
+  static AlsVariant batch_local_reg();     ///< "+local memory +register"
+  static AlsVariant batch_vectors();       ///< "+vector"
+
+  friend bool operator==(const AlsVariant&, const AlsVariant&) = default;
+};
+
+/// ALS hyperparameters and launch shape. Paper defaults: k = 10, λ = 0.1,
+/// 5 iterations, thread configuration 8192 × 32.
+struct AlsOptions {
+  int k = 10;                 ///< latent factor dimensionality
+  real lambda = 0.1f;         ///< Tikhonov regularization
+  int iterations = 5;
+  std::uint64_t seed = 42;    ///< random init of Y
+  std::size_t num_groups = 8192;  ///< work-groups per launch (batched)
+  int group_size = 32;            ///< lanes per work-group
+  /// Local-memory staging tile rows (0 = auto-sized for occupancy).
+  int tile_rows = 0;
+  LinearSolverKind solver = LinearSolverKind::kCholesky;
+  /// ALS-WR (Zhou et al., the paper's [3]): scale the ridge term per row by
+  /// its rating count, λ_u = λ·|Ω_u| — markedly better generalization on
+  /// sparse data at the same per-iteration cost.
+  bool weighted_regularization = false;
+  /// Functional execution (compute the factors) vs accounting-only
+  /// (cost-model sweeps).
+  bool functional = true;
+};
+
+}  // namespace alsmf

@@ -1,0 +1,153 @@
+#include "als/out_of_core.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "als/reference.hpp"
+#include "als/row_solve.hpp"
+#include "common/error.hpp"
+#include "sparse/io.hpp"
+
+namespace alsmf {
+
+namespace {
+
+Csr slice_rows(const Csr& csr, index_t begin, index_t end) {
+  aligned_vector<nnz_t> row_ptr(static_cast<std::size_t>(end - begin) + 1, 0);
+  const nnz_t base = csr.row_ptr()[static_cast<std::size_t>(begin)];
+  for (index_t u = begin; u <= end; ++u) {
+    row_ptr[static_cast<std::size_t>(u - begin)] =
+        csr.row_ptr()[static_cast<std::size_t>(u)] - base;
+  }
+  const auto first = static_cast<std::size_t>(base);
+  const auto count = static_cast<std::size_t>(
+      csr.row_ptr()[static_cast<std::size_t>(end)] - base);
+  aligned_vector<index_t> col_idx(
+      csr.col_idx().begin() + static_cast<std::ptrdiff_t>(first),
+      csr.col_idx().begin() + static_cast<std::ptrdiff_t>(first + count));
+  aligned_vector<real> values(
+      csr.values().begin() + static_cast<std::ptrdiff_t>(first),
+      csr.values().begin() + static_cast<std::ptrdiff_t>(first + count));
+  return Csr(end - begin, csr.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+}  // namespace
+
+ShardedMatrix write_sharded(const Csr& matrix, const std::string& directory,
+                            nnz_t max_nnz_per_shard) {
+  ALSMF_CHECK(max_nnz_per_shard > 0);
+  std::filesystem::create_directories(directory);
+
+  ShardedMatrix sharded;
+  sharded.rows = matrix.rows();
+  sharded.cols = matrix.cols();
+  sharded.nnz = matrix.nnz();
+
+  index_t begin = 0;
+  int shard_id = 0;
+  while (begin < matrix.rows()) {
+    index_t end = begin;
+    nnz_t load = 0;
+    while (end < matrix.rows() &&
+           (load == 0 || load + matrix.row_nnz(end) <= max_nnz_per_shard)) {
+      load += matrix.row_nnz(end);
+      ++end;
+    }
+    ShardedMatrix::Shard shard;
+    shard.path = directory + "/shard_" + std::to_string(shard_id++) + ".bin";
+    shard.first_row = begin;
+    shard.row_count = end - begin;
+    shard.nnz = load;
+    write_csr_binary_file(shard.path, slice_rows(matrix, begin, end));
+    sharded.shards.push_back(std::move(shard));
+    begin = end;
+  }
+
+  std::ofstream manifest(directory + "/manifest.txt");
+  ALSMF_CHECK_MSG(manifest.good(), "cannot write manifest in " + directory);
+  manifest << sharded.rows << " " << sharded.cols << " " << sharded.nnz << " "
+           << sharded.shards.size() << "\n";
+  for (const auto& s : sharded.shards) {
+    manifest << s.path << " " << s.first_row << " " << s.row_count << " "
+             << s.nnz << "\n";
+  }
+  return sharded;
+}
+
+ShardedMatrix read_manifest(const std::string& directory) {
+  std::ifstream in(directory + "/manifest.txt");
+  ALSMF_CHECK_MSG(in.good(), "cannot open manifest in " + directory);
+  ShardedMatrix sharded;
+  std::size_t count = 0;
+  in >> sharded.rows >> sharded.cols >> sharded.nnz >> count;
+  ALSMF_CHECK_MSG(!in.fail(), "malformed manifest header");
+  sharded.shards.resize(count);
+  for (auto& s : sharded.shards) {
+    in >> s.path >> s.first_row >> s.row_count >> s.nnz;
+    ALSMF_CHECK_MSG(!in.fail(), "malformed manifest entry");
+  }
+  return sharded;
+}
+
+void out_of_core_half_update(const ShardedMatrix& sharded, const Matrix& src,
+                             Matrix& dst, const AlsOptions& options,
+                             ThreadPool* pool) {
+  ALSMF_CHECK(sharded.rows == dst.rows());
+  ALSMF_CHECK(sharded.cols == src.rows());
+  if (!pool) pool = &ThreadPool::global();
+  const int k = options.k;
+
+  for (const auto& shard_info : sharded.shards) {
+    const Csr shard = read_csr_binary_file(shard_info.path);
+    ALSMF_CHECK(shard.rows() == shard_info.row_count);
+    pool->parallel_for(
+        0, static_cast<std::size_t>(shard.rows()),
+        [&](std::size_t b, std::size_t e, unsigned) {
+          std::vector<real> smat(static_cast<std::size_t>(k) * k);
+          std::vector<real> svec(static_cast<std::size_t>(k));
+          for (std::size_t local = b; local < e; ++local) {
+            const auto u = static_cast<index_t>(local);
+            auto out = dst.row(shard_info.first_row + u);
+            if (shard.row_nnz(u) == 0) {
+              std::fill(out.begin(), out.end(), real{0});
+              continue;
+            }
+            const real lambda =
+                options.weighted_regularization
+                    ? options.lambda * static_cast<real>(shard.row_nnz(u))
+                    : options.lambda;
+            assemble_normal_equations(shard.row_cols(u), shard.row_values(u),
+                                      src, lambda, k, smat.data(),
+                                      svec.data());
+            solve_normal_equations(smat.data(), svec.data(), k,
+                                   options.solver);
+            std::copy(svec.begin(), svec.end(), out.begin());
+          }
+        });
+  }
+}
+
+OutOfCoreResult out_of_core_als(const std::string& r_dir,
+                                const std::string& rt_dir,
+                                const AlsOptions& options, ThreadPool* pool) {
+  const ShardedMatrix r = read_manifest(r_dir);
+  const ShardedMatrix rt = read_manifest(rt_dir);
+  ALSMF_CHECK_MSG(r.rows == rt.cols && r.cols == rt.rows,
+                  "transpose manifest does not match");
+  OutOfCoreResult result;
+  init_factors(r.rows, r.cols, options, result.x, result.y);
+  for (const auto& s : r.shards) {
+    result.peak_resident_nnz = std::max(result.peak_resident_nnz, s.nnz);
+  }
+  for (const auto& s : rt.shards) {
+    result.peak_resident_nnz = std::max(result.peak_resident_nnz, s.nnz);
+  }
+  for (int it = 0; it < options.iterations; ++it) {
+    out_of_core_half_update(r, result.y, result.x, options, pool);
+    out_of_core_half_update(rt, result.x, result.y, options, pool);
+  }
+  return result;
+}
+
+}  // namespace alsmf

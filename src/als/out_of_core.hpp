@@ -1,0 +1,61 @@
+// Out-of-core ALS: train on rating matrices that do not fit in memory by
+// streaming row shards from disk. Only the fixed factor, the updated
+// factor, and one shard are ever resident — the access pattern the
+// related work's block-storage solvers (e.g. MLGF-MF on SSDs) exploit,
+// realized here for the ALS update's embarrassingly-rowwise structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "als/options.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// A sharded on-disk matrix: row ranges of a CSR stored as one binary CSR
+/// file per shard plus a small manifest.
+struct ShardedMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  nnz_t nnz = 0;
+  struct Shard {
+    std::string path;
+    index_t first_row = 0;
+    index_t row_count = 0;
+    nnz_t nnz = 0;
+  };
+  std::vector<Shard> shards;
+};
+
+/// Splits `matrix` into shards of at most `max_nnz_per_shard` nonzeros
+/// (row-aligned) and writes them under `directory` (created if needed).
+/// Returns the manifest; also persisted as `<directory>/manifest.txt`.
+ShardedMatrix write_sharded(const Csr& matrix, const std::string& directory,
+                            nnz_t max_nnz_per_shard);
+
+/// Loads a manifest written by write_sharded.
+ShardedMatrix read_manifest(const std::string& directory);
+
+/// One half-update streaming over shards: for each shard, load it, solve
+/// its rows against `src`, write into the matching rows of `dst`, release.
+/// Peak memory: factors + the largest shard.
+void out_of_core_half_update(const ShardedMatrix& sharded, const Matrix& src,
+                             Matrix& dst, const AlsOptions& options,
+                             ThreadPool* pool = nullptr);
+
+struct OutOfCoreResult {
+  Matrix x, y;
+  nnz_t peak_resident_nnz = 0;  ///< largest shard actually loaded
+};
+
+/// Full out-of-core ALS: both orientations must have been sharded
+/// (`r_dir` row-major for the X update, `rt_dir` its transpose for Y).
+OutOfCoreResult out_of_core_als(const std::string& r_dir,
+                                const std::string& rt_dir,
+                                const AlsOptions& options,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace alsmf

@@ -1,0 +1,42 @@
+// The single-row ALS update shared by every code variant: assemble the
+// normal equations  (Σ_{i∈Ω_u} y_i y_iᵀ + λI) x_u = Σ_{i∈Ω_u} r_ui y_i
+// and solve the k×k system. All variants perform this exact arithmetic in
+// the same order, so their functional results agree to the last bit; they
+// differ only in how the work is mapped onto the device (accounting).
+#pragma once
+
+#include <span>
+
+#include "als/options.hpp"
+#include "linalg/dense.hpp"
+
+namespace alsmf {
+
+/// Accumulates one gathered y row into the upper triangle of smat and into
+/// svec (the innermost step shared by all variants and the reference).
+void accumulate_normal_row(const real* yrow, real rating, int k, real* smat,
+                           real* svec);
+
+/// Adds λ to the diagonal and mirrors the upper triangle down.
+void finalize_normal_equations(real lambda, int k, real* smat);
+
+/// Fills smat (k×k row-major) with Σ y_i y_iᵀ + λI and svec (k) with
+/// Σ r_ui y_i, over the stored entries (cols, vals) of one row.
+void assemble_normal_equations(std::span<const index_t> cols,
+                               std::span<const real> vals, const Matrix& y,
+                               real lambda, int k, real* smat, real* svec);
+
+/// Same arithmetic as assemble_normal_equations, but gathering y rows from
+/// a pre-staged contiguous tile (omega × k floats, row p = y_{cols[p]}), as
+/// the local-memory variant does. Bit-identical results by construction.
+void assemble_normal_equations_staged(std::span<const real> tile,
+                                      std::span<const real> vals, real lambda,
+                                      int k, real* smat, real* svec);
+
+/// Solves smat · x = svec in place (svec becomes x_u). Falls back to zero
+/// on a numerically failed factorization (cannot happen for λ > 0, checked
+/// in tests). Returns false on failure.
+bool solve_normal_equations(real* smat, real* svec, int k,
+                            LinearSolverKind solver);
+
+}  // namespace alsmf

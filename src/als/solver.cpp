@@ -1,0 +1,114 @@
+#include "als/solver.hpp"
+
+#include "als/metrics.hpp"
+#include "als/reference.hpp"
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+AlsSolver::AlsSolver(const Csr& train, const AlsOptions& options,
+                     const AlsVariant& variant, devsim::Device& device)
+    : train_(train),
+      train_t_(transpose(train)),
+      options_(options),
+      variant_(variant),
+      device_(device) {
+  ALSMF_CHECK(options.k > 0);
+  ALSMF_CHECK(options.lambda > 0.0f);
+  init_factors(train.rows(), train.cols(), options_, x_, y_);
+}
+
+void AlsSolver::update_x() {
+  UpdateArgs args;
+  args.r = &train_;
+  args.src = &y_;
+  args.dst = &x_;
+  args.lambda = options_.lambda;
+  args.weighted_lambda = options_.weighted_regularization;
+  args.tile_rows = options_.tile_rows;
+  args.k = options_.k;
+  args.variant = variant_;
+  args.solver = options_.solver;
+  launch_update(device_, "update_x", args, options_.num_groups,
+                options_.group_size, options_.functional);
+}
+
+void AlsSolver::update_y() {
+  UpdateArgs args;
+  args.r = &train_t_;
+  args.src = &x_;
+  args.dst = &y_;
+  args.lambda = options_.lambda;
+  args.weighted_lambda = options_.weighted_regularization;
+  args.tile_rows = options_.tile_rows;
+  args.k = options_.k;
+  args.variant = variant_;
+  args.solver = options_.solver;
+  launch_update(device_, "update_y", args, options_.num_groups,
+                options_.group_size, options_.functional);
+}
+
+void AlsSolver::set_factors(const Matrix& x, const Matrix& y) {
+  ALSMF_CHECK(x.rows() == x_.rows() && x.cols() == x_.cols());
+  ALSMF_CHECK(y.rows() == y_.rows() && y.cols() == y_.cols());
+  x_ = x;
+  y_ = y;
+}
+
+void AlsSolver::run_iteration() {
+  update_x();
+  update_y();
+  ++iterations_done_;
+}
+
+double AlsSolver::run() {
+  const double before = device_.modeled_seconds();
+  for (int it = 0; it < options_.iterations; ++it) run_iteration();
+  return device_.modeled_seconds() - before;
+}
+
+AlsSolver::ConvergenceReport AlsSolver::run_until(double rel_tol,
+                                                  int max_iterations) {
+  ALSMF_CHECK_MSG(options_.functional,
+                  "run_until needs functional execution to observe the loss");
+  ALSMF_CHECK(rel_tol >= 0.0);
+  ConvergenceReport report;
+  double prev = train_loss();
+  for (int it = 0; it < max_iterations; ++it) {
+    run_iteration();
+    ++report.iterations;
+    const double cur = train_loss();
+    report.loss_per_iteration.push_back(cur);
+    if (prev > 0 && (prev - cur) / prev < rel_tol) {
+      report.converged = true;
+      break;
+    }
+    prev = cur;
+  }
+  return report;
+}
+
+double AlsSolver::train_loss() const {
+  return options_.weighted_regularization
+             ? als_wr_loss(train_, x_, y_, options_.lambda)
+             : als_loss(train_, x_, y_, options_.lambda);
+}
+
+double AlsSolver::train_rmse() const { return rmse(train_, x_, y_); }
+
+double AlsSolver::modeled_seconds() const {
+  return device_.modeled_seconds_matching("update_");
+}
+
+double AlsSolver::wall_seconds() const { return device_.wall_seconds(); }
+
+StepBreakdown AlsSolver::step_breakdown() const {
+  StepBreakdown b;
+  b.s1 = device_.modeled_seconds_matching("/S1");
+  b.s2 = device_.modeled_seconds_matching("/S2");
+  b.s3 = device_.modeled_seconds_matching("/S3");
+  return b;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,89 @@
+// AlsSolver: the user-facing ALS driver. Owns the factor matrices, the CSR
+// and CSC (transposed-CSR) forms of the training matrix, and a device; runs
+// alternating half-updates through the selected code variant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "als/kernels.hpp"
+#include "als/options.hpp"
+#include "devsim/device.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// Per-step (S1/S2/S3) modeled-time breakdown of a run (Fig. 8).
+struct StepBreakdown {
+  double s1 = 0, s2 = 0, s3 = 0;
+  double total() const { return s1 + s2 + s3; }
+  double s1_pct() const { return total() > 0 ? 100.0 * s1 / total() : 0; }
+  double s2_pct() const { return total() > 0 ? 100.0 * s2 / total() : 0; }
+  double s3_pct() const { return total() > 0 ? 100.0 * s3 / total() : 0; }
+};
+
+class AlsSolver {
+ public:
+  /// Keeps a reference to `train` (must outlive the solver); builds the
+  /// transposed copy internally. Factors are initialized as Algorithm 1:
+  /// X ← 0, Y ← small random values from options.seed.
+  AlsSolver(const Csr& train, const AlsOptions& options,
+            const AlsVariant& variant, devsim::Device& device);
+
+  /// One full iteration: update X over Y, then Y over X.
+  void run_iteration();
+
+  /// Runs options.iterations iterations; returns modeled seconds consumed
+  /// by this solver's launches during the run.
+  double run();
+
+  /// Result of run_until: why it stopped and the trajectory.
+  struct ConvergenceReport {
+    int iterations = 0;
+    bool converged = false;          ///< relative improvement fell below tol
+    std::vector<double> loss_per_iteration;
+  };
+
+  /// Iterates until the relative training-loss improvement drops below
+  /// `rel_tol` or `max_iterations` is reached (Algorithm 1's "max
+  /// iterations or error rate" stopping rule). Requires functional mode.
+  ConvergenceReport run_until(double rel_tol, int max_iterations);
+
+  /// Update only X (or only Y) — exposed for tests.
+  void update_x();
+  void update_y();
+
+  /// Warm start: replace the factors with an existing model (shapes must
+  /// match) before running — incremental retraining on updated ratings
+  /// converges in far fewer iterations than a cold start.
+  void set_factors(const Matrix& x, const Matrix& y);
+
+  const Matrix& x() const { return x_; }
+  const Matrix& y() const { return y_; }
+  const AlsOptions& options() const { return options_; }
+  const AlsVariant& variant() const { return variant_; }
+  devsim::Device& device() { return device_; }
+
+  /// Objective (Eq. 2) on the training data. Functional runs only.
+  double train_loss() const;
+  double train_rmse() const;
+
+  /// Modeled seconds of this solver's launches so far.
+  double modeled_seconds() const;
+  double wall_seconds() const;
+
+  /// S1/S2/S3 modeled-time breakdown accumulated so far.
+  StepBreakdown step_breakdown() const;
+
+ private:
+  const Csr& train_;
+  Csr train_t_;
+  AlsOptions options_;
+  AlsVariant variant_;
+  devsim::Device& device_;
+  Matrix x_, y_;
+  int iterations_done_ = 0;
+};
+
+}  // namespace alsmf

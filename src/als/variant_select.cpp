@@ -1,0 +1,68 @@
+#include "als/variant_select.hpp"
+
+#include <algorithm>
+
+#include "als/solver.hpp"
+#include "devsim/device.hpp"
+
+namespace alsmf {
+
+std::vector<VariantScore> score_variants(const Csr& train,
+                                         const AlsOptions& options,
+                                         const devsim::DeviceProfile& profile) {
+  std::vector<VariantScore> scores;
+  scores.reserve(AlsVariant::kVariantCount);
+  AlsOptions opts = options;
+  opts.functional = false;  // cost-model only: no arithmetic
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    devsim::Device device(profile);
+    AlsSolver solver(train, opts, v, device);
+    const double t = solver.run();
+    scores.push_back({v, t});
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const VariantScore& a, const VariantScore& b) {
+                     return a.modeled_seconds < b.modeled_seconds;
+                   });
+  return scores;
+}
+
+AlsVariant select_variant_empirical(const Csr& train, const AlsOptions& options,
+                                    const devsim::DeviceProfile& profile) {
+  return score_variants(train, options, profile).front().variant;
+}
+
+AlsVariant select_variant_heuristic(const Csr& train, const AlsOptions& options,
+                                    const devsim::DeviceProfile& profile) {
+  (void)train;
+  AlsVariant v;
+  v.thread_batching = true;
+  if (profile.kind == devsim::DeviceKind::kGpu) {
+    v.use_local = true;
+    v.use_registers = true;
+    v.use_vectors = false;  // Fig. 6: "very little change" on SIMT
+  } else {
+    v.use_local = true;
+    v.use_registers = false;  // §V-B: reg+local degrades on CPU/MIC
+    // Explicit vectors pay off when the group is wide enough that the
+    // packed lanes cover k (otherwise padding dominates either way).
+    v.use_vectors = options.group_size >= options.k;
+  }
+  return v;
+}
+
+int recommend_group_size(int k, const devsim::DeviceProfile& profile) {
+  if (profile.kind == devsim::DeviceKind::kGpu) {
+    // Smallest multiple of the warp fitting k… the paper recommends the
+    // smallest block size >= k that still fills a warp scheduling slot:
+    // round k up to a power of two between 16 and the warp width.
+    int size = 16;
+    while (size < k && size < profile.simd_width) size *= 2;
+    return std::max(size, std::min(32, profile.simd_width));
+  }
+  // CPU/MIC: one SIMD bundle per group ("the smaller the better", §V-E).
+  return profile.simd_width;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,140 @@
+#include "baselines/ccd.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace alsmf {
+
+namespace {
+
+/// Column-oriented view into the CSR value array: for each column, the rows
+/// and the positions of its entries inside the CSR values. Lets the row and
+/// column sweeps share one residual array.
+struct ColumnView {
+  aligned_vector<nnz_t> col_ptr;
+  aligned_vector<index_t> row_idx;
+  aligned_vector<nnz_t> value_pos;  ///< index into the CSR values array
+};
+
+ColumnView build_column_view(const Csr& csr) {
+  ColumnView v;
+  const auto cols = static_cast<std::size_t>(csr.cols());
+  v.col_ptr.assign(cols + 1, 0);
+  v.row_idx.resize(static_cast<std::size_t>(csr.nnz()));
+  v.value_pos.resize(static_cast<std::size_t>(csr.nnz()));
+  for (auto j : csr.col_idx()) ++v.col_ptr[static_cast<std::size_t>(j) + 1];
+  std::partial_sum(v.col_ptr.begin(), v.col_ptr.end(), v.col_ptr.begin());
+  aligned_vector<nnz_t> cursor(v.col_ptr.begin(), v.col_ptr.end() - 1);
+  for (index_t u = 0; u < csr.rows(); ++u) {
+    const auto& row_ptr = csr.row_ptr();
+    for (nnz_t p = row_ptr[static_cast<std::size_t>(u)];
+         p < row_ptr[static_cast<std::size_t>(u) + 1]; ++p) {
+      const auto j = static_cast<std::size_t>(
+          csr.col_idx()[static_cast<std::size_t>(p)]);
+      const auto pos = static_cast<std::size_t>(cursor[j]++);
+      v.row_idx[pos] = u;
+      v.value_pos[pos] = p;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+CcdResult ccd_train(const Csr& train, const CcdOptions& options,
+                    ThreadPool* pool) {
+  ALSMF_CHECK(options.k > 0);
+  ALSMF_CHECK(options.lambda > 0.0f);
+  if (!pool) pool = &ThreadPool::global();
+
+  CcdResult result;
+  Rng rng(options.seed);
+  const real scale =
+      static_cast<real>(1.0 / std::sqrt(static_cast<double>(options.k)));
+  result.x = Matrix(train.rows(), options.k, real{0});
+  result.y = Matrix(train.cols(), options.k);
+  result.y.fill_uniform(rng, -0.5f * scale, 0.5f * scale);
+
+  // Residual r̂ = r - x yᵀ over Ω; starts at r because X = 0.
+  aligned_vector<real> residual(train.values());
+  const ColumnView cv = build_column_view(train);
+  const auto& row_ptr = train.row_ptr();
+  const auto& col_idx = train.col_idx();
+  const int k = options.k;
+
+  for (int outer = 0; outer < options.outer_iterations; ++outer) {
+    for (int t = 0; t < k; ++t) {
+      // Fold the old rank-one contribution back into the residual.
+      pool->parallel_for(
+          0, static_cast<std::size_t>(train.rows()),
+          [&](std::size_t b, std::size_t e, unsigned) {
+            for (std::size_t u = b; u < e; ++u) {
+              const real xut = result.x(static_cast<index_t>(u), t);
+              if (xut == real{0}) continue;
+              for (nnz_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+                residual[static_cast<std::size_t>(p)] +=
+                    xut * result.y(col_idx[static_cast<std::size_t>(p)], t);
+              }
+            }
+          });
+
+      for (int inner = 0; inner < options.inner_iterations; ++inner) {
+        // Row sweep: x_ut = Σ r̂ y_it / (λ + Σ y_it²).
+        pool->parallel_for(
+            0, static_cast<std::size_t>(train.rows()),
+            [&](std::size_t b, std::size_t e, unsigned) {
+              for (std::size_t u = b; u < e; ++u) {
+                real num = 0, den = options.lambda;
+                for (nnz_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+                  const real yit =
+                      result.y(col_idx[static_cast<std::size_t>(p)], t);
+                  num += residual[static_cast<std::size_t>(p)] * yit;
+                  den += yit * yit;
+                }
+                result.x(static_cast<index_t>(u), t) = num / den;
+              }
+            });
+        // Column sweep: y_it = Σ r̂ x_ut / (λ + Σ x_ut²).
+        pool->parallel_for(
+            0, static_cast<std::size_t>(train.cols()),
+            [&](std::size_t b, std::size_t e, unsigned) {
+              for (std::size_t i = b; i < e; ++i) {
+                real num = 0, den = options.lambda;
+                for (nnz_t p = cv.col_ptr[i]; p < cv.col_ptr[i + 1]; ++p) {
+                  const auto pos = static_cast<std::size_t>(p);
+                  const real xut = result.x(cv.row_idx[pos], t);
+                  num += residual[static_cast<std::size_t>(cv.value_pos[pos])] * xut;
+                  den += xut * xut;
+                }
+                result.y(static_cast<index_t>(i), t) = num / den;
+              }
+            });
+      }
+
+      // Subtract the refreshed rank-one contribution.
+      pool->parallel_for(
+          0, static_cast<std::size_t>(train.rows()),
+          [&](std::size_t b, std::size_t e, unsigned) {
+            for (std::size_t u = b; u < e; ++u) {
+              const real xut = result.x(static_cast<index_t>(u), t);
+              if (xut == real{0}) continue;
+              for (nnz_t p = row_ptr[u]; p < row_ptr[u + 1]; ++p) {
+                residual[static_cast<std::size_t>(p)] -=
+                    xut * result.y(col_idx[static_cast<std::size_t>(p)], t);
+              }
+            }
+          });
+    }
+    // Training RMSE directly from the residual.
+    double sse = 0;
+    for (real v : residual) sse += static_cast<double>(v) * v;
+    result.iter_rmse.push_back(
+        std::sqrt(sse / static_cast<double>(train.nnz())));
+  }
+  return result;
+}
+
+}  // namespace alsmf

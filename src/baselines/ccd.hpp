@@ -1,0 +1,35 @@
+// CCD++ (Yu et al., ICDM'12): cyclic coordinate descent that updates one
+// rank-one factor pair at a time. The third solver family in the paper's
+// related work; included for convergence comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+struct CcdOptions {
+  int k = 10;
+  real lambda = 0.1f;
+  int outer_iterations = 5;   ///< passes over all k rank-one factors
+  int inner_iterations = 1;   ///< u/v refinements per rank-one factor
+  std::uint64_t seed = 42;
+};
+
+struct CcdResult {
+  Matrix x;  ///< m × k
+  Matrix y;  ///< n × k
+  std::vector<double> iter_rmse;  ///< training RMSE after each outer pass
+};
+
+/// Trains factors with CCD++. Maintains the residual matrix explicitly
+/// (same memory layout as the ratings) and updates rank-one factors with
+/// the closed-form single-variable solution, parallel over rows/columns.
+CcdResult ccd_train(const Csr& train, const CcdOptions& options,
+                    ThreadPool* pool = nullptr);
+
+}  // namespace alsmf

@@ -1,0 +1,37 @@
+// Hogwild-style parallel stochastic gradient descent for matrix
+// factorization (Recht et al., NIPS'11) — the main alternative solver the
+// paper's related work discusses, included for convergence comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+
+namespace alsmf {
+
+struct SgdOptions {
+  int k = 10;
+  real lambda = 0.05f;       ///< L2 regularization per update
+  real learning_rate = 0.01f;
+  real lr_decay = 0.9f;      ///< per-epoch multiplicative decay
+  int epochs = 20;
+  std::uint64_t seed = 42;
+  bool hogwild = true;       ///< lock-free parallel updates when true
+};
+
+struct SgdResult {
+  Matrix x;  ///< m × k
+  Matrix y;  ///< n × k
+  std::vector<double> epoch_rmse;  ///< training RMSE after each epoch
+};
+
+/// Trains factors with SGD over the rating triplets. With hogwild=true the
+/// updates run lock-free on the pool (benign races, as in the paper [27]);
+/// otherwise one thread processes a deterministic shuffled order.
+SgdResult sgd_train(const Coo& train, const SgdOptions& options,
+                    ThreadPool* pool = nullptr);
+
+}  // namespace alsmf

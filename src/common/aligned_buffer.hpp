@@ -1,0 +1,48 @@
+// Cache-line/SIMD aligned storage (Per.16: compact data structures).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace alsmf {
+
+inline constexpr std::size_t kDefaultAlignment = 64;  // one x86 cache line
+
+/// Minimal aligned allocator for std::vector and friends.
+template <class T, std::size_t Align = kDefaultAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Non-type template parameters defeat allocator_traits' automatic rebind;
+  // spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace alsmf

@@ -1,0 +1,57 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[body] = argv[++i];
+      } else {
+        options_[body] = "";  // boolean flag
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& def) const {
+  auto v = get(name);
+  return v ? *v : def;
+}
+
+long CliArgs::get_long(const std::string& name, long def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CliArgs::has_flag(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+}  // namespace alsmf

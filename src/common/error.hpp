@@ -1,0 +1,34 @@
+// Error handling: a library exception type plus lightweight check macros.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace alsmf {
+
+/// Exception thrown for precondition violations and unrecoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
+              expr + "` failed" + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace alsmf
+
+/// Precondition check that stays enabled in release builds.
+#define ALSMF_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::alsmf::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ALSMF_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) ::alsmf::detail::fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace alsmf {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::scoped_lock lk(g_log_mutex);
+  std::cerr << "[alsmf " << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace alsmf

@@ -1,0 +1,146 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through Rng so experiments are exactly
+// reproducible from a seed. The core generator is xoshiro256** seeded via
+// splitmix64 (public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t n) {
+    ALSMF_CHECK(n > 0);
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) *
+            static_cast<unsigned __int128>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (polar form avoided for determinism).
+  double normal() {
+    const double u1 = 1.0 - uniform();  // (0,1]
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Fork an independent stream (for per-thread or per-row generators).
+  Rng fork() {
+    std::uint64_t s = (*this)();
+    return Rng(s);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Discrete Zipf(α) sampler over [0, n) using rejection-inversion
+/// (Hörmann & Derflinger). Used to produce power-law user/item popularity in
+/// the synthetic dataset replicas.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+    ALSMF_CHECK(n >= 1);
+    ALSMF_CHECK(alpha > 0.0);
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha_));
+  }
+
+  /// Draws a rank in [0, n), rank 0 being the most popular.
+  std::uint64_t operator()(Rng& rng) const {
+    while (true) {
+      const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+      const double x = h_inv(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (static_cast<double>(k) - x <= s_ ||
+          u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -alpha_)) {
+        return k - 1;
+      }
+    }
+  }
+
+  double alpha() const { return alpha_; }
+  std::uint64_t n() const { return n_; }
+
+ private:
+  double h(double x) const {
+    if (std::abs(1.0 - alpha_) < 1e-12) return std::log(x);
+    return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+  }
+  double h_inv(double x) const {
+    if (std::abs(1.0 - alpha_) < 1e-12) return std::exp(x);
+    return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+  }
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_, h_n_, s_;
+};
+
+}  // namespace alsmf

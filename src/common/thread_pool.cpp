@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads ? threads : std::thread::hardware_concurrency();
+  n = std::max(1u, n);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Small ranges: run inline, skip synchronization entirely.
+  if (n == 1 || workers_.size() == 1) {
+    fn(begin, end, 0);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.chunk = std::max<std::size_t>(1, n / (workers_.size() * 8));
+  job.next = begin;
+  job.remaining = static_cast<unsigned>(workers_.size());
+
+  {
+    std::scoped_lock lk(m_);
+    ALSMF_CHECK_MSG(job_ == nullptr, "nested parallel_for on one pool");
+    job_ = &job;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  std::unique_lock lk(m_);
+  cv_done_.wait(lk, [&] { return job.remaining == 0; });
+  job_ = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lk(m_);
+      cv_work_.wait(lk, [&] { return stop_ || (job_ && epoch_ != seen_epoch); });
+      if (stop_) return;
+      job = job_;
+      seen_epoch = epoch_;
+    }
+    // Claim and run chunks until the range is exhausted.
+    while (true) {
+      std::size_t b, e;
+      {
+        std::scoped_lock lk(m_);
+        if (job->next >= job->end) break;
+        b = job->next;
+        e = std::min(job->end, b + job->chunk);
+        job->next = e;
+      }
+      try {
+        (*job->fn)(b, e, id);
+      } catch (...) {
+        std::scoped_lock lk(m_);
+        if (!job->error) job->error = std::current_exception();
+      }
+    }
+    bool last = false;
+    {
+      std::scoped_lock lk(m_);
+      last = (--job->remaining == 0);
+    }
+    if (last) cv_done_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,59 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// Follows CP.4 (think in tasks), CP.41 (minimize thread creation): one pool
+// of std::jthread workers lives for the lifetime of the pool object; loops
+// are divided into contiguous chunks so each worker touches a dense index
+// range (Per.19: access memory predictably).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alsmf {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(begin..end) partitioned into per-worker contiguous chunks and
+  /// blocks until every chunk completes. fn receives (chunk_begin, chunk_end,
+  /// worker_index). Exceptions from workers are rethrown on the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t, unsigned)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t, unsigned)>* fn = nullptr;
+    std::size_t begin = 0, end = 0;
+    std::size_t chunk = 0;          // chunk size per worker slice
+    std::size_t next = 0;           // next unclaimed begin (guarded by m_)
+    unsigned remaining = 0;         // workers still running
+    std::exception_ptr error;
+  };
+
+  void worker_loop(unsigned id);
+
+  std::vector<std::jthread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;     // current job, null when idle
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace alsmf

@@ -1,0 +1,42 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+
+namespace alsmf {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time over multiple start/stop intervals (per-step timing).
+class Accumulator {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); ++count_; }
+  double total_seconds() const { return total_; }
+  long count() const { return count_; }
+  void reset() { total_ = 0.0; count_ = 0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace alsmf

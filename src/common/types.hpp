@@ -1,0 +1,20 @@
+// Core scalar and index types shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alsmf {
+
+/// Floating-point type used for ratings and factor matrices.
+/// The paper's kernels are single precision (OpenCL float); keep `real`
+/// single precision so flop/byte accounting in devsim matches.
+using real = float;
+
+/// Index type for users/items (rows/columns of the rating matrix).
+using index_t = std::int64_t;
+
+/// Index type for nonzero positions (can exceed 2^31 for Netflix-scale data).
+using nnz_t = std::int64_t;
+
+}  // namespace alsmf

@@ -1,0 +1,64 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+const std::vector<DatasetInfo>& table1_datasets() {
+  // m, n, Nz are Table I of the paper. The Zipf exponents are chosen per
+  // dataset family: MovieLens and Netflix have heavy-tailed user activity;
+  // YahooMusic R1 is extremely skewed; R4 is a small, denser subset.
+  static const std::vector<DatasetInfo> kDatasets = {
+      {"Movielens10M", "MVLE", 71567, 65133, 8000044, 0.85, 0.95},
+      {"NetFlix", "NTFX", 480189, 17770, 99072112, 0.90, 0.90},
+      {"YahooMusic R1", "YMR1", 1948882, 98212, 115248575, 1.00, 1.00},
+      {"YahooMusic R4", "YMR4", 7642, 11916, 211231, 0.75, 0.85},
+  };
+  return kDatasets;
+}
+
+const DatasetInfo& dataset_by_abbr(const std::string& abbr) {
+  std::string a = abbr;
+  std::transform(a.begin(), a.end(), a.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  for (const auto& d : table1_datasets()) {
+    if (d.abbr == a) return d;
+  }
+  throw Error("unknown dataset abbreviation: " + abbr);
+}
+
+SyntheticSpec replica_spec(const DatasetInfo& info, double scale,
+                           std::uint64_t seed) {
+  ALSMF_CHECK(scale >= 1.0);
+  SyntheticSpec spec;
+  // Users and nnz scale by `scale` (preserving the ratings-per-user
+  // distribution, which drives per-row kernel cost); items scale by
+  // sqrt(scale) so the replica's density stays far from saturation and
+  // rows can keep their full length.
+  spec.users = std::max<index_t>(
+      8, static_cast<index_t>(std::llround(static_cast<double>(info.users) / scale)));
+  spec.items = std::max<index_t>(
+      8, static_cast<index_t>(
+             std::llround(static_cast<double>(info.items) / std::sqrt(scale))));
+  spec.items = std::min(spec.items, info.items);
+  spec.nnz = std::max<nnz_t>(
+      spec.users,
+      static_cast<nnz_t>(std::llround(static_cast<double>(info.nnz) / scale)));
+  spec.nnz = std::min(spec.nnz, spec.users * spec.items / 2);
+  spec.user_alpha = info.user_alpha;
+  spec.item_alpha = info.item_alpha;
+  spec.seed = seed ^ std::hash<std::string>{}(info.abbr);
+  return spec;
+}
+
+Csr make_replica(const std::string& abbr, double scale, std::uint64_t seed) {
+  const auto& info = dataset_by_abbr(abbr);
+  return coo_to_csr(generate_synthetic(replica_spec(info, scale, seed)));
+}
+
+}  // namespace alsmf

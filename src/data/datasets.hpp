@@ -1,0 +1,39 @@
+// The paper's Table I dataset registry and replica construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// One row of the paper's Table I.
+struct DatasetInfo {
+  std::string name;   ///< full name, e.g. "Movielens10M"
+  std::string abbr;   ///< the paper's abbreviation, e.g. "MVLE"
+  index_t users;      ///< m
+  index_t items;      ///< n
+  nnz_t nnz;          ///< training nonzeros
+  double user_alpha;  ///< replica row-popularity exponent
+  double item_alpha;  ///< replica column-popularity exponent
+};
+
+/// All four Table I datasets in paper order: MVLE, NTFX, YMR1, YMR4.
+const std::vector<DatasetInfo>& table1_datasets();
+
+/// Lookup by abbreviation (case-insensitive). Throws on unknown.
+const DatasetInfo& dataset_by_abbr(const std::string& abbr);
+
+/// Builds the synthetic replica spec for a dataset, downscaled by `scale`
+/// (users, items and nnz all divided by `scale`, preserving density and
+/// mean row length). scale = 1 reproduces the full Table I shape.
+SyntheticSpec replica_spec(const DatasetInfo& info, double scale = 1.0,
+                           std::uint64_t seed = 42);
+
+/// Generates the CSR replica directly.
+Csr make_replica(const std::string& abbr, double scale = 1.0,
+                 std::uint64_t seed = 42);
+
+}  // namespace alsmf

@@ -1,0 +1,20 @@
+// Train/test splitting of rating data.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sparse/coo.hpp"
+
+namespace alsmf {
+
+/// Randomly holds out `test_fraction` of the entries. Deterministic in
+/// `seed`. Both halves keep the original matrix dimensions.
+std::pair<Coo, Coo> split_holdout(const Coo& all, double test_fraction,
+                                  std::uint64_t seed);
+
+/// Leave-one-out: for every row with >= 2 entries, moves exactly one random
+/// entry to the test set (standard recommender evaluation protocol).
+std::pair<Coo, Coo> split_leave_one_out(const Coo& all, std::uint64_t seed);
+
+}  // namespace alsmf

@@ -1,0 +1,136 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+namespace {
+
+/// Distributes `total` entries over `count` rows with a Zipf(alpha) profile:
+/// deg(rank r) proportional to (r+1)^-alpha, rounded to sum exactly `total`,
+/// each degree capped at `cap` (can't rate more items than exist).
+std::vector<nnz_t> zipf_degrees(index_t count, nnz_t total, double alpha,
+                                nnz_t cap, Rng& rng) {
+  ALSMF_CHECK(count > 0);
+  std::vector<double> weight(static_cast<std::size_t>(count));
+  double sum = 0.0;
+  for (index_t r = 0; r < count; ++r) {
+    weight[static_cast<std::size_t>(r)] =
+        std::pow(static_cast<double>(r) + 1.0, -alpha);
+    sum += weight[static_cast<std::size_t>(r)];
+  }
+  std::vector<nnz_t> deg(static_cast<std::size_t>(count));
+  nnz_t assigned = 0;
+  for (std::size_t r = 0; r < deg.size(); ++r) {
+    auto d = static_cast<nnz_t>(
+        std::floor(weight[r] / sum * static_cast<double>(total)));
+    d = std::min(d, cap);
+    deg[r] = d;
+    assigned += d;
+  }
+  // Spread the rounding remainder over random rows with headroom.
+  nnz_t remainder = total - assigned;
+  std::size_t guard = 0;
+  while (remainder > 0 && guard < deg.size() * 64) {
+    auto r = static_cast<std::size_t>(rng.bounded(static_cast<std::uint64_t>(count)));
+    if (deg[r] < cap) {
+      ++deg[r];
+      --remainder;
+    }
+    ++guard;
+  }
+  // Shuffle so "popular" users are not the low ids (Fisher–Yates).
+  for (std::size_t i = deg.size(); i > 1; --i) {
+    auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(deg[i - 1], deg[j]);
+  }
+  return deg;
+}
+
+}  // namespace
+
+Coo generate_synthetic(const SyntheticSpec& spec) {
+  ALSMF_CHECK(spec.users > 0 && spec.items > 0);
+  ALSMF_CHECK(spec.nnz >= 0);
+  ALSMF_CHECK_MSG(spec.nnz <= spec.users * spec.items, "denser than full");
+  Rng rng(spec.seed);
+
+  // Row degrees: Zipf over users, capped at the item count.
+  auto deg = zipf_degrees(spec.users, spec.nnz, spec.user_alpha, spec.items, rng);
+
+  // Item popularity: Zipf sampler over item *ranks*, then a random
+  // permutation maps ranks to item ids.
+  ZipfSampler item_zipf(static_cast<std::uint64_t>(spec.items), spec.item_alpha);
+  std::vector<index_t> item_of_rank(static_cast<std::size_t>(spec.items));
+  std::iota(item_of_rank.begin(), item_of_rank.end(), index_t{0});
+  for (std::size_t i = item_of_rank.size(); i > 1; --i) {
+    auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(item_of_rank[i - 1], item_of_rank[j]);
+  }
+
+  // Planted low-rank model for rating values.
+  const int pk = std::max(1, spec.planted_rank);
+  std::vector<float> xu(static_cast<std::size_t>(spec.users) * pk);
+  std::vector<float> yi(static_cast<std::size_t>(spec.items) * pk);
+  const double planted_scale = 1.0 / std::sqrt(static_cast<double>(pk));
+  for (auto& v : xu) v = static_cast<float>(rng.normal(0.0, planted_scale));
+  for (auto& v : yi) v = static_cast<float>(rng.normal(0.0, planted_scale));
+
+  const double mid = 0.5 * (static_cast<double>(spec.min_rating) +
+                            static_cast<double>(spec.max_rating));
+  const double spread = 0.5 * (static_cast<double>(spec.max_rating) -
+                               static_cast<double>(spec.min_rating));
+
+  Coo coo(spec.users, spec.items);
+  coo.reserve(spec.nnz);
+  std::unordered_set<index_t> seen;
+  for (index_t u = 0; u < spec.users; ++u) {
+    const nnz_t d = deg[static_cast<std::size_t>(u)];
+    if (d == 0) continue;
+    seen.clear();
+    seen.reserve(static_cast<std::size_t>(d) * 2);
+    nnz_t placed = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = static_cast<std::size_t>(d) * 64 + 256;
+    while (placed < d && attempts < max_attempts) {
+      ++attempts;
+      index_t item;
+      if (static_cast<double>(d) >
+          0.25 * static_cast<double>(spec.items)) {
+        // Dense row: uniform sampling avoids rejection stalls on the tail.
+        item = static_cast<index_t>(
+            rng.bounded(static_cast<std::uint64_t>(spec.items)));
+      } else {
+        item = item_of_rank[static_cast<std::size_t>(item_zipf(rng))];
+      }
+      if (!seen.insert(item).second) continue;
+      // Rating from the planted model.
+      double dot = 0.0;
+      const float* xrow = xu.data() + static_cast<std::size_t>(u) * pk;
+      const float* yrow = yi.data() + static_cast<std::size_t>(item) * pk;
+      for (int f = 0; f < pk; ++f) dot += static_cast<double>(xrow[f]) * yrow[f];
+      double r = mid + spread * dot + rng.normal(0.0, spec.noise);
+      r = std::clamp(r, static_cast<double>(spec.min_rating),
+                     static_cast<double>(spec.max_rating));
+      if (spec.integer_ratings) r = std::round(r);
+      coo.add(u, item, static_cast<real>(r));
+      ++placed;
+    }
+  }
+  coo.sort_row_major();
+  ALSMF_CHECK(coo.is_canonical());
+  return coo;
+}
+
+Csr generate_synthetic_csr(const SyntheticSpec& spec) {
+  return coo_to_csr(generate_synthetic(spec));
+}
+
+}  // namespace alsmf

@@ -1,0 +1,51 @@
+// Synthetic rating-matrix generation.
+//
+// The paper evaluates on MovieLens10M, Netflix and YahooMusic R1/R4, which
+// are license-gated downloads. We substitute seeded synthetic replicas that
+// match each dataset's shape: the same m × n (scaled), the same density,
+// and power-law (Zipf) user/item popularity — the property that causes the
+// uneven row lengths (and thus the warp divergence) the paper's thread
+// batching addresses. Rating values come from a planted low-rank model so
+// ALS convergence is meaningful, not just timing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+struct SyntheticSpec {
+  index_t users = 1000;
+  index_t items = 1000;
+  nnz_t nnz = 10000;
+  /// Zipf exponent of ratings-per-user (row lengths). Real recommender
+  /// datasets sit around 0.7–1.1.
+  double user_alpha = 0.9;
+  /// Zipf exponent of item popularity (column lengths).
+  double item_alpha = 0.9;
+  /// Rank of the planted model generating rating values.
+  int planted_rank = 4;
+  /// Observation noise added to the planted inner products.
+  double noise = 0.3;
+  /// Ratings are clamped and rounded to [min_rating, max_rating].
+  real min_rating = 1.0f;
+  real max_rating = 5.0f;
+  /// Round ratings to integers (like MovieLens stars) when true.
+  bool integer_ratings = true;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a synthetic rating matrix in COO form (canonical order).
+/// Row lengths follow the user Zipf; item ids within a row are distinct and
+/// follow the item Zipf. The result has exactly spec.nnz entries unless the
+/// requested density is unsatisfiable (more nnz than cells in some row set),
+/// in which case it is capped (never happens for recommender shapes).
+Coo generate_synthetic(const SyntheticSpec& spec);
+
+/// Convenience: generate + convert to CSR.
+Csr generate_synthetic_csr(const SyntheticSpec& spec);
+
+}  // namespace alsmf

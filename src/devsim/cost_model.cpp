@@ -1,0 +1,88 @@
+#include "devsim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alsmf::devsim {
+
+double scattered_bytes_moved(const LaunchCounters& counters,
+                             const DeviceProfile& profile) {
+  // Every scattered access occupies at least one full transaction; when an
+  // access is wider than a transaction it simply streams.
+  const double per_access =
+      std::max(profile.scattered_transaction_bytes,
+               counters.scattered_accesses > 0
+                   ? counters.scattered_useful_bytes / counters.scattered_accesses
+                   : 0.0);
+  return counters.scattered_accesses * per_access;
+}
+
+TimeEstimate estimate_time(const LaunchCounters& counters,
+                           const DeviceProfile& profile) {
+  TimeEstimate t;
+
+  // --- Compute ---
+  // Lane-ops pack into SIMD-bundle instructions; the efficiency factor is
+  // how much of the bundle width the mode actually fills (SIMT: all of it;
+  // CPU/MIC autovectorizer: a fraction; explicit vectors: most of it).
+  const double width = static_cast<double>(profile.simd_width);
+  double slots = counters.lane_ops_scalar /
+                     (width * std::max(profile.scalar_efficiency, 1e-6)) +
+                 counters.lane_ops_vector /
+                     (width * std::max(profile.vector_efficiency, 1e-6));
+
+  // Register spilling adds issue pressure: every spilled element needs an
+  // extra load/store slot in addition to its bandwidth cost.
+  if (counters.spill_bytes > 0) {
+    slots += counters.spill_bytes / (width * sizeof(float));
+  }
+
+  // Issue slots available per second across the device, derated by the
+  // pipeline (dependency/latency) efficiency of short-trip kernels.
+  const double slots_per_s = static_cast<double>(profile.compute_units) *
+                             profile.issue_per_cu * profile.clock_ghz * 1e9 *
+                             std::max(profile.pipeline_efficiency, 1e-6);
+
+  // Scratch-pad occupancy: on hardware with a real local memory, a group
+  // that allocates a large tile leaves fewer groups resident per compute
+  // unit, which costs latency hiding (issue efficiency degrades with the
+  // square root of lost residency — the usual occupancy rule of thumb).
+  double occupancy = 1.0;
+  if (profile.has_hw_local_mem && counters.local_alloc_peak > 0 &&
+      profile.groups_in_flight_per_cu > 1) {
+    const double resident = std::clamp(
+        std::floor(static_cast<double>(profile.local_mem_bytes) /
+                   static_cast<double>(counters.local_alloc_peak)),
+        1.0, static_cast<double>(profile.groups_in_flight_per_cu));
+    occupancy = std::sqrt(resident /
+                          static_cast<double>(profile.groups_in_flight_per_cu));
+  }
+
+  // Tail utilization: a launch with fewer groups than the device can hold
+  // in flight leaves compute units idle.
+  const double capacity = static_cast<double>(profile.compute_units) *
+                          profile.groups_in_flight_per_cu;
+  double utilization = 1.0;
+  if (counters.launches > 0 && counters.groups > 0) {
+    const double groups_per_launch =
+        static_cast<double>(counters.groups) /
+        static_cast<double>(counters.launches);
+    utilization = std::clamp(groups_per_launch / capacity, 1.0 / capacity, 1.0);
+  }
+  t.compute_s = slots / slots_per_s / utilization / occupancy;
+
+  // --- Memory ---
+  const double offchip_bytes =
+      counters.global_bytes + scattered_bytes_moved(counters, profile);
+  const double onchip_bytes = counters.local_bytes + counters.spill_bytes;
+  t.memory_s = offchip_bytes / (profile.mem_bw_gbs * 1e9) +
+               onchip_bytes / (profile.cache_bw_gbs * 1e9);
+
+  // --- Overhead ---
+  t.overhead_s =
+      static_cast<double>(counters.launches) * profile.launch_overhead_us * 1e-6;
+
+  return t;
+}
+
+}  // namespace alsmf::devsim

@@ -1,0 +1,46 @@
+// Converts LaunchCounters into modeled execution time on a DeviceProfile.
+//
+// The model is a roofline extended with the effects the paper's
+// optimizations target:
+//   * SIMT divergence — already folded into bundle_steps by the kernels
+//     (max-lane trip counts per bundle);
+//   * coalescing — scattered accesses cost whole memory transactions;
+//   * explicit vectorization — scalar vs vector issue efficiency;
+//   * scratch-pad staging — on-chip bytes priced at cache bandwidth;
+//   * register spilling — spill traffic priced at cache bandwidth;
+//   * launch overhead and small-launch tail utilization.
+#pragma once
+
+#include "devsim/counters.hpp"
+#include "devsim/profile.hpp"
+
+namespace alsmf::devsim {
+
+struct TimeEstimate {
+  double compute_s = 0;
+  double memory_s = 0;
+  double overhead_s = 0;
+
+  /// Compute and memory overlap; overhead does not.
+  double total_s() const {
+    return overhead_s + (compute_s > memory_s ? compute_s : memory_s);
+  }
+
+  TimeEstimate& operator+=(const TimeEstimate& o) {
+    compute_s += o.compute_s;
+    memory_s += o.memory_s;
+    overhead_s += o.overhead_s;
+    return *this;
+  }
+};
+
+/// Models one launch (or the sum of several merged launches).
+TimeEstimate estimate_time(const LaunchCounters& counters,
+                           const DeviceProfile& profile);
+
+/// Effective bytes moved by the scattered accesses in `counters` on
+/// `profile` (each access pays a full transaction). Exposed for tests.
+double scattered_bytes_moved(const LaunchCounters& counters,
+                             const DeviceProfile& profile);
+
+}  // namespace alsmf::devsim

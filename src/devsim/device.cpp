@@ -1,0 +1,141 @@
+#include "devsim/device.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace alsmf::devsim {
+
+LaunchResult Device::launch(const std::string& name,
+                            const LaunchConfig& config, const Kernel& kernel) {
+  ALSMF_CHECK(config.group_size > 0);
+  Timer wall;
+
+  // Per-worker accumulation avoids false sharing and locks on the hot path.
+  const unsigned workers = pool_->size();
+  std::vector<SectionCounters> partial(workers);
+  std::vector<aligned_vector<std::byte>> arenas(workers);
+
+  pool_->parallel_for(0, config.num_groups,
+                      [&](std::size_t b, std::size_t e, unsigned w) {
+                        for (std::size_t g = b; g < e; ++g) {
+                          GroupCtx ctx(profile_, g, config.group_size,
+                                       config.functional, partial[w], arenas[w]);
+                          kernel(ctx);
+                        }
+                      });
+
+  SectionCounters merged;
+  for (const auto& p : partial) merged.merge(p);
+
+  LaunchResult result;
+  result.counters = merged.total();
+  result.counters.groups = config.num_groups;
+  result.counters.launches = 1;
+  result.counters.group_size = config.group_size;
+  result.time = estimate_time(result.counters, profile_);
+  result.wall_seconds = wall.seconds();
+  if (trace_) trace_->record(profile_.name, name, result.time);
+
+  // Attribute per-section stats. Sections share the launch's shape (groups,
+  // group size) so utilization is modeled consistently, but the launch
+  // overhead is charged only once, to the section with the largest share.
+  const auto& entries = merged.entries();
+  std::size_t heaviest = 0;
+  double heaviest_time = -1.0;
+  std::vector<TimeEstimate> section_times(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    LaunchCounters c = entries[i].second;
+    c.groups = config.num_groups;
+    c.launches = 1;
+    c.group_size = config.group_size;
+    // Occupancy is a property of the whole kernel: every section runs at
+    // the launch's scratch-pad residency, whichever section allocated it.
+    c.local_alloc_peak = result.counters.local_alloc_peak;
+    c.register_demand_peak = result.counters.register_demand_peak;
+    TimeEstimate t = estimate_time(c, profile_);
+    t.overhead_s = 0;
+    section_times[i] = t;
+    if (t.total_s() > heaviest_time) {
+      heaviest_time = t.total_s();
+      heaviest = i;
+    }
+  }
+  if (!entries.empty()) {
+    section_times[heaviest].overhead_s = result.time.overhead_s;
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string key = entries[i].first.empty()
+                                ? name
+                                : name + "/" + entries[i].first;
+    auto& s = stats_for(key);
+    LaunchCounters c = entries[i].second;
+    c.groups = config.num_groups;
+    c.launches = 1;
+    c.group_size = config.group_size;
+    c.local_alloc_peak = result.counters.local_alloc_peak;
+    c.register_demand_peak = result.counters.register_demand_peak;
+    s.counters += c;
+    s.time += section_times[i];
+    s.launches += 1;
+    if (i == heaviest) s.wall_seconds += result.wall_seconds;
+  }
+  if (entries.empty()) {
+    auto& s = stats_for(name);
+    s.time += result.time;
+    s.wall_seconds += result.wall_seconds;
+    s.launches += 1;
+  }
+  return result;
+}
+
+double Device::modeled_seconds() const {
+  double total = 0;
+  for (const auto& [name, s] : stats_) total += s.time.total_s();
+  return total;
+}
+
+double Device::wall_seconds() const {
+  double total = 0;
+  for (const auto& [name, s] : stats_) total += s.wall_seconds;
+  return total;
+}
+
+double Device::modeled_seconds_scaled(double factor) const {
+  return modeled_seconds_scaled_matching("", factor);
+}
+
+double Device::modeled_seconds_scaled_matching(const std::string& needle,
+                                               double factor) const {
+  double total = 0;
+  for (const auto& [name, s] : stats_) {
+    if (!needle.empty() && name.find(needle) == std::string::npos) continue;
+    TimeEstimate t = estimate_time(s.counters.scaled(factor), profile_);
+    // Overhead was attributed once per launch at record time; keep the
+    // recorded (unscaled) overhead rather than re-deriving it.
+    t.overhead_s = s.time.overhead_s;
+    total += t.total_s();
+  }
+  return total;
+}
+
+double Device::modeled_seconds_matching(const std::string& needle) const {
+  double total = 0;
+  for (const auto& [name, s] : stats_) {
+    if (name.find(needle) != std::string::npos) total += s.time.total_s();
+  }
+  return total;
+}
+
+void Device::reset_stats() { stats_.clear(); }
+
+KernelStats& Device::stats_for(const std::string& name) {
+  auto it = std::find_if(stats_.begin(), stats_.end(),
+                         [&](const auto& p) { return p.first == name; });
+  if (it != stats_.end()) return it->second;
+  stats_.emplace_back(name, KernelStats{});
+  return stats_.back().second;
+}
+
+}  // namespace alsmf::devsim

@@ -1,0 +1,95 @@
+// Device: launches work-group kernels over a host thread pool, merges the
+// recorded activity, and keeps per-kernel and per-section modeled-time
+// statistics (sections give the paper's S1/S2/S3 breakdowns, Fig. 8).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "devsim/context.hpp"
+#include "devsim/cost_model.hpp"
+#include "devsim/counters.hpp"
+#include "devsim/profile.hpp"
+#include "devsim/trace.hpp"
+
+namespace alsmf::devsim {
+
+/// NDRange launch shape: `num_groups` work-groups of `group_size` lanes.
+struct LaunchConfig {
+  std::size_t num_groups = 0;
+  int group_size = 32;
+  /// When false the kernel only records activity (no arithmetic); modeled
+  /// time is identical, wall time is much smaller.
+  bool functional = true;
+};
+
+/// One kernel launch result.
+struct LaunchResult {
+  LaunchCounters counters;  ///< all sections merged
+  TimeEstimate time;
+  double wall_seconds = 0;
+};
+
+/// Aggregated statistics for one kernel-name/section pair.
+struct KernelStats {
+  LaunchCounters counters;
+  TimeEstimate time;      ///< section time: no launch overhead attributed
+  double wall_seconds = 0;
+  std::size_t launches = 0;
+};
+
+class Device {
+ public:
+  using Kernel = std::function<void(GroupCtx&)>;
+
+  explicit Device(DeviceProfile profile, ThreadPool* pool = nullptr)
+      : profile_(std::move(profile)),
+        pool_(pool ? pool : &ThreadPool::global()) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Launches `kernel` once per work-group; blocks until done. Counters are
+  /// merged, priced with the cost model, and accumulated per section under
+  /// "name/section" (plain "name" for the unnamed section).
+  LaunchResult launch(const std::string& name, const LaunchConfig& config,
+                      const Kernel& kernel);
+
+  /// Modeled seconds accumulated since construction / last reset.
+  double modeled_seconds() const;
+  double wall_seconds() const;
+
+  /// Per-"name/section" statistics (insertion-ordered by first use).
+  const std::vector<std::pair<std::string, KernelStats>>& stats() const {
+    return stats_;
+  }
+
+  /// Sum of modeled section times whose key contains `needle`.
+  double modeled_seconds_matching(const std::string& needle) const;
+
+  /// Modeled seconds after scaling every section's extensive counters by
+  /// `factor` — extrapolates a downscaled replica's run to the full dataset
+  /// (launch counts stay fixed, so per-launch utilization improves exactly
+  /// as it would at full size).
+  double modeled_seconds_scaled(double factor) const;
+  double modeled_seconds_scaled_matching(const std::string& needle,
+                                         double factor) const;
+
+  void reset_stats();
+
+  /// Attaches a timeline recorder; every subsequent launch appends one
+  /// trace event (null detaches). Not owned.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  KernelStats& stats_for(const std::string& name);
+
+  DeviceProfile profile_;
+  ThreadPool* pool_;
+  std::vector<std::pair<std::string, KernelStats>> stats_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace alsmf::devsim

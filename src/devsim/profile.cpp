@@ -1,0 +1,109 @@
+#include "devsim/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace alsmf::devsim {
+
+const char* to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "CPU";
+    case DeviceKind::kGpu: return "GPU";
+    case DeviceKind::kMic: return "MIC";
+  }
+  return "?";
+}
+
+DeviceProfile k20c() {
+  DeviceProfile p;
+  p.name = "Tesla K20c";
+  p.kind = DeviceKind::kGpu;
+  p.compute_units = 13;          // SMX units
+  p.simd_width = 32;             // warp
+  p.clock_ghz = 0.705;
+  p.issue_per_cu = 4.0;          // 4 warp schedulers per SMX
+  p.scalar_efficiency = 1.0;     // SIMT always runs the full warp
+  p.vector_efficiency = 1.0;     // explicit floatN adds nothing on SIMT
+  p.groups_in_flight_per_cu = 16;
+  p.pipeline_efficiency = 0.065; // short dependent loops at k~10
+  p.flat_mapping_efficiency = 1.0;  // SIMT packs divergent lanes anyway
+  p.mem_bw_gbs = 150.0;          // ~72% of the 208 GB/s peak (ECC on)
+  p.cache_bw_gbs = 1100.0;       // shared-memory aggregate
+  p.scattered_transaction_bytes = 128.0;  // L1 line fetched per gather
+  p.local_mem_bytes = 48 * 1024;
+  p.has_hw_local_mem = true;
+  p.rereads_cached = false;      // per-thread working set >> cache/thread
+  p.private_arrays_offchip = true;  // CUDA "local" memory is device memory
+  p.global_latency_slots = 6.0;  // exposed DRAM latency per inner-loop load
+  p.max_registers_per_lane = 255;
+  p.launch_overhead_us = 8.0;
+  p.pcie_bw_gbs = 11.0;  // PCIe 2.0 x16 effective
+  return p;
+}
+
+DeviceProfile xeon_e5_2670_dual() {
+  DeviceProfile p;
+  p.name = "2 x Xeon E5-2670";
+  p.kind = DeviceKind::kCpu;
+  p.compute_units = 16;          // 2 sockets x 8 cores
+  p.simd_width = 8;              // 256-bit AVX, fp32
+  p.clock_ghz = 2.6;
+  p.issue_per_cu = 1.0;          // ~1 vector FMA pipe utilized
+  p.scalar_efficiency = 0.60;    // implicit cross-work-item vectorization
+  p.vector_efficiency = 0.80;    // explicit float8/float16 kernels
+  p.groups_in_flight_per_cu = 1;
+  p.pipeline_efficiency = 0.35;  // out-of-order cores hide more latency
+  p.flat_mapping_efficiency = 0.20;  // scalar per-row loops, partial autovec
+  p.gather_scalar_ops = 3.0;     // no AVX gather on Sandy Bridge
+  p.mem_bw_gbs = 70.0;           // 2-socket achievable stream
+  p.cache_bw_gbs = 480.0;        // shared L2/L3 aggregate
+  p.scattered_transaction_bytes = 64.0;  // cache line
+  p.local_mem_bytes = 0;         // emulated; capacity bounded by cache
+  p.has_hw_local_mem = false;
+  p.rereads_cached = true;       // per-core L2 holds a row's working set
+  p.private_arrays_offchip = false;  // stack arrays live in L1
+  p.max_registers_per_lane = 14; // ymm registers usable per lane
+  p.launch_overhead_us = 2.0;
+  p.pcie_bw_gbs = 40.0;  // host memory, no offload bus
+  return p;
+}
+
+DeviceProfile xeon_phi_31sp() {
+  DeviceProfile p;
+  p.name = "Xeon Phi 31SP";
+  p.kind = DeviceKind::kMic;
+  p.compute_units = 56;          // 57 cores, one reserved for the uOS
+  p.simd_width = 16;             // 512-bit vectors, fp32
+  p.clock_ghz = 1.1;
+  p.issue_per_cu = 0.5;          // in-order: a thread issues every 2nd cycle
+  p.scalar_efficiency = 0.40;    // implicit vectorization, in-order stalls
+  p.vector_efficiency = 0.60;
+  p.groups_in_flight_per_cu = 4; // 4 hardware threads per core
+  p.pipeline_efficiency = 0.10;  // in-order pipeline stalls
+  p.flat_mapping_efficiency = 0.05;  // in-order scalar per-row loops
+  p.gather_scalar_ops = 1.5;     // KNC vgatherd is microcoded but loopable
+  p.mem_bw_gbs = 35.0;           // effective under scattered access
+  p.cache_bw_gbs = 700.0;
+  p.scattered_transaction_bytes = 64.0;
+  p.local_mem_bytes = 0;
+  p.has_hw_local_mem = false;
+  p.rereads_cached = true;       // 512 KB L2 per core
+  p.private_arrays_offchip = false;
+  p.max_registers_per_lane = 32;
+  p.launch_overhead_us = 20.0;   // PCIe offload + runtime
+  p.pcie_bw_gbs = 6.0;   // MPSS-era effective PCIe
+  return p;
+}
+
+DeviceProfile profile_by_name(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (n == "gpu" || n == "k20c") return k20c();
+  if (n == "cpu" || n == "e5-2670" || n == "e5") return xeon_e5_2670_dual();
+  if (n == "mic" || n == "31sp" || n == "phi") return xeon_phi_31sp();
+  throw Error("unknown device profile: " + name);
+}
+
+}  // namespace alsmf::devsim

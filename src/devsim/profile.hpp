@@ -1,0 +1,110 @@
+// Device profiles: the architectural constants the cost model uses to turn
+// recorded kernel activity into modeled execution time.
+//
+// Presets mirror the paper's three platforms (§IV-A): a dual-socket Intel
+// Xeon E5-2670 (16 cores), an NVIDIA Tesla K20c (13 SMs), and an Intel Xeon
+// Phi 31SP (57 cores). The numbers are public datasheet values plus
+// empirical efficiency factors calibrated so the paper's relative results
+// hold (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace alsmf::devsim {
+
+enum class DeviceKind { kCpu, kGpu, kMic };
+
+const char* to_string(DeviceKind kind);
+
+struct DeviceProfile {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+
+  // --- Compute ---
+  int compute_units = 1;     ///< SMs (GPU) or cores (CPU/MIC)
+  int simd_width = 1;        ///< warp size (GPU) or vector lanes (CPU/MIC)
+  double clock_ghz = 1.0;
+  /// SIMD-bundle instruction slots retired per cycle per compute unit
+  /// (warp schedulers on a GPU SM; ~1 vector pipe on a CPU core).
+  double issue_per_cu = 1.0;
+  /// Fraction of the SIMD width the compiler reaches *without* explicit
+  /// vectorization (SIMT hardware always runs full width => 1.0; CPU/MIC
+  /// autovectorizers much less).
+  double scalar_efficiency = 1.0;
+  /// Fraction reached with explicit vector types (the paper's float16).
+  double vector_efficiency = 1.0;
+  /// Work-groups a compute unit can keep in flight (occupancy); used for a
+  /// tail-utilization correction on small launches.
+  int groups_in_flight_per_cu = 1;
+  /// Fraction of peak issue rate reachable on the dependent, short-trip
+  /// loops of a k~10 ALS kernel (ILP/latency limits). Multiplies the
+  /// available instruction throughput.
+  double pipeline_efficiency = 1.0;
+  /// Lane-packing efficiency of the *flat* mapping (one work-item per row):
+  /// SIMT hardware still packs divergent lanes (1.0), but on CPU/MIC the
+  /// compiler cannot vectorize across independent rows, so flat code runs
+  /// essentially scalar (≈ 1/simd_width).
+  double flat_mapping_efficiency = 1.0;
+  /// Scalar issue ops per *gathered* (indirectly addressed) element in
+  /// otherwise-packed code. CPUs/MICs of this era have no hardware gather:
+  /// each indirect element costs a scalar load + insert chain, which is
+  /// exactly what the local-memory staging removes. 0 on SIMT hardware
+  /// (gathers are handled by the memory system and priced as traffic).
+  double gather_scalar_ops = 0.0;
+  /// Effective issue slots each *unstaged* inner-loop global access costs a
+  /// resident bundle (exposed memory latency after warp-level overlap).
+  /// Local-memory staging replaces these with near-free scratch-pad reads.
+  /// Nonzero on GPUs (small cache per thread, hundreds of cycles to DRAM);
+  /// 0 on CPU/MIC where the gather hook models the same effect.
+  double global_latency_slots = 0.0;
+
+  // --- Memory ---
+  double mem_bw_gbs = 10.0;    ///< off-chip bandwidth (achievable)
+  double cache_bw_gbs = 100.0; ///< on-chip scratch-pad / cache bandwidth
+  /// Minimum transaction granularity for scattered (uncoalesced) access:
+  /// 32 B memory transactions on Kepler, a 64 B cache line on CPU/MIC.
+  double scattered_transaction_bytes = 64.0;
+  /// Per-group scratch-pad capacity. Zero means no hardware scratch-pad:
+  /// OpenCL local memory is emulated in cached global memory (CPU/MIC).
+  std::size_t local_mem_bytes = 0;
+  bool has_hw_local_mem = false;
+  /// Whether repeated traversals of a per-row working set hit the cache
+  /// hierarchy (CPU/MIC: large private L2 per core => true) or go back to
+  /// device memory (GPU: tiny cache per resident thread => false).
+  bool rereads_cached = false;
+  /// Whether dynamically-indexed private arrays live in off-chip "local"
+  /// memory (CUDA/OpenCL GPUs) instead of the stack/L1 (CPU/MIC).
+  bool private_arrays_offchip = false;
+
+  // --- Registers ---
+  /// Addressable registers per lane before the compiler spills (255 on
+  /// Kepler GK110; small on CPU where "registers" are vector registers).
+  int max_registers_per_lane = 255;
+
+  // --- Overheads ---
+  double launch_overhead_us = 5.0;  ///< per kernel launch
+  /// Host<->device interconnect bandwidth (PCIe), used by the multi-device
+  /// solver's factor all-gather.
+  double pcie_bw_gbs = 12.0;
+
+  /// Peak single-precision GFLOP/s implied by the compute constants.
+  double peak_gflops() const {
+    return static_cast<double>(compute_units) * issue_per_cu * simd_width *
+           clock_ghz;
+  }
+};
+
+/// NVIDIA Tesla K20c (Kepler GK110, 13 SMs, 2496 CUDA cores).
+DeviceProfile k20c();
+
+/// Dual-socket Intel Xeon E5-2670 (2 × 8 Sandy Bridge cores @ 2.6 GHz).
+DeviceProfile xeon_e5_2670_dual();
+
+/// Intel Xeon Phi 31SP (57 in-order cores, 512-bit vectors).
+DeviceProfile xeon_phi_31sp();
+
+/// Preset lookup by short name: "gpu"/"k20c", "cpu"/"e5-2670", "mic"/"31sp".
+DeviceProfile profile_by_name(const std::string& name);
+
+}  // namespace alsmf::devsim

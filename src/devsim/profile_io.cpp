@@ -1,0 +1,137 @@
+#include "devsim/profile_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace alsmf::devsim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu: return "cpu";
+    case DeviceKind::kGpu: return "gpu";
+    case DeviceKind::kMic: return "mic";
+  }
+  return "cpu";
+}
+
+DeviceKind parse_kind(const std::string& v) {
+  std::string s = v;
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (s == "cpu") return DeviceKind::kCpu;
+  if (s == "gpu") return DeviceKind::kGpu;
+  if (s == "mic") return DeviceKind::kMic;
+  throw Error("unknown device kind: " + v);
+}
+
+}  // namespace
+
+void write_profile(std::ostream& out, const DeviceProfile& p) {
+  out << "# alsmf device profile\n";
+  out << "name = " << p.name << "\n";
+  out << "kind = " << kind_name(p.kind) << "\n";
+  out << "compute_units = " << p.compute_units << "\n";
+  out << "simd_width = " << p.simd_width << "\n";
+  out << "clock_ghz = " << p.clock_ghz << "\n";
+  out << "issue_per_cu = " << p.issue_per_cu << "\n";
+  out << "scalar_efficiency = " << p.scalar_efficiency << "\n";
+  out << "vector_efficiency = " << p.vector_efficiency << "\n";
+  out << "groups_in_flight_per_cu = " << p.groups_in_flight_per_cu << "\n";
+  out << "pipeline_efficiency = " << p.pipeline_efficiency << "\n";
+  out << "flat_mapping_efficiency = " << p.flat_mapping_efficiency << "\n";
+  out << "gather_scalar_ops = " << p.gather_scalar_ops << "\n";
+  out << "global_latency_slots = " << p.global_latency_slots << "\n";
+  out << "mem_bw_gbs = " << p.mem_bw_gbs << "\n";
+  out << "cache_bw_gbs = " << p.cache_bw_gbs << "\n";
+  out << "scattered_transaction_bytes = " << p.scattered_transaction_bytes
+      << "\n";
+  out << "local_mem_bytes = " << p.local_mem_bytes << "\n";
+  out << "has_hw_local_mem = " << (p.has_hw_local_mem ? 1 : 0) << "\n";
+  out << "rereads_cached = " << (p.rereads_cached ? 1 : 0) << "\n";
+  out << "private_arrays_offchip = " << (p.private_arrays_offchip ? 1 : 0)
+      << "\n";
+  out << "max_registers_per_lane = " << p.max_registers_per_lane << "\n";
+  out << "launch_overhead_us = " << p.launch_overhead_us << "\n";
+  out << "pcie_bw_gbs = " << p.pcie_bw_gbs << "\n";
+}
+
+DeviceProfile read_profile(std::istream& in) {
+  DeviceProfile p;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    ALSMF_CHECK_MSG(eq != std::string::npos,
+                    "malformed profile line: " + stripped);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+
+    if (key == "name") {
+      p.name = value;
+      continue;
+    }
+    if (key == "kind") {
+      p.kind = parse_kind(value);
+      continue;
+    }
+    std::istringstream vs(value);
+    auto read_num = [&](auto& field) {
+      vs >> field;
+      ALSMF_CHECK_MSG(!vs.fail(), "bad numeric value for " + key);
+    };
+    int flag = 0;
+    if (key == "compute_units") read_num(p.compute_units);
+    else if (key == "simd_width") read_num(p.simd_width);
+    else if (key == "clock_ghz") read_num(p.clock_ghz);
+    else if (key == "issue_per_cu") read_num(p.issue_per_cu);
+    else if (key == "scalar_efficiency") read_num(p.scalar_efficiency);
+    else if (key == "vector_efficiency") read_num(p.vector_efficiency);
+    else if (key == "groups_in_flight_per_cu") read_num(p.groups_in_flight_per_cu);
+    else if (key == "pipeline_efficiency") read_num(p.pipeline_efficiency);
+    else if (key == "flat_mapping_efficiency") read_num(p.flat_mapping_efficiency);
+    else if (key == "gather_scalar_ops") read_num(p.gather_scalar_ops);
+    else if (key == "global_latency_slots") read_num(p.global_latency_slots);
+    else if (key == "mem_bw_gbs") read_num(p.mem_bw_gbs);
+    else if (key == "cache_bw_gbs") read_num(p.cache_bw_gbs);
+    else if (key == "scattered_transaction_bytes") read_num(p.scattered_transaction_bytes);
+    else if (key == "local_mem_bytes") read_num(p.local_mem_bytes);
+    else if (key == "has_hw_local_mem") { read_num(flag); p.has_hw_local_mem = flag != 0; }
+    else if (key == "rereads_cached") { read_num(flag); p.rereads_cached = flag != 0; }
+    else if (key == "private_arrays_offchip") { read_num(flag); p.private_arrays_offchip = flag != 0; }
+    else if (key == "max_registers_per_lane") read_num(p.max_registers_per_lane);
+    else if (key == "launch_overhead_us") read_num(p.launch_overhead_us);
+    else if (key == "pcie_bw_gbs") read_num(p.pcie_bw_gbs);
+    else throw Error("unknown profile key: " + key);
+  }
+  return p;
+}
+
+void write_profile_file(const std::string& path, const DeviceProfile& p) {
+  std::ofstream out(path);
+  ALSMF_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_profile(out, p);
+}
+
+DeviceProfile read_profile_file(const std::string& path) {
+  std::ifstream in(path);
+  ALSMF_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  return read_profile(in);
+}
+
+}  // namespace alsmf::devsim

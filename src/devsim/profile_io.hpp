@@ -1,0 +1,25 @@
+// DeviceProfile (de)serialization: a simple `key = value` text format so
+// users can model new hardware without recompiling (the paper's
+// portability claim extends to profiles: an FPGA/DSP profile is one text
+// file away).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "devsim/profile.hpp"
+
+namespace alsmf::devsim {
+
+/// Writes every profile field as `key = value` lines (with `#` comments).
+void write_profile(std::ostream& out, const DeviceProfile& profile);
+
+/// Parses a profile written by write_profile (or by hand). Unknown keys
+/// throw; missing keys keep the default-constructed value. `kind` takes
+/// cpu|gpu|mic.
+DeviceProfile read_profile(std::istream& in);
+
+void write_profile_file(const std::string& path, const DeviceProfile& profile);
+DeviceProfile read_profile_file(const std::string& path);
+
+}  // namespace alsmf::devsim

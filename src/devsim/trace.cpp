@@ -1,0 +1,80 @@
+#include "devsim/trace.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace alsmf::devsim {
+
+namespace {
+
+/// Minimal JSON string escaping (names are ASCII identifiers here).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::record(const std::string& device,
+                           const std::string& kernel,
+                           const TimeEstimate& time) {
+  TraceEvent event;
+  event.name = kernel;
+  event.device = device;
+  event.start_s = device_end_time(device);
+  event.duration_s = time.total_s();
+  event.compute_s = time.compute_s;
+  event.memory_s = time.memory_s;
+  event.overhead_s = time.overhead_s;
+  events_.push_back(std::move(event));
+}
+
+double TraceRecorder::device_end_time(const std::string& device) const {
+  double end = 0;
+  for (const auto& e : events_) {
+    if (e.device == device) end = std::max(end, e.start_s + e.duration_s);
+  }
+  return end;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  // Stable pid per device name.
+  std::map<std::string, int> pids;
+  for (const auto& e : events_) {
+    pids.emplace(e.device, static_cast<int>(pids.size()) + 1);
+  }
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [device, pid] : pids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"args\":{\"name\":\"" << json_escape(device) << "\"}}";
+  }
+  for (const auto& e : events_) {
+    out << ",{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"X\""
+        << ",\"pid\":" << pids.at(e.device) << ",\"tid\":1"
+        << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6
+        << ",\"args\":{\"compute_us\":" << e.compute_s * 1e6
+        << ",\"memory_us\":" << e.memory_s * 1e6
+        << ",\"overhead_us\":" << e.overhead_s * 1e6 << "}}";
+  }
+  out << "]}\n";
+}
+
+void TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  ALSMF_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_chrome_trace(out);
+}
+
+}  // namespace alsmf::devsim

@@ -1,0 +1,45 @@
+// Launch timeline recording and Chrome-trace export.
+//
+// A TraceRecorder attached to launches builds a modeled execution timeline
+// (launches laid end to end per device, with compute/memory attribution)
+// and serializes it as Chrome trace-event JSON — load the file in
+// chrome://tracing or https://ui.perfetto.dev to inspect where a training
+// run's modeled time goes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "devsim/cost_model.hpp"
+
+namespace alsmf::devsim {
+
+struct TraceEvent {
+  std::string name;      ///< kernel name (with section suffix)
+  std::string device;    ///< device profile name
+  double start_s = 0;    ///< modeled start time on that device's timeline
+  double duration_s = 0;
+  double compute_s = 0, memory_s = 0, overhead_s = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Appends a launch to a device's timeline (events are laid end to end —
+  /// the modeled device executes launches in order).
+  void record(const std::string& device, const std::string& kernel,
+              const TimeEstimate& time);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  double device_end_time(const std::string& device) const;
+
+  /// Chrome trace-event JSON (the "traceEvents" array format). Durations
+  /// are exported in microseconds as the format expects.
+  void write_chrome_trace(std::ostream& out) const;
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace alsmf::devsim

@@ -1,0 +1,48 @@
+#include "linalg/batched.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+
+namespace alsmf {
+
+namespace {
+
+template <class Solver>
+std::size_t batched_solve(real* as, real* rhs, std::size_t batch, int k,
+                          ThreadPool& pool, Solver solver) {
+  std::atomic<std::size_t> failures{0};
+  const std::size_t kk = static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+  pool.parallel_for(0, batch, [&](std::size_t b, std::size_t e, unsigned) {
+    std::size_t local_fail = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      real* a = as + i * kk;
+      real* x = rhs + i * static_cast<std::size_t>(k);
+      if (!solver(a, k, x)) {
+        std::fill(x, x + k, real{0});
+        ++local_fail;
+      }
+    }
+    failures.fetch_add(local_fail, std::memory_order_relaxed);
+  });
+  return failures.load();
+}
+
+}  // namespace
+
+std::size_t batched_cholesky_solve(real* as, real* rhs, std::size_t batch,
+                                   int k, ThreadPool& pool) {
+  return batched_solve(as, rhs, batch, k, pool,
+                       [](real* a, int kk, real* b) { return cholesky_solve(a, kk, b); });
+}
+
+std::size_t batched_lu_solve(real* as, real* rhs, std::size_t batch, int k,
+                             ThreadPool& pool) {
+  return batched_solve(as, rhs, batch, k, pool,
+                       [](real* a, int kk, real* b) { return lu_solve(a, kk, b); });
+}
+
+}  // namespace alsmf

@@ -1,0 +1,25 @@
+// Batched small-matrix solves: many independent k×k SPD systems solved in
+// parallel. This is the formulation cuMF (HPDC'16) and Gates et al. use for
+// ALS, and our cuMF-like baseline builds on it.
+#pragma once
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// Solves `batch` independent systems A_b · x_b = rhs_b with Cholesky.
+/// `as` holds batch·k·k reals (row-major per system, contiguous batches),
+/// `rhs` holds batch·k reals; both are overwritten (rhs becomes x).
+/// Returns the number of systems whose factorization failed (those rhs are
+/// zero-filled, matching ALS's "skip empty rows" behaviour).
+std::size_t batched_cholesky_solve(real* as, real* rhs, std::size_t batch,
+                                   int k, ThreadPool& pool);
+
+/// Same with LU (ablation comparator).
+std::size_t batched_lu_solve(real* as, real* rhs, std::size_t batch, int k,
+                             ThreadPool& pool);
+
+}  // namespace alsmf

@@ -1,0 +1,53 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace alsmf {
+
+bool cholesky_factor(real* a, int k) {
+  for (int j = 0; j < k; ++j) {
+    real d = a[j * k + j];
+    for (int p = 0; p < j; ++p) d -= a[j * k + p] * a[j * k + p];
+    if (!(d > real{0})) return false;
+    const real ljj = std::sqrt(d);
+    a[j * k + j] = ljj;
+    const real inv = real{1} / ljj;
+    for (int i = j + 1; i < k; ++i) {
+      real s = a[i * k + j];
+      for (int p = 0; p < j; ++p) s -= a[i * k + p] * a[j * k + p];
+      a[i * k + j] = s * inv;
+    }
+  }
+  return true;
+}
+
+void cholesky_forward(const real* l, int k, real* b) {
+  for (int i = 0; i < k; ++i) {
+    real s = b[i];
+    for (int p = 0; p < i; ++p) s -= l[i * k + p] * b[p];
+    b[i] = s / l[i * k + i];
+  }
+}
+
+void cholesky_backward(const real* l, int k, real* b) {
+  for (int i = k - 1; i >= 0; --i) {
+    real s = b[i];
+    for (int p = i + 1; p < k; ++p) s -= l[p * k + i] * b[p];
+    b[i] = s / l[i * k + i];
+  }
+}
+
+bool cholesky_solve(real* a, int k, real* b) {
+  if (!cholesky_factor(a, k)) return false;
+  cholesky_forward(a, k, b);
+  cholesky_backward(a, k, b);
+  return true;
+}
+
+double cholesky_solve_flops(int k) {
+  const double kd = k;
+  // Factorization ~ k^3/3, each substitution ~ k^2.
+  return kd * kd * kd / 3.0 + 2.0 * kd * kd;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,33 @@
+// Dense Cholesky factorization and solve for the per-row normal equations
+// (YᵀY + λI) x = Yᵀ r. The paper's S3 step factorizes smat = L·Lᵀ.
+//
+// All routines operate on a row-major k×k buffer in place so they can be
+// used from devsim kernels without allocation (Per.15).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// In-place Cholesky of a row-major SPD k×k matrix; on success the lower
+/// triangle holds L (the strict upper triangle is left untouched).
+/// Returns false when a non-positive pivot is met (matrix not SPD).
+bool cholesky_factor(real* a, int k);
+
+/// Solves L·y = b in place (forward substitution), L from cholesky_factor.
+void cholesky_forward(const real* l, int k, real* b);
+
+/// Solves Lᵀ·x = y in place (backward substitution).
+void cholesky_backward(const real* l, int k, real* b);
+
+/// Convenience: factor + forward + backward; overwrites a and b.
+/// Returns false when factorization fails.
+bool cholesky_solve(real* a, int k, real* b);
+
+/// Flop count of one k×k Cholesky solve (factor + two substitutions);
+/// used by the devsim cost model.
+double cholesky_solve_flops(int k);
+
+}  // namespace alsmf

@@ -1,0 +1,57 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alsmf {
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  ALSMF_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  const real* pa = a.data();
+  const real* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(pa[i]) - static_cast<double>(pb[i])));
+  }
+  return m;
+}
+
+void gram_full(const Matrix& a, real lambda, real* out) {
+  const index_t n = a.rows();
+  const index_t k = a.cols();
+  std::fill(out, out + static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
+            real{0});
+  for (index_t r = 0; r < n; ++r) {
+    auto row = a.row(r);
+    for (index_t i = 0; i < k; ++i) {
+      const real ai = row[static_cast<std::size_t>(i)];
+      real* out_row = out + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+      for (index_t j = i; j < k; ++j) {
+        out_row[j] += ai * row[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  // Mirror the upper triangle and add the ridge term.
+  for (index_t i = 0; i < k; ++i) {
+    out[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) + static_cast<std::size_t>(i)] +=
+        lambda;
+    for (index_t j = i + 1; j < k; ++j) {
+      out[static_cast<std::size_t>(j) * static_cast<std::size_t>(k) + static_cast<std::size_t>(i)] =
+          out[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) + static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void atx(const Matrix& a, std::span<const real> x, real* out) {
+  const index_t n = a.rows();
+  const index_t k = a.cols();
+  ALSMF_CHECK(static_cast<index_t>(x.size()) == n);
+  std::fill(out, out + k, real{0});
+  for (index_t r = 0; r < n; ++r) {
+    auto row = a.row(r);
+    const real xr = x[static_cast<std::size_t>(r)];
+    for (index_t j = 0; j < k; ++j) out[j] += xr * row[static_cast<std::size_t>(j)];
+  }
+}
+
+}  // namespace alsmf

@@ -1,0 +1,84 @@
+// Row-major dense matrix used for factor matrices (m×k) and the small k×k
+// normal-equation systems.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace alsmf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols, real fill = real{0})
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    ALSMF_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  real& operator()(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  real operator()(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  /// Contiguous view of row r.
+  std::span<real> row(index_t r) {
+    return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
+  }
+  std::span<const real> row(index_t r) const {
+    return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+            static_cast<std::size_t>(cols_)};
+  }
+
+  real* data() { return data_.data(); }
+  const real* data() const { return data_.data(); }
+
+  void fill(real v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Fills with uniform values in [lo, hi) — the paper initializes Y with
+  /// small random numbers before the first X update.
+  void fill_uniform(Rng& rng, real lo, real hi) {
+    for (auto& v : data_) v = static_cast<real>(rng.uniform(lo, hi));
+  }
+
+  /// Frobenius norm squared.
+  double frob2() const {
+    double s = 0.0;
+    for (auto v : data_) s += static_cast<double>(v) * static_cast<double>(v);
+    return s;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<real> data_;
+};
+
+/// Max |a-b| over all entries; requires equal shapes.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ·A + λI for row-major A (n×k): the full Gram matrix (k×k, row-major
+/// into `out`, which must hold k*k reals).
+void gram_full(const Matrix& a, real lambda, real* out);
+
+/// y = Aᵀ·x for row-major A (n×k), x (n): out must hold k reals.
+void atx(const Matrix& a, std::span<const real> x, real* out);
+
+}  // namespace alsmf

@@ -1,0 +1,74 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace alsmf {
+
+bool lu_factor(real* a, int k, int* piv) {
+  for (int j = 0; j < k; ++j) {
+    // Partial pivot: largest |a[i][j]| for i >= j.
+    int p = j;
+    real best = std::abs(a[j * k + j]);
+    for (int i = j + 1; i < k; ++i) {
+      const real v = std::abs(a[i * k + j]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == real{0}) return false;
+    piv[j] = p;
+    if (p != j) {
+      for (int c = 0; c < k; ++c) std::swap(a[j * k + c], a[p * k + c]);
+    }
+    const real inv = real{1} / a[j * k + j];
+    for (int i = j + 1; i < k; ++i) {
+      const real m = a[i * k + j] * inv;
+      a[i * k + j] = m;
+      for (int c = j + 1; c < k; ++c) a[i * k + c] -= m * a[j * k + c];
+    }
+  }
+  return true;
+}
+
+void lu_solve_factored(const real* lu, const int* piv, int k, real* b) {
+  // Apply pivots.
+  for (int j = 0; j < k; ++j) {
+    if (piv[j] != j) std::swap(b[j], b[piv[j]]);
+  }
+  // Forward: L (unit diagonal).
+  for (int i = 1; i < k; ++i) {
+    real s = b[i];
+    for (int p = 0; p < i; ++p) s -= lu[i * k + p] * b[p];
+    b[i] = s;
+  }
+  // Backward: U.
+  for (int i = k - 1; i >= 0; --i) {
+    real s = b[i];
+    for (int p = i + 1; p < k; ++p) s -= lu[i * k + p] * b[p];
+    b[i] = s / lu[i * k + i];
+  }
+}
+
+bool lu_solve(real* a, int k, real* b) {
+  int piv_stack[64];
+  if (k <= 64) {
+    if (!lu_factor(a, k, piv_stack)) return false;
+    lu_solve_factored(a, piv_stack, k, b);
+    return true;
+  }
+  std::vector<int> piv(static_cast<std::size_t>(k));
+  if (!lu_factor(a, k, piv.data())) return false;
+  lu_solve_factored(a, piv.data(), k, b);
+  return true;
+}
+
+double lu_solve_flops(int k) {
+  const double kd = k;
+  // Factorization ~ 2k^3/3 plus pivot search, two substitutions ~ k^2 each.
+  return 2.0 * kd * kd * kd / 3.0 + 2.0 * kd * kd;
+}
+
+}  // namespace alsmf

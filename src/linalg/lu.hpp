@@ -1,0 +1,26 @@
+// LU factorization with partial pivoting. Serves as the ablation baseline
+// for step S3 (the paper credits the Cholesky path for part of its win on
+// YahooMusic R4).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// In-place LU with partial pivoting of a row-major k×k matrix.
+/// `piv` receives the pivot row chosen at each elimination step (size k).
+/// Returns false on an exactly singular matrix.
+bool lu_factor(real* a, int k, int* piv);
+
+/// Solves A·x = b using the factors from lu_factor; b is overwritten by x.
+void lu_solve_factored(const real* lu, const int* piv, int k, real* b);
+
+/// Convenience: factor + solve; overwrites a and b.
+bool lu_solve(real* a, int k, real* b);
+
+/// Flop count of one k×k LU solve, for the devsim cost model.
+double lu_solve_flops(int k);
+
+}  // namespace alsmf

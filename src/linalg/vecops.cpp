@@ -1,0 +1,33 @@
+#include "linalg/vecops.hpp"
+
+#include <algorithm>
+
+namespace alsmf {
+
+real vdot(const real* a, const real* b, std::size_t n) {
+  real s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void vaxpy(real alpha, const real* x, real* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void vscale(real alpha, real* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+void vzero(real* y, std::size_t n) { std::fill(y, y + n, real{0}); }
+
+void vcopy(const real* x, real* y, std::size_t n) { std::copy(x, x + n, y); }
+
+double vnorm2(const real* a, std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+  }
+  return s;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,31 @@
+// Small dense vector kernels shared by the ALS variants. Kept branch-free
+// and contiguous so the host compiler can vectorize (the paper's `float16`
+// explicit vectorization is modeled in devsim; functionally these loops are
+// the same arithmetic).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// dot(a, b) over n elements.
+real vdot(const real* a, const real* b, std::size_t n);
+
+/// y += alpha * x
+void vaxpy(real alpha, const real* x, real* y, std::size_t n);
+
+/// y = alpha * y
+void vscale(real alpha, real* y, std::size_t n);
+
+/// y = 0
+void vzero(real* y, std::size_t n);
+
+/// copy
+void vcopy(const real* x, real* y, std::size_t n);
+
+/// sum of squares
+double vnorm2(const real* a, std::size_t n);
+
+}  // namespace alsmf

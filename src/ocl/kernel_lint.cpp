@@ -1,0 +1,121 @@
+#include "ocl/kernel_lint.hpp"
+
+#include <sstream>
+
+namespace alsmf::ocl {
+
+std::string LintReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& issue : issues) {
+    os << "line " << issue.line << ": " << issue.message << "\n";
+  }
+  return os.str();
+}
+
+LintReport lint_kernel_source(const std::string& source,
+                              int expected_kernels) {
+  LintReport report;
+
+  // Strip comments and string literals for the structural passes.
+  std::string code;
+  code.reserve(source.size());
+  {
+    enum class State { kCode, kLine, kBlock } state = State::kCode;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      const char ch = source[i];
+      const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (ch == '/' && next == '/') {
+            state = State::kLine;
+            ++i;
+          } else if (ch == '/' && next == '*') {
+            state = State::kBlock;
+            ++i;
+          } else {
+            code.push_back(ch);
+          }
+          break;
+        case State::kLine:
+          if (ch == '\n') {
+            state = State::kCode;
+            code.push_back('\n');
+          }
+          break;
+        case State::kBlock:
+          if (ch == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          } else if (ch == '\n') {
+            code.push_back('\n');
+          }
+          break;
+      }
+    }
+  }
+
+  // Balanced delimiters with line tracking.
+  std::vector<std::pair<char, int>> stack;
+  int line = 1;
+  for (char ch : code) {
+    if (ch == '\n') ++line;
+    if (ch == '(' || ch == '{' || ch == '[') stack.push_back({ch, line});
+    if (ch == ')' || ch == '}' || ch == ']') {
+      const char open = ch == ')' ? '(' : (ch == '}' ? '{' : '[');
+      if (stack.empty() || stack.back().first != open) {
+        report.issues.push_back({line, std::string("unbalanced '") + ch + "'"});
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+  for (const auto& [ch, at] : stack) {
+    report.issues.push_back({at, std::string("unclosed '") + ch + "'"});
+  }
+
+  // Kernel entry-point count.
+  int kernels = 0;
+  for (std::size_t pos = code.find("__kernel"); pos != std::string::npos;
+       pos = code.find("__kernel", pos + 1)) {
+    ++kernels;
+  }
+  if (kernels != expected_kernels) {
+    report.issues.push_back(
+        {0, "expected " + std::to_string(expected_kernels) +
+                " __kernel entry point(s), found " + std::to_string(kernels)});
+  }
+
+  // barrier() must appear after the first __kernel.
+  const auto first_kernel = code.find("__kernel");
+  for (std::size_t pos = code.find("barrier("); pos != std::string::npos;
+       pos = code.find("barrier(", pos + 1)) {
+    if (first_kernel == std::string::npos || pos < first_kernel) {
+      int at = 1;
+      for (std::size_t i = 0; i < pos; ++i) {
+        if (code[i] == '\n') ++at;
+      }
+      report.issues.push_back({at, "barrier() outside any kernel"});
+    }
+  }
+
+  // __local usage requires a __local declaration somewhere.
+  const bool uses_local_fence = code.find("CLK_LOCAL_MEM_FENCE") != std::string::npos;
+  const bool declares_local = code.find("__local") != std::string::npos;
+  if (uses_local_fence && !declares_local) {
+    report.issues.push_back({0, "local fence without any __local declaration"});
+  }
+
+  // Style: no tabs (against the original, with line numbers).
+  line = 1;
+  for (char ch : source) {
+    if (ch == '\n') ++line;
+    if (ch == '\t') {
+      report.issues.push_back({line, "tab character"});
+      break;
+    }
+  }
+
+  return report;
+}
+
+}  // namespace alsmf::ocl

@@ -1,0 +1,34 @@
+// A lightweight structural validator for generated OpenCL C sources: it
+// cannot compile them (no OpenCL runtime in this environment) but catches
+// the classes of generator bugs that would break a real build — unbalanced
+// delimiters, missing kernel entry points, barriers in obviously divergent
+// positions, undeclared local buffers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace alsmf::ocl {
+
+struct LintIssue {
+  int line = 0;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintIssue> issues;
+  bool clean() const { return issues.empty(); }
+  std::string to_string() const;
+};
+
+/// Structural checks over an OpenCL C source:
+///  * balanced (), {}, []
+///  * exactly `expected_kernels` __kernel entry points
+///  * every barrier() is inside a __kernel body
+///  * __local usage only in kernels that declare __local buffers or take
+///    __local parameters
+///  * no tab characters / trailing whitespace (style)
+LintReport lint_kernel_source(const std::string& source,
+                              int expected_kernels = 1);
+
+}  // namespace alsmf::ocl

@@ -1,0 +1,114 @@
+#include "recsys/bias.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+BiasModel BiasModel::fit(const Csr& ratings, const BiasOptions& options) {
+  ALSMF_CHECK(options.sweeps >= 1);
+  BiasModel model;
+  model.user_bias_.assign(static_cast<std::size_t>(ratings.rows()), real{0});
+  model.item_bias_.assign(static_cast<std::size_t>(ratings.cols()), real{0});
+
+  // Global mean.
+  double sum = 0;
+  for (index_t u = 0; u < ratings.rows(); ++u) {
+    for (real v : ratings.row_values(u)) sum += v;
+  }
+  model.mu_ = ratings.nnz() > 0
+                  ? static_cast<real>(sum / static_cast<double>(ratings.nnz()))
+                  : real{0};
+
+  // Alternating shrunken means of the residuals (item first, as Koren).
+  std::vector<double> acc;
+  std::vector<nnz_t> count;
+  for (int sweep = 0; sweep < options.sweeps; ++sweep) {
+    // Item biases given user biases.
+    acc.assign(model.item_bias_.size(), 0.0);
+    count.assign(model.item_bias_.size(), 0);
+    for (index_t u = 0; u < ratings.rows(); ++u) {
+      auto cols = ratings.row_cols(u);
+      auto vals = ratings.row_values(u);
+      const real bu = model.user_bias_[static_cast<std::size_t>(u)];
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        acc[static_cast<std::size_t>(cols[p])] += vals[p] - model.mu_ - bu;
+        ++count[static_cast<std::size_t>(cols[p])];
+      }
+    }
+    for (std::size_t i = 0; i < model.item_bias_.size(); ++i) {
+      model.item_bias_[i] = static_cast<real>(
+          acc[i] / (static_cast<double>(count[i]) + options.item_shrinkage));
+    }
+    // User biases given item biases.
+    for (index_t u = 0; u < ratings.rows(); ++u) {
+      auto cols = ratings.row_cols(u);
+      auto vals = ratings.row_values(u);
+      double racc = 0;
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        racc += vals[p] - model.mu_ -
+                model.item_bias_[static_cast<std::size_t>(cols[p])];
+      }
+      model.user_bias_[static_cast<std::size_t>(u)] = static_cast<real>(
+          racc / (static_cast<double>(cols.size()) + options.user_shrinkage));
+    }
+  }
+  return model;
+}
+
+BiasModel BiasModel::from_parts(real mu, const Matrix& user_bias,
+                                const Matrix& item_bias) {
+  ALSMF_CHECK(user_bias.cols() == 1 && item_bias.cols() == 1);
+  BiasModel model;
+  model.mu_ = mu;
+  model.user_bias_.resize(static_cast<std::size_t>(user_bias.rows()));
+  model.item_bias_.resize(static_cast<std::size_t>(item_bias.rows()));
+  for (index_t u = 0; u < user_bias.rows(); ++u) {
+    model.user_bias_[static_cast<std::size_t>(u)] = user_bias(u, 0);
+  }
+  for (index_t i = 0; i < item_bias.rows(); ++i) {
+    model.item_bias_[static_cast<std::size_t>(i)] = item_bias(i, 0);
+  }
+  return model;
+}
+
+real BiasModel::predict(index_t user, index_t item) const {
+  ALSMF_CHECK(user >= 0 && user < users());
+  ALSMF_CHECK(item >= 0 && item < items());
+  return mu_ + user_bias_[static_cast<std::size_t>(user)] +
+         item_bias_[static_cast<std::size_t>(item)];
+}
+
+Csr BiasModel::residuals(const Csr& ratings) const {
+  ALSMF_CHECK(ratings.rows() == users() && ratings.cols() == items());
+  aligned_vector<nnz_t> row_ptr(ratings.row_ptr());
+  aligned_vector<index_t> col_idx(ratings.col_idx());
+  aligned_vector<real> values(static_cast<std::size_t>(ratings.nnz()));
+  std::size_t pos = 0;
+  for (index_t u = 0; u < ratings.rows(); ++u) {
+    auto cols = ratings.row_cols(u);
+    auto vals = ratings.row_values(u);
+    for (std::size_t p = 0; p < cols.size(); ++p, ++pos) {
+      values[pos] = vals[p] - predict(u, cols[p]);
+    }
+  }
+  return Csr(ratings.rows(), ratings.cols(), std::move(row_ptr),
+             std::move(col_idx), std::move(values));
+}
+
+double BiasModel::rmse_on(const Csr& test) const {
+  if (test.nnz() == 0) return 0;
+  double sse = 0;
+  for (index_t u = 0; u < test.rows(); ++u) {
+    auto cols = test.row_cols(u);
+    auto vals = test.row_values(u);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const double e = vals[p] - predict(u, cols[p]);
+      sse += e * e;
+    }
+  }
+  return std::sqrt(sse / static_cast<double>(test.nnz()));
+}
+
+}  // namespace alsmf

@@ -1,0 +1,50 @@
+#include "recsys/fold_in.hpp"
+
+#include "als/row_solve.hpp"
+#include "common/error.hpp"
+#include "linalg/vecops.hpp"
+
+namespace alsmf {
+
+namespace {
+
+std::vector<real> fold_in(const Matrix& factors, std::span<const index_t> ids,
+                          std::span<const real> ratings, real lambda,
+                          LinearSolverKind solver) {
+  ALSMF_CHECK(ids.size() == ratings.size());
+  ALSMF_CHECK_MSG(!ids.empty(), "fold-in needs at least one rating");
+  ALSMF_CHECK(lambda > 0.0f);
+  const auto k = static_cast<int>(factors.cols());
+  for (auto id : ids) {
+    ALSMF_CHECK_MSG(id >= 0 && id < factors.rows(), "fold-in id out of range");
+  }
+  std::vector<real> smat(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  std::vector<real> svec(static_cast<std::size_t>(k));
+  assemble_normal_equations(ids, ratings, factors, lambda, k, smat.data(),
+                            svec.data());
+  solve_normal_equations(smat.data(), svec.data(), k, solver);
+  return svec;
+}
+
+}  // namespace
+
+std::vector<real> fold_in_user(const Matrix& y, std::span<const index_t> items,
+                               std::span<const real> ratings, real lambda,
+                               LinearSolverKind solver) {
+  return fold_in(y, items, ratings, lambda, solver);
+}
+
+std::vector<real> fold_in_item(const Matrix& x, std::span<const index_t> users,
+                               std::span<const real> ratings, real lambda,
+                               LinearSolverKind solver) {
+  return fold_in(x, users, ratings, lambda, solver);
+}
+
+real fold_in_predict(std::span<const real> user_factor, const Matrix& y,
+                     index_t item) {
+  ALSMF_CHECK(item >= 0 && item < y.rows());
+  ALSMF_CHECK(static_cast<index_t>(user_factor.size()) == y.cols());
+  return vdot(user_factor.data(), y.row(item).data(), user_factor.size());
+}
+
+}  // namespace alsmf

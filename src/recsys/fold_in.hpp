@@ -1,0 +1,34 @@
+// Fold-in: serve a brand-new user (or item) without retraining. Given the
+// trained item factors Y and the newcomer's handful of ratings, the user's
+// factor is exactly one ALS row-solve — the same (YᵀY+λI)x = Yᵀr system
+// the training kernels solve per row.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "als/options.hpp"
+#include "linalg/dense.hpp"
+#include "sparse/coo.hpp"
+
+namespace alsmf {
+
+/// Computes the factor vector for a new user from (item, rating) pairs
+/// against the trained item factors. Items must be < y.rows().
+std::vector<real> fold_in_user(const Matrix& y,
+                               std::span<const index_t> items,
+                               std::span<const real> ratings, real lambda,
+                               LinearSolverKind solver = LinearSolverKind::kCholesky);
+
+/// Symmetric: factor for a new item from (user, rating) pairs against the
+/// trained user factors.
+std::vector<real> fold_in_item(const Matrix& x,
+                               std::span<const index_t> users,
+                               std::span<const real> ratings, real lambda,
+                               LinearSolverKind solver = LinearSolverKind::kCholesky);
+
+/// Predicted score of a folded-in factor against an item factor.
+real fold_in_predict(std::span<const real> user_factor, const Matrix& y,
+                     index_t item);
+
+}  // namespace alsmf

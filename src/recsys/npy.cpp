@@ -1,0 +1,91 @@
+#include "recsys/npy.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+namespace {
+constexpr char kMagic[6] = {'\x93', 'N', 'U', 'M', 'P', 'Y'};
+}
+
+void write_npy(std::ostream& out, const Matrix& matrix) {
+  std::ostringstream header;
+  header << "{'descr': '<f4', 'fortran_order': False, 'shape': ("
+         << matrix.rows() << ", " << matrix.cols() << "), }";
+  std::string h = header.str();
+  // Total header (magic 6 + version 2 + len 2 + dict) padded to 64 bytes,
+  // terminated with \n, as the format requires.
+  const std::size_t unpadded = 10 + h.size() + 1;
+  const std::size_t padded = (unpadded + 63) / 64 * 64;
+  h.append(padded - unpadded, ' ');
+  h.push_back('\n');
+
+  out.write(kMagic, sizeof(kMagic));
+  out.put('\x01');
+  out.put('\x00');
+  const auto hlen = static_cast<std::uint16_t>(h.size());
+  out.put(static_cast<char>(hlen & 0xff));
+  out.put(static_cast<char>(hlen >> 8));
+  out.write(h.data(), static_cast<std::streamsize>(h.size()));
+  out.write(reinterpret_cast<const char*>(matrix.data()),
+            static_cast<std::streamsize>(matrix.size() * sizeof(real)));
+}
+
+void write_npy_file(const std::string& path, const Matrix& matrix) {
+  std::ofstream out(path, std::ios::binary);
+  ALSMF_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_npy(out, matrix);
+}
+
+Matrix read_npy(std::istream& in) {
+  char magic[6];
+  in.read(magic, sizeof(magic));
+  ALSMF_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 6) == 0,
+                  "not an .npy stream");
+  char major = 0, minor = 0;
+  in.get(major);
+  in.get(minor);
+  ALSMF_CHECK_MSG(major == 1, "unsupported .npy version");
+  unsigned char lo = 0, hi = 0;
+  lo = static_cast<unsigned char>(in.get());
+  hi = static_cast<unsigned char>(in.get());
+  const std::size_t hlen = static_cast<std::size_t>(lo) |
+                           (static_cast<std::size_t>(hi) << 8);
+  std::string header(hlen, '\0');
+  in.read(header.data(), static_cast<std::streamsize>(hlen));
+  ALSMF_CHECK_MSG(in.good(), "truncated .npy header");
+
+  ALSMF_CHECK_MSG(header.find("'<f4'") != std::string::npos,
+                  ".npy dtype must be little-endian float32");
+  ALSMF_CHECK_MSG(header.find("'fortran_order': False") != std::string::npos,
+                  ".npy must be C-order");
+  const auto shape_pos = header.find("'shape': (");
+  ALSMF_CHECK_MSG(shape_pos != std::string::npos, "missing .npy shape");
+  long long rows = 0, cols = 0;
+  {
+    std::istringstream shape(header.substr(shape_pos + 10));
+    char comma = 0;
+    shape >> rows >> comma >> cols;
+    ALSMF_CHECK_MSG(!shape.fail() && comma == ',' && rows >= 0 && cols >= 0,
+                    "bad .npy shape (need 2-D)");
+  }
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(real)));
+  ALSMF_CHECK_MSG(in.good() || m.size() == 0, "truncated .npy data");
+  return m;
+}
+
+Matrix read_npy_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ALSMF_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  return read_npy(in);
+}
+
+}  // namespace alsmf

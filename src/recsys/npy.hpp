@@ -1,0 +1,22 @@
+// NumPy .npy (format version 1.0) export/import for factor matrices — the
+// lingua franca for downstream analysis in Python
+// (`np.load("user_factors.npy")`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/dense.hpp"
+
+namespace alsmf {
+
+/// Writes a row-major float32 matrix as an .npy v1.0 file.
+void write_npy(std::ostream& out, const Matrix& matrix);
+void write_npy_file(const std::string& path, const Matrix& matrix);
+
+/// Reads a 2-D little-endian float32 C-order .npy v1.0 file (exactly what
+/// write_npy produces; also accepts NumPy's own output for such arrays).
+Matrix read_npy(std::istream& in);
+Matrix read_npy_file(const std::string& path);
+
+}  // namespace alsmf

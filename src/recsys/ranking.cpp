@@ -1,0 +1,122 @@
+#include "recsys/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "linalg/vecops.hpp"
+
+namespace alsmf {
+
+double dcg_at_n(const std::vector<int>& relevance, int n) {
+  double dcg = 0;
+  const int limit = std::min<int>(n, static_cast<int>(relevance.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (relevance[static_cast<std::size_t>(i)]) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  return dcg;
+}
+
+RankingMetrics evaluate_ranking(const Csr& train, const Csr& test,
+                                const Matrix& x, const Matrix& y, int n) {
+  ALSMF_CHECK(train.rows() == test.rows());
+  ALSMF_CHECK(train.cols() == test.cols());
+  ALSMF_CHECK(x.rows() == train.rows());
+  ALSMF_CHECK(y.rows() == train.cols());
+  ALSMF_CHECK(n > 0);
+
+  RankingMetrics m;
+  const auto k = static_cast<std::size_t>(x.cols());
+  const index_t items = train.cols();
+
+  std::vector<std::pair<real, index_t>> scored;
+  for (index_t u = 0; u < train.rows(); ++u) {
+    auto test_items = test.row_cols(u);
+    if (test_items.empty()) continue;
+    ++m.evaluated_users;
+
+    std::unordered_set<index_t> train_set(train.row_cols(u).begin(),
+                                          train.row_cols(u).end());
+    std::unordered_set<index_t> test_set(test_items.begin(), test_items.end());
+
+    // Score all candidate (non-train) items.
+    scored.clear();
+    const real* xu = x.row(u).data();
+    for (index_t i = 0; i < items; ++i) {
+      if (train_set.count(i)) continue;
+      scored.push_back({vdot(xu, y.row(i).data(), k), i});
+    }
+    const int top = std::min<int>(n, static_cast<int>(scored.size()));
+    std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.first != b.first) return a.first > b.first;
+                        return a.second < b.second;  // deterministic ties
+                      });
+
+    // Top-n relevance.
+    int hits = 0;
+    std::vector<int> relevance(static_cast<std::size_t>(top));
+    for (int i = 0; i < top; ++i) {
+      relevance[static_cast<std::size_t>(i)] =
+          test_set.count(scored[static_cast<std::size_t>(i)].second) ? 1 : 0;
+      hits += relevance[static_cast<std::size_t>(i)];
+    }
+    m.hit_rate += hits > 0 ? 1.0 : 0.0;
+    m.precision += static_cast<double>(hits) / static_cast<double>(top);
+    m.recall +=
+        static_cast<double>(hits) / static_cast<double>(test_set.size());
+
+    // NDCG: ideal DCG puts all test items first.
+    std::vector<int> ideal(static_cast<std::size_t>(top), 0);
+    const int ideal_hits =
+        std::min<int>(top, static_cast<int>(test_set.size()));
+    std::fill(ideal.begin(), ideal.begin() + ideal_hits, 1);
+    const double idcg = dcg_at_n(ideal, top);
+    if (idcg > 0) m.ndcg += dcg_at_n(relevance, top) / idcg;
+
+    // AUC over the full candidate ranking: fraction of (test, non-test)
+    // pairs ordered correctly. Computed from test-item ranks.
+    // rank r (0-based, best first); correct pairs for a test item at rank
+    // r = (#non-test below it) = (candidates - 1 - r) - (test items below).
+    std::vector<std::size_t> test_ranks;
+    // Need full ordering for AUC: sort everything (scored already partially
+    // sorted; re-sort fully).
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (std::size_t r = 0; r < scored.size(); ++r) {
+      if (test_set.count(scored[r].second)) test_ranks.push_back(r);
+    }
+    const double num_test = static_cast<double>(test_ranks.size());
+    const double num_neg = static_cast<double>(scored.size()) - num_test;
+    if (num_test > 0 && num_neg > 0) {
+      double correct = 0;
+      for (std::size_t i = 0; i < test_ranks.size(); ++i) {
+        // negatives ranked below this test item:
+        const double below =
+            static_cast<double>(scored.size() - 1 - test_ranks[i]) -
+            (num_test - 1 - static_cast<double>(i));
+        correct += below;
+      }
+      m.auc += correct / (num_test * num_neg);
+    } else {
+      m.auc += 0.5;
+    }
+  }
+
+  if (m.evaluated_users > 0) {
+    const double users = static_cast<double>(m.evaluated_users);
+    m.hit_rate /= users;
+    m.precision /= users;
+    m.recall /= users;
+    m.ndcg /= users;
+    m.auc /= users;
+  }
+  return m;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,30 @@
+// Top-N ranking quality metrics, the standard evaluation for implicit
+// feedback recommenders (hit rate, precision/recall, NDCG, per-user AUC).
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+struct RankingMetrics {
+  double hit_rate = 0;    ///< fraction of users with >=1 test item in top-n
+  double precision = 0;   ///< mean fraction of top-n that are test items
+  double recall = 0;      ///< mean fraction of test items inside top-n
+  double ndcg = 0;        ///< mean normalized discounted cumulative gain
+  double auc = 0;         ///< mean pairwise ranking AUC (test vs unseen)
+  index_t evaluated_users = 0;  ///< users with at least one test item
+};
+
+/// Scores every item by x_uᵀy_i, excludes the user's training items, and
+/// compares the top-n ranking against the held-out `test` items.
+/// Users without test items are skipped.
+RankingMetrics evaluate_ranking(const Csr& train, const Csr& test,
+                                const Matrix& x, const Matrix& y, int n);
+
+/// DCG of a single ranked 0/1 relevance list (log2 discounts).
+double dcg_at_n(const std::vector<int>& relevance, int n);
+
+}  // namespace alsmf

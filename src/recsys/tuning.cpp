@@ -1,0 +1,65 @@
+#include "recsys/tuning.hpp"
+
+#include <algorithm>
+
+#include "als/metrics.hpp"
+#include "als/reference.hpp"
+#include "common/error.hpp"
+#include "data/split.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+TuningResult grid_search(const Coo& ratings, const TuningGrid& grid,
+                         ThreadPool* pool) {
+  ALSMF_CHECK(!grid.ks.empty() && !grid.lambdas.empty());
+  ALSMF_CHECK(grid.validation_fraction > 0.0 &&
+              grid.validation_fraction < 1.0);
+  if (!pool) pool = &ThreadPool::global();
+
+  auto [train_coo, valid_coo] =
+      split_holdout(ratings, grid.validation_fraction, grid.seed);
+  const Csr train = coo_to_csr(train_coo);
+  const Coo& valid = valid_coo;
+
+  // Materialize the grid; train points in parallel (each training run is
+  // itself sequential — the parallelism budget goes to the grid).
+  std::vector<TuningCandidate> candidates;
+  for (int k : grid.ks) {
+    for (real lambda : grid.lambdas) {
+      TuningCandidate c;
+      c.k = k;
+      c.lambda = lambda;
+      candidates.push_back(c);
+    }
+  }
+
+  pool->parallel_for(0, candidates.size(),
+                     [&](std::size_t b, std::size_t e, unsigned) {
+                       for (std::size_t i = b; i < e; ++i) {
+                         AlsOptions options;
+                         options.k = candidates[i].k;
+                         options.lambda = candidates[i].lambda;
+                         options.iterations = grid.iterations;
+                         options.weighted_regularization =
+                             grid.weighted_regularization;
+                         options.seed = grid.seed;
+                         const auto result = reference_als(train, options);
+                         candidates[i].validation_rmse =
+                             rmse(valid, result.x, result.y);
+                         candidates[i].train_rmse =
+                             rmse(train, result.x, result.y);
+                       }
+                     });
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const TuningCandidate& a, const TuningCandidate& b) {
+                     return a.validation_rmse < b.validation_rmse;
+                   });
+  TuningResult result;
+  result.best = candidates.front();
+  result.all = std::move(candidates);
+  return result;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,142 @@
+#include "sparse/convert.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace alsmf {
+
+namespace {
+
+/// Counting-sort style compression along `major` using key extractor
+/// functions. Produces sorted-within-slice output.
+struct Compressed {
+  aligned_vector<nnz_t> ptr;
+  aligned_vector<index_t> idx;
+  aligned_vector<real> values;
+};
+
+Compressed compress(index_t major, const std::vector<Triplet>& entries,
+                    bool row_major) {
+  Compressed out;
+  out.ptr.assign(static_cast<std::size_t>(major) + 1, 0);
+  out.idx.resize(entries.size());
+  out.values.resize(entries.size());
+
+  for (const auto& t : entries) {
+    auto key = static_cast<std::size_t>(row_major ? t.row : t.col);
+    ++out.ptr[key + 1];
+  }
+  std::partial_sum(out.ptr.begin(), out.ptr.end(), out.ptr.begin());
+
+  aligned_vector<nnz_t> cursor(out.ptr.begin(), out.ptr.end() - 1);
+  for (const auto& t : entries) {
+    auto key = static_cast<std::size_t>(row_major ? t.row : t.col);
+    auto pos = static_cast<std::size_t>(cursor[key]++);
+    out.idx[pos] = row_major ? t.col : t.row;
+    out.values[pos] = t.value;
+  }
+  // Sort each slice by minor index (counting pass preserves input order, not
+  // minor order, when the COO is unsorted).
+  for (std::size_t u = 0; u < static_cast<std::size_t>(major); ++u) {
+    auto b = static_cast<std::size_t>(out.ptr[u]);
+    auto e = static_cast<std::size_t>(out.ptr[u + 1]);
+    if (e - b < 2) continue;
+    // Sort (idx, value) pairs jointly via index permutation.
+    std::vector<std::size_t> perm(e - b);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t c) {
+      return out.idx[b + a] < out.idx[b + c];
+    });
+    aligned_vector<index_t> tmp_idx(e - b);
+    aligned_vector<real> tmp_val(e - b);
+    for (std::size_t p = 0; p < perm.size(); ++p) {
+      tmp_idx[p] = out.idx[b + perm[p]];
+      tmp_val[p] = out.values[b + perm[p]];
+    }
+    std::copy(tmp_idx.begin(), tmp_idx.end(), out.idx.begin() + static_cast<std::ptrdiff_t>(b));
+    std::copy(tmp_val.begin(), tmp_val.end(), out.values.begin() + static_cast<std::ptrdiff_t>(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+Csr coo_to_csr(const Coo& coo) {
+  auto c = compress(coo.rows(), coo.entries(), /*row_major=*/true);
+  return Csr(coo.rows(), coo.cols(), std::move(c.ptr), std::move(c.idx),
+             std::move(c.values));
+}
+
+Csc coo_to_csc(const Coo& coo) {
+  auto c = compress(coo.cols(), coo.entries(), /*row_major=*/false);
+  return Csc(coo.rows(), coo.cols(), std::move(c.ptr), std::move(c.idx),
+             std::move(c.values));
+}
+
+Coo csr_to_coo(const Csr& csr) {
+  Coo coo(csr.rows(), csr.cols());
+  coo.reserve(csr.nnz());
+  for (index_t u = 0; u < csr.rows(); ++u) {
+    auto cols = csr.row_cols(u);
+    auto vals = csr.row_values(u);
+    for (std::size_t p = 0; p < cols.size(); ++p) coo.add(u, cols[p], vals[p]);
+  }
+  return coo;
+}
+
+Csc csr_to_csc(const Csr& csr) {
+  const auto cols = static_cast<std::size_t>(csr.cols());
+  aligned_vector<nnz_t> col_ptr(cols + 1, 0);
+  aligned_vector<index_t> row_idx(static_cast<std::size_t>(csr.nnz()));
+  aligned_vector<real> values(static_cast<std::size_t>(csr.nnz()));
+
+  for (auto j : csr.col_idx()) ++col_ptr[static_cast<std::size_t>(j) + 1];
+  std::partial_sum(col_ptr.begin(), col_ptr.end(), col_ptr.begin());
+
+  aligned_vector<nnz_t> cursor(col_ptr.begin(), col_ptr.end() - 1);
+  for (index_t u = 0; u < csr.rows(); ++u) {
+    auto cs = csr.row_cols(u);
+    auto vs = csr.row_values(u);
+    for (std::size_t p = 0; p < cs.size(); ++p) {
+      auto pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(cs[p])]++);
+      row_idx[pos] = u;
+      values[pos] = vs[p];
+    }
+  }
+  return Csc(csr.rows(), csr.cols(), std::move(col_ptr), std::move(row_idx),
+             std::move(values));
+}
+
+Csr csc_to_csr(const Csc& csc) {
+  const auto rows = static_cast<std::size_t>(csc.rows());
+  aligned_vector<nnz_t> row_ptr(rows + 1, 0);
+  aligned_vector<index_t> col_idx(static_cast<std::size_t>(csc.nnz()));
+  aligned_vector<real> values(static_cast<std::size_t>(csc.nnz()));
+
+  for (auto u : csc.row_idx()) ++row_ptr[static_cast<std::size_t>(u) + 1];
+  std::partial_sum(row_ptr.begin(), row_ptr.end(), row_ptr.begin());
+
+  aligned_vector<nnz_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t i = 0; i < csc.cols(); ++i) {
+    auto rs = csc.col_rows(i);
+    auto vs = csc.col_values(i);
+    for (std::size_t p = 0; p < rs.size(); ++p) {
+      auto pos = static_cast<std::size_t>(cursor[static_cast<std::size_t>(rs[p])]++);
+      col_idx[pos] = i;
+      values[pos] = vs[p];
+    }
+  }
+  return Csr(csc.rows(), csc.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+Csr transpose(const Csr& csr) {
+  Csc csc = csr_to_csc(csr);
+  // CSC arrays of R are exactly the CSR arrays of Rᵀ.
+  return Csr(csr.cols(), csr.rows(),
+             aligned_vector<nnz_t>(csc.col_ptr()),
+             aligned_vector<index_t>(csc.row_idx()),
+             aligned_vector<real>(csc.values()));
+}
+
+}  // namespace alsmf

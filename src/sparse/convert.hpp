@@ -1,0 +1,28 @@
+// Conversions between sparse formats.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// COO → CSR. Input need not be sorted; duplicates are an error.
+Csr coo_to_csr(const Coo& coo);
+
+/// COO → CSC.
+Csc coo_to_csc(const Coo& coo);
+
+/// CSR → COO (row-major canonical order).
+Coo csr_to_coo(const Csr& csr);
+
+/// CSR → CSC of the *same* matrix (i.e. a column-oriented view of R).
+/// Linear-time two-pass counting transpose.
+Csc csr_to_csc(const Csr& csr);
+
+/// CSC → CSR of the same matrix.
+Csr csc_to_csr(const Csc& csc);
+
+/// Explicit transpose: returns CSR of Rᵀ.
+Csr transpose(const Csr& csr);
+
+}  // namespace alsmf

@@ -1,0 +1,39 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+namespace alsmf {
+
+void Coo::sort_row_major() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Triplet& a, const Triplet& b) {
+                     if (a.row != b.row) return a.row < b.row;
+                     return a.col < b.col;
+                   });
+}
+
+void Coo::dedup_keep_last() {
+  if (entries_.empty()) return;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value = entries_[i].value;  // keep last
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+bool Coo::is_canonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    if (a.row > b.row) return false;
+    if (a.row == b.row && a.col >= b.col) return false;
+  }
+  return true;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,71 @@
+// Coordinate-format sparse matrix (triplets). Entry point for dataset
+// loading and synthetic generation; converted to CSR/CSC before compute.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// One rating: user u rated item i with value v.
+struct Triplet {
+  index_t row;
+  index_t col;
+  real value;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Coordinate-format (COO) sparse matrix.
+class Coo {
+ public:
+  Coo() = default;
+  Coo(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    ALSMF_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(entries_.size()); }
+
+  void reserve(nnz_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  /// Appends an entry; bounds- and finiteness-checked (a single NaN rating
+  /// would silently poison every factor it touches).
+  void add(index_t row, index_t col, real value) {
+    ALSMF_CHECK_MSG(row >= 0 && row < rows_, "row out of range");
+    ALSMF_CHECK_MSG(col >= 0 && col < cols_, "col out of range");
+    ALSMF_CHECK_MSG(std::isfinite(value), "non-finite rating");
+    entries_.push_back({row, col, value});
+  }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+  std::vector<Triplet>& entries() { return entries_; }
+
+  /// Sorts entries row-major (row, then col). Stable order for determinism.
+  void sort_row_major();
+
+  /// Merges duplicate (row, col) pairs, keeping the last value.
+  /// Requires row-major sorted input; keeps the matrix sorted.
+  void dedup_keep_last();
+
+  /// Sorts row-major and merges duplicates (last value wins) — the form
+  /// conversions require. Raw rating logs often repeat (user, item) pairs.
+  void canonicalize() {
+    sort_row_major();
+    dedup_keep_last();
+  }
+
+  /// True when entries are sorted row-major with no duplicates.
+  bool is_canonical() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace alsmf

@@ -1,0 +1,72 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+namespace alsmf {
+
+namespace {
+
+/// Shared invariant check for a compressed axis: ptr has `major+1` monotone
+/// entries ending at nnz; indices are in [0, minor) and strictly increasing
+/// within each major slice.
+bool check_compressed(index_t major, index_t minor,
+                      const aligned_vector<nnz_t>& ptr,
+                      const aligned_vector<index_t>& idx,
+                      const aligned_vector<real>& values) {
+  if (major < 0 || minor < 0) return false;
+  if (ptr.size() != static_cast<std::size_t>(major) + 1) return false;
+  if (idx.size() != values.size()) return false;
+  if (ptr.front() != 0) return false;
+  if (ptr.back() != static_cast<nnz_t>(idx.size())) return false;
+  for (std::size_t u = 0; u < static_cast<std::size_t>(major); ++u) {
+    if (ptr[u] > ptr[u + 1]) return false;
+    for (nnz_t p = ptr[u]; p < ptr[u + 1]; ++p) {
+      auto j = idx[static_cast<std::size_t>(p)];
+      if (j < 0 || j >= minor) return false;
+      if (p > ptr[u] && idx[static_cast<std::size_t>(p - 1)] >= j) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Csr::Csr(index_t rows, index_t cols, aligned_vector<nnz_t> row_ptr,
+         aligned_vector<index_t> col_idx, aligned_vector<real> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  ALSMF_CHECK_MSG(check_invariants(), "invalid CSR arrays");
+}
+
+real Csr::at(index_t row, index_t col) const {
+  ALSMF_CHECK(row >= 0 && row < rows_);
+  ALSMF_CHECK(col >= 0 && col < cols_);
+  auto cols_span = row_cols(row);
+  auto it = std::lower_bound(cols_span.begin(), cols_span.end(), col);
+  if (it == cols_span.end() || *it != col) return real{0};
+  auto offset = static_cast<std::size_t>(it - cols_span.begin());
+  return row_values(row)[offset];
+}
+
+bool Csr::check_invariants() const {
+  return check_compressed(rows_, cols_, row_ptr_, col_idx_, values_);
+}
+
+Csc::Csc(index_t rows, index_t cols, aligned_vector<nnz_t> col_ptr,
+         aligned_vector<index_t> row_idx, aligned_vector<real> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  ALSMF_CHECK_MSG(check_invariants(), "invalid CSC arrays");
+}
+
+bool Csc::check_invariants() const {
+  return check_compressed(cols_, rows_, col_ptr_, row_idx_, values_);
+}
+
+}  // namespace alsmf

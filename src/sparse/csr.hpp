@@ -1,0 +1,117 @@
+// Compressed sparse row (CSR) storage of the rating matrix R, exactly the
+// three-array layout described in the paper (Fig. 2): `value`, `col_idx`,
+// and `row_ptr`.
+#pragma once
+
+#include <span>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace alsmf {
+
+class Coo;
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from pre-assembled arrays (validated).
+  Csr(index_t rows, index_t cols, aligned_vector<nnz_t> row_ptr,
+      aligned_vector<index_t> col_idx, aligned_vector<real> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(values_.size()); }
+
+  /// Number of stored entries in row u (the paper's `omegaSize`).
+  nnz_t row_nnz(index_t u) const {
+    ALSMF_CHECK(u >= 0 && u < rows_);
+    return row_ptr_[static_cast<std::size_t>(u) + 1] -
+           row_ptr_[static_cast<std::size_t>(u)];
+  }
+
+  /// Column indices of row u's stored entries.
+  std::span<const index_t> row_cols(index_t u) const {
+    auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(u)]);
+    auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(u) + 1]);
+    return {col_idx_.data() + b, e - b};
+  }
+
+  /// Values of row u's stored entries.
+  std::span<const real> row_values(index_t u) const {
+    auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(u)]);
+    auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(u) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  const aligned_vector<nnz_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<index_t>& col_idx() const { return col_idx_; }
+  const aligned_vector<real>& values() const { return values_; }
+  aligned_vector<real>& values() { return values_; }
+
+  /// Reads a single entry (linear scan of the row); 0 when absent.
+  real at(index_t row, index_t col) const;
+
+  /// Structural + ordering invariants (monotone row_ptr, in-range sorted
+  /// columns). Used by tests and after deserialization.
+  bool check_invariants() const;
+
+  friend bool operator==(const Csr&, const Csr&) = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<nnz_t> row_ptr_;
+  aligned_vector<index_t> col_idx_;
+  aligned_vector<real> values_;
+};
+
+/// Compressed sparse column (CSC) storage, used when updating Y (the paper
+/// stores R in both forms). Structurally the CSR of Rᵀ with named accessors.
+class Csc {
+ public:
+  Csc() = default;
+  Csc(index_t rows, index_t cols, aligned_vector<nnz_t> col_ptr,
+      aligned_vector<index_t> row_idx, aligned_vector<real> values);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(values_.size()); }
+
+  nnz_t col_nnz(index_t i) const {
+    ALSMF_CHECK(i >= 0 && i < cols_);
+    return col_ptr_[static_cast<std::size_t>(i) + 1] -
+           col_ptr_[static_cast<std::size_t>(i)];
+  }
+
+  std::span<const index_t> col_rows(index_t i) const {
+    auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(i)]);
+    auto e = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(i) + 1]);
+    return {row_idx_.data() + b, e - b};
+  }
+
+  std::span<const real> col_values(index_t i) const {
+    auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(i)]);
+    auto e = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(i) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  const aligned_vector<nnz_t>& col_ptr() const { return col_ptr_; }
+  const aligned_vector<index_t>& row_idx() const { return row_idx_; }
+  const aligned_vector<real>& values() const { return values_; }
+
+  bool check_invariants() const;
+
+  friend bool operator==(const Csc&, const Csc&) = default;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<nnz_t> col_ptr_;
+  aligned_vector<index_t> row_idx_;
+  aligned_vector<real> values_;
+};
+
+}  // namespace alsmf

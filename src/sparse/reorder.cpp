@@ -1,0 +1,56 @@
+#include "sparse/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+Csr permute_rows(const Csr& csr, const std::vector<index_t>& perm) {
+  ALSMF_CHECK(static_cast<index_t>(perm.size()) == csr.rows());
+  // Validate it is a permutation.
+  {
+    std::vector<bool> seen(perm.size(), false);
+    for (auto p : perm) {
+      ALSMF_CHECK_MSG(p >= 0 && p < csr.rows() && !seen[static_cast<std::size_t>(p)],
+                      "not a permutation");
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+  }
+
+  aligned_vector<nnz_t> row_ptr(perm.size() + 1, 0);
+  aligned_vector<index_t> col_idx(static_cast<std::size_t>(csr.nnz()));
+  aligned_vector<real> values(static_cast<std::size_t>(csr.nnz()));
+  nnz_t out = 0;
+  for (std::size_t u = 0; u < perm.size(); ++u) {
+    const index_t src = perm[u];
+    auto cols = csr.row_cols(src);
+    auto vals = csr.row_values(src);
+    std::copy(cols.begin(), cols.end(), col_idx.begin() + static_cast<std::ptrdiff_t>(out));
+    std::copy(vals.begin(), vals.end(), values.begin() + static_cast<std::ptrdiff_t>(out));
+    out += static_cast<nnz_t>(cols.size());
+    row_ptr[u + 1] = out;
+  }
+  return Csr(csr.rows(), csr.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+std::vector<index_t> sort_rows_by_length(const Csr& csr) {
+  std::vector<index_t> perm(static_cast<std::size_t>(csr.rows()));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    return csr.row_nnz(a) > csr.row_nnz(b);
+  });
+  return perm;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+}  // namespace alsmf

@@ -1,0 +1,23 @@
+// Row reordering: the classic load-balancing remedy for the flat mapping's
+// warp divergence — sort rows by length so that lanes of a bundle process
+// similar-length rows. Used by the reordering ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// Applies a row permutation: row `perm[u]` of the input becomes row u of
+/// the output. `perm` must be a permutation of [0, rows).
+Csr permute_rows(const Csr& csr, const std::vector<index_t>& perm);
+
+/// Permutation that sorts rows by descending nonzero count (ties by index,
+/// so the result is deterministic).
+std::vector<index_t> sort_rows_by_length(const Csr& csr);
+
+/// Inverse permutation (for mapping factor rows back to original ids).
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm);
+
+}  // namespace alsmf

@@ -1,0 +1,89 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+
+SellMatrix::SellMatrix(const Csr& csr, int c, int sigma)
+    : rows_(csr.rows()), cols_(csr.cols()), nnz_(csr.nnz()), c_(c),
+      sigma_(sigma) {
+  ALSMF_CHECK(c > 0);
+  ALSMF_CHECK_MSG(sigma >= c && sigma % c == 0,
+                  "sigma must be a positive multiple of C");
+
+  lengths_.resize(static_cast<std::size_t>(rows_));
+  for (index_t u = 0; u < rows_; ++u) {
+    lengths_[static_cast<std::size_t>(u)] = csr.row_nnz(u);
+  }
+
+  // Sort rows by descending length inside each sigma window.
+  std::vector<index_t> order(static_cast<std::size_t>(rows_));
+  std::iota(order.begin(), order.end(), index_t{0});
+  for (std::size_t base = 0; base < order.size();
+       base += static_cast<std::size_t>(sigma_)) {
+    const auto end = std::min(order.size(), base + static_cast<std::size_t>(sigma_));
+    std::stable_sort(order.begin() + static_cast<std::ptrdiff_t>(base),
+                     order.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](index_t a, index_t b) {
+                       return lengths_[static_cast<std::size_t>(a)] >
+                              lengths_[static_cast<std::size_t>(b)];
+                     });
+  }
+
+  const index_t slices = num_slices();
+  perm_.assign(static_cast<std::size_t>(slices) * static_cast<std::size_t>(c_),
+               index_t{-1});
+  for (std::size_t i = 0; i < order.size(); ++i) perm_[i] = order[i];
+
+  // Slice widths and offsets.
+  slice_ptr_.assign(static_cast<std::size_t>(slices) + 1, 0);
+  for (index_t s = 0; s < slices; ++s) {
+    nnz_t width = 0;
+    for (int lane = 0; lane < c_; ++lane) {
+      const index_t r = perm_[static_cast<std::size_t>(s) * c_ + static_cast<std::size_t>(lane)];
+      if (r >= 0) width = std::max(width, lengths_[static_cast<std::size_t>(r)]);
+    }
+    slice_ptr_[static_cast<std::size_t>(s) + 1] =
+        slice_ptr_[static_cast<std::size_t>(s)] + width * c_;
+  }
+
+  // Fill padded column-major slices (padding: col 0, value 0).
+  col_idx_.assign(static_cast<std::size_t>(slice_ptr_.back()), 0);
+  values_.assign(static_cast<std::size_t>(slice_ptr_.back()), real{0});
+  for (index_t s = 0; s < slices; ++s) {
+    for (int lane = 0; lane < c_; ++lane) {
+      const index_t r = row_of(s, lane);
+      if (r < 0) continue;
+      auto cols = csr.row_cols(r);
+      auto vals = csr.row_values(r);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        const std::size_t o = offset(s, lane, static_cast<nnz_t>(j));
+        col_idx_[o] = cols[j];
+        values_[o] = vals[j];
+      }
+    }
+  }
+}
+
+Csr SellMatrix::to_csr() const {
+  Coo coo(rows_, cols_);
+  coo.reserve(nnz_);
+  for (index_t s = 0; s < num_slices(); ++s) {
+    for (int lane = 0; lane < c_; ++lane) {
+      const index_t r = row_of(s, lane);
+      if (r < 0) continue;
+      const nnz_t len = lane_length(s, lane);
+      for (nnz_t j = 0; j < len; ++j) {
+        coo.add(r, entry_col(s, lane, j), entry_value(s, lane, j));
+      }
+    }
+  }
+  coo.sort_row_major();
+  return coo_to_csr(coo);
+}
+
+}  // namespace alsmf

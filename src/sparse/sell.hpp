@@ -1,0 +1,91 @@
+// SELL-C-sigma (sliced ELLPACK with local sorting): the storage-format
+// remedy for SIMD-unfriendly CSR traversal, from the sparse-kernel line of
+// work the paper builds on (Liu's CSR5 [9] and related formats).
+//
+// Rows are sorted by length inside windows of `sigma` rows, grouped into
+// slices of `C` rows, and each slice is padded to its longest row and laid
+// out column-major. Lanes of a SIMD bundle then walk equal-length columns:
+// divergence becomes slice padding, which the local sort keeps small.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+class SellMatrix {
+ public:
+  /// Builds from CSR. C = slice height (SIMD width), sigma = sorting window
+  /// (a multiple of C; larger windows cut padding but scramble rows more).
+  SellMatrix(const Csr& csr, int c, int sigma);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  nnz_t nnz() const { return nnz_; }
+  int c() const { return c_; }
+  int sigma() const { return sigma_; }
+  index_t num_slices() const {
+    return (rows_ + c_ - 1) / c_;
+  }
+
+  /// Stored entries including padding.
+  nnz_t padded_size() const { return static_cast<nnz_t>(col_idx_.size()); }
+  /// padded / nnz: the storage/compute overhead of the format (>= 1).
+  double padding_factor() const {
+    return nnz_ > 0 ? static_cast<double>(padded_size()) /
+                          static_cast<double>(nnz_)
+                    : 1.0;
+  }
+
+  /// Width (max row length) of slice s.
+  nnz_t slice_width(index_t s) const {
+    return (slice_ptr_[static_cast<std::size_t>(s) + 1] -
+            slice_ptr_[static_cast<std::size_t>(s)]) /
+           c_;
+  }
+
+  /// Original row id stored in lane `lane` of slice `s`.
+  index_t row_of(index_t s, int lane) const {
+    return perm_[static_cast<std::size_t>(s) * static_cast<std::size_t>(c_) +
+                 static_cast<std::size_t>(lane)];
+  }
+
+  /// True row length (without padding) for a lane of a slice.
+  nnz_t lane_length(index_t s, int lane) const {
+    const index_t r = row_of(s, lane);
+    return r < 0 ? 0 : lengths_[static_cast<std::size_t>(r)];
+  }
+
+  /// Element (column index / value) at position j of a lane's padded row.
+  /// Padding positions return column 0 / value 0 (safe to multiply).
+  index_t entry_col(index_t s, int lane, nnz_t j) const {
+    return col_idx_[offset(s, lane, j)];
+  }
+  real entry_value(index_t s, int lane, nnz_t j) const {
+    return values_[offset(s, lane, j)];
+  }
+
+  /// Reconstructs the CSR (for round-trip verification).
+  Csr to_csr() const;
+
+ private:
+  std::size_t offset(index_t s, int lane, nnz_t j) const {
+    // Column-major inside the slice: lane-adjacent elements contiguous.
+    return static_cast<std::size_t>(slice_ptr_[static_cast<std::size_t>(s)]) +
+           static_cast<std::size_t>(j) * static_cast<std::size_t>(c_) +
+           static_cast<std::size_t>(lane);
+  }
+
+  index_t rows_ = 0, cols_ = 0;
+  nnz_t nnz_ = 0;
+  int c_ = 0, sigma_ = 0;
+  aligned_vector<nnz_t> slice_ptr_;   ///< start offset of each slice
+  aligned_vector<index_t> col_idx_;   ///< padded, column-major per slice
+  aligned_vector<real> values_;
+  std::vector<index_t> perm_;         ///< slice*C+lane -> original row (-1 pad)
+  std::vector<nnz_t> lengths_;        ///< original row lengths
+};
+
+}  // namespace alsmf

@@ -1,0 +1,48 @@
+// Row/column length statistics of the rating matrix. These drive both the
+// paper's motivation (uneven row lengths => warp divergence) and the
+// feature-based code-variant selector.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+/// Summary of nonzeros-per-slice (row or column) distribution.
+struct SliceStats {
+  index_t count = 0;     ///< number of rows (or columns)
+  nnz_t nnz = 0;         ///< total stored entries
+  nnz_t min = 0;         ///< shortest slice
+  nnz_t max = 0;         ///< longest slice
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// max / mean: the load-imbalance factor a flat one-thread-per-row mapping
+  /// suffers inside a warp.
+  double imbalance = 0.0;
+  /// Gini coefficient of slice lengths in [0, 1); 0 = perfectly even.
+  double gini = 0.0;
+  index_t empty_slices = 0;
+};
+
+/// Statistics over rows of a CSR matrix.
+SliceStats row_stats(const Csr& csr);
+
+/// Statistics over columns of a CSR matrix (via column counting).
+SliceStats col_stats(const Csr& csr);
+
+/// Expected serialization factor when consecutive slices are assigned to
+/// lanes of `warp` threads: sum over warps of max(len) divided by sum of
+/// len. 1.0 means divergence-free; larger means wasted lanes. This is the
+/// quantity the paper's thread-batching removes.
+double warp_divergence_factor(const std::vector<nnz_t>& lengths, int warp);
+
+/// Slice lengths helper.
+std::vector<nnz_t> row_lengths(const Csr& csr);
+std::vector<nnz_t> col_lengths(const Csr& csr);
+
+/// Histogram of slice lengths with log2 bucket boundaries; bucket b counts
+/// slices with length in [2^b, 2^(b+1)).
+std::vector<nnz_t> log2_histogram(const std::vector<nnz_t>& lengths);
+
+}  // namespace alsmf

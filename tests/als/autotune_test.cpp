@@ -1,0 +1,103 @@
+#include "als/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "als/solver.hpp"
+#include "als/variant_select.hpp"
+#include "data/datasets.hpp"
+#include "devsim/device.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+AlsOptions opts() {
+  AlsOptions o;
+  o.k = 10;
+  o.iterations = 2;
+  o.num_groups = 1024;
+  return o;
+}
+
+TEST(Autotune, ReturnsSortedGrid) {
+  const Csr train = make_replica("YMR4", 8.0);
+  const auto all = autotune_all(train, opts(), devsim::k20c());
+  ASSERT_GT(all.size(), 8u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].modeled_seconds, all[i].modeled_seconds);
+  }
+}
+
+TEST(Autotune, BeatsOrMatchesDefaultConfiguration) {
+  const Csr train = make_replica("NTFX", 512.0);
+  for (const char* dev : {"gpu", "cpu", "mic"}) {
+    const auto profile = devsim::profile_by_name(dev);
+    const TunedConfig best = autotune(train, opts(), profile);
+    // The default: paper config (empirical best variant at ws=32).
+    const AlsVariant default_variant =
+        select_variant_empirical(train, opts(), profile);
+    devsim::Device device(profile);
+    AlsOptions o = opts();
+    o.functional = false;
+    AlsSolver solver(train, o, default_variant, device);
+    const double default_time = solver.run();
+    EXPECT_LE(best.modeled_seconds, default_time * (1 + 1e-9)) << dev;
+  }
+}
+
+TEST(Autotune, GpuPrefersGroupCoveringK) {
+  // §V-E: on the GPU the best group size is the smallest covering k.
+  const Csr train = make_replica("NTFX", 512.0);
+  const TunedConfig best = autotune(train, opts(), devsim::k20c());
+  EXPECT_GE(best.group_size, 10);  // k = 10
+  EXPECT_LE(best.group_size, 32);
+}
+
+TEST(Autotune, CpuPrefersSmallGroups) {
+  const Csr train = make_replica("NTFX", 512.0);
+  const TunedConfig best = autotune(train, opts(), devsim::xeon_e5_2670_dual());
+  EXPECT_LE(best.group_size, 16);
+}
+
+TEST(Autotune, TileOnlySweptForLocalVariants) {
+  const Csr train = make_replica("YMR4", 16.0);
+  AutotuneGrid grid;
+  grid.all_variants = false;
+  grid.group_sizes = {32};
+  grid.tile_rows = {0, 64};
+  const auto all = autotune_all(train, opts(), devsim::k20c(), grid);
+  // 4 stacks: 2 without local (1 tile point each) + 2 with local (2 each).
+  EXPECT_EQ(all.size(), 2u + 2u * 2u);
+}
+
+TEST(Autotune, ToStringDescribesConfig) {
+  TunedConfig c;
+  c.variant = AlsVariant::batch_local_reg();
+  c.group_size = 16;
+  c.tile_rows = 0;
+  EXPECT_EQ(c.to_string(), "batch+local+reg ws=16 tile=auto");
+  c.tile_rows = 64;
+  EXPECT_EQ(c.to_string(), "batch+local+reg ws=16 tile=64");
+  c.variant = AlsVariant::batching_only();
+  EXPECT_EQ(c.to_string(), "batch ws=16");
+}
+
+TEST(Autotune, ApplyTuningSetsLaunchShape) {
+  TunedConfig c;
+  c.group_size = 8;
+  c.tile_rows = 128;
+  const AlsOptions tuned = apply_tuning(opts(), c);
+  EXPECT_EQ(tuned.group_size, 8);
+  EXPECT_EQ(tuned.tile_rows, 128);
+  EXPECT_EQ(tuned.k, opts().k);  // untouched
+}
+
+TEST(Autotune, EmptyGridRejected) {
+  const Csr train = testing::random_csr(10, 10, 0.3, 220);
+  AutotuneGrid bad;
+  bad.group_sizes = {};
+  EXPECT_THROW(autotune(train, opts(), devsim::k20c(), bad), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,142 @@
+#include "als/implicit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/vecops.hpp"
+#include "recsys/ranking.hpp"
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+ImplicitOptions opts() {
+  ImplicitOptions o;
+  o.k = 6;
+  o.lambda = 0.1f;
+  o.alpha = 10.0f;
+  o.iterations = 6;
+  o.seed = 9;
+  return o;
+}
+
+/// Interaction data where users only interact with one of two item blocks.
+Csr block_interactions(index_t users, index_t items, std::uint64_t seed) {
+  Rng rng(seed);
+  Coo coo(users, items);
+  for (index_t u = 0; u < users; ++u) {
+    const bool first_block = (u % 2) == 0;
+    const index_t base = first_block ? 0 : items / 2;
+    for (int j = 0; j < 8; ++j) {
+      const index_t i =
+          base + static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(items / 2)));
+      coo.add(u, i, static_cast<real>(1.0 + rng.bounded(5)));
+    }
+  }
+  coo.sort_row_major();
+  coo.dedup_keep_last();
+  return coo_to_csr(coo);
+}
+
+TEST(ImplicitAls, LossDecreasesOverIterations) {
+  const Csr train = testing::random_csr(80, 60, 0.08, 70);
+  ImplicitOptions o = opts();
+  double prev = -1;
+  for (int iters = 1; iters <= 4; ++iters) {
+    o.iterations = iters;
+    const ImplicitResult r = implicit_als(train, o);
+    const double loss = implicit_loss(train, r.x, r.y, o);
+    if (prev >= 0) {
+      EXPECT_LE(loss, prev * (1 + 1e-5)) << iters;
+    }
+    prev = loss;
+  }
+}
+
+TEST(ImplicitAls, PredictsHigherScoresForObservedItems) {
+  const Csr train = block_interactions(100, 60, 3);
+  const ImplicitResult r = implicit_als(train, opts());
+  // Mean predicted preference on observed cells must exceed unobserved.
+  double observed = 0, unobserved = 0;
+  nnz_t n_obs = 0, n_un = 0;
+  for (index_t u = 0; u < train.rows(); ++u) {
+    auto cols = train.row_cols(u);
+    std::size_t p = 0;
+    for (index_t i = 0; i < train.cols(); ++i) {
+      const double pred =
+          vdot(r.x.row(u).data(), r.y.row(i).data(), static_cast<std::size_t>(opts().k));
+      while (p < cols.size() && cols[p] < i) ++p;
+      if (p < cols.size() && cols[p] == i) {
+        observed += pred;
+        ++n_obs;
+      } else {
+        unobserved += pred;
+        ++n_un;
+      }
+    }
+  }
+  EXPECT_GT(observed / static_cast<double>(n_obs),
+            unobserved / static_cast<double>(n_un) + 0.2);
+}
+
+TEST(ImplicitAls, RecoversBlockStructureInRanking) {
+  const Csr all = block_interactions(120, 80, 5);
+  // Hold out one interaction per user.
+  auto [train_coo, test_coo] = split_leave_one_out(csr_to_coo(all), 11);
+  const Csr train = coo_to_csr(train_coo);
+  Coo test_resized(train.rows(), train.cols());
+  for (const auto& t : test_coo.entries()) test_resized.add(t.row, t.col, t.value);
+  const Csr test = coo_to_csr(test_resized);
+
+  const ImplicitResult r = implicit_als(train, opts());
+  const RankingMetrics m = evaluate_ranking(train, test, r.x, r.y, 10);
+  EXPECT_GT(m.evaluated_users, 0);
+  // Items come from the user's own block: ranking must beat chance by far.
+  EXPECT_GT(m.auc, 0.7);
+  EXPECT_GT(m.hit_rate, 0.2);
+}
+
+TEST(ImplicitAls, DeterministicInSeed) {
+  const Csr train = testing::random_csr(40, 30, 0.1, 71);
+  ThreadPool pool(1);
+  const ImplicitResult a = implicit_als(train, opts(), &pool);
+  const ImplicitResult b = implicit_als(train, opts(), &pool);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(ImplicitAls, AlphaZeroStillSolves) {
+  const Csr train = testing::random_csr(30, 30, 0.15, 72);
+  ImplicitOptions o = opts();
+  o.alpha = 0.0f;  // all confidences equal 1
+  const ImplicitResult r = implicit_als(train, o);
+  EXPECT_GT(r.x.frob2(), 0.0);
+}
+
+TEST(ImplicitAls, InvalidOptionsRejected) {
+  const Csr train = testing::random_csr(10, 10, 0.2, 73);
+  ImplicitOptions bad = opts();
+  bad.k = 0;
+  EXPECT_THROW(implicit_als(train, bad), Error);
+  bad = opts();
+  bad.alpha = -1.0f;
+  EXPECT_THROW(implicit_als(train, bad), Error);
+}
+
+TEST(ImplicitAls, EmptyRowsGetZeroNormNearFactors) {
+  Coo coo(6, 6);
+  coo.add(0, 1, 2.0f);
+  coo.add(0, 3, 1.0f);
+  const Csr train = coo_to_csr(coo);
+  const ImplicitResult r = implicit_als(train, opts());
+  // A user with no interactions is pulled to (near) zero by the implicit
+  // zeros: far smaller norm than an active user.
+  const double active = vnorm2(r.x.row(0).data(), 6);
+  const double empty = vnorm2(r.x.row(3).data(), 6);
+  EXPECT_LT(empty, active * 0.5 + 1e-9);
+}
+
+}  // namespace
+}  // namespace alsmf

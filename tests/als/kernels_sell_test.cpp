@@ -1,0 +1,120 @@
+#include "als/kernels_sell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "als/kernels.hpp"
+#include "als/reference.hpp"
+#include "data/synthetic.hpp"
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+struct Fixture {
+  Csr train;
+  AlsOptions options;
+  Matrix x0, y0;
+  Fixture() {
+    train = testing::random_csr(90, 60, 0.1, 150);
+    options.k = 6;
+    options.lambda = 0.1f;
+    options.seed = 5;
+    init_factors(train.rows(), train.cols(), options, x0, y0);
+  }
+};
+
+TEST(SellKernel, MatchesReferenceBitwise) {
+  Fixture f;
+  Matrix expected = f.x0;
+  reference_half_update(f.train, f.y0, expected, f.options);
+
+  for (int c : {8, 32}) {
+    const SellMatrix sell(f.train, c, c * 4);
+    Matrix x = f.x0;
+    Matrix y = f.y0;
+    SellUpdateArgs args;
+    args.r = &sell;
+    args.src = &y;
+    args.dst = &x;
+    args.lambda = f.options.lambda;
+    args.k = f.options.k;
+    devsim::Device device(devsim::k20c());
+    launch_update_flat_sell(device, "sell_x", args, true);
+    EXPECT_EQ(x, expected) << "C=" << c;
+  }
+}
+
+TEST(SellKernel, LessDivergencePaddingThanFlatCsrOnSkewedData) {
+  // The ablation claim: on skewed rows, flat-on-SELL records fewer padded
+  // lane-ops than flat-on-CSR (but still more than thread batching).
+  SyntheticSpec spec;
+  spec.users = 1024;
+  spec.items = 300;
+  spec.nnz = 20000;
+  spec.user_alpha = 1.1;
+  spec.seed = 151;
+  const Csr train = coo_to_csr(generate_synthetic(spec));
+  AlsOptions o;
+  o.k = 8;
+  Matrix x, y;
+  init_factors(train.rows(), train.cols(), o, x, y);
+
+  // Flat on CSR.
+  devsim::Device d1(devsim::k20c());
+  UpdateArgs flat_args;
+  flat_args.r = &train;
+  flat_args.src = &y;
+  flat_args.dst = &x;
+  flat_args.lambda = o.lambda;
+  flat_args.k = o.k;
+  flat_args.variant = AlsVariant::flat_baseline();
+  const auto flat =
+      launch_update(d1, "u", flat_args, 0, 32, /*functional=*/false);
+
+  // Flat on SELL (sigma = 8 warps of sorting window).
+  const SellMatrix sell(train, 32, 256);
+  devsim::Device d2(devsim::k20c());
+  SellUpdateArgs sell_args;
+  sell_args.r = &sell;
+  sell_args.src = &y;
+  sell_args.dst = &x;
+  sell_args.lambda = o.lambda;
+  sell_args.k = o.k;
+  const auto sled = launch_update_flat_sell(d2, "u", sell_args, false);
+
+  EXPECT_LT(sled.counters.lane_ops_scalar, flat.counters.lane_ops_scalar);
+
+  // Thread batching still wins (divergence-free by construction).
+  devsim::Device d3(devsim::k20c());
+  flat_args.variant = AlsVariant::batch_local_reg();
+  const auto batched = launch_update(d3, "u", flat_args, 512, 32, false);
+  EXPECT_LT(batched.time.total_s(), sled.time.total_s());
+}
+
+TEST(SellKernel, AccountingOnlyLeavesFactorsUntouched) {
+  Fixture f;
+  const SellMatrix sell(f.train, 8, 8);
+  Matrix x = f.x0;
+  Matrix y = f.y0;
+  SellUpdateArgs args;
+  args.r = &sell;
+  args.src = &y;
+  args.dst = &x;
+  args.lambda = f.options.lambda;
+  args.k = f.options.k;
+  devsim::Device device(devsim::k20c());
+  const auto result = launch_update_flat_sell(device, "u", args, false);
+  EXPECT_EQ(x, f.x0);
+  EXPECT_GT(result.counters.lane_ops_scalar, 0.0);
+}
+
+TEST(SellKernel, InvalidArgsRejected) {
+  Fixture f;
+  devsim::Device device(devsim::k20c());
+  SellUpdateArgs args;
+  EXPECT_THROW(launch_update_flat_sell(device, "u", args, true), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,160 @@
+#include "als/learned_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "als/variant_select.hpp"
+#include "data/datasets.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+using Row = std::array<double, SelectorFeatures::kCount>;
+
+Row row(double a, double b) {
+  Row r{};
+  r[0] = a;
+  r[1] = b;
+  return r;
+}
+
+TEST(DecisionTree, FitsSeparableData) {
+  // Label = feature0 > 0.5.
+  std::vector<Row> x;
+  std::vector<unsigned> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(row(i < 10 ? 0.0 : 1.0, static_cast<double>(i)));
+    y.push_back(i < 10 ? 2u : 5u);
+  }
+  const DecisionTree tree = DecisionTree::fit(x, y, 3, 1);
+  EXPECT_EQ(tree.predict(row(0.0, 99)), 2u);
+  EXPECT_EQ(tree.predict(row(1.0, -5)), 5u);
+}
+
+TEST(DecisionTree, PureDataIsSingleLeaf) {
+  std::vector<Row> x(5, row(1, 2));
+  std::vector<unsigned> y(5, 3u);
+  const DecisionTree tree = DecisionTree::fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(row(42, 0)), 3u);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  // XOR-ish data needs depth 2; with depth 1 it must still predict the
+  // majority without crashing.
+  std::vector<Row> x = {row(0, 0), row(0, 1), row(1, 0), row(1, 1),
+                        row(0, 0), row(0, 1), row(1, 0), row(1, 1)};
+  std::vector<unsigned> y = {0, 1, 1, 0, 0, 1, 1, 0};
+  const DecisionTree shallow = DecisionTree::fit(x, y, 1, 1);
+  const DecisionTree deep = DecisionTree::fit(x, y, 4, 1);
+  EXPECT_LE(shallow.node_count(), 3u);
+  // The deep tree solves XOR exactly.
+  EXPECT_EQ(deep.predict(row(0, 1)), 1u);
+  EXPECT_EQ(deep.predict(row(1, 1)), 0u);
+}
+
+TEST(DecisionTree, SaveLoadRoundTrip) {
+  std::vector<Row> x;
+  std::vector<unsigned> y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(row(i % 3, i % 5));
+    y.push_back(static_cast<unsigned>((i % 3 == 0) ? 1 : 6));
+  }
+  const DecisionTree tree = DecisionTree::fit(x, y, 4, 1);
+  std::stringstream s;
+  tree.save(s);
+  const DecisionTree back = DecisionTree::load(s);
+  for (const auto& r : x) EXPECT_EQ(tree.predict(r), back.predict(r));
+}
+
+TEST(DecisionTree, LoadRejectsGarbage) {
+  std::stringstream s("not-a-tree 3");
+  EXPECT_THROW(DecisionTree::load(s), Error);
+}
+
+TEST(DecisionTree, ToStringMentionsFeatures) {
+  std::vector<Row> x;
+  std::vector<unsigned> y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(row(i < 5 ? 0 : 1, 0));
+    y.push_back(i < 5 ? 0u : 3u);
+  }
+  const DecisionTree tree = DecisionTree::fit(x, y, 2, 1);
+  const std::string dump = tree.to_string();
+  EXPECT_NE(dump.find("is_gpu"), std::string::npos);
+  EXPECT_NE(dump.find("batch"), std::string::npos);
+}
+
+TEST(LearnedSelector, FeaturesReflectContext) {
+  const Csr train = testing::random_csr(50, 40, 0.1, 80);
+  AlsOptions options;
+  options.k = 12;
+  options.group_size = 64;
+  const SelectorFeatures f =
+      extract_features(train, options, devsim::k20c());
+  EXPECT_DOUBLE_EQ(f.is_gpu, 1.0);
+  EXPECT_DOUBLE_EQ(f.is_mic, 0.0);
+  EXPECT_DOUBLE_EQ(f.k, 12.0);
+  EXPECT_DOUBLE_EQ(f.group_size, 64.0);
+  EXPECT_GT(f.mean_row_nnz, 0.0);
+  EXPECT_DOUBLE_EQ(f.has_hw_local, 1.0);
+}
+
+class LearnedSelectorEndToEnd : public ::testing::Test {
+ protected:
+  static const DecisionTree& tree() {
+    static const DecisionTree t =
+        train_variant_selector(generate_selector_corpus());
+    return t;
+  }
+};
+
+TEST_F(LearnedSelectorEndToEnd, HighTrainingAccuracy) {
+  const auto corpus = generate_selector_corpus();
+  ASSERT_FALSE(corpus.empty());
+  std::size_t correct = 0;
+  for (const auto& ex : corpus) {
+    if (tree().predict(ex.features) == ex.best_mask) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(corpus.size()),
+            0.7);
+}
+
+TEST_F(LearnedSelectorEndToEnd, NearOptimalOnUnseenDataset) {
+  // Evaluate on the Table I replicas (never in the corpus): the predicted
+  // variant's modeled time must be within 40% of the empirical optimum.
+  AlsOptions options;
+  options.k = 10;
+  options.iterations = 2;
+  options.num_groups = 1024;
+  const Csr train = make_replica("YMR4", 8.0);
+  for (const char* dev : {"gpu", "cpu", "mic"}) {
+    const auto profile = devsim::profile_by_name(dev);
+    const AlsVariant pick =
+        select_variant_learned(tree(), train, options, profile);
+    const auto scores = score_variants(train, options, profile);
+    double pick_time = -1;
+    for (const auto& s : scores) {
+      if (s.variant == pick) pick_time = s.modeled_seconds;
+    }
+    ASSERT_GE(pick_time, 0.0) << dev;
+    EXPECT_LE(pick_time, scores.front().modeled_seconds * 1.4) << dev;
+  }
+}
+
+TEST_F(LearnedSelectorEndToEnd, AgreesWithPaperOnGpu) {
+  // On the GPU the learned rule must pick local+registers like the paper.
+  AlsOptions options;
+  options.k = 10;
+  options.group_size = 32;
+  const Csr train = make_replica("MVLE", 512.0);
+  const AlsVariant pick =
+      select_variant_learned(tree(), train, options, devsim::k20c());
+  EXPECT_TRUE(pick.use_local);
+  EXPECT_TRUE(pick.use_registers);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,88 @@
+#include "als/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+/// Rank-1 exact factorization: r_ui = u_val * i_val.
+struct Exact {
+  Csr ratings;
+  Matrix x, y;
+};
+
+Exact exact_rank1() {
+  Exact e;
+  e.x = Matrix(3, 1);
+  e.y = Matrix(2, 1);
+  e.x(0, 0) = 1;
+  e.x(1, 0) = 2;
+  e.x(2, 0) = 3;
+  e.y(0, 0) = 1;
+  e.y(1, 0) = 0.5f;
+  Coo coo(3, 2);
+  for (index_t u = 0; u < 3; ++u) {
+    for (index_t i = 0; i < 2; ++i) {
+      coo.add(u, i, e.x(u, 0) * e.y(i, 0));
+    }
+  }
+  e.ratings = coo_to_csr(coo);
+  return e;
+}
+
+TEST(Metrics, RmseZeroForExactFactorization) {
+  const Exact e = exact_rank1();
+  EXPECT_NEAR(rmse(e.ratings, e.x, e.y), 0.0, 1e-6);
+  EXPECT_NEAR(mae(e.ratings, e.x, e.y), 0.0, 1e-6);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  Exact e = exact_rank1();
+  // Perturb one factor entry: every prediction for user 0 shifts.
+  e.x(0, 0) = 2;  // predictions for u=0 become 2 and 1 vs truth 1 and 0.5.
+  const double expected =
+      std::sqrt((1.0 * 1.0 + 0.5 * 0.5) / static_cast<double>(e.ratings.nnz()));
+  EXPECT_NEAR(rmse(e.ratings, e.x, e.y), expected, 1e-6);
+}
+
+TEST(Metrics, CooAndCsrRmseAgree) {
+  const Csr csr = testing::random_csr(20, 15, 0.3, 2);
+  const Coo coo = csr_to_coo(csr);
+  Matrix x(20, 4), y(15, 4);
+  Rng rng(3);
+  x.fill_uniform(rng, -1, 1);
+  y.fill_uniform(rng, -1, 1);
+  EXPECT_NEAR(rmse(csr, x, y), rmse(coo, x, y), 1e-9);
+}
+
+TEST(Metrics, EmptyRatingsGiveZero) {
+  Csr empty = coo_to_csr(Coo(5, 5));
+  Matrix x(5, 2), y(5, 2);
+  EXPECT_DOUBLE_EQ(rmse(empty, x, y), 0.0);
+  EXPECT_DOUBLE_EQ(mae(empty, x, y), 0.0);
+}
+
+TEST(Metrics, LossIsSseePlusRegularization) {
+  const Exact e = exact_rank1();
+  // Exact fit: loss = lambda * (|X|^2 + |Y|^2).
+  const double expected = 0.1 * (e.x.frob2() + e.y.frob2());
+  EXPECT_NEAR(als_loss(e.ratings, e.x, e.y, 0.1f), expected, 1e-5);
+}
+
+TEST(Metrics, LossGrowsWithLambda) {
+  const Exact e = exact_rank1();
+  EXPECT_LT(als_loss(e.ratings, e.x, e.y, 0.1f),
+            als_loss(e.ratings, e.x, e.y, 1.0f));
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  const Exact e = exact_rank1();
+  Matrix wrong(4, 1);
+  EXPECT_THROW(rmse(e.ratings, wrong, e.y), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,127 @@
+#include "als/multi_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "als/reference.hpp"
+#include "data/datasets.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+AlsOptions opts() {
+  AlsOptions o;
+  o.k = 5;
+  o.lambda = 0.1f;
+  o.iterations = 3;
+  o.seed = 7;
+  o.num_groups = 256;
+  return o;
+}
+
+TEST(MultiDevice, SingleDeviceMatchesReference) {
+  const Csr train = testing::random_csr(60, 40, 0.15, 160);
+  MultiDeviceAls solver(train, opts(), AlsVariant::batch_local_reg(),
+                        {devsim::k20c()});
+  solver.run();
+  const auto ref = reference_als(train, opts());
+  EXPECT_EQ(solver.x(), ref.x);
+  EXPECT_EQ(solver.y(), ref.y);
+}
+
+TEST(MultiDevice, PartitionCountDoesNotChangeFactors) {
+  const Csr train = testing::random_csr(80, 50, 0.12, 161);
+  const auto ref = reference_als(train, opts());
+  for (int devices : {2, 3, 4}) {
+    std::vector<devsim::DeviceProfile> profiles(
+        static_cast<std::size_t>(devices), devsim::k20c());
+    MultiDeviceAls solver(train, opts(), AlsVariant::batch_local_reg(),
+                          profiles);
+    solver.run();
+    EXPECT_EQ(solver.x(), ref.x) << devices << " devices";
+    EXPECT_EQ(solver.y(), ref.y) << devices << " devices";
+  }
+}
+
+TEST(MultiDevice, PartitionsCoverAllRowsDisjointly) {
+  const Csr train = make_replica("YMR4", 16.0);
+  std::vector<devsim::DeviceProfile> profiles(3, devsim::k20c());
+  MultiDeviceAls solver(train, opts(), AlsVariant::batching_only(), profiles);
+  const auto& parts = solver.row_partitions();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts.front().first, 0);
+  EXPECT_EQ(parts.back().second, train.rows());
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    EXPECT_EQ(parts[p].first, parts[p - 1].second);
+  }
+}
+
+TEST(MultiDevice, PartitionsBalanceNonzeros) {
+  const Csr train = make_replica("MVLE", 512.0);
+  std::vector<devsim::DeviceProfile> profiles(4, devsim::k20c());
+  MultiDeviceAls solver(train, opts(), AlsVariant::batching_only(), profiles);
+  const auto& parts = solver.row_partitions();
+  std::vector<nnz_t> loads;
+  for (const auto& [b, e] : parts) {
+    nnz_t load = 0;
+    for (index_t u = b; u < e; ++u) load += train.row_nnz(u);
+    loads.push_back(load);
+  }
+  const nnz_t mx = *std::max_element(loads.begin(), loads.end());
+  const nnz_t mn = *std::min_element(loads.begin(), loads.end());
+  // Contiguous prefix-sum balancing: within ~35% of each other on Zipf data.
+  EXPECT_LT(static_cast<double>(mx - mn), 0.35 * static_cast<double>(mx) + 64);
+}
+
+TEST(MultiDevice, TwoDevicesFasterThanOneButNotDouble) {
+  const Csr train = make_replica("MVLE", 256.0);
+  AlsOptions o = opts();
+  o.functional = false;
+
+  MultiDeviceAls one(train, o, AlsVariant::batch_local_reg(), {devsim::k20c()});
+  const double t1 = one.run();
+  MultiDeviceAls two(train, o, AlsVariant::batch_local_reg(),
+                     {devsim::k20c(), devsim::k20c()});
+  const double t2 = two.run();
+
+  EXPECT_LT(t2, t1);             // parallel speedup
+  EXPECT_GT(t2, t1 / 2.0);       // but sublinear: comm + imbalance
+  EXPECT_GT(two.communication_seconds(), 0.0);
+}
+
+TEST(MultiDevice, SingleDeviceHasNoCommunication) {
+  const Csr train = testing::random_csr(40, 30, 0.2, 162);
+  AlsOptions o = opts();
+  o.functional = false;
+  MultiDeviceAls solver(train, o, AlsVariant::batching_only(), {devsim::k20c()});
+  solver.run();
+  EXPECT_DOUBLE_EQ(solver.communication_seconds(), 0.0);
+}
+
+TEST(MultiDevice, HeterogeneousDevicesWork) {
+  const Csr train = testing::random_csr(50, 40, 0.15, 163);
+  MultiDeviceAls solver(train, opts(), AlsVariant::batch_local(),
+                        {devsim::k20c(), devsim::xeon_e5_2670_dual()});
+  solver.run();
+  const auto ref = reference_als(train, opts());
+  EXPECT_EQ(solver.x(), ref.x);
+}
+
+TEST(MultiDevice, EmptyProfileListRejected) {
+  const Csr train = testing::random_csr(10, 10, 0.3, 164);
+  EXPECT_THROW(
+      MultiDeviceAls(train, opts(), AlsVariant::batching_only(), {}),
+      Error);
+}
+
+TEST(MultiDevice, MoreDevicesThanRows) {
+  const Csr train = testing::random_csr(3, 5, 0.5, 165);
+  std::vector<devsim::DeviceProfile> profiles(6, devsim::k20c());
+  MultiDeviceAls solver(train, opts(), AlsVariant::batching_only(), profiles);
+  solver.run();
+  const auto ref = reference_als(train, opts());
+  EXPECT_EQ(solver.x(), ref.x);
+}
+
+}  // namespace
+}  // namespace alsmf

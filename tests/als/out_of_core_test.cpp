@@ -1,0 +1,126 @@
+#include "als/out_of_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "als/reference.hpp"
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+std::string temp_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/alsmf_ooc_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+AlsOptions opts() {
+  AlsOptions o;
+  o.k = 5;
+  o.lambda = 0.1f;
+  o.iterations = 3;
+  o.seed = 8;
+  return o;
+}
+
+TEST(OutOfCore, ShardingCoversEveryRowOnce) {
+  const Csr m = testing::random_csr(100, 60, 0.1, 230);
+  const auto sharded = write_sharded(m, temp_dir("cover"), m.nnz() / 4);
+  EXPECT_GT(sharded.shards.size(), 2u);
+  index_t next = 0;
+  nnz_t total = 0;
+  for (const auto& s : sharded.shards) {
+    EXPECT_EQ(s.first_row, next);
+    next += s.row_count;
+    total += s.nnz;
+    EXPECT_LE(s.nnz, m.nnz() / 4);
+  }
+  EXPECT_EQ(next, m.rows());
+  EXPECT_EQ(total, m.nnz());
+}
+
+TEST(OutOfCore, OversizedRowGetsItsOwnShard) {
+  Coo coo(3, 50);
+  for (index_t i = 0; i < 50; ++i) coo.add(1, i, 1.0f);  // one huge row
+  coo.add(0, 0, 1.0f);
+  coo.add(2, 0, 1.0f);
+  const Csr m = coo_to_csr(coo);
+  // Budget smaller than the big row: the row must still be placed (alone).
+  const auto sharded = write_sharded(m, temp_dir("bigrow"), 10);
+  nnz_t total = 0;
+  for (const auto& s : sharded.shards) total += s.nnz;
+  EXPECT_EQ(total, m.nnz());
+}
+
+TEST(OutOfCore, ManifestRoundTrip) {
+  const Csr m = testing::random_csr(40, 30, 0.2, 231);
+  const std::string dir = temp_dir("manifest");
+  const auto written = write_sharded(m, dir, 100);
+  const auto loaded = read_manifest(dir);
+  EXPECT_EQ(loaded.rows, written.rows);
+  EXPECT_EQ(loaded.cols, written.cols);
+  EXPECT_EQ(loaded.nnz, written.nnz);
+  ASSERT_EQ(loaded.shards.size(), written.shards.size());
+  for (std::size_t i = 0; i < loaded.shards.size(); ++i) {
+    EXPECT_EQ(loaded.shards[i].path, written.shards[i].path);
+    EXPECT_EQ(loaded.shards[i].first_row, written.shards[i].first_row);
+  }
+}
+
+TEST(OutOfCore, MatchesInMemoryReferenceBitwise) {
+  const Csr train = testing::random_csr(80, 50, 0.12, 232);
+  const Csr train_t = transpose(train);
+  const std::string r_dir = temp_dir("r");
+  const std::string rt_dir = temp_dir("rt");
+  write_sharded(train, r_dir, train.nnz() / 5);
+  write_sharded(train_t, rt_dir, train_t.nnz() / 3);
+
+  ThreadPool pool(1);  // deterministic accumulation order per row anyway
+  const auto ooc = out_of_core_als(r_dir, rt_dir, opts(), &pool);
+  const auto ref = reference_als(train, opts());
+  EXPECT_EQ(ooc.x, ref.x);
+  EXPECT_EQ(ooc.y, ref.y);
+  EXPECT_GT(ooc.peak_resident_nnz, 0);
+  EXPECT_LT(ooc.peak_resident_nnz, train.nnz());
+}
+
+TEST(OutOfCore, ShardCountIndependence) {
+  // The result cannot depend on how the matrix was sharded.
+  const Csr train = testing::random_csr(60, 40, 0.15, 233);
+  const Csr train_t = transpose(train);
+  Matrix first_x;
+  bool have = false;
+  for (nnz_t budget : {train.nnz(), train.nnz() / 3, train.nnz() / 10}) {
+    const std::string r_dir = temp_dir("ri");
+    const std::string rt_dir = temp_dir("rti");
+    write_sharded(train, r_dir, budget);
+    write_sharded(train_t, rt_dir, budget);
+    const auto ooc = out_of_core_als(r_dir, rt_dir, opts());
+    if (!have) {
+      first_x = ooc.x;
+      have = true;
+    } else {
+      EXPECT_EQ(ooc.x, first_x) << "budget " << budget;
+    }
+  }
+}
+
+TEST(OutOfCore, MissingManifestThrows) {
+  EXPECT_THROW(read_manifest("/nonexistent/dir"), Error);
+}
+
+TEST(OutOfCore, MismatchedTransposeRejected) {
+  const Csr a = testing::random_csr(10, 8, 0.3, 234);
+  const Csr b = testing::random_csr(9, 10, 0.3, 235);  // wrong shape
+  const std::string r_dir = temp_dir("mm_r");
+  const std::string rt_dir = temp_dir("mm_rt");
+  write_sharded(a, r_dir, 1000);
+  write_sharded(b, rt_dir, 1000);
+  EXPECT_THROW(out_of_core_als(r_dir, rt_dir, opts()), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,125 @@
+#include "als/row_solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/vecops.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(RowSolve, AssemblesKnownSystem) {
+  // y rows: [1,0], [0,2]; ratings 3 (col 0) and 4 (col 1); lambda = 0.5.
+  Matrix y(2, 2);
+  y(0, 0) = 1;
+  y(1, 1) = 2;
+  std::vector<index_t> cols = {0, 1};
+  std::vector<real> vals = {3, 4};
+  std::vector<real> smat(4), svec(2);
+  assemble_normal_equations(cols, vals, y, 0.5f, 2, smat.data(), svec.data());
+  // smat = [[1,0],[0,4]] + 0.5 I ; svec = [3, 8].
+  EXPECT_FLOAT_EQ(smat[0], 1.5f);
+  EXPECT_FLOAT_EQ(smat[1], 0.0f);
+  EXPECT_FLOAT_EQ(smat[2], 0.0f);
+  EXPECT_FLOAT_EQ(smat[3], 4.5f);
+  EXPECT_FLOAT_EQ(svec[0], 3.0f);
+  EXPECT_FLOAT_EQ(svec[1], 8.0f);
+}
+
+TEST(RowSolve, StagedMatchesDirectBitwise) {
+  const int k = 7;
+  Matrix y(30, k);
+  Rng rng(5);
+  y.fill_uniform(rng, -1, 1);
+  std::vector<index_t> cols = {2, 5, 9, 14, 28};
+  std::vector<real> vals = {1, 2, 3, 4, 5};
+
+  std::vector<real> smat_a(static_cast<std::size_t>(k) * k), svec_a(k);
+  assemble_normal_equations(cols, vals, y, 0.1f, k, smat_a.data(),
+                            svec_a.data());
+
+  // Build the gathered tile and use the staged path.
+  std::vector<real> tile;
+  for (auto c : cols) {
+    auto row = y.row(c);
+    tile.insert(tile.end(), row.begin(), row.end());
+  }
+  std::vector<real> smat_b(static_cast<std::size_t>(k) * k), svec_b(k);
+  assemble_normal_equations_staged(tile, vals, 0.1f, k, smat_b.data(),
+                                   svec_b.data());
+
+  EXPECT_EQ(smat_a, smat_b);  // bitwise: identical accumulation order
+  EXPECT_EQ(svec_a, svec_b);
+}
+
+TEST(RowSolve, SolveRecoversExactRow) {
+  // If ratings are exactly y_i . x_true, the solve must recover x_true
+  // (up to the lambda-induced shrinkage being small).
+  const int k = 3;
+  Matrix y(40, k);
+  Rng rng(9);
+  y.fill_uniform(rng, -1, 1);
+  const std::vector<real> x_true = {0.5f, -1.0f, 2.0f};
+  std::vector<index_t> cols;
+  std::vector<real> vals;
+  for (index_t i = 0; i < 40; ++i) {
+    cols.push_back(i);
+    vals.push_back(vdot(y.row(i).data(), x_true.data(), k));
+  }
+  std::vector<real> smat(static_cast<std::size_t>(k) * k), svec(k);
+  assemble_normal_equations(cols, vals, y, 1e-5f, k, smat.data(), svec.data());
+  ASSERT_TRUE(solve_normal_equations(smat.data(), svec.data(), k,
+                                     LinearSolverKind::kCholesky));
+  for (int f = 0; f < k; ++f) EXPECT_NEAR(svec[static_cast<std::size_t>(f)], x_true[static_cast<std::size_t>(f)], 1e-3);
+}
+
+TEST(RowSolve, CholeskyAndLuAgree) {
+  const int k = 6;
+  Matrix y(25, k);
+  Rng rng(4);
+  y.fill_uniform(rng, -1, 1);
+  std::vector<index_t> cols;
+  std::vector<real> vals;
+  for (index_t i = 0; i < 25; i += 2) {
+    cols.push_back(i);
+    vals.push_back(static_cast<real>(rng.uniform(1, 5)));
+  }
+  std::vector<real> smat1(static_cast<std::size_t>(k) * k), svec1(k);
+  assemble_normal_equations(cols, vals, y, 0.1f, k, smat1.data(), svec1.data());
+  auto smat2 = smat1;
+  auto svec2 = svec1;
+  ASSERT_TRUE(solve_normal_equations(smat1.data(), svec1.data(), k,
+                                     LinearSolverKind::kCholesky));
+  ASSERT_TRUE(solve_normal_equations(smat2.data(), svec2.data(), k,
+                                     LinearSolverKind::kLu));
+  for (int f = 0; f < k; ++f) EXPECT_NEAR(svec1[static_cast<std::size_t>(f)], svec2[static_cast<std::size_t>(f)], 1e-3);
+}
+
+TEST(RowSolve, LambdaAlwaysMakesSystemSolvable) {
+  // Even with a single rating (rank-1 gram), lambda > 0 keeps smat SPD.
+  const int k = 5;
+  Matrix y(3, k);
+  Rng rng(2);
+  y.fill_uniform(rng, -1, 1);
+  std::vector<index_t> cols = {1};
+  std::vector<real> vals = {4.0f};
+  std::vector<real> smat(static_cast<std::size_t>(k) * k), svec(k);
+  assemble_normal_equations(cols, vals, y, 0.1f, k, smat.data(), svec.data());
+  EXPECT_TRUE(solve_normal_equations(smat.data(), svec.data(), k,
+                                     LinearSolverKind::kCholesky));
+}
+
+TEST(RowSolve, FailedSolveZeroFills) {
+  const int k = 2;
+  std::vector<real> smat = {0, 0, 0, 0};  // not SPD
+  std::vector<real> svec = {1, 2};
+  EXPECT_FALSE(solve_normal_equations(smat.data(), svec.data(), k,
+                                      LinearSolverKind::kCholesky));
+  EXPECT_FLOAT_EQ(svec[0], 0.0f);
+  EXPECT_FLOAT_EQ(svec[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,103 @@
+#include "als/variant_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+AlsOptions opts() {
+  AlsOptions o;
+  o.k = 10;
+  o.iterations = 2;
+  o.num_groups = 256;
+  return o;
+}
+
+TEST(VariantSelect, ScoresAllEightSortedAscending) {
+  const Csr train = make_replica("YMR4", 8.0);
+  const auto scores = score_variants(train, opts(), devsim::k20c());
+  ASSERT_EQ(scores.size(), AlsVariant::kVariantCount);
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_LE(scores[i - 1].modeled_seconds, scores[i].modeled_seconds);
+  }
+  for (const auto& s : scores) EXPECT_GT(s.modeled_seconds, 0.0);
+}
+
+TEST(VariantSelect, GpuEmpiricalBestUsesLocalAndRegisters) {
+  // Fig. 6: registers + local memory dominate on the GPU.
+  const Csr train = make_replica("NTFX", 256.0);
+  const AlsVariant best =
+      select_variant_empirical(train, opts(), devsim::k20c());
+  EXPECT_TRUE(best.use_local);
+  EXPECT_TRUE(best.use_registers);
+}
+
+TEST(VariantSelect, CpuEmpiricalBestAvoidsRegistersWithLocal) {
+  // §V-B: registers+local harmful on CPU; best CPU variants use local.
+  const Csr train = make_replica("NTFX", 256.0);
+  const AlsVariant best =
+      select_variant_empirical(train, opts(), devsim::xeon_e5_2670_dual());
+  EXPECT_TRUE(best.use_local);
+  EXPECT_FALSE(best.use_registers);
+}
+
+TEST(VariantSelect, HeuristicMatchesPaperGuidance) {
+  const Csr train = make_replica("MVLE", 256.0);
+  const AlsVariant gpu = select_variant_heuristic(train, opts(), devsim::k20c());
+  EXPECT_TRUE(gpu.use_local);
+  EXPECT_TRUE(gpu.use_registers);
+  EXPECT_FALSE(gpu.use_vectors);
+
+  const AlsVariant cpu =
+      select_variant_heuristic(train, opts(), devsim::xeon_e5_2670_dual());
+  EXPECT_TRUE(cpu.use_local);
+  EXPECT_FALSE(cpu.use_registers);
+
+  const AlsVariant mic =
+      select_variant_heuristic(train, opts(), devsim::xeon_phi_31sp());
+  EXPECT_TRUE(mic.use_local);
+  EXPECT_FALSE(mic.use_registers);
+}
+
+TEST(VariantSelect, HeuristicAgreesWithEmpiricalOnNetflix) {
+  const Csr train = make_replica("NTFX", 256.0);
+  for (const char* dev : {"gpu", "cpu", "mic"}) {
+    const auto profile = devsim::profile_by_name(dev);
+    const auto scores = score_variants(train, opts(), profile);
+    const AlsVariant pick = select_variant_heuristic(train, opts(), profile);
+    double pick_time = 0;
+    for (const auto& s : scores) {
+      if (s.variant == pick) pick_time = s.modeled_seconds;
+    }
+    // The heuristic pick must be within 25% of the empirical optimum.
+    EXPECT_LE(pick_time, scores.front().modeled_seconds * 1.25) << dev;
+  }
+}
+
+TEST(VariantSelect, RecommendedGroupSizeCoversK) {
+  const auto gpu = devsim::k20c();
+  // §V-E: smallest size >= k (rounded to scheduling granularity).
+  EXPECT_GE(recommend_group_size(10, gpu), 10);
+  EXPECT_LE(recommend_group_size(10, gpu), 32);
+  EXPECT_GE(recommend_group_size(30, gpu), 30);
+
+  const auto cpu = devsim::xeon_e5_2670_dual();
+  EXPECT_EQ(recommend_group_size(10, cpu), cpu.simd_width);
+}
+
+TEST(VariantSelect, VariantNamesRoundTrip) {
+  EXPECT_EQ(AlsVariant::from_mask(0).name(), "batch");
+  EXPECT_EQ(AlsVariant::from_mask(1).name(), "batch+reg");
+  EXPECT_EQ(AlsVariant::from_mask(2).name(), "batch+local");
+  EXPECT_EQ(AlsVariant::from_mask(3).name(), "batch+local+reg");
+  EXPECT_EQ(AlsVariant::from_mask(4).name(), "batch+vec");
+  EXPECT_EQ(AlsVariant::from_mask(7).name(), "batch+local+reg+vec");
+  EXPECT_EQ(AlsVariant::flat_baseline().name(), "flat");
+  EXPECT_THROW(AlsVariant::from_mask(8), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

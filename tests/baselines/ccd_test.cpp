@@ -1,0 +1,86 @@
+#include "baselines/ccd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "als/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+CcdOptions opts() {
+  CcdOptions o;
+  o.k = 6;
+  o.lambda = 0.1f;
+  o.outer_iterations = 6;
+  o.seed = 4;
+  return o;
+}
+
+TEST(Ccd, RmseDecreasesOverOuterIterations) {
+  const Csr train = testing::random_csr(120, 90, 0.08, 50);
+  const CcdResult r = ccd_train(train, opts());
+  ASSERT_EQ(r.iter_rmse.size(), 6u);
+  for (std::size_t i = 1; i < r.iter_rmse.size(); ++i) {
+    EXPECT_LE(r.iter_rmse[i], r.iter_rmse[i - 1] * (1 + 1e-5));
+  }
+}
+
+TEST(Ccd, ResidualRmseMatchesDirectRmse) {
+  // The RMSE computed from the maintained residual must equal the RMSE
+  // computed directly from the factors — validates residual bookkeeping.
+  const Csr train = testing::random_csr(80, 60, 0.1, 51);
+  const CcdResult r = ccd_train(train, opts());
+  const double direct = rmse(train, r.x, r.y);
+  EXPECT_NEAR(r.iter_rmse.back(), direct, 1e-3);
+}
+
+TEST(Ccd, FitsPlantedData) {
+  SyntheticSpec spec;
+  spec.users = 250;
+  spec.items = 180;
+  spec.nnz = 12000;
+  spec.planted_rank = 3;
+  spec.noise = 0.05;
+  spec.integer_ratings = false;
+  const Csr train = coo_to_csr(generate_synthetic(spec));
+  CcdOptions o = opts();
+  o.outer_iterations = 12;
+  const CcdResult r = ccd_train(train, o);
+  EXPECT_LT(r.iter_rmse.back(), 0.3);
+}
+
+TEST(Ccd, DeterministicInSeed) {
+  const Csr train = testing::random_csr(40, 40, 0.15, 52);
+  ThreadPool pool(1);
+  const CcdResult a = ccd_train(train, opts(), &pool);
+  const CcdResult b = ccd_train(train, opts(), &pool);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Ccd, InnerIterationsImproveFit) {
+  const Csr train = testing::random_csr(100, 80, 0.1, 53);
+  CcdOptions one = opts();
+  one.inner_iterations = 1;
+  CcdOptions three = opts();
+  three.inner_iterations = 3;
+  const CcdResult a = ccd_train(train, one);
+  const CcdResult b = ccd_train(train, three);
+  EXPECT_LE(b.iter_rmse.back(), a.iter_rmse.back() * 1.05);
+}
+
+TEST(Ccd, InvalidOptionsRejected) {
+  const Csr train = testing::random_csr(10, 10, 0.2, 54);
+  CcdOptions bad = opts();
+  bad.lambda = 0.0f;
+  EXPECT_THROW(ccd_train(train, bad), Error);
+  bad = opts();
+  bad.k = 0;
+  EXPECT_THROW(ccd_train(train, bad), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

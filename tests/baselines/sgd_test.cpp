@@ -1,0 +1,82 @@
+#include "baselines/sgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "als/metrics.hpp"
+#include "data/synthetic.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+SgdOptions opts() {
+  SgdOptions o;
+  o.k = 6;
+  o.epochs = 10;
+  o.learning_rate = 0.02f;
+  o.seed = 3;
+  return o;
+}
+
+TEST(Sgd, RmseDecreasesOverEpochs) {
+  const Coo train = testing::random_coo(200, 150, 0.05, 40);
+  const SgdResult r = sgd_train(train, opts());
+  ASSERT_EQ(r.epoch_rmse.size(), 10u);
+  EXPECT_LT(r.epoch_rmse.back(), r.epoch_rmse.front());
+}
+
+TEST(Sgd, FitsPlantedData) {
+  SyntheticSpec spec;
+  spec.users = 300;
+  spec.items = 200;
+  spec.nnz = 15000;
+  spec.planted_rank = 3;
+  spec.noise = 0.05;
+  spec.integer_ratings = false;
+  const Coo train = generate_synthetic(spec);
+  SgdOptions o = opts();
+  o.epochs = 30;
+  const SgdResult r = sgd_train(train, o);
+  EXPECT_LT(r.epoch_rmse.back(), 0.4);
+}
+
+TEST(Sgd, SingleThreadDeterministic) {
+  const Coo train = testing::random_coo(50, 50, 0.1, 41);
+  SgdOptions o = opts();
+  o.hogwild = false;
+  ThreadPool pool(1);
+  const SgdResult a = sgd_train(train, o, &pool);
+  const SgdResult b = sgd_train(train, o, &pool);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Sgd, HogwildConvergesLikeSequential) {
+  const Coo train = testing::random_coo(150, 100, 0.08, 42);
+  SgdOptions seq = opts();
+  seq.hogwild = false;
+  SgdOptions par = opts();
+  par.hogwild = true;
+  const SgdResult a = sgd_train(train, seq);
+  const SgdResult b = sgd_train(train, par);
+  // Lock-free races perturb the trajectory but not the outcome quality.
+  EXPECT_NEAR(a.epoch_rmse.back(), b.epoch_rmse.back(), 0.15);
+}
+
+TEST(Sgd, ShapesMatchInput) {
+  const Coo train = testing::random_coo(30, 20, 0.2, 43);
+  const SgdResult r = sgd_train(train, opts());
+  EXPECT_EQ(r.x.rows(), 30);
+  EXPECT_EQ(r.y.rows(), 20);
+  EXPECT_EQ(r.x.cols(), 6);
+}
+
+TEST(Sgd, InvalidKRejected) {
+  const Coo train = testing::random_coo(10, 10, 0.2, 44);
+  SgdOptions o = opts();
+  o.k = 0;
+  EXPECT_THROW(sgd_train(train, o), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,44 @@
+#include "common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace alsmf {
+namespace {
+
+TEST(AlignedBuffer, DataIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    aligned_vector<float> v(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kDefaultAlignment, 0u);
+  }
+}
+
+TEST(AlignedBuffer, BehavesLikeVector) {
+  aligned_vector<int> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[99], 99);
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+}
+
+TEST(AlignedBuffer, CopyAndCompare) {
+  aligned_vector<double> a{1.0, 2.0, 3.0};
+  aligned_vector<double> b = a;
+  EXPECT_EQ(a, b);
+}
+
+TEST(AlignedBuffer, AllocatorEquality) {
+  AlignedAllocator<float> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AlignedBuffer, ZeroSizeAllocate) {
+  AlignedAllocator<int> a;
+  EXPECT_EQ(a.allocate(0), nullptr);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,61 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alsmf {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedValue) {
+  auto args = make({"prog", "--k", "16"});
+  EXPECT_EQ(args.get_long("k", 0), 16);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  auto args = make({"prog", "--lambda=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 0), 0.25);
+}
+
+TEST(Cli, BooleanFlag) {
+  auto args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_FALSE(args.has_flag("quiet"));
+}
+
+TEST(Cli, FlagFollowedByFlag) {
+  auto args = make({"prog", "--a", "--b", "7"});
+  EXPECT_TRUE(args.has_flag("a"));
+  EXPECT_EQ(args.get_long("b", 0), 7);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto args = make({"prog"});
+  EXPECT_EQ(args.get_or("name", "fallback"), "fallback");
+  EXPECT_EQ(args.get_long("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(Cli, PositionalArguments) {
+  auto args = make({"prog", "input.txt", "--k", "3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Cli, ProgramName) {
+  auto args = make({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+TEST(Cli, LastValueWins) {
+  auto args = make({"prog", "--k", "1", "--k", "2"});
+  EXPECT_EQ(args.get_long("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,33 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace alsmf {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(ALSMF_CHECK(1 + 1 == 2)); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(ALSMF_CHECK(false), Error);
+}
+
+TEST(Error, MessageContainsExpressionAndLocation) {
+  try {
+    ALSMF_CHECK_MSG(2 > 3, "custom context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsRuntimeError) {
+  EXPECT_THROW(ALSMF_CHECK(false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace alsmf

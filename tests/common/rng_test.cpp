@@ -1,0 +1,158 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace alsmf {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedZeroThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.bounded(0), Error);
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(8)];
+  for (int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 1;
+  const auto v1 = splitmix64(s);
+  const auto v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, SamplesInRange) {
+  const double alpha = GetParam();
+  ZipfSampler zipf(100, alpha);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf(rng), 100u);
+  }
+}
+
+TEST_P(ZipfTest, HeadHeavierThanTail) {
+  const double alpha = GetParam();
+  ZipfSampler zipf(1000, alpha);
+  Rng rng(3);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto r = zipf(rng);
+    if (r < 100) ++head;
+    if (r >= 900) ++tail;
+  }
+  // The first decile must receive strictly more mass than the last.
+  EXPECT_GT(head, 2 * tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(Zipf, RankZeroMostPopular) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(13);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  const auto top = std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(top - counts.begin(), 0);
+}
+
+TEST(Zipf, InvalidParamsThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+  EXPECT_THROW(ZipfSampler(10, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

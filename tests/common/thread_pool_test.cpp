@@ -1,0 +1,109 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+  pool.parallel_for(7, 3, [&](std::size_t, std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRunsInline) {
+  ThreadPool pool(4);
+  unsigned worker = 99;
+  pool.parallel_for(3, 4, [&](std::size_t b, std::size_t e, unsigned w) {
+    EXPECT_EQ(b, 3u);
+    EXPECT_EQ(e, 4u);
+    worker = w;
+  });
+  EXPECT_EQ(worker, 0u);
+}
+
+TEST(ThreadPool, WorkerIndexWithinBounds) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(0, 500, [&](std::size_t, std::size_t, unsigned w) {
+    if (w >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, SumMatchesSequential) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_for(1, 10001, [&](std::size_t b, std::size_t e, unsigned) {
+    long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 50005000L);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t, std::size_t, unsigned) -> void {
+                          throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 100, [](std::size_t, std::size_t, unsigned) {
+      throw Error("first");
+    });
+  } catch (const Error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e, unsigned) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultSizePositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, ManySequentialJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t b, std::size_t e, unsigned) {
+      count.fetch_add(static_cast<int>(e - b));
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace alsmf

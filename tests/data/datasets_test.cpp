@@ -1,0 +1,85 @@
+#include "data/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alsmf {
+namespace {
+
+TEST(Datasets, TableOneValues) {
+  const auto& all = table1_datasets();
+  ASSERT_EQ(all.size(), 4u);
+  // Exactly the numbers in the paper's Table I.
+  EXPECT_EQ(all[0].abbr, "MVLE");
+  EXPECT_EQ(all[0].users, 71567);
+  EXPECT_EQ(all[0].items, 65133);
+  EXPECT_EQ(all[0].nnz, 8000044);
+  EXPECT_EQ(all[1].abbr, "NTFX");
+  EXPECT_EQ(all[1].users, 480189);
+  EXPECT_EQ(all[1].items, 17770);
+  EXPECT_EQ(all[1].nnz, 99072112);
+  EXPECT_EQ(all[2].abbr, "YMR1");
+  EXPECT_EQ(all[2].users, 1948882);
+  EXPECT_EQ(all[2].items, 98212);
+  EXPECT_EQ(all[2].nnz, 115248575);
+  EXPECT_EQ(all[3].abbr, "YMR4");
+  EXPECT_EQ(all[3].users, 7642);
+  EXPECT_EQ(all[3].items, 11916);
+  EXPECT_EQ(all[3].nnz, 211231);
+}
+
+TEST(Datasets, LookupCaseInsensitive) {
+  EXPECT_EQ(dataset_by_abbr("ntfx").users, 480189);
+  EXPECT_EQ(dataset_by_abbr("NTFX").users, 480189);
+  EXPECT_THROW(dataset_by_abbr("NOPE"), Error);
+}
+
+TEST(Datasets, ReplicaSpecScalesUsersLinearlyItemsBySqrt) {
+  const auto& ntfx = dataset_by_abbr("NTFX");
+  const SyntheticSpec s = replica_spec(ntfx, 64.0);
+  EXPECT_NEAR(static_cast<double>(s.users), 480189.0 / 64, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.items), 17770.0 / 8, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.nnz), 99072112.0 / 64, 2.0);
+}
+
+TEST(Datasets, ReplicaDensityStaysBelowSaturation) {
+  for (const auto& info : table1_datasets()) {
+    for (double scale : {16.0, 64.0, 256.0}) {
+      const SyntheticSpec s = replica_spec(info, scale);
+      const double density = static_cast<double>(s.nnz) /
+                             (static_cast<double>(s.users) *
+                              static_cast<double>(s.items));
+      EXPECT_LE(density, 0.5) << info.abbr << " scale " << scale;
+    }
+  }
+}
+
+TEST(Datasets, ReplicaPreservesMeanRowLength) {
+  const auto& info = dataset_by_abbr("MVLE");
+  const SyntheticSpec s = replica_spec(info, 128.0);
+  const double full_mean =
+      static_cast<double>(info.nnz) / static_cast<double>(info.users);
+  const double replica_mean =
+      static_cast<double>(s.nnz) / static_cast<double>(s.users);
+  EXPECT_NEAR(replica_mean, full_mean, full_mean * 0.05);
+}
+
+TEST(Datasets, ScaleBelowOneRejected) {
+  EXPECT_THROW(replica_spec(dataset_by_abbr("MVLE"), 0.5), Error);
+}
+
+TEST(Datasets, MakeReplicaProducesValidCsr) {
+  const Csr csr = make_replica("YMR4", 8.0);
+  EXPECT_TRUE(csr.check_invariants());
+  EXPECT_NEAR(static_cast<double>(csr.rows()), 7642.0 / 8, 1.0);
+  EXPECT_GT(csr.nnz(), 0);
+}
+
+TEST(Datasets, DifferentDatasetsGetDifferentSeeds) {
+  // Same scale/seed input must still produce different data per dataset.
+  const Csr a = make_replica("YMR4", 16.0, 42);
+  const Csr b = make_replica("MVLE", 160.0, 42);
+  EXPECT_NE(a.nnz(), b.nnz());
+}
+
+}  // namespace
+}  // namespace alsmf

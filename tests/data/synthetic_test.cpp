@@ -1,0 +1,138 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/convert.hpp"
+#include "sparse/stats.hpp"
+
+namespace alsmf {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec;
+  spec.users = 500;
+  spec.items = 300;
+  spec.nnz = 8000;
+  spec.seed = 123;
+  return spec;
+}
+
+TEST(Synthetic, ExactNnzAndShape) {
+  const Coo coo = generate_synthetic(small_spec());
+  EXPECT_EQ(coo.rows(), 500);
+  EXPECT_EQ(coo.cols(), 300);
+  EXPECT_EQ(coo.nnz(), 8000);
+}
+
+TEST(Synthetic, CanonicalAndDuplicateFree) {
+  const Coo coo = generate_synthetic(small_spec());
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const Coo a = generate_synthetic(small_spec());
+  const Coo b = generate_synthetic(small_spec());
+  EXPECT_EQ(a.entries(), b.entries());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto spec = small_spec();
+  const Coo a = generate_synthetic(spec);
+  spec.seed = 321;
+  const Coo b = generate_synthetic(spec);
+  EXPECT_NE(a.entries(), b.entries());
+}
+
+TEST(Synthetic, RatingsWithinScale) {
+  const Coo coo = generate_synthetic(small_spec());
+  for (const auto& t : coo.entries()) {
+    EXPECT_GE(t.value, 1.0f);
+    EXPECT_LE(t.value, 5.0f);
+    EXPECT_FLOAT_EQ(t.value, std::round(t.value));  // integer stars
+  }
+}
+
+TEST(Synthetic, NonIntegerRatingsWhenRequested) {
+  auto spec = small_spec();
+  spec.integer_ratings = false;
+  const Coo coo = generate_synthetic(spec);
+  bool any_fractional = false;
+  for (const auto& t : coo.entries()) {
+    if (t.value != std::round(t.value)) any_fractional = true;
+  }
+  EXPECT_TRUE(any_fractional);
+}
+
+TEST(Synthetic, RowLengthsAreSkewed) {
+  auto spec = small_spec();
+  spec.user_alpha = 1.0;
+  const SliceStats s = row_stats(coo_to_csr(generate_synthetic(spec)));
+  // Zipf rows: max well above mean, positive Gini.
+  EXPECT_GT(s.imbalance, 3.0);
+  EXPECT_GT(s.gini, 0.25);
+}
+
+TEST(Synthetic, HigherAlphaMoreSkew) {
+  auto spec = small_spec();
+  spec.user_alpha = 0.3;
+  const double gini_low =
+      row_stats(coo_to_csr(generate_synthetic(spec))).gini;
+  spec.user_alpha = 1.3;
+  const double gini_high =
+      row_stats(coo_to_csr(generate_synthetic(spec))).gini;
+  EXPECT_GT(gini_high, gini_low);
+}
+
+TEST(Synthetic, ItemPopularitySkewed) {
+  auto spec = small_spec();
+  spec.item_alpha = 1.1;
+  const SliceStats s = col_stats(coo_to_csr(generate_synthetic(spec)));
+  EXPECT_GT(s.imbalance, 2.0);
+}
+
+TEST(Synthetic, DenseRequestCapped) {
+  SyntheticSpec spec;
+  spec.users = 10;
+  spec.items = 10;
+  spec.nnz = 200;  // 2x all cells: must throw (unsatisfiable)
+  EXPECT_THROW(generate_synthetic(spec), Error);
+}
+
+TEST(Synthetic, HalfDenseWorks) {
+  SyntheticSpec spec;
+  spec.users = 20;
+  spec.items = 20;
+  spec.nnz = 200;  // half the cells
+  spec.seed = 5;
+  const Coo coo = generate_synthetic(spec);
+  EXPECT_EQ(coo.nnz(), 200);
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Synthetic, CsrHelperMatches) {
+  const Csr direct = generate_synthetic_csr(small_spec());
+  const Csr via_coo = coo_to_csr(generate_synthetic(small_spec()));
+  EXPECT_EQ(direct, via_coo);
+}
+
+TEST(Synthetic, PlantedStructureIsLearnable) {
+  // Ratings from a planted low-rank model shouldn't look like pure noise:
+  // the variance of ratings must exceed the injected noise alone.
+  auto spec = small_spec();
+  spec.noise = 0.1;
+  const Coo coo = generate_synthetic(spec);
+  double mean = 0;
+  for (const auto& t : coo.entries()) mean += t.value;
+  mean /= static_cast<double>(coo.nnz());
+  double var = 0;
+  for (const auto& t : coo.entries()) {
+    var += (t.value - mean) * (t.value - mean);
+  }
+  var /= static_cast<double>(coo.nnz());
+  EXPECT_GT(var, 0.05);  // structure present, not constant
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,171 @@
+#include "devsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alsmf::devsim {
+namespace {
+
+LaunchCounters base_counters() {
+  LaunchCounters c;
+  c.lane_ops_scalar = 1e9;
+  c.global_bytes = 1e8;
+  c.groups = 10000;
+  c.launches = 1;
+  c.group_size = 32;
+  return c;
+}
+
+TEST(CostModel, ZeroCountersCostOnlyOverhead) {
+  LaunchCounters c;
+  c.launches = 1;
+  const auto p = k20c();
+  const TimeEstimate t = estimate_time(c, p);
+  EXPECT_DOUBLE_EQ(t.compute_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.memory_s, 0.0);
+  EXPECT_NEAR(t.overhead_s, p.launch_overhead_us * 1e-6, 1e-12);
+}
+
+TEST(CostModel, MoreOpsNeverFaster) {
+  const auto p = xeon_e5_2670_dual();
+  LaunchCounters a = base_counters();
+  LaunchCounters b = a;
+  b.lane_ops_scalar *= 2;
+  EXPECT_GE(estimate_time(b, p).compute_s, estimate_time(a, p).compute_s);
+}
+
+TEST(CostModel, MoreTrafficNeverFaster) {
+  const auto p = k20c();
+  LaunchCounters a = base_counters();
+  LaunchCounters b = a;
+  b.global_bytes *= 3;
+  EXPECT_GT(estimate_time(b, p).memory_s, estimate_time(a, p).memory_s);
+}
+
+TEST(CostModel, VectorOpsCheaperThanScalarWhenEfficiencyHigher) {
+  const auto p = xeon_e5_2670_dual();  // vector_eff > scalar_eff
+  LaunchCounters scalar = base_counters();
+  LaunchCounters vectored = base_counters();
+  vectored.lane_ops_scalar = 0;
+  vectored.lane_ops_vector = scalar.lane_ops_scalar;
+  EXPECT_LT(estimate_time(vectored, p).compute_s,
+            estimate_time(scalar, p).compute_s);
+}
+
+TEST(CostModel, VectorOpsNeutralOnSimt) {
+  const auto p = k20c();  // scalar_eff == vector_eff == 1
+  LaunchCounters scalar = base_counters();
+  LaunchCounters vectored = base_counters();
+  vectored.lane_ops_scalar = 0;
+  vectored.lane_ops_vector = scalar.lane_ops_scalar;
+  EXPECT_DOUBLE_EQ(estimate_time(vectored, p).compute_s,
+                   estimate_time(scalar, p).compute_s);
+}
+
+TEST(CostModel, ScatteredPaysFullTransactions) {
+  const auto p = k20c();
+  LaunchCounters c;
+  c.scattered_accesses = 1000;
+  c.scattered_useful_bytes = 4000;  // 4 useful bytes each
+  EXPECT_DOUBLE_EQ(scattered_bytes_moved(c, p),
+                   1000 * p.scattered_transaction_bytes);
+}
+
+TEST(CostModel, WideScatteredAccessStreams) {
+  const auto p = k20c();
+  LaunchCounters c;
+  c.scattered_accesses = 10;
+  c.scattered_useful_bytes = 10 * 4096;  // wider than a transaction
+  EXPECT_DOUBLE_EQ(scattered_bytes_moved(c, p), 10 * 4096.0);
+}
+
+TEST(CostModel, ScatteredCostsMoreThanCoalescedSameUsefulBytes) {
+  const auto p = k20c();
+  LaunchCounters coalesced;
+  coalesced.global_bytes = 4e6;
+  coalesced.launches = 1;
+  LaunchCounters scattered;
+  scattered.scattered_accesses = 1e6;
+  scattered.scattered_useful_bytes = 4e6;
+  scattered.launches = 1;
+  EXPECT_GT(estimate_time(scattered, p).memory_s,
+            estimate_time(coalesced, p).memory_s);
+}
+
+TEST(CostModel, LocalTrafficCheaperThanGlobal) {
+  const auto p = k20c();
+  LaunchCounters global;
+  global.global_bytes = 1e9;
+  LaunchCounters local;
+  local.local_bytes = 1e9;
+  EXPECT_LT(estimate_time(local, p).memory_s,
+            estimate_time(global, p).memory_s);
+}
+
+TEST(CostModel, SpillAddsBothIssueAndTraffic) {
+  const auto p = k20c();
+  LaunchCounters a = base_counters();
+  LaunchCounters b = a;
+  b.spill_bytes = 1e9;
+  const auto ta = estimate_time(a, p);
+  const auto tb = estimate_time(b, p);
+  EXPECT_GT(tb.compute_s, ta.compute_s);
+  EXPECT_GT(tb.memory_s, ta.memory_s);
+}
+
+TEST(CostModel, SmallLaunchHasWorseUtilization) {
+  const auto p = k20c();
+  LaunchCounters big = base_counters();
+  LaunchCounters small = base_counters();
+  small.groups = 4;  // far below 13 SMs x 16 groups
+  EXPECT_GT(estimate_time(small, p).compute_s,
+            estimate_time(big, p).compute_s);
+}
+
+TEST(CostModel, CountersScaleLinearly) {
+  const auto p = xeon_phi_31sp();
+  LaunchCounters c = base_counters();
+  c.scattered_accesses = 5e6;
+  c.scattered_useful_bytes = 2e7;
+  c.local_bytes = 3e8;
+  const auto t1 = estimate_time(c, p);
+  const auto t2 = estimate_time(c.scaled(2.0), p);
+  EXPECT_NEAR(t2.compute_s, 2.0 * t1.compute_s, 1e-9);
+  EXPECT_NEAR(t2.memory_s, 2.0 * t1.memory_s, 1e-9);
+}
+
+TEST(CostModel, TotalIsOverheadPlusMax) {
+  TimeEstimate t;
+  t.compute_s = 2.0;
+  t.memory_s = 3.0;
+  t.overhead_s = 0.5;
+  EXPECT_DOUBLE_EQ(t.total_s(), 3.5);
+}
+
+TEST(Counters, MergeAccumulates) {
+  LaunchCounters a = base_counters();
+  LaunchCounters b = base_counters();
+  b.register_demand_peak = 99;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.lane_ops_scalar, 2e9);
+  EXPECT_EQ(a.groups, 20000u);
+  EXPECT_EQ(a.register_demand_peak, 99);
+}
+
+TEST(Counters, SectionsMergeByName) {
+  SectionCounters s;
+  s.at("S1").useful_flops = 5;
+  s.at("S2").useful_flops = 7;
+  s.at("S1").useful_flops += 1;
+  EXPECT_EQ(s.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.total().useful_flops, 13.0);
+
+  SectionCounters other;
+  other.at("S2").useful_flops = 10;
+  other.at("S3").useful_flops = 1;
+  s.merge(other);
+  EXPECT_EQ(s.entries().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.total().useful_flops, 24.0);
+}
+
+}  // namespace
+}  // namespace alsmf::devsim

@@ -1,0 +1,187 @@
+#include "devsim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace alsmf::devsim {
+namespace {
+
+TEST(Device, RunsEveryGroupOnce) {
+  Device device(xeon_e5_2670_dual());
+  std::vector<std::atomic<int>> hits(100);
+  LaunchConfig cfg{100, 8, true};
+  device.launch("k", cfg, [&](GroupCtx& ctx) {
+    hits[ctx.group_id()].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Device, MergesCountersAcrossGroups) {
+  Device device(k20c());
+  LaunchConfig cfg{50, 32, true};
+  const auto result = device.launch("k", cfg, [](GroupCtx& ctx) {
+    ctx.ops_scalar(10);
+    ctx.global_read_coalesced(100);
+  });
+  EXPECT_DOUBLE_EQ(result.counters.lane_ops_scalar, 500.0);
+  EXPECT_DOUBLE_EQ(result.counters.global_bytes, 5000.0);
+  EXPECT_EQ(result.counters.groups, 50u);
+  EXPECT_EQ(result.counters.launches, 1u);
+}
+
+TEST(Device, SectionsGetSeparateStats) {
+  Device device(k20c());
+  LaunchConfig cfg{10, 32, true};
+  device.launch("update", cfg, [](GroupCtx& ctx) {
+    ctx.section("S1");
+    ctx.ops_scalar(100);
+    ctx.section("S2");
+    ctx.ops_scalar(50);
+  });
+  double s1 = 0, s2 = 0;
+  for (const auto& [name, s] : device.stats()) {
+    if (name == "update/S1") s1 = s.counters.lane_ops_scalar;
+    if (name == "update/S2") s2 = s.counters.lane_ops_scalar;
+  }
+  EXPECT_DOUBLE_EQ(s1, 1000.0);
+  EXPECT_DOUBLE_EQ(s2, 500.0);
+}
+
+TEST(Device, ModeledSecondsAccumulate) {
+  Device device(k20c());
+  LaunchConfig cfg{100, 32, true};
+  auto kernel = [](GroupCtx& ctx) { ctx.ops_scalar(1e6); };
+  device.launch("a", cfg, kernel);
+  const double after_one = device.modeled_seconds();
+  device.launch("a", cfg, kernel);
+  EXPECT_NEAR(device.modeled_seconds(), 2 * after_one, after_one * 1e-9);
+}
+
+TEST(Device, ResetClearsStats) {
+  Device device(k20c());
+  device.launch("a", {10, 32, true}, [](GroupCtx& ctx) { ctx.ops_scalar(5); });
+  EXPECT_GT(device.modeled_seconds(), 0.0);
+  device.reset_stats();
+  EXPECT_DOUBLE_EQ(device.modeled_seconds(), 0.0);
+  EXPECT_TRUE(device.stats().empty());
+}
+
+TEST(Device, MatchingSumsSelectedSections) {
+  Device device(k20c());
+  device.launch("x", {10, 32, true}, [](GroupCtx& ctx) {
+    ctx.section("S1");
+    ctx.ops_scalar(1e6);
+  });
+  device.launch("y", {10, 32, true}, [](GroupCtx& ctx) {
+    ctx.section("S2");
+    ctx.ops_scalar(1e6);
+  });
+  EXPECT_GT(device.modeled_seconds_matching("/S1"), 0.0);
+  EXPECT_DOUBLE_EQ(device.modeled_seconds_matching("/S3"), 0.0);
+  EXPECT_NEAR(device.modeled_seconds_matching("/S1") +
+                  device.modeled_seconds_matching("/S2"),
+              device.modeled_seconds(), 1e-6);
+}
+
+TEST(GroupCtx, LocalAllocReturnsDistinctRegions) {
+  Device device(k20c());
+  device.launch("k", {1, 32, true}, [](GroupCtx& ctx) {
+    auto a = ctx.local_alloc<float>(16);
+    auto b = ctx.local_alloc<float>(16);
+    ASSERT_NE(a.data(), b.data());
+    a[0] = 1.0f;
+    b[0] = 2.0f;
+    EXPECT_FLOAT_EQ(a[0], 1.0f);  // no aliasing
+  });
+}
+
+TEST(GroupCtx, LocalAllocEnforcesHardwareCapacity) {
+  Device device(k20c());  // 48 KB scratch-pad
+  EXPECT_THROW(device.launch("k", {1, 32, true},
+                             [](GroupCtx& ctx) {
+                               ctx.local_alloc<float>(20000);  // 80 KB
+                             }),
+               Error);
+}
+
+TEST(GroupCtx, EmulatedLocalHasLargerCapacity) {
+  Device device(xeon_e5_2670_dual());
+  EXPECT_NO_THROW(device.launch("k", {1, 8, true}, [](GroupCtx& ctx) {
+    ctx.local_alloc<float>(100000);  // 400 KB, fine when emulated
+  }));
+}
+
+TEST(GroupCtx, NumBundlesRoundsUp) {
+  Device device(k20c());  // simd 32
+  device.launch("k", {1, 48, true}, [](GroupCtx& ctx) {
+    EXPECT_EQ(ctx.num_bundles(), 2);
+  });
+  device.launch("k", {1, 32, true}, [](GroupCtx& ctx) {
+    EXPECT_EQ(ctx.num_bundles(), 1);
+  });
+  device.launch("k", {1, 8, true}, [](GroupCtx& ctx) {
+    EXPECT_EQ(ctx.num_bundles(), 1);
+  });
+}
+
+TEST(GroupCtx, FunctionalFlagPropagates) {
+  Device device(k20c());
+  device.launch("k", {1, 32, false}, [](GroupCtx& ctx) {
+    EXPECT_FALSE(ctx.functional());
+  });
+  device.launch("k", {1, 32, true}, [](GroupCtx& ctx) {
+    EXPECT_TRUE(ctx.functional());
+  });
+}
+
+TEST(GroupCtx, RereadRoutesByProfile) {
+  Device gpu(k20c());
+  const auto r1 = gpu.launch("k", {1, 32, true}, [](GroupCtx& ctx) {
+    ctx.reread(100, 4.0);
+  });
+  EXPECT_DOUBLE_EQ(r1.counters.scattered_accesses, 100.0);
+  EXPECT_DOUBLE_EQ(r1.counters.local_bytes, 0.0);
+
+  Device cpu(xeon_e5_2670_dual());
+  const auto r2 = cpu.launch("k", {1, 8, true}, [](GroupCtx& ctx) {
+    ctx.reread(100, 4.0);
+  });
+  EXPECT_DOUBLE_EQ(r2.counters.scattered_accesses, 0.0);
+  EXPECT_DOUBLE_EQ(r2.counters.local_bytes, 400.0);
+}
+
+TEST(GroupCtx, PrivateArrayTrafficOnlySpillsOnGpu) {
+  Device gpu(k20c());
+  const auto r1 = gpu.launch("k", {1, 32, true}, [](GroupCtx& ctx) {
+    ctx.private_array_traffic(256);
+  });
+  EXPECT_DOUBLE_EQ(r1.counters.spill_bytes, 256.0);
+
+  Device cpu(xeon_e5_2670_dual());
+  const auto r2 = cpu.launch("k", {1, 8, true}, [](GroupCtx& ctx) {
+    ctx.private_array_traffic(256);
+  });
+  EXPECT_DOUBLE_EQ(r2.counters.spill_bytes, 0.0);
+}
+
+TEST(GroupCtx, OpsFlatScalesByMappingEfficiency) {
+  Device cpu(xeon_e5_2670_dual());
+  const auto p = cpu.profile();
+  const auto r = cpu.launch("k", {1, 8, true}, [](GroupCtx& ctx) {
+    ctx.ops_flat(1000);
+  });
+  EXPECT_NEAR(r.counters.lane_ops_scalar,
+              1000 * p.scalar_efficiency / p.flat_mapping_efficiency, 1e-6);
+}
+
+TEST(Device, ZeroGroupLaunchIsValid) {
+  Device device(k20c());
+  const auto r = device.launch("k", {0, 32, true},
+                               [](GroupCtx&) { FAIL() << "no groups"; });
+  EXPECT_EQ(r.counters.groups, 0u);
+}
+
+}  // namespace
+}  // namespace alsmf::devsim

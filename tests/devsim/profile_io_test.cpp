@@ -1,0 +1,92 @@
+#include "devsim/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace alsmf::devsim {
+namespace {
+
+TEST(ProfileIo, RoundTripPreservesEveryField) {
+  for (const DeviceProfile& original :
+       {k20c(), xeon_e5_2670_dual(), xeon_phi_31sp()}) {
+    std::stringstream s;
+    write_profile(s, original);
+    const DeviceProfile back = read_profile(s);
+    EXPECT_EQ(back.name, original.name);
+    EXPECT_EQ(back.kind, original.kind);
+    EXPECT_EQ(back.compute_units, original.compute_units);
+    EXPECT_EQ(back.simd_width, original.simd_width);
+    EXPECT_DOUBLE_EQ(back.clock_ghz, original.clock_ghz);
+    EXPECT_DOUBLE_EQ(back.issue_per_cu, original.issue_per_cu);
+    EXPECT_DOUBLE_EQ(back.scalar_efficiency, original.scalar_efficiency);
+    EXPECT_DOUBLE_EQ(back.vector_efficiency, original.vector_efficiency);
+    EXPECT_EQ(back.groups_in_flight_per_cu, original.groups_in_flight_per_cu);
+    EXPECT_DOUBLE_EQ(back.pipeline_efficiency, original.pipeline_efficiency);
+    EXPECT_DOUBLE_EQ(back.flat_mapping_efficiency,
+                     original.flat_mapping_efficiency);
+    EXPECT_DOUBLE_EQ(back.gather_scalar_ops, original.gather_scalar_ops);
+    EXPECT_DOUBLE_EQ(back.global_latency_slots, original.global_latency_slots);
+    EXPECT_DOUBLE_EQ(back.mem_bw_gbs, original.mem_bw_gbs);
+    EXPECT_DOUBLE_EQ(back.cache_bw_gbs, original.cache_bw_gbs);
+    EXPECT_DOUBLE_EQ(back.scattered_transaction_bytes,
+                     original.scattered_transaction_bytes);
+    EXPECT_EQ(back.local_mem_bytes, original.local_mem_bytes);
+    EXPECT_EQ(back.has_hw_local_mem, original.has_hw_local_mem);
+    EXPECT_EQ(back.rereads_cached, original.rereads_cached);
+    EXPECT_EQ(back.private_arrays_offchip, original.private_arrays_offchip);
+    EXPECT_EQ(back.max_registers_per_lane, original.max_registers_per_lane);
+    EXPECT_DOUBLE_EQ(back.launch_overhead_us, original.launch_overhead_us);
+  }
+}
+
+TEST(ProfileIo, ParsesHandWrittenProfile) {
+  std::stringstream s(R"(
+# a hypothetical accelerator
+name = MyFPGA
+kind = gpu
+compute_units = 4
+simd_width = 64
+clock_ghz = 0.3
+mem_bw_gbs = 25
+)");
+  const DeviceProfile p = read_profile(s);
+  EXPECT_EQ(p.name, "MyFPGA");
+  EXPECT_EQ(p.kind, DeviceKind::kGpu);
+  EXPECT_EQ(p.compute_units, 4);
+  EXPECT_EQ(p.simd_width, 64);
+  EXPECT_DOUBLE_EQ(p.mem_bw_gbs, 25.0);
+  // Unspecified keys keep defaults.
+  EXPECT_EQ(p.max_registers_per_lane, DeviceProfile{}.max_registers_per_lane);
+}
+
+TEST(ProfileIo, RejectsUnknownKey) {
+  std::stringstream s("warp_size = 32\n");
+  EXPECT_THROW(read_profile(s), Error);
+}
+
+TEST(ProfileIo, RejectsMalformedLine) {
+  std::stringstream s("this is not a key value pair\n");
+  EXPECT_THROW(read_profile(s), Error);
+}
+
+TEST(ProfileIo, RejectsBadKind) {
+  std::stringstream s("kind = quantum\n");
+  EXPECT_THROW(read_profile(s), Error);
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/alsmf_profile.txt";
+  write_profile_file(path, k20c());
+  const DeviceProfile back = read_profile_file(path);
+  EXPECT_EQ(back.name, "Tesla K20c");
+}
+
+TEST(ProfileIo, MissingFileThrows) {
+  EXPECT_THROW(read_profile_file("/nonexistent/profile.txt"), Error);
+}
+
+}  // namespace
+}  // namespace alsmf::devsim

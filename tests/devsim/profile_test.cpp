@@ -1,0 +1,69 @@
+#include "devsim/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace alsmf::devsim {
+namespace {
+
+TEST(Profile, PresetsHaveSaneConstants) {
+  for (const DeviceProfile& p : {k20c(), xeon_e5_2670_dual(), xeon_phi_31sp()}) {
+    EXPECT_GT(p.compute_units, 0) << p.name;
+    EXPECT_GT(p.simd_width, 0) << p.name;
+    EXPECT_GT(p.clock_ghz, 0.0) << p.name;
+    EXPECT_GT(p.mem_bw_gbs, 0.0) << p.name;
+    EXPECT_GT(p.cache_bw_gbs, p.mem_bw_gbs) << p.name;
+    EXPECT_GT(p.scalar_efficiency, 0.0) << p.name;
+    EXPECT_LE(p.scalar_efficiency, p.vector_efficiency) << p.name;
+    EXPECT_GT(p.peak_gflops(), 0.0) << p.name;
+  }
+}
+
+TEST(Profile, K20cIsSimt) {
+  const auto p = k20c();
+  EXPECT_EQ(p.kind, DeviceKind::kGpu);
+  EXPECT_EQ(p.simd_width, 32);     // warp
+  EXPECT_EQ(p.compute_units, 13);  // SMX count
+  EXPECT_TRUE(p.has_hw_local_mem);
+  EXPECT_TRUE(p.private_arrays_offchip);
+  EXPECT_FALSE(p.rereads_cached);
+  EXPECT_DOUBLE_EQ(p.flat_mapping_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(p.gather_scalar_ops, 0.0);
+}
+
+TEST(Profile, CpuCachesRereads) {
+  const auto p = xeon_e5_2670_dual();
+  EXPECT_EQ(p.kind, DeviceKind::kCpu);
+  EXPECT_EQ(p.compute_units, 16);
+  EXPECT_FALSE(p.has_hw_local_mem);
+  EXPECT_TRUE(p.rereads_cached);
+  EXPECT_FALSE(p.private_arrays_offchip);
+  EXPECT_GT(p.gather_scalar_ops, 0.0);
+  EXPECT_LT(p.flat_mapping_efficiency, p.scalar_efficiency);
+}
+
+TEST(Profile, MicHasWideVectors) {
+  const auto p = xeon_phi_31sp();
+  EXPECT_EQ(p.kind, DeviceKind::kMic);
+  EXPECT_EQ(p.simd_width, 16);
+  EXPECT_GE(p.compute_units, 50);
+}
+
+TEST(Profile, LookupByName) {
+  EXPECT_EQ(profile_by_name("gpu").kind, DeviceKind::kGpu);
+  EXPECT_EQ(profile_by_name("K20C").kind, DeviceKind::kGpu);
+  EXPECT_EQ(profile_by_name("cpu").kind, DeviceKind::kCpu);
+  EXPECT_EQ(profile_by_name("MIC").kind, DeviceKind::kMic);
+  EXPECT_EQ(profile_by_name("phi").kind, DeviceKind::kMic);
+  EXPECT_THROW(profile_by_name("fpga"), Error);
+}
+
+TEST(Profile, KindNames) {
+  EXPECT_STREQ(to_string(DeviceKind::kCpu), "CPU");
+  EXPECT_STREQ(to_string(DeviceKind::kGpu), "GPU");
+  EXPECT_STREQ(to_string(DeviceKind::kMic), "MIC");
+}
+
+}  // namespace
+}  // namespace alsmf::devsim

@@ -1,0 +1,85 @@
+#include "devsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "devsim/device.hpp"
+
+namespace alsmf::devsim {
+namespace {
+
+TimeEstimate estimate(double compute, double memory, double overhead) {
+  TimeEstimate t;
+  t.compute_s = compute;
+  t.memory_s = memory;
+  t.overhead_s = overhead;
+  return t;
+}
+
+TEST(Trace, EventsLaidEndToEndPerDevice) {
+  TraceRecorder trace;
+  trace.record("gpu", "k1", estimate(1.0, 0.5, 0.1));  // total 1.1
+  trace.record("gpu", "k2", estimate(0.2, 0.6, 0.0));  // total 0.6
+  trace.record("cpu", "k3", estimate(2.0, 0.0, 0.0));
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(trace.events()[0].duration_s, 1.1);
+  EXPECT_DOUBLE_EQ(trace.events()[1].start_s, 1.1);  // after k1
+  EXPECT_DOUBLE_EQ(trace.events()[2].start_s, 0.0);  // cpu timeline separate
+  EXPECT_DOUBLE_EQ(trace.device_end_time("gpu"), 1.7);
+  EXPECT_DOUBLE_EQ(trace.device_end_time("cpu"), 2.0);
+  EXPECT_DOUBLE_EQ(trace.device_end_time("mic"), 0.0);
+}
+
+TEST(Trace, ChromeJsonIsWellFormedish) {
+  TraceRecorder trace;
+  trace.record("Tesla K20c", "update_x", estimate(0.01, 0.02, 0.0));
+  std::stringstream s;
+  trace.write_chrome_trace(s);
+  const std::string json = s.str();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"update_x\""), std::string::npos);
+  EXPECT_NE(json.find("Tesla K20c"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces/brackets.
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Trace, DeviceIntegration) {
+  TraceRecorder trace;
+  Device device(k20c());
+  device.set_trace(&trace);
+  device.launch("a", {10, 32, true}, [](GroupCtx& ctx) { ctx.ops_scalar(1e6); });
+  device.launch("b", {10, 32, true}, [](GroupCtx& ctx) { ctx.ops_scalar(1e6); });
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].name, "a");
+  EXPECT_GT(trace.events()[1].start_s, 0.0);
+  EXPECT_NEAR(trace.device_end_time("Tesla K20c"), device.modeled_seconds(),
+              1e-12);
+
+  device.set_trace(nullptr);
+  device.launch("c", {10, 32, true}, [](GroupCtx&) {});
+  EXPECT_EQ(trace.events().size(), 2u);  // detached
+}
+
+TEST(Trace, FileWrite) {
+  TraceRecorder trace;
+  trace.record("cpu", "k", estimate(1, 0, 0));
+  const std::string path = ::testing::TempDir() + "/alsmf_trace.json";
+  trace.write_chrome_trace_file(path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace alsmf::devsim

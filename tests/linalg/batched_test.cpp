@@ -1,0 +1,78 @@
+#include "linalg/batched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(Batched, MatchesIndividualSolves) {
+  const int k = 6;
+  const std::size_t batch = 50;
+  std::vector<real> as, rhs, as_copy, rhs_copy;
+  Rng rng(4);
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto spd = testing::random_spd(k, b + 1);
+    as.insert(as.end(), spd.begin(), spd.end());
+    for (int i = 0; i < k; ++i) rhs.push_back(static_cast<real>(rng.uniform(-1, 1)));
+  }
+  as_copy = as;
+  rhs_copy = rhs;
+
+  ThreadPool pool(4);
+  EXPECT_EQ(batched_cholesky_solve(as.data(), rhs.data(), batch, k, pool), 0u);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<real> a(as_copy.begin() + static_cast<std::ptrdiff_t>(b * k * k),
+                        as_copy.begin() + static_cast<std::ptrdiff_t>((b + 1) * k * k));
+    std::vector<real> x(rhs_copy.begin() + static_cast<std::ptrdiff_t>(b * k),
+                        rhs_copy.begin() + static_cast<std::ptrdiff_t>((b + 1) * k));
+    ASSERT_TRUE(cholesky_solve(a.data(), k, x.data()));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_FLOAT_EQ(x[static_cast<std::size_t>(i)], rhs[b * k + static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Batched, ReportsFailuresAndZeroFills) {
+  const int k = 2;
+  // Batch of 3: [SPD, singular, SPD].
+  std::vector<real> as = {4, 0, 0, 4, /*singular*/ 0, 0, 0, 0, 9, 0, 0, 9};
+  std::vector<real> rhs = {4, 8, 1, 1, 9, 18};
+  ThreadPool pool(2);
+  EXPECT_EQ(batched_cholesky_solve(as.data(), rhs.data(), 3, k, pool), 1u);
+  EXPECT_FLOAT_EQ(rhs[0], 1.0f);
+  EXPECT_FLOAT_EQ(rhs[2], 0.0f);  // failed system zero-filled
+  EXPECT_FLOAT_EQ(rhs[3], 0.0f);
+  EXPECT_FLOAT_EQ(rhs[4], 1.0f);
+}
+
+TEST(Batched, LuVariantAgreesWithCholesky) {
+  const int k = 5;
+  const std::size_t batch = 20;
+  std::vector<real> as, rhs;
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto spd = testing::random_spd(k, b + 100);
+    as.insert(as.end(), spd.begin(), spd.end());
+    for (int i = 0; i < k; ++i) rhs.push_back(1.0f);
+  }
+  auto as2 = as;
+  auto rhs2 = rhs;
+  ThreadPool pool(3);
+  EXPECT_EQ(batched_cholesky_solve(as.data(), rhs.data(), batch, k, pool), 0u);
+  EXPECT_EQ(batched_lu_solve(as2.data(), rhs2.data(), batch, k, pool), 0u);
+  for (std::size_t i = 0; i < rhs.size(); ++i) EXPECT_NEAR(rhs[i], rhs2[i], 1e-3);
+}
+
+TEST(Batched, EmptyBatchIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_EQ(batched_cholesky_solve(nullptr, nullptr, 0, 4, pool), 0u);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,116 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+/// ||A·x - b||_inf for row-major A.
+double residual_inf(const std::vector<real>& a, const std::vector<real>& x,
+                    const std::vector<real>& b, int k) {
+  double worst = 0;
+  for (int i = 0; i < k; ++i) {
+    double s = 0;
+    for (int j = 0; j < k; ++j) {
+      s += static_cast<double>(a[static_cast<std::size_t>(i) * k + j]) * x[static_cast<std::size_t>(j)];
+    }
+    worst = std::max(worst, std::abs(s - static_cast<double>(b[static_cast<std::size_t>(i)])));
+  }
+  return worst;
+}
+
+TEST(Cholesky, SolvesIdentity) {
+  std::vector<real> a = {1, 0, 0, 1};
+  std::vector<real> b = {3, -2};
+  ASSERT_TRUE(cholesky_solve(a.data(), 2, b.data()));
+  EXPECT_FLOAT_EQ(b[0], 3.0f);
+  EXPECT_FLOAT_EQ(b[1], -2.0f);
+}
+
+TEST(Cholesky, SolvesKnown2x2) {
+  // A = [[4,2],[2,3]], b = [10, 9] => x = [1.5, 2].
+  std::vector<real> a = {4, 2, 2, 3};
+  std::vector<real> b = {10, 9};
+  ASSERT_TRUE(cholesky_solve(a.data(), 2, b.data()));
+  EXPECT_NEAR(b[0], 1.5, 1e-5);
+  EXPECT_NEAR(b[1], 2.0, 1e-5);
+}
+
+TEST(Cholesky, FactorOfDiagonalIsSqrt) {
+  std::vector<real> a = {9, 0, 0, 16};
+  ASSERT_TRUE(cholesky_factor(a.data(), 2));
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  EXPECT_FLOAT_EQ(a[3], 4.0f);
+}
+
+TEST(Cholesky, FailsOnNonSpd) {
+  std::vector<real> a = {1, 2, 2, 1};  // indefinite
+  EXPECT_FALSE(cholesky_factor(a.data(), 2));
+  std::vector<real> zero = {0, 0, 0, 0};
+  EXPECT_FALSE(cholesky_factor(zero.data(), 2));
+}
+
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, RandomSpdSolvesAccurately) {
+  const int k = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto original = testing::random_spd(k, seed);
+    std::vector<real> a(original.begin(), original.end());
+    Rng rng(seed * 101);
+    std::vector<real> b(static_cast<std::size_t>(k));
+    for (auto& v : b) v = static_cast<real>(rng.uniform(-2.0, 2.0));
+    std::vector<real> x = b;
+    ASSERT_TRUE(cholesky_solve(a.data(), k, x.data()));
+    std::vector<real> orig_real(original.begin(), original.end());
+    EXPECT_LT(residual_inf(orig_real, x, b, k), 1e-2) << "k=" << k;
+  }
+}
+
+TEST_P(CholeskyProperty, FactorReconstructsMatrix) {
+  const int k = GetParam();
+  const auto original = testing::random_spd(k, 42);
+  std::vector<real> l(original.begin(), original.end());
+  ASSERT_TRUE(cholesky_factor(l.data(), k));
+  // L·Lᵀ must reproduce the lower triangle of the input.
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = 0;
+      for (int p = 0; p <= j; ++p) {
+        s += static_cast<double>(l[static_cast<std::size_t>(i) * k + p]) *
+             l[static_cast<std::size_t>(j) * k + p];
+      }
+      EXPECT_NEAR(s, original[static_cast<std::size_t>(i) * k + j], 5e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 3, 5, 10, 16, 32, 64));
+
+TEST(Cholesky, FlopCountMonotoneInK) {
+  EXPECT_LT(cholesky_solve_flops(5), cholesky_solve_flops(10));
+  EXPECT_GT(cholesky_solve_flops(10), 0.0);
+}
+
+TEST(Cholesky, ForwardBackwardComposition) {
+  const int k = 4;
+  auto a = testing::random_spd(k, 3);
+  std::vector<real> l(a.begin(), a.end());
+  ASSERT_TRUE(cholesky_factor(l.data(), k));
+  std::vector<real> b = {1, 2, 3, 4};
+  std::vector<real> x = b;
+  cholesky_forward(l.data(), k, x.data());
+  cholesky_backward(l.data(), k, x.data());
+  std::vector<real> ar(a.begin(), a.end());
+  EXPECT_LT(residual_inf(ar, x, b, k), 1e-3);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,76 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  // [[2,1],[1,3]] x = [5, 10] => x = [1, 3].
+  std::vector<real> a = {2, 1, 1, 3};
+  std::vector<real> b = {5, 10};
+  ASSERT_TRUE(lu_solve(a.data(), 2, b.data()));
+  EXPECT_NEAR(b[0], 1.0, 1e-5);
+  EXPECT_NEAR(b[1], 3.0, 1e-5);
+}
+
+TEST(Lu, HandlesZeroPivotViaPivoting) {
+  // a11 = 0 forces a row swap; matrix is well-conditioned.
+  std::vector<real> a = {0, 1, 1, 0};
+  std::vector<real> b = {2, 3};
+  ASSERT_TRUE(lu_solve(a.data(), 2, b.data()));
+  EXPECT_NEAR(b[0], 3.0, 1e-5);
+  EXPECT_NEAR(b[1], 2.0, 1e-5);
+}
+
+TEST(Lu, FailsOnSingular) {
+  std::vector<real> a = {1, 2, 2, 4};
+  std::vector<real> b = {1, 2};
+  EXPECT_FALSE(lu_solve(a.data(), 2, b.data()));
+}
+
+class LuVsCholesky : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuVsCholesky, AgreeOnSpdSystems) {
+  const int k = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto spd = testing::random_spd(k, seed);
+    Rng rng(seed);
+    std::vector<real> b(static_cast<std::size_t>(k));
+    for (auto& v : b) v = static_cast<real>(rng.uniform(-1.0, 1.0));
+
+    std::vector<real> a1(spd.begin(), spd.end()), x1 = b;
+    std::vector<real> a2(spd.begin(), spd.end()), x2 = b;
+    ASSERT_TRUE(cholesky_solve(a1.data(), k, x1.data()));
+    ASSERT_TRUE(lu_solve(a2.data(), k, x2.data()));
+    for (int i = 0; i < k; ++i) EXPECT_NEAR(x1[static_cast<std::size_t>(i)], x2[static_cast<std::size_t>(i)], 2e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuVsCholesky, ::testing::Values(1, 2, 4, 10, 24));
+
+TEST(Lu, LargeKHeapPath) {
+  // k > 64 exercises the heap-allocated pivot vector.
+  const int k = 80;
+  auto spd = testing::random_spd(k, 7);
+  std::vector<real> a(spd.begin(), spd.end());
+  std::vector<real> b(static_cast<std::size_t>(k), 1.0f);
+  EXPECT_TRUE(lu_solve(a.data(), k, b.data()));
+}
+
+TEST(Lu, FlopsExceedCholesky) {
+  // LU does ~2x the factorization work of Cholesky — the basis of the
+  // paper's S3 optimization claim.
+  EXPECT_GT(lu_solve_flops(10), cholesky_solve_flops(10));
+  EXPECT_GT(lu_solve_flops(100) / cholesky_solve_flops(100), 1.5);
+}
+
+}  // namespace
+}  // namespace alsmf

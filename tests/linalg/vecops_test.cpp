@@ -1,0 +1,47 @@
+#include "linalg/vecops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace alsmf {
+namespace {
+
+TEST(VecOps, Dot) {
+  std::vector<real> a = {1, 2, 3};
+  std::vector<real> b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(vdot(a.data(), b.data(), 3), 32.0f);
+  EXPECT_FLOAT_EQ(vdot(a.data(), b.data(), 0), 0.0f);
+}
+
+TEST(VecOps, Axpy) {
+  std::vector<real> x = {1, 2};
+  std::vector<real> y = {10, 20};
+  vaxpy(2.0f, x.data(), y.data(), 2);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(VecOps, Scale) {
+  std::vector<real> y = {2, -4};
+  vscale(0.5f, y.data(), 2);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(VecOps, ZeroAndCopy) {
+  std::vector<real> x = {1, 2, 3};
+  std::vector<real> y(3);
+  vcopy(x.data(), y.data(), 3);
+  EXPECT_EQ(x, y);
+  vzero(y.data(), 3);
+  EXPECT_FLOAT_EQ(y[0] + y[1] + y[2], 0.0f);
+}
+
+TEST(VecOps, Norm2) {
+  std::vector<real> a = {3, 4};
+  EXPECT_DOUBLE_EQ(vnorm2(a.data(), 2), 25.0);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,190 @@
+#include "ocl/kernel_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "ocl/kernel_lint.hpp"
+
+namespace alsmf::ocl {
+namespace {
+
+KernelConfig config(int k = 10, int ws = 32) {
+  KernelConfig c;
+  c.k = k;
+  c.group_size = ws;
+  return c;
+}
+
+TEST(KernelSource, AllVariantsLintClean) {
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    const std::string src = batched_kernel_source(v, config());
+    const LintReport report = lint_kernel_source(src, 1);
+    EXPECT_TRUE(report.clean())
+        << v.name() << ":\n" << report.to_string();
+  }
+}
+
+TEST(KernelSource, FlatLintClean) {
+  const std::string src = flat_kernel_source(config());
+  const LintReport report = lint_kernel_source(src, 1);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(KernelSource, LocalVariantDeclaresStagingTile) {
+  const std::string with_local =
+      batched_kernel_source(AlsVariant::batch_local(), config());
+  EXPECT_NE(with_local.find("__local real_t tile[TILE_ROWS * K]"),
+            std::string::npos);
+  EXPECT_NE(with_local.find("rstage"), std::string::npos);
+
+  const std::string without =
+      batched_kernel_source(AlsVariant::batching_only(), config());
+  EXPECT_EQ(without.find("tile[TILE_ROWS"), std::string::npos);
+}
+
+TEST(KernelSource, RegisterVariantUnrollsAccumulators) {
+  const std::string with_reg =
+      batched_kernel_source(AlsVariant::from_mask(1), config(10));
+  // Fig. 3b: scalar registers sum0..sum9, no dynamically indexed array.
+  EXPECT_NE(with_reg.find("sum0"), std::string::npos);
+  EXPECT_NE(with_reg.find("sum9"), std::string::npos);
+  EXPECT_EQ(with_reg.find("real_t sum[K]"), std::string::npos);
+
+  const std::string without =
+      batched_kernel_source(AlsVariant::batching_only(), config(10));
+  EXPECT_NE(without.find("real_t sum[K]"), std::string::npos);
+  EXPECT_EQ(without.find("sum9"), std::string::npos);
+}
+
+TEST(KernelSource, VectorVariantUsesVloadN) {
+  const std::string with_vec =
+      batched_kernel_source(AlsVariant::batch_vectors(), config(16));
+  EXPECT_NE(with_vec.find("vload16"), std::string::npos);
+  const std::string k10 =
+      batched_kernel_source(AlsVariant::batch_vectors(), config(10));
+  EXPECT_NE(k10.find("vload2"), std::string::npos);  // widest divisor of 10
+
+  const std::string without =
+      batched_kernel_source(AlsVariant::batching_only(), config(16));
+  EXPECT_EQ(without.find("vload"), std::string::npos);
+}
+
+TEST(KernelSource, EntryPointNamesMatchVariant) {
+  EXPECT_EQ(kernel_name(AlsVariant::batching_only()), "als_update_batch");
+  EXPECT_EQ(kernel_name(AlsVariant::batch_local_reg()),
+            "als_update_batch_local_reg");
+  EXPECT_EQ(kernel_name(AlsVariant::from_mask(7)),
+            "als_update_batch_local_reg_vec");
+  EXPECT_EQ(kernel_name(AlsVariant::flat_baseline()), "als_update_flat");
+  // The entry point actually appears in the source.
+  const std::string src =
+      batched_kernel_source(AlsVariant::batch_local_reg(), config());
+  EXPECT_NE(src.find("__kernel void als_update_batch_local_reg("),
+            std::string::npos);
+}
+
+TEST(KernelSource, StridedRowLoopAndBarriers) {
+  const std::string src =
+      batched_kernel_source(AlsVariant::batch_local(), config());
+  // The paper's 8192-group strided mapping.
+  EXPECT_NE(src.find("u += stride"), std::string::npos);
+  EXPECT_NE(src.find("get_num_groups(0)"), std::string::npos);
+  EXPECT_NE(src.find("barrier(CLK_LOCAL_MEM_FENCE)"), std::string::npos);
+}
+
+TEST(KernelSource, DoublePrecisionToggle) {
+  KernelConfig c = config();
+  c.use_double = true;
+  const std::string src =
+      batched_kernel_source(AlsVariant::batching_only(), c);
+  EXPECT_NE(src.find("cl_khr_fp64"), std::string::npos);
+  EXPECT_NE(src.find("typedef double real_t"), std::string::npos);
+}
+
+TEST(KernelSource, BuildOptionsEncodeConstants) {
+  KernelConfig c = config(20, 64);
+  const std::string opts = build_options(c);
+  EXPECT_NE(opts.find("-DK=20"), std::string::npos);
+  EXPECT_NE(opts.find("-DWS=64"), std::string::npos);
+}
+
+TEST(KernelSource, WritesAllNineKernelFiles) {
+  const std::string dir = ::testing::TempDir() + "/alsmf_kernels";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(write_kernel_files(dir, config()), 9);
+  int count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".cl");
+    std::ifstream in(entry.path());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_TRUE(lint_kernel_source(content, 1).clean()) << entry.path();
+    ++count;
+  }
+  EXPECT_EQ(count, 9);
+}
+
+TEST(KernelSource, FlatRejectsBatchedGenerator) {
+  EXPECT_THROW(batched_kernel_source(AlsVariant::flat_baseline(), config()),
+               alsmf::Error);
+}
+
+TEST(HostDriver, StructurallySound) {
+  const std::string src =
+      host_driver_source(AlsVariant::batch_local_reg(), config());
+  // Balanced delimiters (reuse the lint's structural pass; 0 kernels).
+  const LintReport report = lint_kernel_source(src, 0);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  // Loads the right kernel file and entry point, with build options.
+  EXPECT_NE(src.find("als_update_batch_local_reg.cl"), std::string::npos);
+  EXPECT_NE(src.find("clCreateKernel(prog, \"als_update_batch_local_reg\""),
+            std::string::npos);
+  EXPECT_NE(src.find("-DK=10"), std::string::npos);
+  // Runs both half-updates per iteration.
+  EXPECT_NE(src.find("update X over Y"), std::string::npos);
+  EXPECT_NE(src.find("update Y over X"), std::string::npos);
+}
+
+TEST(HostDriver, WritesFile) {
+  const std::string dir = ::testing::TempDir() + "/alsmf_host";
+  const std::string path =
+      write_host_driver(dir, AlsVariant::batch_local(), config());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("#include <CL/cl.h>"), std::string::npos);
+}
+
+// --- lint self-tests ---
+
+TEST(KernelLint, DetectsUnbalancedBraces) {
+  const auto r = lint_kernel_source("__kernel void f() { if (1) { }", 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(KernelLint, DetectsMissingKernel) {
+  const auto r = lint_kernel_source("void helper() {}", 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(KernelLint, IgnoresCommentsAndCountsKernels) {
+  const auto r = lint_kernel_source(
+      "// not a real } brace\n/* __kernel in comment */\n"
+      "__kernel void f() { (void)0; }\n",
+      1);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+TEST(KernelLint, FlagsBarrierOutsideKernel) {
+  const auto r =
+      lint_kernel_source("void h() { barrier(0); }\n__kernel void f() {}", 1);
+  EXPECT_FALSE(r.clean());
+}
+
+}  // namespace
+}  // namespace alsmf::ocl

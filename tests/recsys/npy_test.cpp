@@ -1,0 +1,73 @@
+#include "recsys/npy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace alsmf {
+namespace {
+
+TEST(Npy, RoundTripExact) {
+  Matrix m(7, 3);
+  Rng rng(240);
+  m.fill_uniform(rng, -2, 2);
+  std::stringstream s(std::ios::in | std::ios::out | std::ios::binary);
+  write_npy(s, m);
+  const Matrix back = read_npy(s);
+  EXPECT_EQ(back, m);
+}
+
+TEST(Npy, HeaderIsValidNpyV1) {
+  Matrix m(2, 5, 1.5f);
+  std::stringstream s(std::ios::in | std::ios::out | std::ios::binary);
+  write_npy(s, m);
+  const std::string bytes = s.str();
+  ASSERT_GE(bytes.size(), 10u);
+  EXPECT_EQ(bytes.substr(1, 5), "NUMPY");
+  EXPECT_EQ(bytes[6], '\x01');  // version 1.0
+  // Total header length (magic+version+len+dict) is a multiple of 64.
+  const std::size_t hlen = static_cast<unsigned char>(bytes[8]) |
+                           (static_cast<unsigned char>(bytes[9]) << 8);
+  EXPECT_EQ((10 + hlen) % 64, 0u);
+  EXPECT_NE(bytes.find("'shape': (2, 5)"), std::string::npos);
+  EXPECT_NE(bytes.find("'<f4'"), std::string::npos);
+  // Payload size matches.
+  EXPECT_EQ(bytes.size(), 10 + hlen + 2 * 5 * sizeof(float));
+}
+
+TEST(Npy, EmptyMatrix) {
+  Matrix m(0, 4);
+  std::stringstream s(std::ios::in | std::ios::out | std::ios::binary);
+  write_npy(s, m);
+  const Matrix back = read_npy(s);
+  EXPECT_EQ(back.rows(), 0);
+  EXPECT_EQ(back.cols(), 4);
+}
+
+TEST(Npy, RejectsGarbage) {
+  std::stringstream s("not numpy at all");
+  EXPECT_THROW(read_npy(s), Error);
+}
+
+TEST(Npy, RejectsWrongDtype) {
+  // Forge a float64 header.
+  std::stringstream s(std::ios::in | std::ios::out | std::ios::binary);
+  Matrix m(1, 1, 1.0f);
+  write_npy(s, m);
+  std::string bytes = s.str();
+  const auto pos = bytes.find("<f4");
+  bytes.replace(pos, 3, "<f8");
+  std::stringstream forged(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_npy(forged), Error);
+}
+
+TEST(Npy, FileRoundTrip) {
+  Matrix m(3, 3, 0.25f);
+  const std::string path = ::testing::TempDir() + "/alsmf_factors.npy";
+  write_npy_file(path, m);
+  EXPECT_EQ(read_npy_file(path), m);
+  EXPECT_THROW(read_npy_file("/nonexistent.npy"), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,111 @@
+#include "recsys/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+/// Factors crafted so user u's scores rank item (u mod items) first,
+/// then (u+1) mod items, etc. — a fully controlled ranking.
+struct ControlledRanking {
+  Csr train;
+  Csr test;
+  Matrix x, y;
+};
+
+/// One user, known scores: y_i score = items - i for user 0.
+ControlledRanking descending_scores(index_t items, index_t test_item,
+                                    index_t train_item) {
+  ControlledRanking c;
+  c.x = Matrix(1, 1);
+  c.x(0, 0) = 1.0f;
+  c.y = Matrix(items, 1);
+  for (index_t i = 0; i < items; ++i) {
+    c.y(i, 0) = static_cast<real>(items - i);
+  }
+  Coo train(1, items), test(1, items);
+  if (train_item >= 0) train.add(0, train_item, 1.0f);
+  test.add(0, test_item, 1.0f);
+  c.train = coo_to_csr(train);
+  c.test = coo_to_csr(test);
+  return c;
+}
+
+TEST(Ranking, PerfectHitAtRankOne) {
+  // Test item 0 has the top score.
+  const auto c = descending_scores(10, 0, -1);
+  const RankingMetrics m = evaluate_ranking(c.train, c.test, c.x, c.y, 3);
+  EXPECT_EQ(m.evaluated_users, 1);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.precision, 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.ndcg, 1.0);  // ideal position
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+}
+
+TEST(Ranking, MissWhenTestItemRanksLow) {
+  // Test item is the lowest-scored of 10; top-3 misses it.
+  const auto c = descending_scores(10, 9, -1);
+  const RankingMetrics m = evaluate_ranking(c.train, c.test, c.x, c.y, 3);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg, 0.0);
+  EXPECT_DOUBLE_EQ(m.auc, 0.0);  // every negative outranks it
+}
+
+TEST(Ranking, TrainItemsExcludedFromCandidates) {
+  // Item 0 (top score) is a *train* item; test item 1 should then hit rank 1.
+  const auto c = descending_scores(10, 1, 0);
+  const RankingMetrics m = evaluate_ranking(c.train, c.test, c.x, c.y, 1);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+}
+
+TEST(Ranking, MidRankAucIsFractional) {
+  // Test item ranks 5th of 10 candidates: 5 negatives below, 4 above.
+  const auto c = descending_scores(10, 4, -1);
+  const RankingMetrics m = evaluate_ranking(c.train, c.test, c.x, c.y, 10);
+  EXPECT_NEAR(m.auc, 5.0 / 9.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.hit_rate, 1.0);  // within top-10
+}
+
+TEST(Ranking, UsersWithoutTestItemsSkipped) {
+  Coo train(3, 5), test(3, 5);
+  train.add(0, 0, 1.0f);
+  test.add(1, 2, 1.0f);  // only user 1 evaluated
+  Matrix x(3, 1, 1.0f), y(5, 1, 1.0f);
+  const RankingMetrics m =
+      evaluate_ranking(coo_to_csr(train), coo_to_csr(test), x, y, 2);
+  EXPECT_EQ(m.evaluated_users, 1);
+}
+
+TEST(Ranking, DcgAtN) {
+  // relevance [1, 0, 1]: dcg = 1/log2(2) + 1/log2(4) = 1 + 0.5.
+  EXPECT_NEAR(dcg_at_n({1, 0, 1}, 3), 1.5, 1e-12);
+  EXPECT_NEAR(dcg_at_n({1, 0, 1}, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dcg_at_n({0, 0, 0}, 3), 0.0);
+}
+
+TEST(Ranking, ShapeChecksThrow) {
+  Matrix x(3, 2), y(5, 2);
+  const Csr train = coo_to_csr(Coo(3, 5));
+  const Csr bad = coo_to_csr(Coo(4, 5));
+  EXPECT_THROW(evaluate_ranking(train, bad, x, y, 3), Error);
+}
+
+TEST(Ranking, RandomFactorsScoreNearChanceAuc) {
+  const Csr train = testing::random_csr(60, 50, 0.1, 90);
+  const Csr test = testing::random_csr(60, 50, 0.05, 91);
+  Matrix x(60, 4), y(50, 4);
+  Rng rng(92);
+  x.fill_uniform(rng, -1, 1);
+  y.fill_uniform(rng, -1, 1);
+  const RankingMetrics m = evaluate_ranking(train, test, x, y, 10);
+  EXPECT_NEAR(m.auc, 0.5, 0.1);  // uninformed ranking
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,77 @@
+#include "recsys/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+Coo planted() {
+  SyntheticSpec spec;
+  spec.users = 200;
+  spec.items = 120;
+  spec.nnz = 7000;
+  spec.planted_rank = 3;
+  spec.noise = 0.15;
+  spec.integer_ratings = false;
+  spec.seed = 180;
+  return generate_synthetic(spec);
+}
+
+TEST(Tuning, EvaluatesEveryGridPointSorted) {
+  TuningGrid grid;
+  grid.ks = {2, 4};
+  grid.lambdas = {0.05f, 0.5f};
+  grid.iterations = 4;
+  const TuningResult r = grid_search(planted(), grid);
+  EXPECT_EQ(r.all.size(), 4u);
+  for (std::size_t i = 1; i < r.all.size(); ++i) {
+    EXPECT_LE(r.all[i - 1].validation_rmse, r.all[i].validation_rmse);
+  }
+  EXPECT_EQ(r.best.k, r.all.front().k);
+  EXPECT_GT(r.best.validation_rmse, 0.0);
+}
+
+TEST(Tuning, PrefersSufficientRankOnPlantedData) {
+  // Planted rank 3: k = 1 must lose to k = 6 on validation.
+  TuningGrid grid;
+  grid.ks = {1, 6};
+  grid.lambdas = {0.05f};
+  grid.iterations = 8;
+  const TuningResult r = grid_search(planted(), grid);
+  EXPECT_EQ(r.best.k, 6);
+}
+
+TEST(Tuning, ExtremeLambdaLoses) {
+  TuningGrid grid;
+  grid.ks = {4};
+  grid.lambdas = {0.05f, 500.0f};  // absurd ridge underfits badly
+  grid.iterations = 6;
+  const TuningResult r = grid_search(planted(), grid);
+  EXPECT_FLOAT_EQ(r.best.lambda, 0.05f);
+}
+
+TEST(Tuning, DeterministicInSeed) {
+  TuningGrid grid;
+  grid.ks = {3};
+  grid.lambdas = {0.1f};
+  grid.iterations = 3;
+  ThreadPool pool(1);
+  const TuningResult a = grid_search(planted(), grid, &pool);
+  const TuningResult b = grid_search(planted(), grid, &pool);
+  EXPECT_DOUBLE_EQ(a.best.validation_rmse, b.best.validation_rmse);
+}
+
+TEST(Tuning, InvalidGridRejected) {
+  TuningGrid empty;
+  empty.ks = {};
+  EXPECT_THROW(grid_search(planted(), empty), Error);
+  TuningGrid bad_frac;
+  bad_frac.validation_fraction = 0.0;
+  EXPECT_THROW(grid_search(planted(), bad_frac), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

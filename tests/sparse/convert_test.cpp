@@ -1,0 +1,90 @@
+#include "sparse/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+using Shape = std::tuple<index_t, index_t, double, std::uint64_t>;
+
+class ConvertRoundTrip : public ::testing::TestWithParam<Shape> {
+ protected:
+  Coo input() const {
+    auto [rows, cols, density, seed] = GetParam();
+    return testing::random_coo(rows, cols, density, seed);
+  }
+};
+
+TEST_P(ConvertRoundTrip, CooToCsrToCoo) {
+  const Coo coo = input();
+  const Coo back = csr_to_coo(coo_to_csr(coo));
+  EXPECT_EQ(coo.entries(), back.entries());
+  EXPECT_EQ(coo.rows(), back.rows());
+  EXPECT_EQ(coo.cols(), back.cols());
+}
+
+TEST_P(ConvertRoundTrip, CsrToCscToCsr) {
+  const Csr csr = coo_to_csr(input());
+  const Csr back = csc_to_csr(csr_to_csc(csr));
+  EXPECT_EQ(csr, back);
+}
+
+TEST_P(ConvertRoundTrip, DoubleTransposeIsIdentity) {
+  const Csr csr = coo_to_csr(input());
+  EXPECT_EQ(csr, transpose(transpose(csr)));
+}
+
+TEST_P(ConvertRoundTrip, TransposeSwapsEntryCoordinates) {
+  const Csr csr = coo_to_csr(input());
+  const Csr t = transpose(csr);
+  EXPECT_EQ(t.rows(), csr.cols());
+  EXPECT_EQ(t.cols(), csr.rows());
+  EXPECT_EQ(t.nnz(), csr.nnz());
+  const Coo coo = csr_to_coo(csr);
+  for (const auto& e : coo.entries()) {
+    EXPECT_FLOAT_EQ(t.at(e.col, e.row), e.value);
+  }
+}
+
+TEST_P(ConvertRoundTrip, CscMatchesDirectConstruction) {
+  const Coo coo = input();
+  const Csc via_coo = coo_to_csc(coo);
+  const Csc via_csr = csr_to_csc(coo_to_csr(coo));
+  EXPECT_EQ(via_coo, via_csr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvertRoundTrip,
+    ::testing::Values(Shape{1, 1, 1.0, 1}, Shape{5, 5, 0.0, 2},
+                      Shape{10, 3, 0.4, 3}, Shape{3, 10, 0.4, 4},
+                      Shape{40, 40, 0.05, 5}, Shape{17, 23, 0.8, 6},
+                      Shape{64, 1, 0.5, 7}, Shape{1, 64, 0.5, 8}));
+
+TEST(Convert, UnsortedCooStillYieldsCanonicalCsr) {
+  Coo coo(3, 3);
+  coo.add(2, 2, 1.0f);
+  coo.add(0, 2, 2.0f);
+  coo.add(0, 0, 3.0f);
+  coo.add(1, 1, 4.0f);  // deliberately unsorted
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_TRUE(csr.check_invariants());
+  EXPECT_FLOAT_EQ(csr.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(csr.at(0, 2), 2.0f);
+}
+
+TEST(Convert, EmptyMatrix) {
+  Coo coo(4, 6);
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_TRUE(csr.check_invariants());
+  const Csc csc = csr_to_csc(csr);
+  EXPECT_EQ(csc.nnz(), 0);
+  EXPECT_TRUE(csc.check_invariants());
+}
+
+}  // namespace
+}  // namespace alsmf

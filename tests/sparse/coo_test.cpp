@@ -1,0 +1,89 @@
+#include "sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alsmf {
+namespace {
+
+TEST(Coo, EmptyMatrix) {
+  Coo coo(3, 4);
+  EXPECT_EQ(coo.rows(), 3);
+  EXPECT_EQ(coo.cols(), 4);
+  EXPECT_EQ(coo.nnz(), 0);
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Coo, AddAndRead) {
+  Coo coo(2, 2);
+  coo.add(0, 1, 3.5f);
+  coo.add(1, 0, -1.0f);
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 1, 3.5f}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{1, 0, -1.0f}));
+}
+
+TEST(Coo, AddOutOfRangeThrows) {
+  Coo coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0f), Error);
+  EXPECT_THROW(coo.add(0, 2, 1.0f), Error);
+  EXPECT_THROW(coo.add(-1, 0, 1.0f), Error);
+}
+
+TEST(Coo, SortRowMajor) {
+  Coo coo(3, 3);
+  coo.add(2, 0, 1.0f);
+  coo.add(0, 2, 2.0f);
+  coo.add(0, 1, 3.0f);
+  coo.add(1, 1, 4.0f);
+  coo.sort_row_major();
+  EXPECT_TRUE(coo.is_canonical());
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 1, 3.0f}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{0, 2, 2.0f}));
+  EXPECT_EQ(coo.entries()[2], (Triplet{1, 1, 4.0f}));
+  EXPECT_EQ(coo.entries()[3], (Triplet{2, 0, 1.0f}));
+}
+
+TEST(Coo, DedupKeepsLastValue) {
+  Coo coo(2, 2);
+  coo.add(0, 0, 1.0f);
+  coo.add(0, 0, 2.0f);
+  coo.add(0, 1, 3.0f);
+  coo.sort_row_major();
+  coo.dedup_keep_last();
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0].value, 2.0f);  // last write wins
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Coo, IsCanonicalDetectsDuplicates) {
+  Coo coo(2, 2);
+  coo.add(0, 0, 1.0f);
+  coo.add(0, 0, 2.0f);
+  EXPECT_FALSE(coo.is_canonical());
+}
+
+TEST(Coo, IsCanonicalDetectsDisorder) {
+  Coo coo(2, 2);
+  coo.add(1, 0, 1.0f);
+  coo.add(0, 0, 2.0f);
+  EXPECT_FALSE(coo.is_canonical());
+}
+
+TEST(Coo, SortIsStableForDuplicates) {
+  Coo coo(1, 1);
+  coo.add(0, 0, 1.0f);
+  coo.add(0, 0, 2.0f);
+  coo.sort_row_major();
+  // Stable sort keeps insertion order; dedup then keeps the later value.
+  coo.dedup_keep_last();
+  EXPECT_EQ(coo.entries()[0].value, 2.0f);
+}
+
+TEST(Coo, ReserveDoesNotChangeSize) {
+  Coo coo(10, 10);
+  coo.reserve(100);
+  EXPECT_EQ(coo.nnz(), 0);
+}
+
+}  // namespace
+}  // namespace alsmf

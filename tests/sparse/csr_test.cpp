@@ -1,0 +1,108 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+// The paper's Fig. 2 example: 4x4 matrix with 5 stored ratings.
+Csr fig2_matrix() {
+  Coo coo(4, 4);
+  coo.add(0, 1, 5.0f);
+  coo.add(1, 0, 2.0f);
+  coo.add(1, 3, 4.0f);
+  coo.add(2, 2, 3.0f);
+  coo.add(3, 1, 1.0f);
+  return coo_to_csr(coo);
+}
+
+TEST(Csr, Fig2Layout) {
+  const Csr csr = fig2_matrix();
+  EXPECT_EQ(csr.nnz(), 5);
+  const aligned_vector<nnz_t> expected_ptr = {0, 1, 3, 4, 5};
+  EXPECT_EQ(csr.row_ptr(), expected_ptr);
+  const aligned_vector<index_t> expected_idx = {1, 0, 3, 2, 1};
+  EXPECT_EQ(csr.col_idx(), expected_idx);
+}
+
+TEST(Csr, RowAccessors) {
+  const Csr csr = fig2_matrix();
+  EXPECT_EQ(csr.row_nnz(0), 1);
+  EXPECT_EQ(csr.row_nnz(1), 2);
+  auto cols = csr.row_cols(1);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 3);
+  auto vals = csr.row_values(1);
+  EXPECT_FLOAT_EQ(vals[0], 2.0f);
+  EXPECT_FLOAT_EQ(vals[1], 4.0f);
+}
+
+TEST(Csr, AtReturnsStoredOrZero) {
+  const Csr csr = fig2_matrix();
+  EXPECT_FLOAT_EQ(csr.at(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(csr.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(csr.at(3, 1), 1.0f);
+}
+
+TEST(Csr, AtBoundsChecked) {
+  const Csr csr = fig2_matrix();
+  EXPECT_THROW(csr.at(4, 0), Error);
+  EXPECT_THROW(csr.at(0, 4), Error);
+}
+
+TEST(Csr, InvariantsHoldForRandom) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    EXPECT_TRUE(testing::random_csr(20, 30, 0.2, seed).check_invariants());
+  }
+}
+
+TEST(Csr, ConstructorRejectsBadArrays) {
+  // row_ptr not ending at nnz.
+  EXPECT_THROW(Csr(2, 2, {0, 1, 3}, {0, 1}, {1.0f, 2.0f}), Error);
+  // column out of range.
+  EXPECT_THROW(Csr(2, 2, {0, 1, 2}, {0, 5}, {1.0f, 2.0f}), Error);
+  // non-monotone row_ptr.
+  EXPECT_THROW(Csr(2, 2, {0, 2, 1}, {0, 1}, {1.0f, 2.0f}), Error);
+  // unsorted columns within a row.
+  EXPECT_THROW(Csr(1, 3, {0, 2}, {2, 0}, {1.0f, 2.0f}), Error);
+}
+
+TEST(Csr, EmptyRowsAllowed) {
+  Coo coo(3, 3);
+  coo.add(1, 1, 1.0f);
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.row_nnz(0), 0);
+  EXPECT_EQ(csr.row_nnz(1), 1);
+  EXPECT_EQ(csr.row_nnz(2), 0);
+  EXPECT_TRUE(csr.row_cols(0).empty());
+}
+
+TEST(Csc, ColumnAccessors) {
+  const Csc csc = coo_to_csc(csr_to_coo(fig2_matrix()));
+  EXPECT_EQ(csc.col_nnz(1), 2);  // rows 0 and 3
+  auto rows = csc.col_rows(1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0);
+  EXPECT_EQ(rows[1], 3);
+  auto vals = csc.col_values(1);
+  EXPECT_FLOAT_EQ(vals[0], 5.0f);
+  EXPECT_FLOAT_EQ(vals[1], 1.0f);
+}
+
+TEST(Csc, InvariantsHold) {
+  const Csc csc = coo_to_csc(testing::random_coo(25, 15, 0.3, 7));
+  EXPECT_TRUE(csc.check_invariants());
+}
+
+TEST(Csr, EqualityOperator) {
+  EXPECT_EQ(fig2_matrix(), fig2_matrix());
+  Csr other = testing::random_csr(4, 4, 0.5, 1);
+  EXPECT_NE(fig2_matrix(), other);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/io.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment line\n"
+      "3 4 2\n"
+      "1 2 3.5\n"
+      "3 4 -1\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.rows(), 3);
+  EXPECT_EQ(coo.cols(), 4);
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 1, 3.5f}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{2, 3, -1.0f}));
+}
+
+TEST(MatrixMarket, PatternEntriesGetValueOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "2 1\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.entries()[0], (Triplet{1, 0, 1.0f}));
+}
+
+TEST(MatrixMarket, SymmetricExpands) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 7\n");
+  const Coo coo = read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 3);  // (1,0), (0,1) mirrored, (2,2) diagonal once
+  EXPECT_FLOAT_EQ(coo.entries()[0].value, 5.0f);  // (0,1)
+  EXPECT_EQ(coo.entries()[2], (Triplet{2, 2, 7.0f}));
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const Coo coo = testing::random_coo(12, 9, 0.3, 190);
+  std::stringstream s;
+  write_matrix_market(s, coo);
+  const Coo back = read_matrix_market(s);
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (std::size_t i = 0; i < coo.entries().size(); ++i) {
+    EXPECT_EQ(back.entries()[i].row, coo.entries()[i].row);
+    EXPECT_EQ(back.entries()[i].col, coo.entries()[i].col);
+    EXPECT_NEAR(back.entries()[i].value, coo.entries()[i].value, 1e-4);
+  }
+}
+
+TEST(MatrixMarket, RejectsBadHeader) {
+  std::istringstream a("not a header\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(a), Error);
+  std::istringstream b("%%MatrixMarket matrix array real general\n");
+  EXPECT_THROW(read_matrix_market(b), Error);
+  std::istringstream c("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(c), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedBody) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 1\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const Coo coo = testing::random_coo(6, 6, 0.4, 191);
+  const std::string path = ::testing::TempDir() + "/alsmf_mm.mtx";
+  write_matrix_market_file(path, coo);
+  const Coo back = read_matrix_market_file(path);
+  EXPECT_EQ(back.nnz(), coo.nnz());
+  EXPECT_THROW(read_matrix_market_file("/nonexistent.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace alsmf

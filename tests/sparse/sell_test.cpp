@@ -1,0 +1,95 @@
+#include "sparse/sell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/synthetic.hpp"
+#include "sparse/convert.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+using SellParam = std::tuple<int, int>;  // C, sigma/C
+
+class SellRoundTrip : public ::testing::TestWithParam<SellParam> {};
+
+TEST_P(SellRoundTrip, CsrRoundTripExact) {
+  auto [c, sigma_mult] = GetParam();
+  for (std::uint64_t seed : {1u, 2u}) {
+    const Csr csr = testing::random_csr(70, 50, 0.12, seed + 130);
+    const SellMatrix sell(csr, c, c * sigma_mult);
+    EXPECT_EQ(sell.to_csr(), csr) << "C=" << c << " sigma=" << c * sigma_mult;
+  }
+}
+
+TEST_P(SellRoundTrip, PaddingFactorAtLeastOne) {
+  auto [c, sigma_mult] = GetParam();
+  const Csr csr = testing::random_csr(64, 40, 0.1, 140);
+  const SellMatrix sell(csr, c, c * sigma_mult);
+  EXPECT_GE(sell.padding_factor(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SellRoundTrip,
+                         ::testing::Values(SellParam{4, 1}, SellParam{8, 1},
+                                           SellParam{32, 1}, SellParam{8, 4},
+                                           SellParam{32, 8}));
+
+TEST(Sell, LargerSigmaNeverIncreasesPadding) {
+  // A wider sorting window can only improve the slice packing.
+  SyntheticSpec spec;
+  spec.users = 512;
+  spec.items = 256;
+  spec.nnz = 8000;
+  spec.user_alpha = 1.0;
+  spec.seed = 141;
+  const Csr csr = coo_to_csr(generate_synthetic(spec));
+  const SellMatrix narrow(csr, 32, 32);
+  const SellMatrix wide(csr, 32, 512);
+  EXPECT_LE(wide.padding_factor(), narrow.padding_factor());
+  // On skewed data the gain is substantial.
+  EXPECT_LT(wide.padding_factor(), narrow.padding_factor() * 0.9);
+}
+
+TEST(Sell, SliceWidthIsMaxLaneLength) {
+  const Csr csr = testing::random_csr(40, 30, 0.2, 142);
+  const SellMatrix sell(csr, 8, 8);
+  for (index_t s = 0; s < sell.num_slices(); ++s) {
+    nnz_t mx = 0;
+    for (int lane = 0; lane < sell.c(); ++lane) {
+      mx = std::max(mx, sell.lane_length(s, lane));
+    }
+    EXPECT_EQ(sell.slice_width(s), mx);
+  }
+}
+
+TEST(Sell, TailSliceHandlesMissingRows) {
+  // 10 rows with C = 8: second slice has 6 padded lanes.
+  const Csr csr = testing::random_csr(10, 10, 0.4, 143);
+  const SellMatrix sell(csr, 8, 8);
+  EXPECT_EQ(sell.num_slices(), 2);
+  int missing = 0;
+  for (int lane = 0; lane < 8; ++lane) {
+    if (sell.row_of(1, lane) < 0) ++missing;
+  }
+  EXPECT_EQ(missing, 6);
+  EXPECT_EQ(sell.to_csr(), csr);
+}
+
+TEST(Sell, InvalidParamsRejected) {
+  const Csr csr = testing::random_csr(8, 8, 0.3, 144);
+  EXPECT_THROW(SellMatrix(csr, 0, 8), Error);
+  EXPECT_THROW(SellMatrix(csr, 8, 4), Error);   // sigma < C
+  EXPECT_THROW(SellMatrix(csr, 8, 12), Error);  // not a multiple
+}
+
+TEST(Sell, EmptyMatrix) {
+  const Csr csr = coo_to_csr(Coo(5, 5));
+  const SellMatrix sell(csr, 4, 4);
+  EXPECT_EQ(sell.padded_size(), 0);
+  EXPECT_EQ(sell.to_csr().nnz(), 0);
+}
+
+}  // namespace
+}  // namespace alsmf
