@@ -1,0 +1,253 @@
+// Closed-loop serving throughput: batched RecommendService vs the naive
+// one-request-per-solve path, on a synthetic MovieLens-shaped model under a
+// Zipf-distributed user stream (hot repeat users, cold fold-in users).
+//
+//   bench_serve_throughput [--users N] [--items N] [--k K] [--requests N]
+//     [--clients N] [--batch N] [--max-wait-us U] [--cache N]
+//     [--foldin-pct P] [--zipf A] [--topn N] [--seed S] [--smoke]
+//
+// Each mode replays the same request schedule with `clients` closed-loop
+// threads (a client issues its next request as soon as the previous answer
+// lands). The first 10% of the stream warms the cache and is not measured.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "recsys/batch_score.hpp"
+#include "recsys/fold_in.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace alsmf;
+using serve::ModelSnapshot;
+using serve::RecommendService;
+
+struct Config {
+  index_t users = 6040;   // MovieLens-1M shape
+  index_t items = 3706;
+  int k = 16;
+  std::size_t requests = 60000;
+  int clients = 8;
+  std::size_t max_batch = 64;
+  long max_wait_us = 50;
+  std::size_t cache = 4096;
+  int foldin_pct = 5;
+  double zipf = 1.05;
+  int topn = 10;
+  std::uint64_t seed = 42;
+  real lambda = 0.1f;
+};
+
+struct Request {
+  bool foldin = false;
+  index_t user = 0;                 // top-N request
+  std::vector<index_t> fold_items;  // fold-in request
+  std::vector<real> fold_ratings;
+};
+
+std::vector<Request> make_schedule(const Config& config) {
+  Rng rng(config.seed);
+  const ZipfSampler user_zipf(static_cast<std::uint64_t>(config.users),
+                              config.zipf);
+  std::vector<Request> schedule(config.requests);
+  for (auto& request : schedule) {
+    if (static_cast<int>(rng.bounded(100)) < config.foldin_pct) {
+      request.foldin = true;
+      // A cold user with ~10 distinct rated items.
+      const std::size_t count = 5 + rng.bounded(10);
+      std::vector<index_t> items;
+      while (items.size() < count) {
+        const auto item =
+            static_cast<index_t>(rng.bounded(static_cast<std::uint64_t>(config.items)));
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          items.push_back(item);
+        }
+      }
+      request.fold_items = std::move(items);
+      for (std::size_t i = 0; i < count; ++i) {
+        request.fold_ratings.push_back(
+            static_cast<real>(1 + rng.bounded(5)));
+      }
+    } else {
+      request.user = static_cast<index_t>(user_zipf(rng));
+    }
+  }
+  return schedule;
+}
+
+std::shared_ptr<ModelSnapshot> make_model(const Config& config) {
+  Rng rng(config.seed ^ 0xfac70ULL);
+  Matrix x(config.users, config.k), y(config.items, config.k);
+  x.fill_uniform(rng, -0.5f, 0.5f);
+  y.fill_uniform(rng, -0.5f, 0.5f);
+  return serve::snapshot_from_factors(std::move(x), std::move(y), config.lambda);
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::size_t measured = 0;
+  Histogram latency_us{0.5, 1.25, 64};
+  double cache_hit_rate = 0;
+  double mean_batch = 0;
+};
+
+/// Replays `schedule` with closed-loop clients; `issue` executes one request
+/// and blocks until its answer is ready.
+template <class Issue>
+RunResult run_clients(const Config& config, const std::vector<Request>& schedule,
+                      std::size_t warmup, Issue issue) {
+  RunResult result;
+  // Warmup phase: fill caches, spin up threads; not measured.
+  {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::jthread> clients;
+    for (int c = 0; c < config.clients; ++c) {
+      clients.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < warmup;
+             i = next.fetch_add(1)) {
+          issue(schedule[i]);
+        }
+      });
+    }
+  }
+  // Measured phase.
+  std::vector<Histogram> per_client(
+      static_cast<std::size_t>(config.clients), Histogram(0.5, 1.25, 64));
+  std::atomic<std::size_t> next{warmup};
+  const Timer wall;
+  {
+    std::vector<std::jthread> clients;
+    for (int c = 0; c < config.clients; ++c) {
+      clients.emplace_back([&, c] {
+        Histogram& h = per_client[static_cast<std::size_t>(c)];
+        for (std::size_t i = next.fetch_add(1); i < schedule.size();
+             i = next.fetch_add(1)) {
+          const Timer t;
+          issue(schedule[i]);
+          h.add(t.seconds() * 1e6);
+        }
+      });
+    }
+  }
+  result.seconds = wall.seconds();
+  for (const auto& h : per_client) result.latency_us.merge(h);
+  result.measured = result.latency_us.count();
+  return result;
+}
+
+RunResult run_naive(const Config& config, const std::vector<Request>& schedule,
+                    std::size_t warmup,
+                    const std::shared_ptr<ModelSnapshot>& model) {
+  return run_clients(config, schedule, warmup, [&](const Request& request) {
+    if (request.foldin) {
+      const auto factor = fold_in_user(model->y, request.fold_items,
+                                       request.fold_ratings, model->lambda);
+      std::vector<index_t> exclude = request.fold_items;
+      std::sort(exclude.begin(), exclude.end());
+      const auto top = topn_from_factor(factor, model->y, config.topn, nullptr,
+                                        -1, exclude);
+      if (top.empty()) std::abort();
+    } else {
+      const auto top =
+          topn_from_factor(model->x.row(request.user), model->y, config.topn);
+      if (top.empty()) std::abort();
+    }
+  });
+}
+
+RunResult run_batched(const Config& config,
+                      const std::vector<Request>& schedule, std::size_t warmup,
+                      const std::shared_ptr<ModelSnapshot>& model) {
+  serve::ServiceOptions options;
+  options.max_batch = config.max_batch;
+  options.max_wait_us = config.max_wait_us;
+  options.cache_capacity = config.cache;
+  RecommendService service(std::make_shared<ModelSnapshot>(*model), options);
+  auto result = run_clients(config, schedule, warmup, [&](const Request& request) {
+    if (request.foldin) {
+      const auto r =
+          service.fold_in(request.fold_items, request.fold_ratings, config.topn);
+      if (r.topn.empty()) std::abort();
+    } else {
+      const auto r = service.topn(request.user, config.topn);
+      if (r.topn.empty()) std::abort();
+    }
+  });
+  result.cache_hit_rate = service.cache_stats().hit_rate();
+  result.mean_batch = service.metrics().mean_batch_size();
+  std::printf("# serve stats: %s\n", service.stats_json().c_str());
+  return result;
+}
+
+void print_row(const char* mode, const RunResult& r) {
+  std::printf("%-8s %9zu %8.3f %9.0f %8.1f %8.1f %8.1f %9.3f %10.1f\n", mode,
+              r.measured, r.seconds,
+              static_cast<double>(r.measured) / r.seconds,
+              r.latency_us.percentile(0.50), r.latency_us.percentile(0.95),
+              r.latency_us.percentile(0.99), r.cache_hit_rate, r.mean_batch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  Config config;
+  if (args.has_flag("smoke")) {
+    config.users = 800;
+    config.items = 400;
+    config.k = 8;
+    config.requests = 4000;
+    config.clients = 2;
+  }
+  config.users = args.get_long("users", config.users);
+  config.items = args.get_long("items", config.items);
+  config.k = static_cast<int>(args.get_long("k", config.k));
+  config.requests =
+      static_cast<std::size_t>(args.get_long("requests", static_cast<long>(config.requests)));
+  config.clients = static_cast<int>(args.get_long("clients", config.clients));
+  config.max_batch =
+      static_cast<std::size_t>(args.get_long("batch", static_cast<long>(config.max_batch)));
+  config.max_wait_us = args.get_long("max-wait-us", config.max_wait_us);
+  config.cache =
+      static_cast<std::size_t>(args.get_long("cache", static_cast<long>(config.cache)));
+  config.foldin_pct = static_cast<int>(args.get_long("foldin-pct", config.foldin_pct));
+  config.zipf = args.get_double("zipf", config.zipf);
+  config.topn = static_cast<int>(args.get_long("topn", config.topn));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+
+  std::printf(
+      "# serving throughput: %lld users x %lld items, k=%d, %zu requests "
+      "(%d%% fold-in, zipf %.2f), %d closed-loop clients\n",
+      static_cast<long long>(config.users), static_cast<long long>(config.items),
+      config.k, config.requests, config.foldin_pct, config.zipf,
+      config.clients);
+  std::printf("# batched: max_batch=%zu max_wait=%ldus cache=%zu\n",
+              config.max_batch, config.max_wait_us, config.cache);
+
+  const auto schedule = make_schedule(config);
+  const auto model = make_model(config);
+  const std::size_t warmup = config.requests / 10;
+
+  std::printf("%-8s %9s %8s %9s %8s %8s %8s %9s %10s\n", "mode", "requests",
+              "seconds", "qps", "p50_us", "p95_us", "p99_us", "cache_hit",
+              "mean_batch");
+  const auto naive = run_naive(config, schedule, warmup, model);
+  print_row("naive", naive);
+  const auto batched = run_batched(config, schedule, warmup, model);
+  print_row("batched", batched);
+
+  const double naive_qps = static_cast<double>(naive.measured) / naive.seconds;
+  const double batched_qps =
+      static_cast<double>(batched.measured) / batched.seconds;
+  std::printf("# speedup: %.2fx (batched vs naive QPS)\n",
+              batched_qps / naive_qps);
+  return 0;
+}

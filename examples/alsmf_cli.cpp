@@ -10,20 +10,25 @@
 //   alsmf_cli shard     --ratings r.txt --out dir [--max-nnz 1000000]
 //   alsmf_cli train-ooc --shards dir --model m.bin [--k 10] [--iters 10]
 //   alsmf_cli rank      --model m.bin --train r.txt --test t.txt [--n 10]
+//   alsmf_cli serve     --model m.bin [--batch 64] [--max-wait-us 200]
+//                       [--cache 4096] [--lambda 0.1]
 //   alsmf_cli devices   [--profile file]
 //
 // Ratings files use the paper's `<userID, itemID, rating>` text format.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "als/learned_select.hpp"
 #include "als/out_of_core.hpp"
 #include "als/variant_select.hpp"
 #include "recsys/ranking.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "devsim/profile_io.hpp"
 #include "recsys/recommender.hpp"
 #include "recsys/tuning.hpp"
+#include "serve/service.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/io.hpp"
 
@@ -242,6 +247,94 @@ int cmd_rank(const CliArgs& args) {
   return 0;
 }
 
+// Interactive serving loop over a RecommendService. Commands on stdin:
+//   rec U [N]                  top-N for user U
+//   predict U I                predicted rating for (U, I)
+//   foldin I:R [I:R ...]       fold in a new user from item:rating pairs
+//   swap PATH                  hot-swap to the model at PATH (zero downtime)
+//   stats                      print the serving metrics JSON
+//   quit                       exit (stats are printed on exit too)
+int cmd_serve(const CliArgs& args) {
+  const auto model_path = args.get("model");
+  if (!model_path) {
+    std::cerr << "serve requires --model\n";
+    return 2;
+  }
+  const real lambda = static_cast<real>(args.get_double("lambda", 0.1));
+  serve::ServiceOptions options;
+  options.max_batch =
+      static_cast<std::size_t>(args.get_long("batch", 64));
+  options.max_wait_us = args.get_long("max-wait-us", 200);
+  options.cache_capacity =
+      static_cast<std::size_t>(args.get_long("cache", 4096));
+
+  const Recommender rec = Recommender::load_file(*model_path);
+  serve::RecommendService service(serve::snapshot_from_recommender(rec, lambda),
+                                  options);
+  std::cout << "serving " << rec.users() << " users x " << rec.items()
+            << " items (model v" << service.model_version() << "); "
+            << "commands: rec, predict, foldin, swap, stats, quit\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+    try {
+      if (cmd == "rec") {
+        index_t user = 0;
+        int n = 10;
+        in >> user >> n;
+        const auto result = service.topn(user, n);
+        for (const auto& r : result.topn) {
+          std::cout << r.item << "\t" << r.score << "\n";
+        }
+        std::cout << "# model v" << result.model_version
+                  << (result.cache_hit ? " (cached)" : "") << "\n";
+      } else if (cmd == "predict") {
+        index_t user = 0, item = 0;
+        in >> user >> item;
+        const auto result = service.predict(user, item);
+        std::cout << result.score << "\t# model v" << result.model_version
+                  << "\n";
+      } else if (cmd == "foldin") {
+        std::vector<index_t> items;
+        std::vector<real> ratings;
+        std::string pair;
+        while (in >> pair) {
+          const auto colon = pair.find(':');
+          ALSMF_CHECK_MSG(colon != std::string::npos,
+                          "foldin expects item:rating pairs");
+          items.push_back(std::stoll(pair.substr(0, colon)));
+          ratings.push_back(std::stof(pair.substr(colon + 1)));
+        }
+        const auto result = service.fold_in(items, ratings, 10);
+        for (const auto& r : result.topn) {
+          std::cout << r.item << "\t" << r.score << "\n";
+        }
+        std::cout << "# model v" << result.model_version << "\n";
+      } else if (cmd == "swap") {
+        std::string path;
+        in >> path;
+        const Recommender next = Recommender::load_file(path);
+        service.swap_model(serve::snapshot_from_recommender(next, lambda));
+        std::cout << "# swapped to model v" << service.model_version() << " ("
+                  << path << ")\n";
+      } else if (cmd == "stats") {
+        std::cout << service.stats_json() << "\n";
+      } else if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else {
+        std::cout << "# unknown command: " << cmd << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "# error: " << e.what() << "\n";
+    }
+  }
+  std::cout << service.stats_json() << "\n";
+  return 0;
+}
+
 int cmd_devices(const CliArgs& args) {
   if (auto path = args.get("profile")) {
     const auto p = devsim::read_profile_file(*path);
@@ -267,7 +360,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   if (args.positional().empty()) {
     std::cerr << "usage: alsmf_cli <train|predict|recommend|evaluate|tune|"
-                 "shard|train-ooc|rank|devices> [options]\n";
+                 "shard|train-ooc|rank|serve|devices> [options]\n";
     return 2;
   }
   const std::string& cmd = args.positional().front();
@@ -280,6 +373,7 @@ int main(int argc, char** argv) {
     if (cmd == "shard") return cmd_shard(args);
     if (cmd == "train-ooc") return cmd_train_ooc(args);
     if (cmd == "rank") return cmd_rank(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "devices") return cmd_devices(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;

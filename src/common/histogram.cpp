@@ -1,0 +1,108 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+Histogram::Histogram(double min_value, double growth, int buckets)
+    : min_value_(min_value),
+      growth_(growth),
+      counts_(static_cast<std::size_t>(buckets) + 2, 0) {
+  ALSMF_CHECK(min_value > 0.0);
+  ALSMF_CHECK(growth > 1.0);
+  ALSMF_CHECK(buckets >= 1);
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (value < min_value_) return 0;  // underflow
+  const double pos = std::log(value / min_value_) / std::log(growth_);
+  const auto i = static_cast<std::size_t>(pos);
+  const std::size_t regular = counts_.size() - 2;
+  if (i >= regular) return counts_.size() - 1;  // overflow
+  return i + 1;
+}
+
+double Histogram::bucket_lower(std::size_t index) const {
+  if (index == 0) return 0.0;
+  return min_value_ * std::pow(growth_, static_cast<double>(index - 1));
+}
+
+double Histogram::bucket_upper(std::size_t index) const {
+  if (index == 0) return min_value_;
+  if (index == counts_.size() - 1) return max_;
+  return min_value_ * std::pow(growth_, static_cast<double>(index));
+}
+
+void Histogram::add(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // clamp negatives and NaN
+  ++counts_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  ALSMF_CHECK_MSG(counts_.size() == other.counts_.size() &&
+                      min_value_ == other.min_value_ && growth_ == other.growth_,
+                  "merging histograms with different bucket layouts");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  min_ = count_ ? std::min(min_, other.min_) : other.min_;
+  max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= target) {
+      const double lo = std::max(bucket_lower(i), min_);
+      const double hi = std::min(bucket_upper(i), max_);
+      if (hi <= lo) return lo;
+      if (target >= count_) return hi;  // global max rank: exact maximum
+      if (counts_[i] == 1) return lo;
+      // Linear interpolation across the bucket by within-bucket rank.
+      const double frac = static_cast<double>(target - seen - 1) /
+                          static_cast<double>(counts_[i] - 1);
+      return lo + frac * (hi - lo);
+    }
+    seen += counts_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::summary_json() const {
+  std::ostringstream out;
+  out << "{\"count\":" << count_ << ",\"mean\":" << mean()
+      << ",\"min\":" << min() << ",\"max\":" << max()
+      << ",\"p50\":" << percentile(0.50) << ",\"p90\":" << percentile(0.90)
+      << ",\"p95\":" << percentile(0.95) << ",\"p99\":" << percentile(0.99)
+      << "}";
+  return out.str();
+}
+
+}  // namespace alsmf

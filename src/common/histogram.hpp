@@ -1,0 +1,56 @@
+// Log-bucketed histogram for latency/size distributions.
+//
+// Buckets grow geometrically from `min_value`, so one histogram covers
+// microsecond queue waits and second-long stalls with bounded memory and
+// ~`growth`-relative quantile error. Not thread-safe: callers that share a
+// histogram across threads (serve::ServeMetrics) must lock around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alsmf {
+
+class Histogram {
+ public:
+  /// Bucket i spans [min_value·growth^i, min_value·growth^(i+1)); values
+  /// below min_value land in an underflow bucket, values beyond the last
+  /// edge in an overflow bucket (both participate in percentiles).
+  explicit Histogram(double min_value = 1.0, double growth = 1.25,
+                     int buckets = 96);
+
+  void add(double value);
+  void merge(const Histogram& other);  ///< requires identical bucket layout
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+
+  /// Value at quantile p in [0, 1] (p50 => 0.5). Interpolates linearly
+  /// inside the containing bucket; exact for the recorded min and max.
+  double percentile(double p) const;
+
+  /// Compact JSON object: {"count":..,"mean":..,"min":..,"max":..,
+  /// "p50":..,"p90":..,"p95":..,"p99":..}.
+  std::string summary_json() const;
+
+ private:
+  std::size_t bucket_index(double value) const;
+  double bucket_lower(std::size_t index) const;
+  double bucket_upper(std::size_t index) const;
+
+  double min_value_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;  // [under, b0..bN-1, over]
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace alsmf

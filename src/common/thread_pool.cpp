@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t, unsigned)>& fn) {
-  if (begin >= end) return;
+  if (begin >= end) return;  // empty/reversed ranges: documented no-op
   const std::size_t n = end - begin;
   // Small ranges: run inline, skip synchronization entirely.
   if (n == 1 || workers_.size() == 1) {

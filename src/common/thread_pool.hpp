@@ -29,6 +29,12 @@ class ThreadPool {
   /// Runs fn(begin..end) partitioned into per-worker contiguous chunks and
   /// blocks until every chunk completes. fn receives (chunk_begin, chunk_end,
   /// worker_index). Exceptions from workers are rethrown on the caller.
+  ///
+  /// Degenerate ranges are safe by contract, not caller discipline: an
+  /// empty range (begin == end) and a reversed one (end < begin) are both
+  /// no-ops — fn is never invoked and no worker synchronization happens.
+  /// Callers that batch variable-size work (e.g. the serve micro-batcher
+  /// draining zero fold-ins) rely on this.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t, unsigned)>& fn);
 

@@ -1,0 +1,71 @@
+#include "recsys/batch_score.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/vecops.hpp"
+
+namespace alsmf {
+
+std::vector<Recommendation> topn_from_factor(std::span<const real> factor,
+                                             const Matrix& y, int n,
+                                             const BiasModel* bias,
+                                             index_t user,
+                                             std::span<const index_t> exclude) {
+  ALSMF_CHECK(n >= 0);
+  ALSMF_CHECK_MSG(static_cast<index_t>(factor.size()) == y.cols(),
+                  "factor length does not match item factor rank");
+
+  std::vector<Recommendation> heap;  // min-heap of the current top-n
+  heap.reserve(static_cast<std::size_t>(n) + 1);
+  auto cmp = [](const Recommendation& a, const Recommendation& b) {
+    return a.score > b.score;  // min-heap by score
+  };
+
+  const auto k = factor.size();
+  const bool user_bias = bias && user >= 0;
+  std::size_t excl_pos = 0;
+  for (index_t i = 0; i < y.rows(); ++i) {
+    // `exclude` is sorted: advance a single cursor.
+    while (excl_pos < exclude.size() && exclude[excl_pos] < i) ++excl_pos;
+    if (excl_pos < exclude.size() && exclude[excl_pos] == i) continue;
+    real score = vdot(factor.data(), y.row(i).data(), k);
+    if (user_bias) {
+      score = bias->combine(user, i, score);
+    } else if (bias) {
+      score += bias->global_mean() + bias->item_bias(i);
+    }
+    if (static_cast<int>(heap.size()) < n) {
+      heap.push_back({i, score});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (n > 0 && score > heap.front().score) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {i, score};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  // sort_heap with a greater-than comparator yields descending scores.
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+std::vector<std::vector<Recommendation>> topn_from_factors_batch(
+    const real* factors, std::size_t count, const Matrix& y, int n,
+    ThreadPool* pool, const BiasModel* bias, const index_t* users,
+    const std::vector<std::vector<index_t>>* excludes) {
+  ALSMF_CHECK(excludes == nullptr || excludes->size() == count);
+  if (!pool) pool = &ThreadPool::global();
+  const auto k = static_cast<std::size_t>(y.cols());
+  std::vector<std::vector<Recommendation>> result(count);
+  pool->parallel_for(0, count, [&](std::size_t b, std::size_t e, unsigned) {
+    for (std::size_t i = b; i < e; ++i) {
+      std::span<const index_t> exclude;
+      if (excludes) exclude = (*excludes)[i];
+      result[i] = topn_from_factor({factors + i * k, k}, y, n, bias,
+                                   users ? users[i] : index_t{-1}, exclude);
+    }
+  });
+  return result;
+}
+
+}  // namespace alsmf

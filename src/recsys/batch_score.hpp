@@ -1,0 +1,36 @@
+// Batched scoring: top-N computation decoupled from the Recommender facade
+// so the serving layer can score arbitrary factor vectors — trained rows,
+// folded-in cold users, or whole micro-batches — through one code path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "linalg/dense.hpp"
+#include "recsys/bias.hpp"
+#include "recsys/recommender.hpp"
+
+namespace alsmf {
+
+/// Top-n items for one factor vector against item factors `y`, scores
+/// descending. `exclude` (sorted ascending) items are skipped. When `bias`
+/// is given, `user` selects the bias row (pass a negative user to apply
+/// only μ + b_i, the cold-user baseline).
+std::vector<Recommendation> topn_from_factor(std::span<const real> factor,
+                                             const Matrix& y, int n,
+                                             const BiasModel* bias = nullptr,
+                                             index_t user = -1,
+                                             std::span<const index_t> exclude = {});
+
+/// Batched form: `count` factor vectors stored contiguously (count × y.cols()
+/// reals), scored in parallel over the pool (global pool when null). `users`
+/// (optional, length `count`) selects bias rows per factor; `excludes`
+/// (optional, length `count`) is a per-factor sorted exclusion list.
+std::vector<std::vector<Recommendation>> topn_from_factors_batch(
+    const real* factors, std::size_t count, const Matrix& y, int n,
+    ThreadPool* pool = nullptr, const BiasModel* bias = nullptr,
+    const index_t* users = nullptr,
+    const std::vector<std::vector<index_t>>* excludes = nullptr);
+
+}  // namespace alsmf

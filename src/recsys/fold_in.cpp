@@ -11,12 +11,16 @@ namespace {
 std::vector<real> fold_in(const Matrix& factors, std::span<const index_t> ids,
                           std::span<const real> ratings, real lambda,
                           LinearSolverKind solver) {
-  ALSMF_CHECK(ids.size() == ratings.size());
+  ALSMF_CHECK_MSG(ids.size() == ratings.size(),
+                  "fold-in got " + std::to_string(ids.size()) + " ids but " +
+                      std::to_string(ratings.size()) + " ratings");
   ALSMF_CHECK_MSG(!ids.empty(), "fold-in needs at least one rating");
-  ALSMF_CHECK(lambda > 0.0f);
+  ALSMF_CHECK_MSG(lambda > 0.0f, "fold-in lambda must be positive");
   const auto k = static_cast<int>(factors.cols());
   for (auto id : ids) {
-    ALSMF_CHECK_MSG(id >= 0 && id < factors.rows(), "fold-in id out of range");
+    ALSMF_CHECK_MSG(id >= 0 && id < factors.rows(),
+                    "fold-in id " + std::to_string(id) + " outside [0, " +
+                        std::to_string(factors.rows()) + ")");
   }
   std::vector<real> smat(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
   std::vector<real> svec(static_cast<std::size_t>(k));

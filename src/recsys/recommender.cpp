@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "linalg/vecops.hpp"
+#include "recsys/batch_score.hpp"
 #include "recsys/npy.hpp"
 
 namespace alsmf {
@@ -92,36 +93,11 @@ std::vector<Recommendation> Recommender::recommend(index_t user, int n,
   ALSMF_CHECK(user >= 0 && user < users());
   ALSMF_CHECK(n >= 0);
 
-  std::vector<Recommendation> heap;  // min-heap of the current top-n
-  heap.reserve(static_cast<std::size_t>(n) + 1);
-  auto cmp = [](const Recommendation& a, const Recommendation& b) {
-    return a.score > b.score;  // min-heap by score
-  };
-
   std::span<const index_t> exclude;
   if (rated && user < rated->rows()) exclude = rated->row_cols(user);
-
-  const auto kk = static_cast<std::size_t>(k());
-  const real* xu = x_.row(user).data();
-  std::size_t excl_pos = 0;
-  for (index_t i = 0; i < items(); ++i) {
-    // `exclude` is sorted (CSR invariant): advance a single cursor.
-    while (excl_pos < exclude.size() && exclude[excl_pos] < i) ++excl_pos;
-    if (excl_pos < exclude.size() && exclude[excl_pos] == i) continue;
-    real score = vdot(xu, y_.row(i).data(), kk);
-    if (has_bias_) score = bias_.combine(user, i, score);
-    if (static_cast<int>(heap.size()) < n) {
-      heap.push_back({i, score});
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (n > 0 && score > heap.front().score) {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = {i, score};
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    }
-  }
-  // sort_heap with a greater-than comparator yields descending scores.
-  std::sort_heap(heap.begin(), heap.end(), cmp);
-  return heap;
+  // `exclude` is sorted (CSR invariant), as topn_from_factor requires.
+  return topn_from_factor(x_.row(user), y_, n, has_bias_ ? &bias_ : nullptr,
+                          user, exclude);
 }
 
 std::vector<std::vector<Recommendation>> Recommender::recommend_batch(

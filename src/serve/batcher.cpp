@@ -1,0 +1,74 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace alsmf::serve {
+
+MicroBatcher::MicroBatcher(BatcherOptions options, Executor executor)
+    : options_(options), executor_(std::move(executor)) {
+  ALSMF_CHECK(options_.max_batch >= 1);
+  ALSMF_CHECK(options_.max_wait.count() >= 0);
+  ALSMF_CHECK_MSG(executor_ != nullptr, "MicroBatcher needs an executor");
+  drain_ = std::jthread([this] { drain_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+void MicroBatcher::submit(ServeRequest&& request) {
+  request.enqueue_time = std::chrono::steady_clock::now();
+  {
+    std::unique_lock lk(m_);
+    if (!stop_) {
+      queue_.push_back(std::move(request));
+      lk.unlock();
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Stopped: execute inline so the promise is still fulfilled.
+  std::vector<ServeRequest> batch;
+  batch.push_back(std::move(request));
+  executor_(std::move(batch));
+}
+
+void MicroBatcher::stop() {
+  {
+    std::scoped_lock lk(m_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (drain_.joinable()) drain_.join();
+}
+
+std::size_t MicroBatcher::queue_depth() const {
+  std::scoped_lock lk(m_);
+  return queue_.size();
+}
+
+void MicroBatcher::drain_loop() {
+  std::unique_lock lk(m_);
+  while (true) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // only reachable when stopping
+    // Let the batch fill, but never hold the oldest request past max_wait.
+    const auto deadline = queue_.front().enqueue_time + options_.max_wait;
+    cv_.wait_until(lk, deadline, [&] {
+      return stop_ || queue_.size() >= options_.max_batch;
+    });
+    const std::size_t take = std::min(queue_.size(), options_.max_batch);
+    std::vector<ServeRequest> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lk.unlock();
+    executor_(std::move(batch));
+    lk.lock();
+  }
+}
+
+}  // namespace alsmf::serve

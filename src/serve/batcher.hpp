@@ -1,0 +1,66 @@
+// Micro-batching request queue.
+//
+// Incoming requests accumulate in a queue; a dedicated drain thread hands
+// them to the executor in batches of up to `max_batch`, waiting at most
+// `max_wait` after the oldest queued request arrived. Small max_wait favors
+// latency, large max_wait favors batch size (and thus throughput): a cold
+// user's fold-in becomes one row of a batched Cholesky solve instead of a
+// lone k×k solve, exactly the amortization the training kernels exploit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace alsmf::serve {
+
+struct BatcherOptions {
+  std::size_t max_batch = 64;
+  std::chrono::microseconds max_wait{200};
+};
+
+class MicroBatcher {
+ public:
+  /// The executor receives each drained batch (never empty) on the drain
+  /// thread and must fulfill every request's promise.
+  using Executor = std::function<void(std::vector<ServeRequest>&&)>;
+
+  MicroBatcher(BatcherOptions options, Executor executor);
+  ~MicroBatcher();  ///< stop(): drains remaining requests, then joins
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a request (stamps its enqueue_time) and wakes the drain
+  /// thread. After stop(), the request is executed inline as a batch of one
+  /// so its promise is always fulfilled.
+  void submit(ServeRequest&& request);
+
+  /// Stops accepting queued execution; outstanding requests are drained in
+  /// batches before the drain thread exits. Idempotent.
+  void stop();
+
+  std::size_t queue_depth() const;
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  void drain_loop();
+
+  BatcherOptions options_;
+  Executor executor_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<ServeRequest> queue_;
+  bool stop_ = false;
+  std::jthread drain_;  // last member: joins before the rest is destroyed
+};
+
+}  // namespace alsmf::serve

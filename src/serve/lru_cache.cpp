@@ -1,0 +1,63 @@
+#include "serve/lru_cache.hpp"
+
+namespace alsmf::serve {
+
+TopNCache::TopNCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool TopNCache::get(index_t user, int n, std::uint64_t version,
+                    std::vector<Recommendation>* out) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::scoped_lock lk(m_);
+  const auto it = index_.find(Key{user, n});
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second->version != version) {
+    // Computed by a different snapshot: stale, drop it now.
+    lru_.erase(it->second);
+    index_.erase(it);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  if (out) *out = it->second->topn;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TopNCache::put(index_t user, int n, std::uint64_t version,
+                    std::vector<Recommendation> topn) {
+  if (capacity_ == 0) return;
+  const Key key{user, n};
+  std::scoped_lock lk(m_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->version = version;
+    it->second->topn = std::move(topn);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, version, std::move(topn)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TopNCache::invalidate_all() {
+  std::scoped_lock lk(m_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t TopNCache::size() const {
+  std::scoped_lock lk(m_);
+  return lru_.size();
+}
+
+}  // namespace alsmf::serve

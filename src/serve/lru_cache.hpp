@@ -1,0 +1,77 @@
+// LRU cache of hot users' top-N lists.
+//
+// Entries are tagged with the model snapshot version that computed them.
+// get() only returns an entry whose tag matches the caller's current
+// version, so a result computed against a pre-swap snapshot can never be
+// served after the swap — even if a slow in-flight request inserts it after
+// invalidate_all() ran. Hit/miss counters are exposed for serving metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "recsys/recommender.hpp"
+
+namespace alsmf::serve {
+
+class TopNCache {
+ public:
+  /// Capacity 0 disables the cache (every get misses, put is a no-op).
+  explicit TopNCache(std::size_t capacity);
+
+  /// Looks up (user, n); hits only when the stored entry was computed by
+  /// snapshot `version`. A version-stale entry counts as a miss and is
+  /// evicted eagerly.
+  bool get(index_t user, int n, std::uint64_t version,
+           std::vector<Recommendation>* out);
+
+  /// Inserts or replaces the entry for (user, n), evicting the least
+  /// recently used entry when full.
+  void put(index_t user, int n, std::uint64_t version,
+           std::vector<Recommendation> topn);
+
+  /// Drops every entry (called on model swap).
+  void invalidate_all();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Key {
+    index_t user;
+    int n;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      // splitmix64-style mix of the two fields.
+      auto z = static_cast<std::uint64_t>(key.user) * 0x9e3779b97f4a7c15ULL;
+      z ^= static_cast<std::uint64_t>(static_cast<unsigned>(key.n)) << 32;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::uint64_t version;
+    std::vector<Recommendation> topn;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex m_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
+};
+
+}  // namespace alsmf::serve

@@ -1,0 +1,53 @@
+#include "serve/model_store.hpp"
+
+#include "common/error.hpp"
+#include "recsys/recommender.hpp"
+
+namespace alsmf::serve {
+
+std::shared_ptr<ModelSnapshot> snapshot_from_recommender(const Recommender& rec,
+                                                         real lambda) {
+  ALSMF_CHECK_MSG(rec.trained(), "snapshot of an untrained Recommender");
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->x = rec.user_factors();
+  snap->y = rec.item_factors();
+  if (rec.has_bias()) {
+    snap->bias = rec.bias();
+    snap->has_bias = true;
+  }
+  snap->lambda = lambda;
+  return snap;
+}
+
+std::shared_ptr<ModelSnapshot> snapshot_from_factors(Matrix x, Matrix y,
+                                                     real lambda) {
+  ALSMF_CHECK_MSG(x.cols() == y.cols(), "factor rank mismatch");
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->x = std::move(x);
+  snap->y = std::move(y);
+  snap->lambda = lambda;
+  return snap;
+}
+
+ModelStore::ModelStore(std::shared_ptr<ModelSnapshot> initial) {
+  if (initial) publish(std::move(initial));
+}
+
+std::uint64_t ModelStore::publish(std::shared_ptr<ModelSnapshot> next) {
+  ALSMF_CHECK_MSG(next != nullptr, "publishing a null snapshot");
+  ALSMF_CHECK_MSG(next->x.cols() == next->y.cols(),
+                  "snapshot factor rank mismatch");
+  const std::uint64_t v = next_version_.fetch_add(1, std::memory_order_relaxed);
+  next->version = v;
+  snap_.store(std::shared_ptr<const ModelSnapshot>(std::move(next)),
+              std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return v;
+}
+
+std::uint64_t ModelStore::version() const {
+  const auto snap = current();
+  return snap ? snap->version : 0;
+}
+
+}  // namespace alsmf::serve

@@ -1,0 +1,76 @@
+// RCU-style published model snapshots for zero-downtime retraining.
+//
+// A ModelSnapshot is an immutable copy of everything serving needs (factor
+// matrices, optional bias block, the fold-in λ). The ModelStore publishes
+// snapshots through an atomic shared_ptr: readers acquire the current
+// snapshot with one lock-free load and keep serving from it even while a
+// retrained model is swapped in — in-flight requests finish on the old
+// snapshot, which is reclaimed when its last reader drops the reference
+// (exactly the read-copy-update pattern, with shared_ptr as the grace
+// period).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "linalg/dense.hpp"
+#include "recsys/bias.hpp"
+
+namespace alsmf {
+class Recommender;
+}
+
+namespace alsmf::serve {
+
+struct ModelSnapshot {
+  Matrix x;  ///< user factors (users × k)
+  Matrix y;  ///< item factors (items × k)
+  BiasModel bias;
+  bool has_bias = false;
+  real lambda = 0.1f;  ///< regularization used for fold-in row solves
+  std::uint64_t version = 0;  ///< assigned by ModelStore::publish
+
+  index_t users() const { return x.rows(); }
+  index_t items() const { return y.rows(); }
+  int k() const { return static_cast<int>(y.cols()); }
+};
+
+/// Deep-copies a trained Recommender into a publishable snapshot.
+std::shared_ptr<ModelSnapshot> snapshot_from_recommender(const Recommender& rec,
+                                                         real lambda = 0.1f);
+
+/// Wraps raw factor matrices (moved in) into a snapshot.
+std::shared_ptr<ModelSnapshot> snapshot_from_factors(Matrix x, Matrix y,
+                                                     real lambda = 0.1f);
+
+class ModelStore {
+ public:
+  /// Starts empty when `initial` is null; publish() before serving.
+  explicit ModelStore(std::shared_ptr<ModelSnapshot> initial = nullptr);
+
+  /// Atomically replaces the served snapshot. Assigns the next version
+  /// number to `next` and returns it. The previous snapshot stays alive
+  /// until the last in-flight reader releases it.
+  std::uint64_t publish(std::shared_ptr<ModelSnapshot> next);
+
+  /// Lock-free acquire of the current snapshot (null before first publish).
+  std::shared_ptr<const ModelSnapshot> current() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the currently published snapshot (0 when empty).
+  std::uint64_t version() const;
+
+  /// Number of publishes so far.
+  std::uint64_t publish_count() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> snap_;
+  std::atomic<std::uint64_t> next_version_{1};
+  std::atomic<std::uint64_t> publishes_{0};
+};
+
+}  // namespace alsmf::serve

@@ -1,0 +1,46 @@
+// Request/result types exchanged between RecommendService and its
+// micro-batcher. Requests carry a promise; results always name the model
+// snapshot version that produced them so callers (and tests) can prove each
+// answer came from exactly one snapshot.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "common/types.hpp"
+#include "recsys/recommender.hpp"
+
+namespace alsmf::serve {
+
+enum class RequestKind { kPredict, kTopN, kFoldIn };
+
+inline const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPredict: return "predict";
+    case RequestKind::kTopN: return "topn";
+    case RequestKind::kFoldIn: return "fold_in";
+  }
+  return "unknown";
+}
+
+struct ServeResult {
+  std::uint64_t model_version = 0;  ///< snapshot that produced this answer
+  real score = 0;                   ///< predict
+  std::vector<Recommendation> topn; ///< top-N and fold-in
+  std::vector<real> factor;         ///< fold-in: the solved user factor
+  bool cache_hit = false;           ///< answered from the LRU cache
+};
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kTopN;
+  index_t user = -1;
+  index_t item = -1;
+  int n = 0;
+  std::vector<index_t> fold_items;  ///< fold-in: rated item ids
+  std::vector<real> fold_ratings;   ///< fold-in: ratings, same length
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::promise<ServeResult> promise;
+};
+
+}  // namespace alsmf::serve

@@ -1,0 +1,114 @@
+#include "serve/serve_metrics.hpp"
+
+#include <sstream>
+
+namespace alsmf::serve {
+
+namespace {
+// Latency buckets: 0.5 µs to ~0.5 s at 25% relative resolution.
+Histogram latency_histogram() { return Histogram(0.5, 1.25, 64); }
+// Size buckets: 1 to ~4096 at fine resolution.
+Histogram size_histogram() { return Histogram(1.0, 1.2, 48); }
+}  // namespace
+
+ServeMetrics::ServeMetrics()
+    : queue_us_(latency_histogram()),
+      exec_us_(latency_histogram()),
+      total_us_(latency_histogram()),
+      batch_size_(size_histogram()),
+      queue_depth_(size_histogram()) {}
+
+void ServeMetrics::record_enqueue(RequestKind kind) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_batch(std::size_t batch_size,
+                                std::size_t queue_depth_after, double exec_us) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lk(m_);
+  batch_size_.add(static_cast<double>(batch_size));
+  queue_depth_.add(static_cast<double>(queue_depth_after));
+  exec_us_.add(exec_us);
+}
+
+void ServeMetrics::record_done(RequestKind, double queue_us, double total_us) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lk(m_);
+  queue_us_.add(queue_us);
+  total_us_.add(total_us);
+}
+
+void ServeMetrics::record_cache_fast_path(double total_us) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lk(m_);
+  total_us_.add(total_us);
+}
+
+void ServeMetrics::record_swap() {
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_rejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double ServeMetrics::qps() const {
+  const double s = uptime_.seconds();
+  return s > 0 ? static_cast<double>(completed()) / s : 0.0;
+}
+
+double ServeMetrics::total_us_percentile(double p) const {
+  std::scoped_lock lk(m_);
+  return total_us_.percentile(p);
+}
+
+double ServeMetrics::queue_us_percentile(double p) const {
+  std::scoped_lock lk(m_);
+  return queue_us_.percentile(p);
+}
+
+double ServeMetrics::mean_batch_size() const {
+  std::scoped_lock lk(m_);
+  return batch_size_.mean();
+}
+
+std::string ServeMetrics::to_json(const CacheStats& cache) const {
+  std::ostringstream out;
+  out << "{\"uptime_seconds\":" << uptime_seconds() << ",\"qps\":" << qps()
+      << ",\"requests\":{\"submitted\":" << submitted()
+      << ",\"completed\":" << completed()
+      << ",\"rejected\":" << rejected_.load(std::memory_order_relaxed);
+  for (int kind = 0; kind < 3; ++kind) {
+    out << ",\"" << to_string(static_cast<RequestKind>(kind))
+        << "\":" << by_kind_[kind].load(std::memory_order_relaxed);
+  }
+  out << "},\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+      << ",\"evictions\":" << cache.evictions << ",\"size\":" << cache.size
+      << ",\"hit_rate\":" << cache.hit_rate() << "}"
+      << ",\"swaps\":" << swaps() << ",\"batches\":" << batches();
+  {
+    std::scoped_lock lk(m_);
+    out << ",\"batch_size\":" << batch_size_.summary_json()
+        << ",\"queue_depth\":" << queue_depth_.summary_json()
+        << ",\"latency_us\":{\"queue\":" << queue_us_.summary_json()
+        << ",\"exec\":" << exec_us_.summary_json()
+        << ",\"total\":" << total_us_.summary_json() << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+void ServeMetrics::reset() {
+  uptime_.reset();
+  submitted_ = completed_ = rejected_ = swaps_ = batches_ = 0;
+  for (auto& counter : by_kind_) counter = 0;
+  std::scoped_lock lk(m_);
+  queue_us_.clear();
+  exec_us_.clear();
+  total_us_.clear();
+  batch_size_.clear();
+  queue_depth_.clear();
+}
+
+}  // namespace alsmf::serve

@@ -1,0 +1,76 @@
+// Serving metrics: QPS, per-stage latency histograms (queue wait, batch
+// execution, end-to-end), queue depth and batch-size distributions, request
+// counters per kind, swap count. Exported as JSON in the same hand-rolled
+// style as devsim's Chrome-trace writer (no JSON dependency).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/timer.hpp"
+#include "serve/request.hpp"
+
+namespace alsmf::serve {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class ServeMetrics {
+ public:
+  ServeMetrics();
+
+  void record_enqueue(RequestKind kind);
+  /// One drained batch: its size, the queue depth left behind, and the
+  /// executor time in microseconds.
+  void record_batch(std::size_t batch_size, std::size_t queue_depth_after,
+                    double exec_us);
+  /// One completed request with its stage latencies in microseconds.
+  void record_done(RequestKind kind, double queue_us, double total_us);
+  /// A request answered straight from the cache (no queue traversal).
+  void record_cache_fast_path(double total_us);
+  void record_swap();
+  void record_rejected();  ///< request failed validation
+
+  std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  std::uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  double uptime_seconds() const { return uptime_.seconds(); }
+  /// Completed requests per second of uptime.
+  double qps() const;
+
+  double total_us_percentile(double p) const;
+  double queue_us_percentile(double p) const;
+  double mean_batch_size() const;
+
+  /// Full JSON report; pass the cache's counters to include them.
+  std::string to_json(const CacheStats& cache) const;
+
+  void reset();
+
+ private:
+  Timer uptime_;
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, rejected_{0};
+  std::atomic<std::uint64_t> swaps_{0}, batches_{0};
+  std::atomic<std::uint64_t> by_kind_[3] = {};
+
+  mutable std::mutex m_;  // guards the histograms
+  Histogram queue_us_;    // enqueue -> batch drain
+  Histogram exec_us_;     // batch executor wall time
+  Histogram total_us_;    // enqueue -> promise fulfilled (incl. cache hits)
+  Histogram batch_size_;
+  Histogram queue_depth_;
+};
+
+}  // namespace alsmf::serve

@@ -1,0 +1,95 @@
+// RecommendService: the thread-safe online serving front-end.
+//
+//   client threads ──submit──▶ MicroBatcher ──batch──▶ execute_batch
+//                     │                                   │
+//                     └─ LRU fast path (hot top-N)        ├─ batched fold-in
+//                                                         │  Cholesky solves
+//   retrainer ──swap_model──▶ ModelStore (RCU publish)    └─ parallel top-N
+//                                                            scoring
+//
+// Every batch executes against exactly one model snapshot acquired at drain
+// time; swap_model publishes a new snapshot without blocking in-flight
+// batches and invalidates the result cache. All answers carry the snapshot
+// version that produced them.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/batcher.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/model_store.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_metrics.hpp"
+
+namespace alsmf::serve {
+
+struct ServiceOptions {
+  std::size_t max_batch = 64;
+  long max_wait_us = 200;          ///< batching window (latency/QPS knob)
+  std::size_t cache_capacity = 4096;  ///< top-N LRU entries; 0 disables
+  ThreadPool* pool = nullptr;      ///< solve/score pool; null = global pool
+};
+
+class RecommendService {
+ public:
+  RecommendService(std::shared_ptr<ModelSnapshot> initial,
+                   ServiceOptions options = {});
+  ~RecommendService();  ///< stop(): drains the queue, fulfilling all promises
+
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  // --- Asynchronous API (thread-safe) -------------------------------------
+  /// Predicted score for (user, item). Future throws alsmf::Error on
+  /// out-of-range ids (validated against the executing snapshot).
+  std::future<ServeResult> submit_predict(index_t user, index_t item);
+  /// Top-n recommendations for a known user. Hot users resolve from the
+  /// LRU cache without entering the queue.
+  std::future<ServeResult> submit_topn(index_t user, int n);
+  /// Cold-start: solves the user's factor from their ratings (one row of
+  /// the batch's Cholesky solve) and returns top-n over unrated items.
+  std::future<ServeResult> submit_fold_in(std::vector<index_t> items,
+                                          std::vector<real> ratings, int n);
+
+  // --- Synchronous conveniences -------------------------------------------
+  ServeResult predict(index_t user, index_t item);
+  ServeResult topn(index_t user, int n);
+  ServeResult fold_in(std::vector<index_t> items, std::vector<real> ratings,
+                      int n);
+
+  // --- Model lifecycle -----------------------------------------------------
+  /// Publishes a retrained model with zero downtime: in-flight batches
+  /// finish on the old snapshot, later batches use the new one, and the
+  /// result cache is invalidated. Returns the new version.
+  std::uint64_t swap_model(std::shared_ptr<ModelSnapshot> next);
+  std::shared_ptr<const ModelSnapshot> snapshot() const { return store_.current(); }
+  std::uint64_t model_version() const { return store_.version(); }
+
+  // --- Introspection -------------------------------------------------------
+  const ServeMetrics& metrics() const { return metrics_; }
+  CacheStats cache_stats() const;
+  std::size_t queue_depth() const { return batcher_ ? batcher_->queue_depth() : 0; }
+  /// Full metrics + cache report as a JSON object.
+  std::string stats_json() const;
+
+  /// Stops the batcher after draining outstanding requests. Subsequent
+  /// submits are executed inline (degraded, but never lost). Idempotent.
+  void stop();
+
+ private:
+  std::future<ServeResult> enqueue(ServeRequest&& request);
+  void execute_batch(std::vector<ServeRequest>&& batch);
+
+  ServiceOptions options_;
+  ThreadPool* pool_;
+  ModelStore store_;
+  TopNCache cache_;
+  ServeMetrics metrics_;
+  std::unique_ptr<MicroBatcher> batcher_;  // last: stops before members die
+};
+
+}  // namespace alsmf::serve

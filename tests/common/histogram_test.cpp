@@ -1,0 +1,115 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, ExactStatsAreExact) {
+  Histogram h;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 40.0);
+}
+
+TEST(Histogram, PercentilesApproximateWithinBucketResolution) {
+  Histogram h(1.0, 1.25, 96);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // A log-bucketed histogram with 25% growth should nail percentiles to
+  // ~±1 bucket (25% relative error).
+  EXPECT_NEAR(h.percentile(0.50), 500.0, 150.0);
+  EXPECT_NEAR(h.percentile(0.95), 950.0, 250.0);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, 260.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+  // p0 resolves to the recorded minimum.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(Histogram, PercentileMonotoneInP) {
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.add(0.37 * i + 1.0);
+  double last = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST(Histogram, SingleValueHasDegeneratePercentiles) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreCaptured) {
+  Histogram h(10.0, 2.0, 4);  // buckets cover [10, 160); beyond → overflow
+  h.add(0.001);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e9);
+}
+
+TEST(Histogram, NegativeAndNanClampToZero) {
+  Histogram h;
+  h.add(-5.0);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 103.0);
+}
+
+TEST(Histogram, MergeRejectsDifferentLayouts) {
+  Histogram a(1.0, 1.25, 96);
+  Histogram b(1.0, 2.0, 96);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(5.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, SummaryJsonHasKeys) {
+  Histogram h;
+  h.add(3.0);
+  const std::string json = h.summary_json();
+  for (const char* key : {"\"count\":", "\"mean\":", "\"p50\":", "\"p99\":",
+                          "\"max\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace alsmf

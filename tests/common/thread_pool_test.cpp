@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -27,6 +28,22 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
   pool.parallel_for(7, 3, [&](std::size_t, std::size_t, unsigned) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, DegenerateRangesAreContractNotLuck) {
+  // The serve batcher submits whatever range the drained batch produced,
+  // including zero fold-ins and (begin, end) pairs computed by subtraction
+  // that can invert. All of these must be silent no-ops.
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  const auto count = [&](std::size_t, std::size_t, unsigned) { calls++; };
+  pool.parallel_for(0, 0, count);
+  pool.parallel_for(std::size_t{1} << 60, (std::size_t{1} << 60) - 5, count);
+  pool.parallel_for(std::numeric_limits<std::size_t>::max(), 0, count);
+  EXPECT_EQ(calls.load(), 0);
+  // And the pool is still fully functional afterwards.
+  pool.parallel_for(0, 10, count);
+  EXPECT_GT(calls.load(), 0);
 }
 
 TEST(ThreadPool, SingleElementRunsInline) {

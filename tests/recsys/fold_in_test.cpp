@@ -119,5 +119,43 @@ TEST(FoldIn, InvalidInputsRejected) {
   EXPECT_THROW(fold_in_user(y, items, one, 0.0f), Error);   // lambda
 }
 
+TEST(FoldIn, ErrorMessagesNameTheViolation) {
+  Matrix y(10, 3, 0.1f);
+  const std::vector<real> one = {3.0f};
+  try {
+    fold_in_user(y, std::vector<index_t>{99}, one, 0.1f);
+    FAIL() << "out-of-range id accepted";
+  } catch (const Error& e) {
+    // The message states the offending id and the valid range.
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("[0, 10)"), std::string::npos)
+        << e.what();
+  }
+  try {
+    fold_in_user(y, {}, {}, 0.1f);
+    FAIL() << "empty ratings accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at least one rating"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    fold_in_user(y, std::vector<index_t>{1, 2}, one, 0.1f);
+    FAIL() << "length mismatch accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 ids"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("1 ratings"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FoldIn, NegativeIdRejected) {
+  Matrix y(10, 3, 0.1f);
+  const std::vector<real> one = {3.0f};
+  EXPECT_THROW(fold_in_user(y, std::vector<index_t>{-1}, one, 0.1f), Error);
+  EXPECT_THROW(fold_in_item(y, std::vector<index_t>{-7}, one, 0.1f), Error);
+}
+
 }  // namespace
 }  // namespace alsmf

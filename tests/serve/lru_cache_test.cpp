@@ -1,0 +1,83 @@
+#include "serve/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace alsmf::serve {
+namespace {
+
+std::vector<Recommendation> recs(index_t item, real score) {
+  return {{item, score}};
+}
+
+TEST(TopNCache, MissThenHit) {
+  TopNCache cache(4);
+  std::vector<Recommendation> out;
+  EXPECT_FALSE(cache.get(7, 10, 1, &out));
+  cache.put(7, 10, 1, recs(3, 1.5f));
+  ASSERT_TRUE(cache.get(7, 10, 1, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].item, 3);
+  EXPECT_FLOAT_EQ(out[0].score, 1.5f);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TopNCache, DifferentNIsDifferentKey) {
+  TopNCache cache(4);
+  cache.put(7, 10, 1, recs(3, 1.0f));
+  EXPECT_FALSE(cache.get(7, 5, 1, nullptr));
+  EXPECT_TRUE(cache.get(7, 10, 1, nullptr));
+}
+
+TEST(TopNCache, VersionMismatchIsMissAndEvicts) {
+  TopNCache cache(4);
+  cache.put(7, 10, 1, recs(3, 1.0f));
+  // A swap happened: version 2 must never see version 1's entry.
+  EXPECT_FALSE(cache.get(7, 10, 2, nullptr));
+  EXPECT_EQ(cache.size(), 0u);  // stale entry dropped eagerly
+  // And the old version can't resurrect it either.
+  EXPECT_FALSE(cache.get(7, 10, 1, nullptr));
+}
+
+TEST(TopNCache, EvictsLeastRecentlyUsed) {
+  TopNCache cache(2);
+  cache.put(1, 10, 1, recs(1, 1.0f));
+  cache.put(2, 10, 1, recs(2, 1.0f));
+  EXPECT_TRUE(cache.get(1, 10, 1, nullptr));  // touch 1 → 2 is now LRU
+  cache.put(3, 10, 1, recs(3, 1.0f));         // evicts 2
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get(2, 10, 1, nullptr));
+  EXPECT_TRUE(cache.get(1, 10, 1, nullptr));
+  EXPECT_TRUE(cache.get(3, 10, 1, nullptr));
+}
+
+TEST(TopNCache, PutReplacesExistingEntry) {
+  TopNCache cache(2);
+  cache.put(1, 10, 1, recs(1, 1.0f));
+  cache.put(1, 10, 2, recs(9, 2.0f));
+  EXPECT_EQ(cache.size(), 1u);
+  std::vector<Recommendation> out;
+  ASSERT_TRUE(cache.get(1, 10, 2, &out));
+  EXPECT_EQ(out[0].item, 9);
+}
+
+TEST(TopNCache, InvalidateAllClears) {
+  TopNCache cache(4);
+  cache.put(1, 10, 1, recs(1, 1.0f));
+  cache.put(2, 10, 1, recs(2, 1.0f));
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1, 10, 1, nullptr));
+}
+
+TEST(TopNCache, ZeroCapacityDisables) {
+  TopNCache cache(0);
+  cache.put(1, 10, 1, recs(1, 1.0f));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1, 10, 1, nullptr));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace alsmf::serve

@@ -1,0 +1,90 @@
+#include "serve/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "recsys/recommender.hpp"
+
+namespace alsmf::serve {
+namespace {
+
+std::shared_ptr<ModelSnapshot> snapshot(real fill, index_t users = 4,
+                                        index_t items = 3, int k = 2) {
+  Matrix x(users, k, fill), y(items, k, fill);
+  return snapshot_from_factors(std::move(x), std::move(y), 0.1f);
+}
+
+TEST(ModelStore, StartsEmpty) {
+  ModelStore store;
+  EXPECT_EQ(store.current(), nullptr);
+  EXPECT_EQ(store.version(), 0u);
+  EXPECT_EQ(store.publish_count(), 0u);
+}
+
+TEST(ModelStore, PublishAssignsMonotonicVersions) {
+  ModelStore store;
+  EXPECT_EQ(store.publish(snapshot(1.0f)), 1u);
+  EXPECT_EQ(store.publish(snapshot(2.0f)), 2u);
+  EXPECT_EQ(store.version(), 2u);
+  EXPECT_EQ(store.publish_count(), 2u);
+  EXPECT_FLOAT_EQ(store.current()->x(0, 0), 2.0f);
+}
+
+TEST(ModelStore, RejectsNullAndMismatchedRank) {
+  ModelStore store;
+  EXPECT_THROW(store.publish(nullptr), Error);
+  auto bad = std::make_shared<ModelSnapshot>();
+  bad->x = Matrix(2, 3);
+  bad->y = Matrix(2, 4);
+  EXPECT_THROW(store.publish(bad), Error);
+}
+
+TEST(ModelStore, OldSnapshotSurvivesWhileHeld) {
+  ModelStore store(snapshot(1.0f));
+  const auto held = store.current();
+  store.publish(snapshot(2.0f));
+  // RCU semantics: the reader's snapshot is untouched by the publish.
+  EXPECT_FLOAT_EQ(held->x(0, 0), 1.0f);
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(store.current()->version, 2u);
+}
+
+TEST(ModelStore, SnapshotFromRecommenderCopiesFactors) {
+  Recommender rec;
+  EXPECT_THROW(snapshot_from_recommender(rec), Error);  // untrained
+}
+
+TEST(ModelStore, ConcurrentReadersAlwaysSeeACompleteSnapshot) {
+  ModelStore store(snapshot(1.0f));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::vector<std::jthread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = store.current();
+        // Every element of a snapshot equals its version (by construction
+        // below); any mix would be a torn read.
+        const real expect = static_cast<real>(snap->version);
+        for (index_t r = 0; r < snap->x.rows(); ++r) {
+          for (index_t c = 0; c < snap->x.cols(); ++c) {
+            if (snap->x(r, c) != expect) torn = true;
+          }
+        }
+      }
+    });
+  }
+  for (std::uint64_t v = 2; v <= 200; ++v) {
+    store.publish(snapshot(static_cast<real>(v)));
+  }
+  stop = true;
+  readers.clear();
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace alsmf::serve
