@@ -5,13 +5,23 @@
 //   bench_serve_throughput [--users N] [--items N] [--k K] [--requests N]
 //     [--clients N] [--batch N] [--max-wait-us U] [--cache N]
 //     [--foldin-pct P] [--zipf A] [--topn N] [--seed S] [--smoke]
+//     [--overload] [--overload-factor F] [--max-queue N] [--deadline-us U]
 //
 // Each mode replays the same request schedule with `clients` closed-loop
 // threads (a client issues its next request as soon as the previous answer
 // lands). The first 10% of the stream warms the cache and is not measured.
+//
+// --overload adds an open-loop phase: clients submit at `overload-factor`
+// times the capacity just measured by the closed-loop batched run, against a
+// bounded queue with per-request deadlines. It reports the shed rate and the
+// p50/p99 latency of the *accepted* requests — the point of overload
+// protection is that accepted latency stays bounded while excess load is
+// shed at the door instead of growing the queue without limit.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -187,6 +197,88 @@ RunResult run_batched(const Config& config,
   return result;
 }
 
+/// Open-loop overload phase: submit at `factor` x the measured capacity
+/// against a bounded queue with deadlines; all futures are still collected,
+/// so no request is ever lost — just answered with a shed status.
+void run_overload(const Config& config, const std::vector<Request>& schedule,
+                  const std::shared_ptr<ModelSnapshot>& model,
+                  double capacity_qps, double factor, std::size_t max_queue,
+                  long deadline_us) {
+  serve::ServiceOptions options;
+  options.max_batch = config.max_batch;
+  options.max_wait_us = config.max_wait_us;
+  // No result cache: the overload phase measures the queue path itself —
+  // with the cache on, hot Zipf users bypass the queue and mask shedding.
+  options.cache_capacity = 0;
+  options.max_queue = max_queue;
+  options.default_deadline_us = deadline_us;
+  RecommendService service(std::make_shared<ModelSnapshot>(*model), options);
+
+  const double offered_qps = capacity_qps * factor;
+  const auto interval = std::chrono::nanoseconds(static_cast<long long>(
+      1e9 * static_cast<double>(config.clients) / offered_qps));
+  std::printf(
+      "# overload: offering %.0f qps (%.2fx measured capacity %.0f), "
+      "max_queue=%zu deadline=%ldus\n",
+      offered_qps, factor, capacity_qps, max_queue, deadline_us);
+
+  std::atomic<std::uint64_t> accepted{0}, not_ok{0};
+  const Timer wall;
+  {
+    std::vector<std::jthread> clients;
+    for (int c = 0; c < config.clients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::future<serve::ServeResult>> futures;
+        const auto start = std::chrono::steady_clock::now();
+        std::size_t n = 0;
+        for (std::size_t i = static_cast<std::size_t>(c); i < schedule.size();
+             i += static_cast<std::size_t>(config.clients), ++n) {
+          std::this_thread::sleep_until(start + n * interval);
+          const Request& request = schedule[i];
+          futures.push_back(
+              request.foldin
+                  ? service.submit_fold_in(request.fold_items,
+                                           request.fold_ratings, config.topn)
+                  : service.submit_topn(request.user, config.topn));
+        }
+        for (auto& f : futures) {
+          if (f.get().ok()) {
+            ++accepted;
+          } else {
+            ++not_ok;
+          }
+        }
+      });
+    }
+  }
+  const double seconds = wall.seconds();
+
+  const auto& m = service.metrics();
+  const auto shed = m.shed_queue_full() + m.shed_deadline();
+  const double shed_rate =
+      m.submitted() > 0
+          ? static_cast<double>(shed) / static_cast<double>(m.submitted())
+          : 0.0;
+  // Accounting check: every submitted request was either completed or shed.
+  if (m.submitted() != m.completed() + shed) std::abort();
+  if (accepted + not_ok != schedule.size()) std::abort();
+
+  std::printf("%-9s %9s %9s %10s %9s %9s %8s %8s\n", "overload", "submitted",
+              "accepted", "shed_full", "shed_dl", "shed_rate", "p50_us",
+              "p99_us");
+  std::printf("%-9s %9llu %9llu %10llu %9llu %8.1f%% %8.1f %8.1f\n", "",
+              static_cast<unsigned long long>(m.submitted()),
+              static_cast<unsigned long long>(m.completed()),
+              static_cast<unsigned long long>(m.shed_queue_full()),
+              static_cast<unsigned long long>(m.shed_deadline()),
+              100.0 * shed_rate, m.total_us_percentile(0.50),
+              m.total_us_percentile(0.99));
+  std::printf(
+      "# overload summary: %.0f qps offered for %.3fs, %.1f%% shed, accepted "
+      "p99 %.1fus\n",
+      offered_qps, seconds, 100.0 * shed_rate, m.total_us_percentile(0.99));
+}
+
 void print_row(const char* mode, const RunResult& r) {
   std::printf("%-8s %9zu %8.3f %9.0f %8.1f %8.1f %8.1f %9.3f %10.1f\n", mode,
               r.measured, r.seconds,
@@ -249,5 +341,14 @@ int main(int argc, char** argv) {
       static_cast<double>(batched.measured) / batched.seconds;
   std::printf("# speedup: %.2fx (batched vs naive QPS)\n",
               batched_qps / naive_qps);
+
+  if (args.has_flag("overload")) {
+    const double factor = args.get_double("overload-factor", 2.0);
+    const auto max_queue =
+        static_cast<std::size_t>(args.get_long("max-queue", 256));
+    const long deadline_us = args.get_long("deadline-us", 2000);
+    run_overload(config, schedule, model, batched_qps, factor, max_queue,
+                 deadline_us);
+  }
   return 0;
 }

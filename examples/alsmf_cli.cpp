@@ -3,6 +3,9 @@
 //   alsmf_cli train     --ratings r.txt --model m.bin [--k 10] [--lambda 0.1]
 //                       [--iters 10] [--device cpu|gpu|mic] [--profile file]
 //                       [--wr] [--variant auto|learned|0..7]
+//                       [--checkpoint-dir dir] [--checkpoint-every N]
+//                       (crash-safe: rerunning the same command resumes from
+//                       the newest valid checkpoint in dir)
 //   alsmf_cli predict   --model m.bin --user U --item I
 //   alsmf_cli recommend --model m.bin --user U [--n 10] [--ratings r.txt]
 //   alsmf_cli evaluate  --model m.bin --test t.txt
@@ -11,7 +14,8 @@
 //   alsmf_cli train-ooc --shards dir --model m.bin [--k 10] [--iters 10]
 //   alsmf_cli rank      --model m.bin --train r.txt --test t.txt [--n 10]
 //   alsmf_cli serve     --model m.bin [--batch 64] [--max-wait-us 200]
-//                       [--cache 4096] [--lambda 0.1]
+//                       [--cache 4096] [--lambda 0.1] [--max-queue 0]
+//                       [--deadline-us 0]
 //   alsmf_cli devices   [--profile file]
 //
 // Ratings files use the paper's `<userID, itemID, rating>` text format.
@@ -21,7 +25,9 @@
 
 #include "als/learned_select.hpp"
 #include "als/out_of_core.hpp"
+#include "als/solver.hpp"
 #include "als/variant_select.hpp"
+#include "common/timer.hpp"
 #include "recsys/ranking.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
@@ -60,20 +66,43 @@ int cmd_train(const CliArgs& args) {
   options.weighted_regularization = args.has_flag("wr");
 
   const auto profile = resolve_profile(args);
-  Recommender rec;
-  TrainReport report;
   const std::string variant_arg = args.get_or("variant", "auto");
+  AlsVariant variant;
   if (variant_arg == "auto") {
-    report = rec.train(train, options, profile);
+    variant = select_variant_heuristic(train, options, profile);
   } else if (variant_arg == "learned") {
     const DecisionTree tree =
         train_variant_selector(generate_selector_corpus());
-    report = rec.train(train, options, profile,
-                       select_variant_learned(tree, train, options, profile));
+    variant = select_variant_learned(tree, train, options, profile);
   } else {
-    report = rec.train(
-        train, options, profile,
-        AlsVariant::from_mask(static_cast<unsigned>(std::stoul(variant_arg))));
+    variant =
+        AlsVariant::from_mask(static_cast<unsigned>(std::stoul(variant_arg)));
+  }
+
+  Recommender rec;
+  TrainReport report;
+  if (const auto ckpt_dir = args.get("checkpoint-dir")) {
+    // Crash-safe path: drive the solver directly so an interrupted run can
+    // resume from its newest checkpoint instead of restarting.
+    CheckpointConfig config;
+    config.dir = *ckpt_dir;
+    config.every = static_cast<int>(args.get_long("checkpoint-every", 1));
+    Timer wall;
+    devsim::Device device(profile);
+    AlsSolver solver(train, options, variant, device);
+    const auto resumed = solver.resume_latest(config.dir);
+    if (resumed >= 0) {
+      std::cout << "resumed from checkpoint at iteration " << resumed << "\n";
+    }
+    report.modeled_seconds = solver.run_checkpointed(config);
+    report.wall_seconds = wall.seconds();
+    report.train_rmse = solver.train_rmse();
+    report.variant = variant;
+    report.device = profile.name;
+    rec = Recommender::from_factors(solver.x(), solver.y());
+    std::cout << "robustness: " << solver.robustness_report().to_json() << "\n";
+  } else {
+    report = rec.train(train, options, profile, variant);
   }
   rec.save_file(*model_path);
   std::cout << "trained " << train.rows() << "x" << train.cols() << " ("
@@ -267,6 +296,8 @@ int cmd_serve(const CliArgs& args) {
   options.max_wait_us = args.get_long("max-wait-us", 200);
   options.cache_capacity =
       static_cast<std::size_t>(args.get_long("cache", 4096));
+  options.max_queue = static_cast<std::size_t>(args.get_long("max-queue", 0));
+  options.default_deadline_us = args.get_long("deadline-us", 0);
 
   const Recommender rec = Recommender::load_file(*model_path);
   serve::RecommendService service(serve::snapshot_from_recommender(rec, lambda),
@@ -290,7 +321,9 @@ int cmd_serve(const CliArgs& args) {
           std::cout << r.item << "\t" << r.score << "\n";
         }
         std::cout << "# model v" << result.model_version
-                  << (result.cache_hit ? " (cached)" : "") << "\n";
+                  << (result.cache_hit ? " (cached)" : "");
+        if (!result.ok()) std::cout << " status=" << to_string(result.status);
+        std::cout << "\n";
       } else if (cmd == "predict") {
         index_t user = 0, item = 0;
         in >> user >> item;

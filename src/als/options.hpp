@@ -69,6 +69,16 @@ struct AlsOptions {
   /// Functional execution (compute the factors) vs accounting-only
   /// (cost-model sweeps).
   bool functional = true;
+
+  // Robustness knobs. None of these change the training trajectory when no
+  // fault fires, so they are excluded from the checkpoint trajectory hash.
+  /// Sweep each freshly updated factor block for NaN/Inf and repair bad
+  /// rows by re-solving with escalating regularization.
+  bool guard_updates = true;
+  real guard_lambda_escalation = 10.0f;  ///< λ multiplier per repair retry
+  int guard_max_attempts = 3;            ///< repair retries before zeroing
+  /// Times a failed kernel launch is retried before the error propagates.
+  int guard_kernel_retries = 1;
 };
 
 }  // namespace alsmf

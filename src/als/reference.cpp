@@ -12,9 +12,14 @@ namespace alsmf {
 
 void init_factors(index_t users, index_t items, const AlsOptions& options,
                   Matrix& x, Matrix& y) {
+  Rng rng(options.seed);
+  init_factors(users, items, options, x, y, rng);
+}
+
+void init_factors(index_t users, index_t items, const AlsOptions& options,
+                  Matrix& x, Matrix& y, Rng& rng) {
   x = Matrix(users, options.k, real{0});
   y = Matrix(items, options.k);
-  Rng rng(options.seed);
   const real scale =
       static_cast<real>(1.0 / std::sqrt(static_cast<double>(options.k)));
   y.fill_uniform(rng, -0.5f * scale, 0.5f * scale);

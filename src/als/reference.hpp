@@ -26,6 +26,12 @@ ReferenceResult reference_als(const Csr& train, const AlsOptions& options);
 void init_factors(index_t users, index_t items, const AlsOptions& options,
                   Matrix& x, Matrix& y);
 
+/// Same, but drawing from a caller-owned generator (which must be seeded
+/// with options.seed for the canonical initialization). Lets the solver
+/// checkpoint its RNG stream position.
+void init_factors(index_t users, index_t items, const AlsOptions& options,
+                  Matrix& x, Matrix& y, Rng& rng);
+
 /// One half-update: recomputes every row of `dst` from `src` over the rows
 /// of `r` (r rows must correspond to dst rows). Sequential.
 void reference_half_update(const Csr& r, const Matrix& src, Matrix& dst,

@@ -1,10 +1,12 @@
 #include "als/row_solve.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace alsmf {
 
@@ -55,6 +57,12 @@ void assemble_normal_equations_staged(std::span<const real> tile,
 
 bool solve_normal_equations(real* smat, real* svec, int k,
                             LinearSolverKind solver) {
+  if (robust::fault_at(robust::FaultSite::kSolve)) {
+    // Model a numerically blown-up solve: the caller sees NaN factors, which
+    // the post-update divergence guard must catch and repair.
+    std::fill(svec, svec + k, std::numeric_limits<real>::quiet_NaN());
+    return true;
+  }
   const bool ok = solver == LinearSolverKind::kCholesky
                       ? cholesky_solve(smat, k, svec)
                       : lu_solve(smat, k, svec);

@@ -1,11 +1,37 @@
 #include "als/solver.hpp"
 
+#include <cstring>
+#include <vector>
+
 #include "als/metrics.hpp"
 #include "als/reference.hpp"
+#include "als/row_solve.hpp"
 #include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
 #include "sparse/convert.hpp"
 
 namespace alsmf {
+
+std::uint64_t trajectory_hash(const AlsOptions& options, const Csr& train) {
+  std::uint64_t state = 0x616c736d66ULL;  // "alsmf"
+  std::uint64_t h = splitmix64(state);
+  const auto mix = [&](std::uint64_t v) {
+    state ^= v;
+    h ^= splitmix64(state);
+  };
+  mix(static_cast<std::uint64_t>(options.k));
+  std::uint32_t lambda_bits = 0;
+  std::memcpy(&lambda_bits, &options.lambda, sizeof(lambda_bits));
+  mix(lambda_bits);
+  mix(options.seed);
+  mix(options.weighted_regularization ? 1 : 0);
+  mix(static_cast<std::uint64_t>(options.solver));
+  mix(static_cast<std::uint64_t>(train.rows()));
+  mix(static_cast<std::uint64_t>(train.cols()));
+  mix(static_cast<std::uint64_t>(train.nnz()));
+  return h;
+}
 
 AlsSolver::AlsSolver(const Csr& train, const AlsOptions& options,
                      const AlsVariant& variant, devsim::Device& device)
@@ -13,10 +39,57 @@ AlsSolver::AlsSolver(const Csr& train, const AlsOptions& options,
       train_t_(transpose(train)),
       options_(options),
       variant_(variant),
-      device_(device) {
+      device_(device),
+      rng_(options.seed) {
   ALSMF_CHECK(options.k > 0);
   ALSMF_CHECK(options.lambda > 0.0f);
-  init_factors(train.rows(), train.cols(), options_, x_, y_);
+  init_factors(train.rows(), train.cols(), options_, x_, y_, rng_);
+}
+
+void AlsSolver::launch_with_retry(const char* name, const UpdateArgs& args) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      launch_update(device_, name, args, options_.num_groups,
+                    options_.group_size, options_.functional);
+      return;
+    } catch (const Error&) {
+      if (attempt >= options_.guard_kernel_retries) throw;
+      // Half-updates only read `src` and overwrite `dst`, so relaunching
+      // after a partial failure is idempotent.
+      ++report_.kernel_relaunches;
+    }
+  }
+}
+
+void AlsSolver::guard_factor(Matrix& dst, const Csr& r, const Matrix& src) {
+  if (!options_.guard_updates || !options_.functional) return;
+  robust::GuardOptions gopt;
+  gopt.lambda_escalation = options_.guard_lambda_escalation;
+  gopt.max_attempts = options_.guard_max_attempts;
+  const int k = options_.k;
+  const auto kk = static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+  std::vector<real> smat(kk), smat_saved(kk), rhs_saved(static_cast<std::size_t>(k));
+  const auto resolve = [&](index_t row, real lambda_scale, real* out) {
+    if (r.row_nnz(row) == 0) {
+      std::fill(out, out + k, real{0});
+      return true;
+    }
+    const real base =
+        options_.weighted_regularization
+            ? options_.lambda * static_cast<real>(r.row_nnz(row))
+            : options_.lambda;
+    assemble_normal_equations(r.row_cols(row), r.row_values(row), src,
+                              base * lambda_scale, k, smat.data(), out);
+    std::copy(smat.begin(), smat.end(), smat_saved.begin());
+    std::copy(out, out + k, rhs_saved.begin());
+    if (cholesky_solve(smat.data(), k, out)) return true;
+    // Non-SPD even after redamping: fall back to LU on the saved system.
+    ++report_.solver_fallbacks;
+    std::copy(smat_saved.begin(), smat_saved.end(), smat.begin());
+    std::copy(rhs_saved.begin(), rhs_saved.end(), out);
+    return lu_solve(smat.data(), k, out);
+  };
+  robust::guard_rows(dst, resolve, gopt, report_);
 }
 
 void AlsSolver::update_x() {
@@ -30,8 +103,8 @@ void AlsSolver::update_x() {
   args.k = options_.k;
   args.variant = variant_;
   args.solver = options_.solver;
-  launch_update(device_, "update_x", args, options_.num_groups,
-                options_.group_size, options_.functional);
+  launch_with_retry("update_x", args);
+  guard_factor(x_, train_, y_);
 }
 
 void AlsSolver::update_y() {
@@ -45,8 +118,8 @@ void AlsSolver::update_y() {
   args.k = options_.k;
   args.variant = variant_;
   args.solver = options_.solver;
-  launch_update(device_, "update_y", args, options_.num_groups,
-                options_.group_size, options_.functional);
+  launch_with_retry("update_y", args);
+  guard_factor(y_, train_t_, x_);
 }
 
 void AlsSolver::set_factors(const Matrix& x, const Matrix& y) {
@@ -66,6 +139,70 @@ double AlsSolver::run() {
   const double before = device_.modeled_seconds();
   for (int it = 0; it < options_.iterations; ++it) run_iteration();
   return device_.modeled_seconds() - before;
+}
+
+double AlsSolver::run_checkpointed(const CheckpointConfig& config) {
+  ALSMF_CHECK_MSG(!config.dir.empty(), "checkpoint dir required");
+  ALSMF_CHECK(config.every > 0);
+  const double before = device_.modeled_seconds();
+  while (iterations_done_ < options_.iterations) {
+    run_iteration();
+    if (iterations_done_ % config.every == 0 ||
+        iterations_done_ == options_.iterations) {
+      save_checkpoint(robust::checkpoint_path(config.dir, iterations_done_));
+      if (config.keep > 0) robust::prune_checkpoints(config.dir, config.keep);
+    }
+  }
+  return device_.modeled_seconds() - before;
+}
+
+std::uint64_t AlsSolver::options_hash() const {
+  return trajectory_hash(options_, train_);
+}
+
+robust::TrainingCheckpoint AlsSolver::make_checkpoint() const {
+  robust::TrainingCheckpoint ckpt;
+  ckpt.options_hash = options_hash();
+  ckpt.iteration = iterations_done_;
+  ckpt.rng_state = rng_.state();
+  ckpt.x = x_;
+  ckpt.y = y_;
+  return ckpt;
+}
+
+void AlsSolver::save_checkpoint(const std::string& path) const {
+  robust::save_checkpoint_file(path, make_checkpoint());
+}
+
+void AlsSolver::restore_checkpoint(const robust::TrainingCheckpoint& ckpt) {
+  ALSMF_CHECK_MSG(
+      ckpt.options_hash == options_hash(),
+      "checkpoint belongs to a different training run (trajectory hash "
+      "mismatch); refusing to resume");
+  ALSMF_CHECK_MSG(ckpt.x.rows() == x_.rows() && ckpt.x.cols() == x_.cols() &&
+                      ckpt.y.rows() == y_.rows() && ckpt.y.cols() == y_.cols(),
+                  "checkpoint factor shapes do not match this problem");
+  x_ = ckpt.x;
+  y_ = ckpt.y;
+  iterations_done_ = static_cast<int>(ckpt.iteration);
+  rng_.set_state(ckpt.rng_state);
+}
+
+void AlsSolver::resume_from_checkpoint(const std::string& path) {
+  restore_checkpoint(robust::load_checkpoint_file(path));
+}
+
+std::int64_t AlsSolver::resume_latest(const std::string& dir) {
+  const auto available = robust::list_checkpoints(dir);
+  for (auto it = available.rbegin(); it != available.rend(); ++it) {
+    try {
+      restore_checkpoint(robust::load_checkpoint_file(it->path));
+      return it->iteration;
+    } catch (const Error&) {
+      // Corrupt or mismatched checkpoint: fall back to the next older one.
+    }
+  }
+  return -1;
 }
 
 AlsSolver::ConvergenceReport AlsSolver::run_until(double rel_tol,

@@ -8,11 +8,28 @@
 
 #include "als/kernels.hpp"
 #include "als/options.hpp"
+#include "common/rng.hpp"
 #include "devsim/device.hpp"
 #include "linalg/dense.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/guards.hpp"
 #include "sparse/csr.hpp"
 
 namespace alsmf {
+
+/// Hash of everything that determines the training trajectory: k, λ, seed,
+/// regularization mode, linear solver, and the training matrix shape/nnz.
+/// Stored in checkpoints; resume refuses a checkpoint whose hash differs.
+/// Launch shape and guard knobs are excluded — all variants produce
+/// bitwise-identical factors, so their checkpoints are interchangeable.
+std::uint64_t trajectory_hash(const AlsOptions& options, const Csr& train);
+
+/// Periodic crash-safe checkpointing for run_checkpointed.
+struct CheckpointConfig {
+  std::string dir;
+  int every = 1;         ///< save after every N completed iterations
+  std::size_t keep = 3;  ///< checkpoints retained (0 = keep all)
+};
 
 /// Per-step (S1/S2/S3) modeled-time breakdown of a run (Fig. 8).
 struct StepBreakdown {
@@ -37,6 +54,11 @@ class AlsSolver {
   /// Runs options.iterations iterations; returns modeled seconds consumed
   /// by this solver's launches during the run.
   double run();
+
+  /// Like run(), but saves a crash-safe checkpoint every `config.every`
+  /// completed iterations and prunes old ones. Runs only the iterations
+  /// remaining to options().iterations, so it composes with resume_latest.
+  double run_checkpointed(const CheckpointConfig& config);
 
   /// Result of run_until: why it stopped and the trajectory.
   struct ConvergenceReport {
@@ -64,6 +86,29 @@ class AlsSolver {
   const AlsOptions& options() const { return options_; }
   const AlsVariant& variant() const { return variant_; }
   devsim::Device& device() { return device_; }
+  int iterations_done() const { return iterations_done_; }
+
+  /// Tally of divergence-guard and fault-recovery activity so far.
+  const robust::RobustnessReport& robustness_report() const { return report_; }
+
+  /// trajectory_hash(options(), train) for this solver's run.
+  std::uint64_t options_hash() const;
+
+  /// Snapshot of the full training state (factors, iteration, RNG stream).
+  robust::TrainingCheckpoint make_checkpoint() const;
+
+  /// Atomically writes make_checkpoint() to `path`.
+  void save_checkpoint(const std::string& path) const;
+
+  /// Restores factors, iteration counter, and RNG state. Throws when the
+  /// checkpoint's trajectory hash does not match this run.
+  void restore_checkpoint(const robust::TrainingCheckpoint& ckpt);
+  void resume_from_checkpoint(const std::string& path);
+
+  /// Restores from the newest loadable checkpoint in `dir`, skipping
+  /// corrupt or mismatched files. Returns the resumed iteration, or -1
+  /// when no usable checkpoint exists (state is untouched).
+  std::int64_t resume_latest(const std::string& dir);
 
   /// Objective (Eq. 2) on the training data. Functional runs only.
   double train_loss() const;
@@ -77,13 +122,20 @@ class AlsSolver {
   StepBreakdown step_breakdown() const;
 
  private:
+  /// Launches with retry-on-injected-fault per options_.guard_kernel_retries.
+  void launch_with_retry(const char* name, const UpdateArgs& args);
+  /// Post-update divergence sweep of `dst` (rows of `r`, solved over `src`).
+  void guard_factor(Matrix& dst, const Csr& r, const Matrix& src);
+
   const Csr& train_;
   Csr train_t_;
   AlsOptions options_;
   AlsVariant variant_;
   devsim::Device& device_;
+  Rng rng_;
   Matrix x_, y_;
   int iterations_done_ = 0;
+  robust::RobustnessReport report_;
 };
 
 }  // namespace alsmf

@@ -5,6 +5,7 @@
 // splitmix64 (public-domain algorithms by Blackman & Vigna).
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -88,6 +89,14 @@ class Rng {
   Rng fork() {
     std::uint64_t s = (*this)();
     return Rng(s);
+  }
+
+  /// Raw xoshiro256** state, for checkpointing the stream position.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
  private:

@@ -4,12 +4,16 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace alsmf::devsim {
 
 LaunchResult Device::launch(const std::string& name,
                             const LaunchConfig& config, const Kernel& kernel) {
   ALSMF_CHECK(config.group_size > 0);
+  if (robust::fault_at(robust::FaultSite::kKernelLaunch)) {
+    throw Error("injected fault: kernel launch '" + name + "' failed");
+  }
   Timer wall;
 
   // Per-worker accumulation avoids false sharing and locks on the hot path.

@@ -1,5 +1,6 @@
 #include "recsys/npy.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -43,15 +44,15 @@ void write_npy_file(const std::string& path, const Matrix& matrix) {
   write_npy(out, matrix);
 }
 
-Matrix read_npy(std::istream& in) {
+Matrix read_npy(std::istream& in, const std::string& context) {
   char magic[6];
   in.read(magic, sizeof(magic));
   ALSMF_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 6) == 0,
-                  "not an .npy stream");
+                  context + ": not an .npy stream");
   char major = 0, minor = 0;
   in.get(major);
   in.get(minor);
-  ALSMF_CHECK_MSG(major == 1, "unsupported .npy version");
+  ALSMF_CHECK_MSG(major == 1, context + ": unsupported .npy version");
   unsigned char lo = 0, hi = 0;
   lo = static_cast<unsigned char>(in.get());
   hi = static_cast<unsigned char>(in.get());
@@ -59,33 +60,56 @@ Matrix read_npy(std::istream& in) {
                            (static_cast<std::size_t>(hi) << 8);
   std::string header(hlen, '\0');
   in.read(header.data(), static_cast<std::streamsize>(hlen));
-  ALSMF_CHECK_MSG(in.good(), "truncated .npy header");
+  ALSMF_CHECK_MSG(in.good(), context + ": truncated .npy header");
 
   ALSMF_CHECK_MSG(header.find("'<f4'") != std::string::npos,
-                  ".npy dtype must be little-endian float32");
+                  context + ": .npy dtype must be little-endian float32");
   ALSMF_CHECK_MSG(header.find("'fortran_order': False") != std::string::npos,
-                  ".npy must be C-order");
+                  context + ": .npy must be C-order");
   const auto shape_pos = header.find("'shape': (");
-  ALSMF_CHECK_MSG(shape_pos != std::string::npos, "missing .npy shape");
+  ALSMF_CHECK_MSG(shape_pos != std::string::npos,
+                  context + ": missing .npy shape");
   long long rows = 0, cols = 0;
   {
     std::istringstream shape(header.substr(shape_pos + 10));
     char comma = 0;
     shape >> rows >> comma >> cols;
     ALSMF_CHECK_MSG(!shape.fail() && comma == ',' && rows >= 0 && cols >= 0,
-                    "bad .npy shape (need 2-D)");
+                    context + ": bad .npy shape (need 2-D)");
   }
+  const std::size_t data_offset = 10 + hlen;  // magic+version+len+header
   Matrix m(rows, cols);
+  const std::size_t want = m.size() * sizeof(real);
   in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(real)));
-  ALSMF_CHECK_MSG(in.good() || m.size() == 0, "truncated .npy data");
+          static_cast<std::streamsize>(want));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got != want) {
+    throw Error(context + ": truncated .npy data at offset " +
+                std::to_string(data_offset + got) + " (wanted " +
+                std::to_string(want) + " payload bytes, got " +
+                std::to_string(got) + ")");
+  }
+  // A factor matrix with NaN/Inf poisons every dot product downstream;
+  // refuse it at the door with a pinpointed offset.
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (index_t c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) {
+        const std::size_t flat =
+            static_cast<std::size_t>(r) * static_cast<std::size_t>(m.cols()) +
+            static_cast<std::size_t>(c);
+        throw Error(context + ": non-finite value at row " + std::to_string(r) +
+                    ", col " + std::to_string(c) + " (offset " +
+                    std::to_string(data_offset + flat * sizeof(real)) + ")");
+      }
+    }
+  }
   return m;
 }
 
 Matrix read_npy_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   ALSMF_CHECK_MSG(in.good(), "cannot open for read: " + path);
-  return read_npy(in);
+  return read_npy(in, path);
 }
 
 }  // namespace alsmf

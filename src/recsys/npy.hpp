@@ -16,7 +16,10 @@ void write_npy_file(const std::string& path, const Matrix& matrix);
 
 /// Reads a 2-D little-endian float32 C-order .npy v1.0 file (exactly what
 /// write_npy produces; also accepts NumPy's own output for such arrays).
-Matrix read_npy(std::istream& in);
+/// Rejects truncated payloads and non-finite (NaN/Inf) values with an
+/// error naming `context` (the file path, for read_npy_file) and the byte
+/// offset of the problem.
+Matrix read_npy(std::istream& in, const std::string& context = "<stream>");
 Matrix read_npy_file(const std::string& path);
 
 }  // namespace alsmf

@@ -52,6 +52,16 @@ Matrix read_matrix(std::istream& in) {
 }
 }  // namespace
 
+Recommender Recommender::from_factors(Matrix x, Matrix y) {
+  ALSMF_CHECK_MSG(x.cols() == y.cols(),
+                  "factor matrices must share the latent dimension k");
+  Recommender rec;
+  rec.x_ = std::move(x);
+  rec.y_ = std::move(y);
+  rec.trained_ = true;
+  return rec;
+}
+
 TrainReport Recommender::train(const Csr& ratings, const AlsOptions& options,
                                const devsim::DeviceProfile& profile) {
   return train(ratings, options,

@@ -53,6 +53,10 @@ class Recommender {
   bool has_bias() const { return has_bias_; }
   const BiasModel& bias() const { return bias_; }
 
+  /// Wraps factor matrices produced elsewhere (e.g. a checkpointed AlsSolver
+  /// run) into a ready-to-serve Recommender.
+  static Recommender from_factors(Matrix x, Matrix y);
+
   bool trained() const { return trained_; }
   index_t users() const { return x_.rows(); }
   index_t items() const { return y_.rows(); }

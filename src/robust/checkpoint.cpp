@@ -1,0 +1,308 @@
+#include "robust/checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "robust/crc32.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace alsmf::robust {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'A', 'L', 'S', 'C', 'K', 'P', 'T', '1'};
+constexpr char kTagHeader[4] = {'H', 'D', 'R', '\0'};
+constexpr char kTagX[4] = {'X', 'F', 'A', 'C'};
+constexpr char kTagY[4] = {'Y', 'F', 'A', 'C'};
+constexpr char kTagEnd[4] = {'E', 'N', 'D', '\0'};
+constexpr const char* kSuffix = ".alsckpt";
+
+[[noreturn]] void corrupt(const std::string& path, std::uint64_t offset,
+                          const std::string& what) {
+  throw Error("checkpoint " + path + ": " + what + " at offset " +
+              std::to_string(offset));
+}
+
+/// Sequential writer that checksums each section payload as it streams.
+class SectionWriter {
+ public:
+  explicit SectionWriter(std::ostream& out) : out_(out) {}
+
+  void begin(const char tag[4], std::uint64_t payload_len) {
+    out_.write(tag, 4);
+    write_pod(payload_len);
+    crc_ = 0;
+  }
+  void payload(const void* data, std::size_t len) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    crc_ = crc32(data, len, crc_);
+  }
+  void end() { write_pod(crc_); }
+
+  template <class T>
+  void payload_pod(const T& v) {
+    payload(&v, sizeof(T));
+  }
+
+ private:
+  template <class T>
+  void write_pod(const T& v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  std::ostream& out_;
+  std::uint32_t crc_ = 0;
+};
+
+/// Sequential reader tracking the byte offset for error messages and
+/// honoring injected I/O truncation faults.
+class SectionReader {
+ public:
+  SectionReader(std::istream& in, const std::string& path,
+                std::uint64_t file_size)
+      : in_(in), path_(path), file_size_(file_size) {}
+
+  void read(void* dst, std::size_t len, const char* what) {
+    if (fault_at(FaultSite::kIoRead)) {
+      corrupt(path_, offset_,
+              std::string("injected I/O fault: read of ") + what +
+                  " truncated");
+    }
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got != len) {
+      corrupt(path_, offset_ + got,
+              std::string("truncated ") + what + " (wanted " +
+                  std::to_string(len) + " bytes, got " + std::to_string(got) +
+                  ")");
+    }
+    offset_ += len;
+  }
+
+  template <class T>
+  T read_pod(const char* what) {
+    T v{};
+    read(&v, sizeof(T), what);
+    return v;
+  }
+
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t remaining() const {
+    return file_size_ > offset_ ? file_size_ - offset_ : 0;
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::istream& in_;
+  std::string path_;
+  std::uint64_t file_size_;
+  std::uint64_t offset_ = 0;
+};
+
+struct HeaderPayload {
+  std::uint32_t format_version = kCheckpointFormatVersion;
+  std::uint32_t reserved = 0;
+  std::uint64_t options_hash = 0;
+  std::int64_t iteration = 0;
+  std::uint64_t rng_state[4] = {};
+};
+static_assert(sizeof(HeaderPayload) == 56);
+
+void write_matrix_section(SectionWriter& w, const char tag[4],
+                          const Matrix& m) {
+  const std::uint64_t len = 16 + m.size() * sizeof(real);
+  w.begin(tag, len);
+  w.payload_pod(static_cast<std::int64_t>(m.rows()));
+  w.payload_pod(static_cast<std::int64_t>(m.cols()));
+  w.payload(m.data(), m.size() * sizeof(real));
+  w.end();
+}
+
+Matrix read_matrix_section(SectionReader& r, std::uint64_t payload_len,
+                           const char* what) {
+  const std::uint64_t section_start = r.offset();
+  if (payload_len < 16 || payload_len > r.remaining()) {
+    corrupt(r.path(), section_start,
+            std::string("bad ") + what + " payload length " +
+                std::to_string(payload_len));
+  }
+  std::uint32_t crc = 0;
+  const auto rows = r.read_pod<std::int64_t>(what);
+  const auto cols = r.read_pod<std::int64_t>(what);
+  crc = crc32(&rows, sizeof(rows), crc);
+  crc = crc32(&cols, sizeof(cols), crc);
+  if (rows < 0 || cols < 0 ||
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) *
+              sizeof(real) !=
+          payload_len - 16) {
+    corrupt(r.path(), section_start,
+            std::string("bad ") + what + " shape " + std::to_string(rows) +
+                "x" + std::to_string(cols));
+  }
+  Matrix m(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  r.read(m.data(), m.size() * sizeof(real), what);
+  crc = crc32(m.data(), m.size() * sizeof(real), crc);
+  const auto stored = r.read_pod<std::uint32_t>("section crc");
+  if (stored != crc) {
+    corrupt(r.path(), section_start,
+            std::string(what) + " CRC mismatch (stored " +
+                std::to_string(stored) + ", computed " + std::to_string(crc) +
+                ")");
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_checkpoint_file(const std::string& path,
+                          const TrainingCheckpoint& ckpt) {
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ALSMF_CHECK_MSG(out.good(), "cannot open checkpoint for write: " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+
+    SectionWriter w(out);
+    HeaderPayload header;
+    header.options_hash = ckpt.options_hash;
+    header.iteration = ckpt.iteration;
+    std::copy(ckpt.rng_state.begin(), ckpt.rng_state.end(), header.rng_state);
+    w.begin(kTagHeader, sizeof(HeaderPayload));
+    w.payload_pod(header);
+    w.end();
+
+    write_matrix_section(w, kTagX, ckpt.x);
+    write_matrix_section(w, kTagY, ckpt.y);
+
+    w.begin(kTagEnd, 0);
+    w.end();
+
+    out.flush();
+    ALSMF_CHECK_MSG(out.good(), "short write to checkpoint: " + tmp);
+  }
+  // Publish atomically: a crash before this rename leaves only the .tmp;
+  // a crash after it leaves the complete new checkpoint.
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  ALSMF_CHECK_MSG(!ec, "cannot rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+}
+
+TrainingCheckpoint load_checkpoint_file(const std::string& path) {
+  std::error_code ec;
+  const std::uint64_t file_size = fs::file_size(path, ec);
+  ALSMF_CHECK_MSG(!ec, "cannot stat checkpoint: " + path);
+  std::ifstream in(path, std::ios::binary);
+  ALSMF_CHECK_MSG(in.good(), "cannot open checkpoint for read: " + path);
+
+  SectionReader r(in, path, file_size);
+  char magic[8];
+  r.read(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    corrupt(path, 0, "bad magic (not an ALSCKPT1 file)");
+  }
+
+  TrainingCheckpoint ckpt;
+  bool have_header = false, have_x = false, have_y = false, have_end = false;
+  while (!have_end) {
+    const std::uint64_t section_start = r.offset();
+    char tag[4];
+    r.read(tag, sizeof(tag), "section tag");
+    const auto payload_len = r.read_pod<std::uint64_t>("section length");
+    if (std::memcmp(tag, kTagHeader, 4) == 0) {
+      if (payload_len != sizeof(HeaderPayload)) {
+        corrupt(path, section_start, "bad header length");
+      }
+      HeaderPayload header;
+      r.read(&header, sizeof(header), "header");
+      const auto stored = r.read_pod<std::uint32_t>("header crc");
+      const auto computed = crc32(&header, sizeof(header));
+      if (stored != computed) {
+        corrupt(path, section_start, "header CRC mismatch");
+      }
+      if (header.format_version != kCheckpointFormatVersion) {
+        corrupt(path, section_start,
+                "unsupported format version " +
+                    std::to_string(header.format_version));
+      }
+      ckpt.options_hash = header.options_hash;
+      ckpt.iteration = header.iteration;
+      std::copy(std::begin(header.rng_state), std::end(header.rng_state),
+                ckpt.rng_state.begin());
+      have_header = true;
+    } else if (std::memcmp(tag, kTagX, 4) == 0) {
+      ckpt.x = read_matrix_section(r, payload_len, "X factor section");
+      have_x = true;
+    } else if (std::memcmp(tag, kTagY, 4) == 0) {
+      ckpt.y = read_matrix_section(r, payload_len, "Y factor section");
+      have_y = true;
+    } else if (std::memcmp(tag, kTagEnd, 4) == 0) {
+      if (payload_len != 0) corrupt(path, section_start, "bad END length");
+      const auto stored = r.read_pod<std::uint32_t>("end crc");
+      if (stored != crc32(nullptr, 0)) {
+        corrupt(path, section_start, "END CRC mismatch");
+      }
+      have_end = true;
+    } else {
+      corrupt(path, section_start, "unknown section tag");
+    }
+  }
+  if (!have_header || !have_x || !have_y) {
+    corrupt(path, r.offset(), "missing required section");
+  }
+  return ckpt;
+}
+
+std::string checkpoint_path(const std::string& dir, std::int64_t iteration) {
+  std::string name = std::to_string(iteration);
+  if (name.size() < 6) name.insert(0, 6 - name.size(), '0');
+  return (fs::path(dir) / ("ckpt_" + name + kSuffix)).string();
+}
+
+std::vector<CheckpointInfo> list_checkpoints(const std::string& dir) {
+  std::vector<CheckpointInfo> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 5 + std::strlen(kSuffix)) continue;
+    if (name.rfind("ckpt_", 0) != 0) continue;
+    if (name.substr(name.size() - std::strlen(kSuffix)) != kSuffix) continue;
+    const std::string digits =
+        name.substr(5, name.size() - 5 - std::strlen(kSuffix));
+    std::int64_t iteration = 0;
+    const auto [ptr, parse_ec] = std::from_chars(
+        digits.data(), digits.data() + digits.size(), iteration);
+    if (parse_ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      continue;
+    }
+    found.push_back({entry.path().string(), iteration});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.iteration < b.iteration;
+            });
+  return found;
+}
+
+void prune_checkpoints(const std::string& dir, std::size_t keep) {
+  auto all = list_checkpoints(dir);
+  if (all.size() <= keep) return;
+  for (std::size_t i = 0; i + keep < all.size(); ++i) {
+    std::error_code ec;
+    fs::remove(all[i].path, ec);
+  }
+}
+
+}  // namespace alsmf::robust

@@ -1,0 +1,60 @@
+// Crash-safe training checkpoints.
+//
+// Format (all integers little-endian, see docs/robustness.md):
+//
+//   magic "ALSCKPT1" (8 bytes)
+//   sections, each:  u32 tag | u64 payload_len | payload | u32 crc32(payload)
+//     "HDR\0"  u32 format_version, u32 reserved, u64 options_hash,
+//              i64 iteration, u64 rng_state[4]
+//     "XFAC"   i64 rows, i64 cols, f32 data (row-major)
+//     "YFAC"   i64 rows, i64 cols, f32 data (row-major)
+//     "END\0"  empty payload, crc of nothing
+//
+// Writes go to `<path>.tmp` and are renamed into place only after a
+// successful flush, so a crash mid-write never clobbers the previous
+// checkpoint. Loads validate the magic, every section CRC, and payload
+// bounds against the file size; errors name the file and byte offset.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace alsmf::robust {
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+struct TrainingCheckpoint {
+  std::uint64_t options_hash = 0;  ///< trajectory hash; resume refuses mismatch
+  std::int64_t iteration = 0;      ///< completed ALS iterations
+  std::array<std::uint64_t, 4> rng_state{};  ///< solver RNG stream state
+  Matrix x, y;                     ///< factor matrices
+};
+
+/// Atomically writes `ckpt` to `path` (creating parent directories).
+void save_checkpoint_file(const std::string& path,
+                          const TrainingCheckpoint& ckpt);
+
+/// Loads and fully validates a checkpoint; throws alsmf::Error naming the
+/// file and offset on any corruption (bad magic, CRC mismatch, truncation).
+TrainingCheckpoint load_checkpoint_file(const std::string& path);
+
+struct CheckpointInfo {
+  std::string path;
+  std::int64_t iteration = 0;
+};
+
+/// Canonical checkpoint filename for an iteration: dir/ckpt_<iter>.alsckpt.
+std::string checkpoint_path(const std::string& dir, std::int64_t iteration);
+
+/// Checkpoints under `dir` matching the canonical naming, ascending by
+/// iteration. Missing directory yields an empty list.
+std::vector<CheckpointInfo> list_checkpoints(const std::string& dir);
+
+/// Deletes all but the newest `keep` checkpoints in `dir`.
+void prune_checkpoints(const std::string& dir, std::size_t keep);
+
+}  // namespace alsmf::robust

@@ -1,0 +1,99 @@
+#include "robust/circuit_breaker.hpp"
+
+#include <sstream>
+
+namespace alsmf::robust {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {}
+
+void CircuitBreaker::transition_locked(clock::time_point now) {
+  if (state_ == BreakerState::kOpen && now - opened_at_ >= options_.cooldown) {
+    state_ = BreakerState::kHalfOpen;
+    half_open_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::open_locked(clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  half_open_in_flight_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::allow(clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transition_locked(now);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++rejections_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (half_open_in_flight_ < options_.half_open_trials) {
+        ++half_open_in_flight_;
+        return true;
+      }
+      ++rejections_;
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(clock::time_point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    half_open_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::record_failure(clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    open_locked(now);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    open_locked(now);
+  }
+}
+
+BreakerState CircuitBreaker::state(clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transition_locked(now);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+std::uint64_t CircuitBreaker::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
+std::string CircuitBreaker::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"state\":\"" << to_string(state_) << "\",\"trips\":" << trips_
+     << ",\"rejections\":" << rejections_ << "}";
+  return os.str();
+}
+
+}  // namespace alsmf::robust

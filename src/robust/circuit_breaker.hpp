@@ -1,0 +1,67 @@
+// Circuit breaker for repeatedly failing operations (serving fold-ins).
+//
+// Standard three-state machine: Closed passes traffic and counts
+// consecutive failures; `failure_threshold` consecutive failures trip it
+// Open, where calls are rejected until `cooldown` elapses; then HalfOpen
+// admits `half_open_trials` probe calls — a success closes the breaker, a
+// failure re-opens it and restarts the cooldown. Time is injected per call
+// so tests never sleep. Thread-safe via an internal mutex (serving already
+// serializes per-batch, so contention is negligible).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace alsmf::robust {
+
+enum class BreakerState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* to_string(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before probing.
+  std::chrono::milliseconds cooldown{1000};
+  /// Probe calls admitted in HalfOpen before a verdict.
+  int half_open_trials = 1;
+};
+
+class CircuitBreaker {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// Whether a call may proceed now. Open→HalfOpen transition happens here
+  /// once the cooldown has elapsed. Rejections are counted.
+  bool allow(clock::time_point now = clock::now());
+
+  /// Reports the outcome of an admitted call.
+  void record_success(clock::time_point now = clock::now());
+  void record_failure(clock::time_point now = clock::now());
+
+  BreakerState state(clock::time_point now = clock::now());
+
+  std::uint64_t trips() const;       ///< times the breaker opened
+  std::uint64_t rejections() const;  ///< calls refused while open
+  std::string to_json() const;
+
+ private:
+  // Callers hold mu_.
+  void transition_locked(clock::time_point now);
+  void open_locked(clock::time_point now);
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_in_flight_ = 0;
+  clock::time_point opened_at_{};
+  std::uint64_t trips_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace alsmf::robust

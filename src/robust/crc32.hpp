@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// section integrity. Chunkable: feed the previous return value back as
+// `seed` to continue a running checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alsmf::robust {
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace alsmf::robust

@@ -1,0 +1,81 @@
+#include "robust/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace alsmf::robust {
+
+namespace {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kKernelLaunch: return "kernel_launch";
+    case FaultSite::kSolve: return "solve";
+    case FaultSite::kIoRead: return "io_read";
+    case FaultSite::kFoldInSolve: return "fold_in_solve";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::should_fault(FaultSite site) {
+  const auto s = static_cast<std::size_t>(site);
+  const std::uint64_t index =
+      occurrences_[s].fetch_add(1, std::memory_order_relaxed);
+
+  bool fire = std::find(plan_.exact[s].begin(), plan_.exact[s].end(), index) !=
+              plan_.exact[s].end();
+  if (!fire && plan_.probability[s] > 0.0) {
+    // Counter-based draw: hash (seed, site, index) through splitmix64 so the
+    // decision is a pure function of the occurrence, not of scheduling.
+    std::uint64_t state = plan_.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)) ^
+                          (index * 0xbf58476d1ce4e5b9ULL);
+    const double u =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    fire = u < plan_.probability[s];
+  }
+  if (!fire) return false;
+
+  // Respect the overall fault budget.
+  if (budget_used_.fetch_add(1, std::memory_order_relaxed) >=
+      plan_.max_faults) {
+    return false;
+  }
+  triggered_[s].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::occurrences(FaultSite site) const {
+  return occurrences_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::triggered(FaultSite site) const {
+  return triggered_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_triggered() const {
+  std::uint64_t total = 0;
+  for (const auto& t : triggered_) total += t.load(std::memory_order_relaxed);
+  return total;
+}
+
+void install_fault_injector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* installed_fault_injector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+bool fault_at(FaultSite site) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  return injector != nullptr && injector->should_fault(site);
+}
+
+}  // namespace alsmf::robust

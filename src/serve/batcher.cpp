@@ -6,8 +6,11 @@
 
 namespace alsmf::serve {
 
-MicroBatcher::MicroBatcher(BatcherOptions options, Executor executor)
-    : options_(options), executor_(std::move(executor)) {
+MicroBatcher::MicroBatcher(BatcherOptions options, Executor executor,
+                           OnShed on_shed)
+    : options_(options),
+      executor_(std::move(executor)),
+      on_shed_(std::move(on_shed)) {
   ALSMF_CHECK(options_.max_batch >= 1);
   ALSMF_CHECK(options_.max_wait.count() >= 0);
   ALSMF_CHECK_MSG(executor_ != nullptr, "MicroBatcher needs an executor");
@@ -16,11 +19,23 @@ MicroBatcher::MicroBatcher(BatcherOptions options, Executor executor)
 
 MicroBatcher::~MicroBatcher() { stop(); }
 
+void MicroBatcher::shed(ServeRequest&& request, ServeStatus status) {
+  if (on_shed_) on_shed_(request, status);
+  ServeResult result;
+  result.status = status;
+  request.promise.set_value(std::move(result));
+}
+
 void MicroBatcher::submit(ServeRequest&& request) {
   request.enqueue_time = std::chrono::steady_clock::now();
   {
     std::unique_lock lk(m_);
     if (!stop_) {
+      if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+        lk.unlock();
+        shed(std::move(request), ServeStatus::kRejectedQueueFull);
+        return;
+      }
       queue_.push_back(std::move(request));
       lk.unlock();
       cv_.notify_one();
@@ -58,15 +73,26 @@ void MicroBatcher::drain_loop() {
     cv_.wait_until(lk, deadline, [&] {
       return stop_ || queue_.size() >= options_.max_batch;
     });
-    const std::size_t take = std::min(queue_.size(), options_.max_batch);
+    // Drop requests whose deadline already passed: the client has given up
+    // (or will before the answer lands), so a batch slot is better spent on
+    // a request that can still be served in time.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<ServeRequest> expired;
     std::vector<ServeRequest> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    batch.reserve(options_.max_batch);
+    while (!queue_.empty() && batch.size() < options_.max_batch) {
+      if (queue_.front().deadline < now) {
+        expired.push_back(std::move(queue_.front()));
+      } else {
+        batch.push_back(std::move(queue_.front()));
+      }
       queue_.pop_front();
     }
     lk.unlock();
-    executor_(std::move(batch));
+    for (auto& request : expired) {
+      shed(std::move(request), ServeStatus::kShedDeadline);
+    }
+    if (!batch.empty()) executor_(std::move(batch));
     lk.lock();
   }
 }

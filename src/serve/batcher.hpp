@@ -24,6 +24,9 @@ namespace alsmf::serve {
 struct BatcherOptions {
   std::size_t max_batch = 64;
   std::chrono::microseconds max_wait{200};
+  /// Queued requests beyond which submits are shed with
+  /// ServeStatus::kRejectedQueueFull. 0 = unbounded.
+  std::size_t max_queue = 0;
 };
 
 class MicroBatcher {
@@ -31,16 +34,22 @@ class MicroBatcher {
   /// The executor receives each drained batch (never empty) on the drain
   /// thread and must fulfill every request's promise.
   using Executor = std::function<void(std::vector<ServeRequest>&&)>;
+  /// Observes each shed request (queue full or expired deadline) before the
+  /// batcher fulfills its promise with the given status — metrics recorded
+  /// here are visible to a client that wakes on the future.
+  using OnShed = std::function<void(const ServeRequest&, ServeStatus)>;
 
-  MicroBatcher(BatcherOptions options, Executor executor);
+  MicroBatcher(BatcherOptions options, Executor executor,
+               OnShed on_shed = nullptr);
   ~MicroBatcher();  ///< stop(): drains remaining requests, then joins
 
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
   /// Enqueues a request (stamps its enqueue_time) and wakes the drain
-  /// thread. After stop(), the request is executed inline as a batch of one
-  /// so its promise is always fulfilled.
+  /// thread. A full bounded queue sheds the request immediately with
+  /// kRejectedQueueFull. After stop(), the request is executed inline as a
+  /// batch of one so its promise is always fulfilled (no shedding).
   void submit(ServeRequest&& request);
 
   /// Stops accepting queued execution; outstanding requests are drained in
@@ -53,9 +62,12 @@ class MicroBatcher {
 
  private:
   void drain_loop();
+  /// Notifies on_shed_, then fulfills the promise with `status`.
+  void shed(ServeRequest&& request, ServeStatus status);
 
   BatcherOptions options_;
   Executor executor_;
+  OnShed on_shed_;
   mutable std::mutex m_;
   std::condition_variable cv_;
   std::deque<ServeRequest> queue_;

@@ -24,12 +24,41 @@ inline const char* to_string(RequestKind kind) {
   return "unknown";
 }
 
+/// Why a request's result is (or is not) a real answer. Overload and
+/// degraded-mode outcomes are statuses, not exceptions: under load they are
+/// expected, frequent, and must stay cheap to produce and to count.
+enum class ServeStatus : int {
+  kOk = 0,
+  kRejectedQueueFull,  ///< bounded queue was full at submit
+  kShedDeadline,       ///< deadline expired in the queue; dropped at dequeue
+  kCircuitOpen,        ///< fold-in breaker is open (recent solve failures)
+  kSolveFailed,        ///< this fold-in's solve failed
+  kDegraded,           ///< popularity fallback answered (no model published)
+  kNoModel,            ///< no model and no fallback can answer this kind
+};
+
+inline const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case ServeStatus::kShedDeadline: return "shed_deadline";
+    case ServeStatus::kCircuitOpen: return "circuit_open";
+    case ServeStatus::kSolveFailed: return "solve_failed";
+    case ServeStatus::kDegraded: return "degraded";
+    case ServeStatus::kNoModel: return "no_model";
+  }
+  return "unknown";
+}
+
 struct ServeResult {
+  ServeStatus status = ServeStatus::kOk;
   std::uint64_t model_version = 0;  ///< snapshot that produced this answer
   real score = 0;                   ///< predict
   std::vector<Recommendation> topn; ///< top-N and fold-in
   std::vector<real> factor;         ///< fold-in: the solved user factor
   bool cache_hit = false;           ///< answered from the LRU cache
+
+  bool ok() const { return status == ServeStatus::kOk; }
 };
 
 struct ServeRequest {
@@ -40,6 +69,10 @@ struct ServeRequest {
   std::vector<index_t> fold_items;  ///< fold-in: rated item ids
   std::vector<real> fold_ratings;   ///< fold-in: ratings, same length
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Latest acceptable execution start; expired requests are shed at
+  /// dequeue instead of wasting a batch slot on a stale answer.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   std::promise<ServeResult> promise;
 };
 

@@ -53,6 +53,33 @@ void ServeMetrics::record_rejected() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServeMetrics::record_shed(ServeStatus status) {
+  if (status == ServeStatus::kRejectedQueueFull) {
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == ServeStatus::kShedDeadline) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeMetrics::record_status(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kCircuitOpen:
+      circuit_open_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kSolveFailed:
+      solve_failures_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kNoModel:
+      no_model_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
 double ServeMetrics::qps() const {
   const double s = uptime_.seconds();
   return s > 0 ? static_cast<double>(completed()) / s : 0.0;
@@ -73,7 +100,8 @@ double ServeMetrics::mean_batch_size() const {
   return batch_size_.mean();
 }
 
-std::string ServeMetrics::to_json(const CacheStats& cache) const {
+std::string ServeMetrics::to_json(const CacheStats& cache,
+                                  const std::string& breaker_json) const {
   std::ostringstream out;
   out << "{\"uptime_seconds\":" << uptime_seconds() << ",\"qps\":" << qps()
       << ",\"requests\":{\"submitted\":" << submitted()
@@ -83,7 +111,14 @@ std::string ServeMetrics::to_json(const CacheStats& cache) const {
     out << ",\"" << to_string(static_cast<RequestKind>(kind))
         << "\":" << by_kind_[kind].load(std::memory_order_relaxed);
   }
-  out << "},\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
+  out << "},\"overload\":{\"shed_queue_full\":" << shed_queue_full()
+      << ",\"shed_deadline\":" << shed_deadline()
+      << ",\"circuit_open\":" << circuit_open()
+      << ",\"solve_failures\":" << solve_failures()
+      << ",\"degraded\":" << degraded()
+      << ",\"no_model\":" << no_model_.load(std::memory_order_relaxed) << "}";
+  if (!breaker_json.empty()) out << ",\"breaker\":" << breaker_json;
+  out << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
       << ",\"evictions\":" << cache.evictions << ",\"size\":" << cache.size
       << ",\"hit_rate\":" << cache.hit_rate() << "}"
       << ",\"swaps\":" << swaps() << ",\"batches\":" << batches();
@@ -102,6 +137,8 @@ std::string ServeMetrics::to_json(const CacheStats& cache) const {
 void ServeMetrics::reset() {
   uptime_.reset();
   submitted_ = completed_ = rejected_ = swaps_ = batches_ = 0;
+  shed_queue_full_ = shed_deadline_ = 0;
+  circuit_open_ = solve_failures_ = degraded_ = no_model_ = 0;
   for (auto& counter : by_kind_) counter = 0;
   std::scoped_lock lk(m_);
   queue_us_.clear();

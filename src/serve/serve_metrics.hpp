@@ -41,11 +41,23 @@ class ServeMetrics {
   void record_cache_fast_path(double total_us);
   void record_swap();
   void record_rejected();  ///< request failed validation
+  /// A request shed before execution (queue full or expired deadline).
+  /// Shed requests never reach record_done, so
+  /// submitted == completed + shed_queue_full + shed_deadline.
+  void record_shed(ServeStatus status);
+  /// A request that executed but got a non-ok status (breaker open,
+  /// fold-in solve failure, degraded/no-model answer).
+  void record_status(ServeStatus status);
 
   std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
   std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
   std::uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
   std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  std::uint64_t shed_queue_full() const { return shed_queue_full_.load(std::memory_order_relaxed); }
+  std::uint64_t shed_deadline() const { return shed_deadline_.load(std::memory_order_relaxed); }
+  std::uint64_t circuit_open() const { return circuit_open_.load(std::memory_order_relaxed); }
+  std::uint64_t solve_failures() const { return solve_failures_.load(std::memory_order_relaxed); }
+  std::uint64_t degraded() const { return degraded_.load(std::memory_order_relaxed); }
   double uptime_seconds() const { return uptime_.seconds(); }
   /// Completed requests per second of uptime.
   double qps() const;
@@ -54,8 +66,10 @@ class ServeMetrics {
   double queue_us_percentile(double p) const;
   double mean_batch_size() const;
 
-  /// Full JSON report; pass the cache's counters to include them.
-  std::string to_json(const CacheStats& cache) const;
+  /// Full JSON report; pass the cache's counters to include them, and
+  /// optionally the fold-in circuit breaker's JSON object.
+  std::string to_json(const CacheStats& cache,
+                      const std::string& breaker_json = "") const;
 
   void reset();
 
@@ -63,6 +77,9 @@ class ServeMetrics {
   Timer uptime_;
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, rejected_{0};
   std::atomic<std::uint64_t> swaps_{0}, batches_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0}, shed_deadline_{0};
+  std::atomic<std::uint64_t> circuit_open_{0}, solve_failures_{0};
+  std::atomic<std::uint64_t> degraded_{0}, no_model_{0};
   std::atomic<std::uint64_t> by_kind_[3] = {};
 
   mutable std::mutex m_;  // guards the histograms

@@ -4,12 +4,15 @@
 #include <chrono>
 #include <exception>
 
+#include <cmath>
+
 #include "als/row_solve.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "linalg/batched.hpp"
 #include "linalg/vecops.hpp"
 #include "recsys/batch_score.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace alsmf::serve {
 
@@ -58,6 +61,11 @@ void validate(const ServeRequest& request, const ModelSnapshot& snap) {
                         "fold-in item id " + std::to_string(item) +
                             " outside [0, " + std::to_string(snap.items()) + ")");
       }
+      for (const real rating : request.fold_ratings) {
+        ALSMF_CHECK_MSG(std::isfinite(rating),
+                        "fold-in rating is not finite; refusing to poison the "
+                        "normal equations");
+      }
       break;
   }
 }
@@ -68,15 +76,19 @@ RecommendService::RecommendService(std::shared_ptr<ModelSnapshot> initial,
                                    ServiceOptions options)
     : options_(options),
       pool_(options.pool ? options.pool : &ThreadPool::global()),
-      cache_(options.cache_capacity) {
-  ALSMF_CHECK_MSG(initial != nullptr, "RecommendService needs an initial model");
-  store_.publish(std::move(initial));
+      cache_(options.cache_capacity),
+      breaker_(options.breaker) {
+  if (initial) store_.publish(std::move(initial));
   BatcherOptions batcher_options;
   batcher_options.max_batch = options_.max_batch;
   batcher_options.max_wait = std::chrono::microseconds(options_.max_wait_us);
+  batcher_options.max_queue = options_.max_queue;
   batcher_ = std::make_unique<MicroBatcher>(
       batcher_options,
-      [this](std::vector<ServeRequest>&& batch) { execute_batch(std::move(batch)); });
+      [this](std::vector<ServeRequest>&& batch) { execute_batch(std::move(batch)); },
+      [this](const ServeRequest&, ServeStatus status) {
+        metrics_.record_shed(status);
+      });
 }
 
 RecommendService::~RecommendService() { stop(); }
@@ -87,6 +99,10 @@ void RecommendService::stop() {
 
 std::future<ServeResult> RecommendService::enqueue(ServeRequest&& request) {
   metrics_.record_enqueue(request.kind);
+  if (options_.default_deadline_us > 0) {
+    request.deadline = clock::now() +
+                       std::chrono::microseconds(options_.default_deadline_us);
+  }
   auto future = request.promise.get_future();
   batcher_->submit(std::move(request));
   return future;
@@ -153,6 +169,13 @@ std::uint64_t RecommendService::swap_model(std::shared_ptr<ModelSnapshot> next) 
   return version;
 }
 
+void RecommendService::set_popularity_fallback(
+    std::vector<Recommendation> ranked) {
+  fallback_.store(std::make_shared<const std::vector<Recommendation>>(
+                      std::move(ranked)),
+                  std::memory_order_release);
+}
+
 CacheStats RecommendService::cache_stats() const {
   CacheStats stats;
   stats.hits = cache_.hits();
@@ -163,7 +186,34 @@ CacheStats RecommendService::cache_stats() const {
 }
 
 std::string RecommendService::stats_json() const {
-  return metrics_.to_json(cache_stats());
+  return metrics_.to_json(cache_stats(), breaker_.to_json());
+}
+
+void RecommendService::execute_batch_degraded(
+    std::vector<ServeRequest>&& batch) {
+  const auto drain_time = clock::now();
+  const Timer exec;
+  const auto fallback = fallback_.load(std::memory_order_acquire);
+  metrics_.record_batch(batch.size(), batcher_ ? batcher_->queue_depth() : 0,
+                        exec.seconds() * 1e6);
+  for (auto& request : batch) {
+    ServeResult result;
+    if (request.kind == RequestKind::kTopN && fallback && !fallback->empty()) {
+      result.status = ServeStatus::kDegraded;
+      const auto n = std::min<std::size_t>(
+          request.n > 0 ? static_cast<std::size_t>(request.n) : 0,
+          fallback->size());
+      result.topn.assign(fallback->begin(),
+                         fallback->begin() + static_cast<std::ptrdiff_t>(n));
+    } else {
+      result.status = ServeStatus::kNoModel;
+    }
+    metrics_.record_status(result.status);
+    metrics_.record_done(request.kind,
+                         micros_between(request.enqueue_time, drain_time),
+                         micros_between(request.enqueue_time, clock::now()));
+    request.promise.set_value(std::move(result));
+  }
 }
 
 void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
@@ -172,16 +222,27 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
   // One snapshot per batch: every request in it is answered by the same
   // immutable model, even if swap_model runs concurrently.
   const auto snap = store_.current();
+  if (!snap) {
+    execute_batch_degraded(std::move(batch));
+    return;
+  }
   const auto k = static_cast<std::size_t>(snap->k());
 
-  // Validate serially (cheap), collecting the fold-in sub-batch.
+  // Validate serially (cheap), collecting the fold-in sub-batch. Fold-ins
+  // pass through the circuit breaker: while it is open they fail fast with
+  // kCircuitOpen instead of occupying solve slots.
   std::vector<std::exception_ptr> errors(batch.size());
+  std::vector<ServeStatus> statuses(batch.size(), ServeStatus::kOk);
   std::vector<std::size_t> foldins;  // indices into batch
   std::vector<std::size_t> foldin_slot(batch.size(), 0);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     try {
       validate(batch[i], *snap);
       if (batch[i].kind == RequestKind::kFoldIn) {
+        if (!breaker_.allow()) {
+          statuses[i] = ServeStatus::kCircuitOpen;
+          continue;
+        }
         foldin_slot[i] = foldins.size();
         foldins.push_back(i);
       }
@@ -195,10 +256,15 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
   // one batched Cholesky (each cold user is one row of the batch).
   std::vector<real> gram(foldins.size() * k * k);
   std::vector<real> rhs(foldins.size() * k);
+  std::vector<char> foldin_failed(foldins.size(), 0);
   if (!foldins.empty()) {
     pool_->parallel_for(0, foldins.size(), [&](std::size_t b, std::size_t e,
                                                unsigned) {
       for (std::size_t f = b; f < e; ++f) {
+        if (robust::fault_at(robust::FaultSite::kFoldInSolve)) {
+          foldin_failed[f] = 1;
+          continue;
+        }
         const ServeRequest& request = batch[foldins[f]];
         std::span<const real> vals = request.fold_ratings;
         std::vector<real> residuals;
@@ -219,6 +285,25 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
     });
     batched_cholesky_solve(gram.data(), rhs.data(), foldins.size(),
                            static_cast<int>(k), *pool_);
+    // Feed the breaker per fold-in: injected faults and non-finite factors
+    // count as failures, everything else as success.
+    for (std::size_t f = 0; f < foldins.size(); ++f) {
+      if (!foldin_failed[f]) {
+        const real* factor = rhs.data() + f * k;
+        for (std::size_t c = 0; c < k; ++c) {
+          if (!std::isfinite(factor[c])) {
+            foldin_failed[f] = 1;
+            break;
+          }
+        }
+      }
+      if (foldin_failed[f]) {
+        breaker_.record_failure();
+        statuses[foldins[f]] = ServeStatus::kSolveFailed;
+      } else {
+        breaker_.record_success();
+      }
+    }
   }
 
   // Stage 2 — score every request in parallel against the one snapshot.
@@ -230,6 +315,10 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
       ServeRequest& request = batch[i];
       ServeResult& result = results[i];
       result.model_version = snap->version;
+      if (statuses[i] != ServeStatus::kOk) {
+        result.status = statuses[i];
+        continue;
+      }
       try {
         switch (request.kind) {
           case RequestKind::kPredict: {
@@ -274,6 +363,7 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
     const double queue_us = micros_between(batch[i].enqueue_time, drain_time);
     // Record before fulfilling: a client that wakes on the future must see
     // its own request already counted in the metrics.
+    if (statuses[i] != ServeStatus::kOk) metrics_.record_status(statuses[i]);
     metrics_.record_done(batch[i].kind, queue_us,
                          micros_between(batch[i].enqueue_time, clock::now()));
     if (errors[i]) {

@@ -13,12 +13,14 @@
 // version that produced them.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "robust/circuit_breaker.hpp"
 #include "serve/batcher.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/model_store.hpp"
@@ -32,10 +34,22 @@ struct ServiceOptions {
   long max_wait_us = 200;          ///< batching window (latency/QPS knob)
   std::size_t cache_capacity = 4096;  ///< top-N LRU entries; 0 disables
   ThreadPool* pool = nullptr;      ///< solve/score pool; null = global pool
+  /// Queued requests beyond which submits are rejected immediately
+  /// (kRejectedQueueFull). 0 = unbounded.
+  std::size_t max_queue = 0;
+  /// Deadline stamped on every request at submit; requests still queued
+  /// past it are shed at dequeue (kShedDeadline). 0 = no deadline.
+  long default_deadline_us = 0;
+  /// Fold-in circuit breaker: repeated solve failures temporarily fail
+  /// fold-ins fast (kCircuitOpen) instead of burning batch slots.
+  robust::CircuitBreakerOptions breaker;
 };
 
 class RecommendService {
  public:
+  /// `initial` may be null: the service starts in degraded mode, answering
+  /// top-N from the popularity fallback (kDegraded) and everything else
+  /// with kNoModel until swap_model publishes a snapshot.
   RecommendService(std::shared_ptr<ModelSnapshot> initial,
                    ServiceOptions options = {});
   ~RecommendService();  ///< stop(): drains the queue, fulfilling all promises
@@ -69,8 +83,13 @@ class RecommendService {
   std::shared_ptr<const ModelSnapshot> snapshot() const { return store_.current(); }
   std::uint64_t model_version() const { return store_.version(); }
 
+  /// Installs the degraded-mode answer: items ranked by global popularity,
+  /// served as every user's top-N while no model snapshot is published.
+  void set_popularity_fallback(std::vector<Recommendation> ranked);
+
   // --- Introspection -------------------------------------------------------
   const ServeMetrics& metrics() const { return metrics_; }
+  const robust::CircuitBreaker& breaker() const { return breaker_; }
   CacheStats cache_stats() const;
   std::size_t queue_depth() const { return batcher_ ? batcher_->queue_depth() : 0; }
   /// Full metrics + cache report as a JSON object.
@@ -83,12 +102,17 @@ class RecommendService {
  private:
   std::future<ServeResult> enqueue(ServeRequest&& request);
   void execute_batch(std::vector<ServeRequest>&& batch);
+  /// No snapshot published: answer the whole batch from the popularity
+  /// fallback (top-N) or kNoModel (predict, fold-in).
+  void execute_batch_degraded(std::vector<ServeRequest>&& batch);
 
   ServiceOptions options_;
   ThreadPool* pool_;
   ModelStore store_;
   TopNCache cache_;
   ServeMetrics metrics_;
+  robust::CircuitBreaker breaker_;
+  std::atomic<std::shared_ptr<const std::vector<Recommendation>>> fallback_;
   std::unique_ptr<MicroBatcher> batcher_;  // last: stops before members die
 };
 

@@ -1,0 +1,112 @@
+#include "robust/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace alsmf::robust {
+namespace {
+
+using std::chrono::milliseconds;
+using clock_t_ = CircuitBreaker::clock;
+
+CircuitBreakerOptions fast_options() {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.cooldown = milliseconds(100);
+  options.half_open_trials = 1;
+  return options;
+}
+
+// All tests inject explicit time points — nothing here ever sleeps.
+const clock_t_::time_point t0{};
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(fast_options());
+  EXPECT_EQ(breaker.state(t0), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(t0));
+  breaker.record_failure(t0);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(t0), BreakerState::kClosed);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(t0), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+
+  EXPECT_FALSE(breaker.allow(t0 + milliseconds(50)));
+  EXPECT_FALSE(breaker.allow(t0 + milliseconds(99)));
+  EXPECT_EQ(breaker.rejections(), 2u);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveFailureCount) {
+  CircuitBreaker breaker(fast_options());
+  breaker.record_failure(t0);
+  breaker.record_failure(t0);
+  breaker.record_success(t0);  // streak broken
+  breaker.record_failure(t0);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(t0), BreakerState::kClosed);
+  breaker.record_failure(t0);
+  EXPECT_EQ(breaker.state(t0), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses) {
+  CircuitBreaker breaker(fast_options());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(t0);
+  ASSERT_EQ(breaker.state(t0), BreakerState::kOpen);
+
+  const auto probe_time = t0 + milliseconds(150);
+  EXPECT_TRUE(breaker.allow(probe_time));  // cooldown elapsed → probe admitted
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::kHalfOpen);
+  // Only half_open_trials=1 probe may be in flight.
+  EXPECT_FALSE(breaker.allow(probe_time));
+
+  breaker.record_success(probe_time);
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow(probe_time));
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopensAndRestartsCooldown) {
+  CircuitBreaker breaker(fast_options());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(t0);
+
+  const auto probe_time = t0 + milliseconds(150);
+  ASSERT_TRUE(breaker.allow(probe_time));
+  breaker.record_failure(probe_time);
+  EXPECT_EQ(breaker.state(probe_time), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+
+  // Cooldown restarted at the probe failure, not the original trip.
+  EXPECT_FALSE(breaker.allow(probe_time + milliseconds(99)));
+  EXPECT_TRUE(breaker.allow(probe_time + milliseconds(101)));
+  EXPECT_EQ(breaker.state(probe_time + milliseconds(101)),
+            BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreaker, MultipleHalfOpenTrials) {
+  CircuitBreakerOptions options = fast_options();
+  options.half_open_trials = 2;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 3; ++i) breaker.record_failure(t0);
+
+  const auto probe_time = t0 + milliseconds(150);
+  EXPECT_TRUE(breaker.allow(probe_time));
+  EXPECT_TRUE(breaker.allow(probe_time));
+  EXPECT_FALSE(breaker.allow(probe_time));
+}
+
+TEST(CircuitBreaker, StateToStringAndJson) {
+  CircuitBreaker breaker(fast_options());
+  EXPECT_STREQ(to_string(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(to_string(BreakerState::kOpen), "open");
+  EXPECT_STREQ(to_string(BreakerState::kHalfOpen), "half_open");
+
+  for (int i = 0; i < 3; ++i) breaker.record_failure(t0);
+  breaker.allow(t0);  // rejected
+  const auto json = breaker.to_json();
+  EXPECT_NE(json.find("\"trips\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rejections\":1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace alsmf::robust

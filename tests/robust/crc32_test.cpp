@@ -1,0 +1,42 @@
+#include "robust/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace alsmf::robust {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The standard CRC-32/IEEE check value.
+  const char check[] = "123456789";
+  EXPECT_EQ(crc32(check, std::strlen(check)), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+  const char a[] = "a";
+  EXPECT_EQ(crc32(a, 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, ChunkedEqualsWhole) {
+  const std::string data =
+      "ALS factor checkpoints checksum every section payload.";
+  const auto whole = crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const auto first = crc32(data.data(), split);
+    const auto chunked = crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(chunked, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(64, '\x5a');
+  const auto clean = crc32(data.data(), data.size());
+  for (std::size_t byte : {0u, 31u, 63u}) {
+    std::string flipped = data;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x01);
+    EXPECT_NE(crc32(flipped.data(), flipped.size()), clean) << "byte " << byte;
+  }
+}
+
+}  // namespace
+}  // namespace alsmf::robust

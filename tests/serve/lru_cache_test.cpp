@@ -70,6 +70,24 @@ TEST(TopNCache, InvalidateAllClears) {
   EXPECT_FALSE(cache.get(1, 10, 1, nullptr));
 }
 
+TEST(TopNCache, CapacityOneHoldsExactlyTheNewestEntry) {
+  TopNCache cache(1);
+  cache.put(1, 10, 1, recs(1, 1.0f));
+  EXPECT_TRUE(cache.get(1, 10, 1, nullptr));
+  cache.put(2, 10, 1, recs(2, 2.0f));  // evicts user 1
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get(1, 10, 1, nullptr));
+  std::vector<Recommendation> out;
+  ASSERT_TRUE(cache.get(2, 10, 1, &out));
+  EXPECT_EQ(out[0].item, 2);
+  // Re-putting the same key at capacity 1 must replace, not evict-then-grow.
+  cache.put(2, 10, 1, recs(9, 9.0f));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.get(2, 10, 1, &out));
+  EXPECT_EQ(out[0].item, 9);
+}
+
 TEST(TopNCache, ZeroCapacityDisables) {
   TopNCache cache(0);
   cache.put(1, 10, 1, recs(1, 1.0f));
