@@ -17,12 +17,17 @@
 //                       [--cache 4096] [--lambda 0.1] [--max-queue 0]
 //                       [--deadline-us 0]
 //   alsmf_cli devices   [--profile file]
+//   alsmf_cli check-kernels [--profiles cpu,gpu,mic] [--users 300]
+//                       [--items 200] [--nnz 6000] [--k 10] [--json out.json]
+//                       (checked-execution sweep of every kernel variant;
+//                       exits non-zero on any finding — the CI gate)
 //
 // Ratings files use the paper's `<userID, itemID, rating>` text format.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "als/check_kernels.hpp"
 #include "als/learned_select.hpp"
 #include "als/out_of_core.hpp"
 #include "als/solver.hpp"
@@ -386,6 +391,53 @@ int cmd_devices(const CliArgs& args) {
   return 0;
 }
 
+int cmd_check_kernels(const CliArgs& args) {
+  CheckKernelsOptions options;
+  options.users = args.get_long("users", options.users);
+  options.items = args.get_long("items", options.items);
+  options.nnz = args.get_long("nnz", options.nnz);
+  options.k = static_cast<int>(args.get_long("k", options.k));
+  options.group_size =
+      static_cast<int>(args.get_long("group-size", options.group_size));
+  options.num_groups = static_cast<std::size_t>(
+      args.get_long("groups", static_cast<long>(options.num_groups)));
+  if (auto profiles = args.get("profiles")) {
+    options.profiles.clear();
+    std::stringstream ss(*profiles);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) options.profiles.push_back(name);
+    }
+  }
+
+  const auto result = check_kernels(options);
+  if (auto json_path = args.get("json")) {
+    std::ofstream out(*json_path);
+    out << result.to_json() << "\n";
+  }
+  std::size_t clean_entries = 0;
+  for (const auto& entry : result.entries) {
+    if (entry.report.clean()) {
+      ++clean_entries;
+      continue;
+    }
+    std::cout << entry.profile << "/" << entry.kernel << ": "
+              << entry.report.total_findings << " finding(s)\n";
+    for (const auto& finding : entry.report.findings) {
+      std::cout << "  " << finding.to_string() << "\n";
+    }
+  }
+  for (const auto& issue : result.lint_issues) {
+    std::cout << "lint: " << issue << "\n";
+  }
+  std::cout << "check-kernels: " << result.entries.size() << " kernel/profile "
+            << "combinations, " << result.launches << " checked launches, "
+            << clean_entries << " clean, " << result.total_findings
+            << " finding(s), " << result.lint_issues.size()
+            << " lint issue(s)\n";
+  return result.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -393,7 +445,8 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   if (args.positional().empty()) {
     std::cerr << "usage: alsmf_cli <train|predict|recommend|evaluate|tune|"
-                 "shard|train-ooc|rank|serve|devices> [options]\n";
+                 "shard|train-ooc|rank|serve|devices|check-kernels> "
+                 "[options]\n";
     return 2;
   }
   const std::string& cmd = args.positional().front();
@@ -408,6 +461,7 @@ int main(int argc, char** argv) {
     if (cmd == "rank") return cmd_rank(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "devices") return cmd_devices(args);
+    if (cmd == "check-kernels") return cmd_check_kernels(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

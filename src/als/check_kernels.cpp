@@ -1,0 +1,170 @@
+#include "als/check_kernels.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "als/implicit_device.hpp"
+#include "als/kernels.hpp"
+#include "als/kernels_sell.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "devsim/device.hpp"
+#include "devsim/profile.hpp"
+#include "ocl/kernel_lint.hpp"
+#include "ocl/kernel_source.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/sell.hpp"
+
+namespace alsmf {
+
+namespace {
+
+using devsim::Device;
+
+/// Drains the device's accumulated check report into one sweep entry.
+void take_entry(CheckKernelsResult& out, Device& device,
+                const std::string& kernel, const std::string& profile) {
+  CheckKernelsEntry entry;
+  entry.kernel = kernel;
+  entry.profile = profile;
+  entry.report = device.check_report();
+  device.reset_check_report();
+  out.total_findings += entry.report.total_findings;
+  out.launches += entry.report.launches;
+  out.entries.push_back(std::move(entry));
+}
+
+}  // namespace
+
+CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
+  SyntheticSpec spec;
+  spec.users = static_cast<index_t>(options.users);
+  spec.items = static_cast<index_t>(options.items);
+  spec.nnz = static_cast<nnz_t>(options.nnz);
+  spec.seed = options.seed;
+  const Csr r = generate_synthetic_csr(spec);
+  const Csr rt = transpose(r);
+
+  Rng rng(options.seed);
+  Matrix src(r.cols(), options.k);
+  src.fill_uniform(rng, -0.5f, 0.5f);
+
+  CheckKernelsResult out;
+  for (const std::string& profile : options.profiles) {
+    Device device(devsim::profile_by_name(profile));
+
+    // Flat baseline + the paper's 8 batched variants. Each run updates a
+    // fresh dst so cross-variant state never aliases.
+    auto run_variant = [&](const AlsVariant& v, int tile_rows,
+                           const std::string& label) {
+      Matrix dst(r.rows(), options.k);
+      UpdateArgs args;
+      args.r = &r;
+      args.src = &src;
+      args.dst = &dst;
+      args.k = options.k;
+      args.variant = v;
+      args.tile_rows = tile_rows;
+      launch_update(device, label, args, options.num_groups,
+                    options.group_size, /*functional=*/true,
+                    /*validate=*/true);
+      take_entry(out, device, label, profile);
+    };
+
+    run_variant(AlsVariant::flat_baseline(), 0, "flat");
+    for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+      const AlsVariant v = AlsVariant::from_mask(mask);
+      run_variant(v, 0, v.name());
+      if (v.use_local) {
+        // Re-run with a deliberately tiny tile: multi-chunk staging and the
+        // per-chunk barrier pair get exercised.
+        run_variant(v, options.forced_tile_rows,
+                    v.name() + "/tile" +
+                        std::to_string(options.forced_tile_rows));
+      }
+    }
+
+    // Flat over SELL-C-sigma storage.
+    {
+      const SellMatrix sell(r, device.profile().simd_width,
+                            device.profile().simd_width * 4);
+      Matrix dst(r.rows(), options.k);
+      SellUpdateArgs args;
+      args.r = &sell;
+      args.src = &src;
+      args.dst = &dst;
+      args.k = options.k;
+      launch_update_flat_sell(device, "flat_sell", args, /*functional=*/true,
+                              /*validate=*/true);
+      take_entry(out, device, "flat_sell", profile);
+    }
+
+    // Static lint of the generated OpenCL sources this configuration would
+    // emit, against the profile's scratch-pad capacity (hardware scratch-pad
+    // only: emulated local memory has no hard per-group limit).
+    {
+      ocl::KernelConfig kc;
+      kc.k = options.k;
+      kc.group_size = options.group_size;
+      ocl::LintLimits limits;
+      if (device.profile().has_hw_local_mem) {
+        limits.local_mem_bytes = device.profile().local_mem_bytes;
+      }
+      auto lint_one = [&](const std::string& name, const std::string& src) {
+        const ocl::LintReport lint = ocl::lint_kernel_source(src, 1, limits);
+        for (const auto& issue : lint.issues) {
+          out.lint_issues.push_back(profile + "/" + name + ": line " +
+                                    std::to_string(issue.line) + ": " +
+                                    issue.message);
+        }
+      };
+      lint_one("als_update_flat", ocl::flat_kernel_source(kc));
+      for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+        const AlsVariant v = AlsVariant::from_mask(mask);
+        lint_one(ocl::kernel_name(v), ocl::batched_kernel_source(v, kc));
+      }
+    }
+
+    // Implicit-feedback device path (one iteration = two half-updates).
+    {
+      ImplicitOptions iopt;
+      iopt.k = options.k;
+      iopt.seed = options.seed;
+      iopt.alpha = 1.0f;
+      DeviceImplicitAls als(r, iopt, device);
+      als.num_groups = options.num_groups;
+      als.group_size = options.group_size;
+      als.validate = true;
+      als.run_iteration();
+      take_entry(out, device, "implicit", profile);
+    }
+  }
+  return out;
+}
+
+std::string CheckKernelsResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"clean\":" << (clean() ? "true" : "false")
+     << ",\"total_findings\":" << total_findings
+     << ",\"launches\":" << launches << ",\"lint_issues\":[";
+  for (std::size_t i = 0; i < lint_issues.size(); ++i) {
+    if (i) os << ",";
+    os << "\"";
+    for (char c : lint_issues[i]) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\"";
+  }
+  os << "],\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"kernel\":\"" << entries[i].kernel << "\",\"profile\":\""
+       << entries[i].profile << "\",\"report\":" << entries[i].report.to_json()
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace alsmf

@@ -1,0 +1,56 @@
+// The `alsmf check-kernels` sweep: runs every ALS kernel variant (flat, the
+// 8 batched variants, flat-on-SELL, and the implicit-feedback device path)
+// in checked execution across device profiles on a small synthetic dataset,
+// and collects the shadow-memory findings. A clean sweep is the CI gate
+// that the kernels are in-bounds, race-free, and honest about the traffic
+// they report to the cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "devsim/check/report.hpp"
+
+namespace alsmf {
+
+struct CheckKernelsOptions {
+  /// Synthetic dataset shape (small: checked execution is byte-granular).
+  long users = 300;
+  long items = 200;
+  long nnz = 6000;
+  int k = 10;
+  std::uint64_t seed = 42;
+  /// Launch shape. Kept small so groups stride over several rows each.
+  std::size_t num_groups = 48;
+  int group_size = 32;
+  /// Forced tiny staging tile for a second pass over the local-memory
+  /// variants, so multi-chunk staging (and its barrier pairing) is
+  /// exercised even when the auto tile would hold every row.
+  int forced_tile_rows = 4;
+  std::vector<std::string> profiles = {"cpu", "gpu", "mic"};
+};
+
+/// One sweep entry: a kernel/profile combination and its findings.
+struct CheckKernelsEntry {
+  std::string kernel;
+  std::string profile;
+  devsim::check::CheckReport report;
+};
+
+struct CheckKernelsResult {
+  std::vector<CheckKernelsEntry> entries;
+  std::size_t total_findings = 0;
+  std::size_t launches = 0;
+  /// Static lint of the generated OpenCL sources against each profile's
+  /// local-memory capacity ("profile/kernel: line N: message").
+  std::vector<std::string> lint_issues;
+
+  bool clean() const { return total_findings == 0 && lint_issues.empty(); }
+  std::string to_json() const;
+};
+
+/// Runs the sweep. Throws only on setup errors; kernel findings are
+/// returned, not thrown.
+CheckKernelsResult check_kernels(const CheckKernelsOptions& options);
+
+}  // namespace alsmf

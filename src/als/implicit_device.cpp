@@ -46,6 +46,7 @@ void DeviceImplicitAls::half_update(const Csr& r, const Matrix& src,
   config.num_groups = std::max<std::size_t>(
       1, std::min<std::size_t>(num_groups, static_cast<std::size_t>(r.rows())));
   config.functional = functional;
+  config.validate = validate;
   const std::size_t stride = config.num_groups;
   const real alpha = options_.alpha;
 
@@ -54,8 +55,18 @@ void DeviceImplicitAls::half_update(const Csr& r, const Matrix& src,
     const double bundles = ctx.num_bundles();
     const double passes =
         std::ceil(static_cast<double>(k) / ctx.group_size());
-    auto a = ctx.local_alloc<real>(kk);
-    auto rhs = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+    // The assembled system and rhs emulate register/private storage of the
+    // real kernel; kept outside the shadow like the explicit solve scratch.
+    auto a = ctx.local_alloc<real>(kk, "a");
+    auto rhs = ctx.local_alloc<real>(static_cast<std::size_t>(k), "rhs");
+    auto g_gram = ctx.global_span("gram", gram.data(), gram.size());
+    // 32-bit device column indices, int64 on the host (see kernels.cpp).
+    auto g_cols = ctx.global_span("r.col_idx", r.col_idx().data(),
+                                  r.col_idx().size(), 4);
+    auto g_vals =
+        ctx.global_span("r.values", r.values().data(), r.values().size());
+    auto g_src = ctx.global_span("src", src.data(), src.size());
+    auto g_dst = ctx.global_span("dst", dst.data(), dst.size());
 
     for (index_t u = static_cast<index_t>(ctx.group_id()); u < r.rows();
          u += static_cast<index_t>(stride)) {
@@ -83,12 +94,23 @@ void DeviceImplicitAls::half_update(const Csr& r, const Matrix& src,
       if (!ctx.functional()) continue;
 
       // --- functional: identical arithmetic to implicit_als ---
+      ctx.section("S1");
+      ctx.set_lane(0);
+      g_gram.mark_read(0, gram.size());
       std::copy(gram.begin(), gram.end(), a.begin());
       std::fill(rhs.begin(), rhs.end(), real{0});
       auto cols = r.row_cols(u);
       auto vals = r.row_values(u);
+      const auto row_begin =
+          static_cast<std::size_t>(r.row_ptr()[static_cast<std::size_t>(u)]);
+      g_cols.mark_read(row_begin, cols.size());
+      g_vals.mark_read(row_begin, vals.size());
+      real* rhs_raw = rhs.data();
       for (std::size_t p = 0; p < cols.size(); ++p) {
         const real conf = real{1} + alpha * vals[p];
+        g_src.mark_read(static_cast<std::size_t>(cols[p]) *
+                            static_cast<std::size_t>(k),
+                        static_cast<std::size_t>(k));
         auto yrow = src.row(cols[p]);
         for (int i = 0; i < k; ++i) {
           const real ci = (conf - real{1}) * yrow[static_cast<std::size_t>(i)];
@@ -96,14 +118,18 @@ void DeviceImplicitAls::half_update(const Csr& r, const Matrix& src,
           for (int j = 0; j < k; ++j) {
             arow[j] += ci * yrow[static_cast<std::size_t>(j)];
           }
-          rhs[static_cast<std::size_t>(i)] += conf * yrow[static_cast<std::size_t>(i)];
+          rhs_raw[static_cast<std::size_t>(i)] +=
+              conf * yrow[static_cast<std::size_t>(i)];
         }
       }
       if (!cholesky_solve(a.data(), k, rhs.data())) {
         std::fill(rhs.begin(), rhs.end(), real{0});
       }
+      ctx.section("S3");
       auto out = dst.row(u);
       std::copy(rhs.begin(), rhs.begin() + k, out.begin());
+      g_dst.mark_write(static_cast<std::size_t>(u) * static_cast<std::size_t>(k),
+                       static_cast<std::size_t>(k));
     }
   });
 }

@@ -30,6 +30,8 @@ class DeviceImplicitAls {
   std::size_t num_groups = 8192;
   int group_size = 32;
   bool functional = true;
+  /// Checked execution (shadow-memory analysis); requires functional.
+  bool validate = false;
 
  private:
   void half_update(const Csr& r, const Matrix& src, Matrix& dst,

@@ -14,6 +14,30 @@ namespace {
 
 using devsim::DeviceKind;
 using devsim::GroupCtx;
+namespace check = devsim::check;
+
+/// Checked accessors over the buffers a half-update touches. Created per
+/// group; in unvalidated launches they degrade to bounds-checked views and
+/// the mark_* calls become no-ops.
+struct UpdateSpans {
+  check::GlobalSpan<const index_t> cols;
+  check::GlobalSpan<const real> vals;
+  check::GlobalSpan<const real> src;
+  check::GlobalSpan<real> dst;
+};
+
+UpdateSpans make_spans(GroupCtx& ctx, const UpdateArgs& a) {
+  UpdateSpans s;
+  // The device layout stores 32-bit column indices (paper Fig. 2); the
+  // host emulation uses int64, so honesty accounting scales to 4 bytes.
+  s.cols = ctx.global_span("r.col_idx", a.r->col_idx().data(),
+                           a.r->col_idx().size(), 4);
+  s.vals =
+      ctx.global_span("r.values", a.r->values().data(), a.r->values().size());
+  s.src = ctx.global_span("src", a.src->data(), a.src->size());
+  s.dst = ctx.global_span("dst", a.dst->data(), a.dst->size());
+  return s;
+}
 
 double solver_flops(LinearSolverKind s, int k) {
   return s == LinearSolverKind::kCholesky ? cholesky_solve_flops(k)
@@ -65,13 +89,16 @@ class BatchedKernel {
     const bool cpu_like = ctx.profile().kind != DeviceKind::kGpu;
     const double s3_flops = solver_flops(a_.solver, k);
 
-    // Group-shared scratch: the k×k system and the rhs.
-    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k);
-    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+    // Group-shared scratch: the k×k system and the rhs. The solve scratch
+    // is emulation detail (real kernels keep it in registers or private
+    // memory depending on the variant), so it stays outside the shadow.
+    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k, "smat");
+    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k), "svec");
+    const UpdateSpans g = make_spans(ctx, a_);
 
     // Staging tile for the local-memory variant: chunks of y rows plus the
     // matching ratings, sized to the remaining scratch-pad capacity.
-    std::span<real> tile, rstage;
+    check::LocalSpan<real> tile, rstage;
     std::size_t tile_rows = 0;
     if (v.use_local) {
       const std::size_t per_row = (static_cast<std::size_t>(k) + 1) * sizeof(real);
@@ -85,8 +112,9 @@ class BatchedKernel {
             ctx.local_remaining() / kResidencyTarget * 3 / 4;
         tile_rows = std::clamp<std::size_t>(budget / per_row, 1, 1024);
       }
-      tile = ctx.local_alloc<real>(tile_rows * static_cast<std::size_t>(k));
-      rstage = ctx.local_alloc<real>(tile_rows);
+      tile = ctx.local_alloc<real>(tile_rows * static_cast<std::size_t>(k),
+                                   "tile");
+      rstage = ctx.local_alloc<real>(tile_rows, "rstage");
     }
 
     for (index_t u = static_cast<index_t>(ctx.group_id()); u < r.rows();
@@ -106,7 +134,7 @@ class BatchedKernel {
       record_s3(ctx, k, W, bundles, s3_flops);
 
       if (ctx.functional()) {
-        solve_row(u, smat, svec, tile, rstage, tile_rows);
+        solve_row(ctx, g, u, smat, svec, tile, rstage, tile_rows);
       }
     }
   }
@@ -211,43 +239,75 @@ class BatchedKernel {
     ctx.global_write_scattered(1.0, k * 4.0);
   }
 
-  void solve_row(index_t u, std::span<real> smat, std::span<real> svec,
-                 std::span<real> tile, std::span<real> rstage,
+  void solve_row(GroupCtx& ctx, const UpdateSpans& g, index_t u,
+                 const check::LocalSpan<real>& smat,
+                 const check::LocalSpan<real>& svec,
+                 const check::LocalSpan<real>& tile,
+                 const check::LocalSpan<real>& rstage,
                  std::size_t tile_rows) const {
     const Csr& r = *a_.r;
     const int k = a_.k;
+    const auto ku = static_cast<std::size_t>(k);
     auto cols = r.row_cols(u);
     auto vals = r.row_values(u);
+    const auto row_begin =
+        static_cast<std::size_t>(r.row_ptr()[static_cast<std::size_t>(u)]);
     const real lambda =
         a_.weighted_lambda
             ? a_.lambda * static_cast<real>(cols.size())
             : a_.lambda;
+    ctx.section("S1");
+    g.cols.mark_read(row_begin, cols.size());
+    g.vals.mark_read(row_begin, vals.size());
     if (a_.variant.use_local && tile_rows > 0) {
       // Chunked staging: copy up to tile_rows gathered y rows (and their
       // ratings) into the scratch-pad, then accumulate from the tile.
+      const auto ws = static_cast<std::size_t>(ctx.group_size());
       std::fill(smat.begin(), smat.end(), real{0});
       std::fill(svec.begin(), svec.end(), real{0});
       for (std::size_t base = 0; base < cols.size(); base += tile_rows) {
         const std::size_t chunk = std::min(tile_rows, cols.size() - base);
+        // Staging phase: lane p mod ws copies one gathered y row (and its
+        // rating) into the tile.
         for (std::size_t p = 0; p < chunk; ++p) {
+          ctx.set_lane(static_cast<int>(p % ws));
+          g.src.mark_read(static_cast<std::size_t>(cols[base + p]) * ku, ku);
           auto yrow = a_.src->row(cols[base + p]);
           std::copy(yrow.begin(), yrow.end(),
-                    tile.begin() + static_cast<std::ptrdiff_t>(p * static_cast<std::size_t>(k)));
-          rstage[p] = vals[base + p];
+                    tile.begin() + static_cast<std::ptrdiff_t>(p * ku));
+          tile.mark_write(p * ku, ku);
+          rstage.mark_write(p, 1);
+          rstage.data()[p] = vals[base + p];
         }
+        // The tile is consumed only after the group synchronizes (first
+        // barrier of the pair record_s1 prices per chunk)...
+        ctx.group_barrier();
+        ctx.set_lane(0);
         for (std::size_t p = 0; p < chunk; ++p) {
-          accumulate_normal_row(tile.data() + p * static_cast<std::size_t>(k),
-                                rstage[p], k, smat.data(), svec.data());
+          tile.mark_read(p * ku, ku);
+          rstage.mark_read(p, 1);
+          accumulate_normal_row(tile.data() + p * ku, rstage.data()[p], k,
+                                smat.data(), svec.data());
         }
+        // ...and refilled only after every lane finished reading it.
+        ctx.group_barrier();
       }
       finalize_normal_equations(lambda, k, smat.data());
     } else {
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        ctx.set_lane(static_cast<int>(p % static_cast<std::size_t>(
+                                              ctx.group_size())));
+        g.src.mark_read(static_cast<std::size_t>(cols[p]) * ku, ku);
+      }
       assemble_normal_equations(cols, vals, *a_.src, lambda, k, smat.data(),
                                 svec.data());
     }
     solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
+    ctx.section("S3");
+    ctx.set_lane(0);
     auto dst = a_.dst->row(u);
     std::copy(svec.begin(), svec.begin() + k, dst.begin());
+    g.dst.mark_write(static_cast<std::size_t>(u) * ku, ku);
   }
 
   UpdateArgs a_;
@@ -272,8 +332,13 @@ class FlatKernel {
     if (base >= r.rows()) return;
     const index_t end = std::min<index_t>(base + ws, r.rows());
 
-    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k);
-    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+    // Shared solve scratch emulates each flat work-item's *private* sum/rhs
+    // arrays (one lane runs at a time in the emulation), so it stays
+    // outside the shadow — per-lane attribution would fabricate races the
+    // real kernel cannot have.
+    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k, "smat");
+    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k), "svec");
+    const UpdateSpans g = make_spans(ctx, a_);
 
     // Accounting per SIMD bundle: divergence pads every lane to the bundle
     // maximum row length. SIMT hardware pads idle lanes to the full warp;
@@ -332,19 +397,32 @@ class FlatKernel {
     }
 
     if (!ctx.functional()) return;
+    const auto ku = static_cast<std::size_t>(k);
     for (index_t u = base; u < end; ++u) {
+      ctx.set_lane(static_cast<int>(u - base));
       auto dst = a_.dst->row(u);
       if (r.row_nnz(u) == 0) {
         std::fill(dst.begin(), dst.end(), real{0});
         continue;
       }
+      ctx.section("S1");
+      const auto row_begin =
+          static_cast<std::size_t>(r.row_ptr()[static_cast<std::size_t>(u)]);
+      auto cols = r.row_cols(u);
+      g.cols.mark_read(row_begin, cols.size());
+      g.vals.mark_read(row_begin, cols.size());
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        g.src.mark_read(static_cast<std::size_t>(cols[p]) * ku, ku);
+      }
       const real lambda = a_.weighted_lambda
                               ? a_.lambda * static_cast<real>(r.row_nnz(u))
                               : a_.lambda;
-      assemble_normal_equations(r.row_cols(u), r.row_values(u), *a_.src,
+      assemble_normal_equations(cols, r.row_values(u), *a_.src,
                                 lambda, k, smat.data(), svec.data());
       solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
       std::copy(svec.begin(), svec.begin() + k, dst.begin());
+      ctx.section("S3");
+      g.dst.mark_write(static_cast<std::size_t>(u) * ku, ku);
     }
   }
 
@@ -358,7 +436,7 @@ devsim::LaunchResult launch_update(devsim::Device& device,
                                    const std::string& kernel_name,
                                    const UpdateArgs& args,
                                    std::size_t num_groups, int group_size,
-                                   bool functional) {
+                                   bool functional, bool validate) {
   ALSMF_CHECK(args.r && args.src && args.dst);
   ALSMF_CHECK(args.r->rows() == args.dst->rows());
   ALSMF_CHECK(args.r->cols() == args.src->rows());
@@ -368,6 +446,7 @@ devsim::LaunchResult launch_update(devsim::Device& device,
   devsim::LaunchConfig config;
   config.group_size = group_size;
   config.functional = functional;
+  config.validate = validate;
   const auto rows = static_cast<std::size_t>(args.r->rows());
   if (args.variant.thread_batching) {
     config.num_groups = std::max<std::size_t>(1, std::min(num_groups, rows));

@@ -43,11 +43,13 @@ struct UpdateArgs {
 /// per-section statistics ("update_x/S1" etc.). For the batched mapping,
 /// `num_groups` work-groups of `group_size` lanes stride over the rows (the
 /// paper's 8192 × 32 configuration); the flat mapping derives its group
-/// count from the row count. Returns the launch record.
+/// count from the row count. `validate` runs the launch in checked
+/// execution (shadow-memory analysis; see docs/kernel-checking.md) and
+/// requires `functional`. Returns the launch record.
 devsim::LaunchResult launch_update(devsim::Device& device,
                                    const std::string& kernel_name,
                                    const UpdateArgs& args,
                                    std::size_t num_groups, int group_size,
-                                   bool functional);
+                                   bool functional, bool validate = false);
 
 }  // namespace alsmf

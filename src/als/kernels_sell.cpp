@@ -15,6 +15,7 @@ namespace {
 
 using devsim::DeviceKind;
 using devsim::GroupCtx;
+namespace check = devsim::check;
 
 class FlatSellKernel {
  public:
@@ -31,8 +32,17 @@ class FlatSellKernel {
                                 ? cholesky_solve_flops(k)
                                 : lu_solve_flops(k);
 
-    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k);
-    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k));
+    // Shared solve scratch emulates per-work-item private arrays; kept
+    // outside the shadow (see FlatKernel).
+    auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k, "smat");
+    auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k), "svec");
+    // 32-bit device column indices, int64 on the host (see kernels.cpp).
+    auto g_cols = ctx.global_span("sell.col_idx", r.col_idx().data(),
+                                  r.col_idx().size(), 4);
+    auto g_vals =
+        ctx.global_span("sell.values", r.values().data(), r.values().size());
+    auto g_src = ctx.global_span("src", a_.src->data(), a_.src->size());
+    auto g_dst = ctx.global_span("dst", a_.dst->data(), a_.dst->size());
 
     // --- Accounting: padding replaces divergence. Every lane of the slice
     // steps the slice width; the local sort keeps width close to the mean.
@@ -85,7 +95,9 @@ class FlatSellKernel {
     // reading through the SELL layout.
     std::vector<index_t> cols;
     std::vector<real> vals;
+    const auto ku = static_cast<std::size_t>(k);
     for (int lane = 0; lane < c; ++lane) {
+      ctx.set_lane(lane);
       const index_t row = r.row_of(s, lane);
       if (row < 0) continue;
       auto dst = a_.dst->row(row);
@@ -94,16 +106,25 @@ class FlatSellKernel {
         std::fill(dst.begin(), dst.end(), real{0});
         continue;
       }
+      ctx.section("S1");
       cols.resize(static_cast<std::size_t>(len));
       vals.resize(static_cast<std::size_t>(len));
       for (nnz_t j = 0; j < len; ++j) {
+        const std::size_t at = r.entry_offset(s, lane, j);
+        g_cols.mark_read(at, 1);
+        g_vals.mark_read(at, 1);
         cols[static_cast<std::size_t>(j)] = r.entry_col(s, lane, j);
         vals[static_cast<std::size_t>(j)] = r.entry_value(s, lane, j);
+        g_src.mark_read(
+            static_cast<std::size_t>(cols[static_cast<std::size_t>(j)]) * ku,
+            ku);
       }
       assemble_normal_equations(cols, vals, *a_.src, a_.lambda, k, smat.data(),
                                 svec.data());
       solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
       std::copy(svec.begin(), svec.begin() + k, dst.begin());
+      ctx.section("S3");
+      g_dst.mark_write(static_cast<std::size_t>(row) * ku, ku);
     }
   }
 
@@ -116,7 +137,7 @@ class FlatSellKernel {
 devsim::LaunchResult launch_update_flat_sell(devsim::Device& device,
                                              const std::string& kernel_name,
                                              const SellUpdateArgs& args,
-                                             bool functional) {
+                                             bool functional, bool validate) {
   ALSMF_CHECK(args.r && args.src && args.dst);
   ALSMF_CHECK(args.r->rows() == args.dst->rows());
   ALSMF_CHECK(args.r->cols() == args.src->rows());
@@ -126,6 +147,7 @@ devsim::LaunchResult launch_update_flat_sell(devsim::Device& device,
   config.group_size = args.r->c();
   config.num_groups = static_cast<std::size_t>(args.r->num_slices());
   config.functional = functional;
+  config.validate = validate;
   return device.launch(kernel_name, config, FlatSellKernel(args));
 }
 

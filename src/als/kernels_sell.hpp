@@ -24,10 +24,12 @@ struct SellUpdateArgs {
 };
 
 /// Launches the flat-on-SELL half-update: one work-group per slice (C lanes,
-/// one row each). Returns the launch record.
+/// one row each). `validate` runs it in checked execution (requires
+/// `functional`). Returns the launch record.
 devsim::LaunchResult launch_update_flat_sell(devsim::Device& device,
                                              const std::string& kernel_name,
                                              const SellUpdateArgs& args,
-                                             bool functional);
+                                             bool functional,
+                                             bool validate = false);
 
 }  // namespace alsmf

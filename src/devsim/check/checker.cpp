@@ -1,0 +1,208 @@
+#include "devsim/check/checker.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace alsmf::devsim::check {
+
+namespace {
+
+// Findings are deduplicated on (kind, buffer, section): a missing barrier
+// conflicts on every byte of every group, and one representative finding
+// with full attribution is what the kernel author needs. total_findings
+// still counts every detection.
+std::string dedup_key(FindingKind kind, const std::string& buffer,
+                      const std::string& section) {
+  std::string key = to_string(kind);
+  key += '|';
+  key += buffer;
+  key += '|';
+  key += section;
+  return key;
+}
+
+}  // namespace
+
+LaunchChecker::LaunchChecker(std::string kernel_name,
+                             const CheckOptions& options)
+    : kernel_(std::move(kernel_name)), options_(options) {
+  report_.launches = 1;
+}
+
+void LaunchChecker::begin_group(std::size_t group, int group_size) {
+  group_ = group;
+  group_size_ = group_size;
+  lane_ = 0;
+  ++local_gen_;  // every span from a previous group is now stale
+  ++epoch_;      // group start is a sequence point like a barrier
+}
+
+int LaunchChecker::register_global(const char* name, const void* base,
+                                   std::size_t bytes, double touched_scale) {
+  for (std::size_t i = 0; i < globals_.size(); ++i) {
+    if (globals_[i].base == static_cast<const std::byte*>(base)) {
+      return static_cast<int>(i);
+    }
+  }
+  Buffer buf;
+  buf.name = name;
+  buf.base = static_cast<const std::byte*>(base);
+  buf.bytes = bytes;
+  buf.touched_scale = touched_scale;
+  buf.shadow.resize(bytes);
+  globals_.push_back(std::move(buf));
+  return static_cast<int>(globals_.size()) - 1;
+}
+
+LaunchChecker::Access LaunchChecker::current_access() const {
+  Access a;
+  a.group = static_cast<std::int64_t>(group_);
+  a.lane = lane_;
+  a.epoch = epoch_;
+  a.local_gen = local_gen_;
+  a.valid = true;
+  return a;
+}
+
+void LaunchChecker::check_conflicts(const std::string& buffer_name,
+                                    const ShadowByte& cell,
+                                    std::size_t byte_index, bool is_write,
+                                    bool global) {
+  auto conflicts_with = [&](const Access& prev, bool prev_is_write) {
+    if (!prev.valid) return;
+    if (!is_write && !prev_is_write) return;  // read-read is always fine
+    if (!global && prev.local_gen != local_gen_) return;  // pre-reset record
+    if (prev.group != static_cast<std::int64_t>(group_)) {
+      if (!global) return;  // local memory is private to the group
+      std::ostringstream os;
+      os << (prev_is_write ? "write" : "read") << " by group " << prev.group
+         << " lane " << prev.lane << " conflicts with "
+         << (is_write ? "write" : "read") << " by group " << group_
+         << " lane " << lane_ << " (no inter-group ordering exists)";
+      add_finding(FindingKind::kCrossGroupRace, buffer_name,
+                  static_cast<long long>(byte_index), os.str());
+      return;
+    }
+    if (prev.lane == lane_) return;    // program order within a lane
+    if (prev.epoch != epoch_) return;  // a barrier separated the accesses
+    std::ostringstream os;
+    os << (prev_is_write ? "write" : "read") << " by lane " << prev.lane
+       << " conflicts with " << (is_write ? "write" : "read") << " by lane "
+       << lane_ << " with no group_barrier() in between";
+    add_finding(FindingKind::kIntraGroupRace, buffer_name,
+                static_cast<long long>(byte_index), os.str());
+  };
+  conflicts_with(cell.write, /*prev_is_write=*/true);
+  if (is_write) conflicts_with(cell.read, /*prev_is_write=*/false);
+}
+
+void LaunchChecker::on_global_access(int buffer, std::size_t byte_offset,
+                                     std::size_t len, bool is_write) {
+  Buffer& buf = globals_[static_cast<std::size_t>(buffer)];
+  touched_global_ += static_cast<double>(len) * buf.touched_scale;
+  const Access now = current_access();
+  for (std::size_t b = byte_offset; b < byte_offset + len; ++b) {
+    ShadowByte& cell = buf.shadow[b];
+    check_conflicts(buf.name, cell, b, is_write, /*global=*/true);
+    (is_write ? cell.write : cell.read) = now;
+  }
+}
+
+void LaunchChecker::on_local_access(const char* name,
+                                    std::size_t arena_offset, std::size_t len,
+                                    bool is_write) {
+  if (arena_offset + len > local_shadow_.size()) {
+    local_shadow_.resize(arena_offset + len);  // lazy: arena grows on demand
+  }
+  touched_local_ += static_cast<double>(len);
+  const Access now = current_access();
+  for (std::size_t b = arena_offset; b < arena_offset + len; ++b) {
+    ShadowByte& cell = local_shadow_[b];
+    check_conflicts(name, cell, b, is_write, /*global=*/false);
+    (is_write ? cell.write : cell.read) = now;
+  }
+}
+
+void LaunchChecker::report_oob_global(int buffer, long long index,
+                                      std::size_t span_size) {
+  std::ostringstream os;
+  os << "element index " << index << " outside span of " << span_size
+     << " elements";
+  add_finding(FindingKind::kOutOfBoundsGlobal,
+              globals_[static_cast<std::size_t>(buffer)].name, index,
+              os.str());
+}
+
+void LaunchChecker::report_oob_local(const char* name, long long index,
+                                     std::size_t span_size) {
+  std::ostringstream os;
+  os << "element index " << index << " outside allocation of " << span_size
+     << " elements";
+  add_finding(FindingKind::kOutOfBoundsLocal, name, index, os.str());
+}
+
+void LaunchChecker::report_stale_local(const char* name,
+                                       std::uint32_t allocated_gen) {
+  std::ostringstream os;
+  os << "span allocated in arena generation " << allocated_gen
+     << " used in generation " << local_gen_
+     << " (the scratch-pad arena resets every group)";
+  add_finding(FindingKind::kStaleLocalSpan, name, -1, os.str());
+}
+
+void LaunchChecker::finish(const LaunchCounters& recorded) {
+  report_.touched_global_bytes = touched_global_;
+  report_.touched_local_bytes = touched_local_;
+
+  const double rec_global =
+      recorded.global_bytes + recorded.scattered_useful_bytes;
+  const double rec_local = recorded.local_bytes + recorded.spill_bytes;
+
+  auto under = [&](const char* what, double rec, double touched) {
+    const double floor =
+        (1.0 - options_.under_report_tolerance) * touched - options_.slack_bytes;
+    if (rec >= floor) return;
+    std::ostringstream os;
+    os << what << " traffic under-reported: recorded " << rec
+       << " bytes but accessors touched " << touched << " bytes";
+    add_finding(FindingKind::kCounterUnderReport, what, -1, os.str());
+  };
+  under("global", rec_global, touched_global_);
+  under("local", rec_local, touched_local_);
+
+  const double rec_total = rec_global + rec_local;
+  const double touched_total = touched_global_ + touched_local_;
+  const double ceiling =
+      options_.over_report_factor * touched_total + options_.slack_bytes;
+  if (rec_total > ceiling) {
+    std::ostringstream os;
+    os << "total traffic over-reported: recorded " << rec_total
+       << " bytes against " << touched_total << " touched bytes (limit "
+       << ceiling << ")";
+    add_finding(FindingKind::kCounterOverReport, "total", -1, os.str());
+  }
+}
+
+void LaunchChecker::add_finding(FindingKind kind, const std::string& buffer,
+                                long long index, const std::string& detail) {
+  ++report_.total_findings;
+  if (seen_keys_.count(dedup_key(kind, buffer, section_)) > 0) return;
+  if (report_.findings.size() >= options_.max_findings_per_launch) return;
+  seen_keys_.insert(dedup_key(kind, buffer, section_));
+  Finding f;
+  f.kind = kind;
+  f.kernel = kernel_;
+  f.section = section_;
+  f.buffer = buffer;
+  f.detail = detail;
+  f.group = group_;
+  f.lane = lane_;
+  f.index = index;
+  report_.findings.push_back(std::move(f));
+}
+
+CheckReport LaunchChecker::take_report() { return std::move(report_); }
+
+}  // namespace alsmf::devsim::check

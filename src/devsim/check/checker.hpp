@@ -1,0 +1,125 @@
+// Shadow-memory checker behind the checked-execution mode.
+//
+// One LaunchChecker exists per validated launch. Groups execute serially
+// (the Device switches off the thread pool when LaunchConfig.validate is
+// set), so the checker needs no synchronization and its diagnostics are
+// deterministic. Every element access routed through a GlobalSpan /
+// LocalSpan lands here as a byte-range event carrying the current (group,
+// lane, epoch, section) coordinate; the checker keeps, per byte, the last
+// write and the last read, and reports:
+//
+//  * out-of-bounds accesses (rejected before they touch memory),
+//  * write-write / read-write conflicts between lanes of one group with no
+//    ctx.group_barrier() sequence point in between (epoch comparison),
+//  * conflicts on global buffers between different work-groups (an NDRange
+//    launch has no inter-group ordering at all),
+//  * uses of a LocalSpan allocated for an earlier group (the scratch-pad
+//    arena resets per group; a stashed span is dangling),
+//  * counter honesty: the launch's recorded global/local byte counters must
+//    cover the bytes the kernel actually touched (see finish()).
+//
+// The per-byte log keeps only the most recent read and write, so a
+// conflict with an older overwritten access can be missed — the standard
+// shadow-cell approximation; repeated runs with different shapes close the
+// gap in practice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "devsim/check/report.hpp"
+#include "devsim/counters.hpp"
+
+namespace alsmf::devsim::check {
+
+class LaunchChecker {
+ public:
+  LaunchChecker(std::string kernel_name, const CheckOptions& options);
+
+  // --- group lifecycle (driven by Device::launch) ---
+  void begin_group(std::size_t group, int group_size);
+  void barrier() { ++epoch_; }
+  void set_lane(int lane) { lane_ = lane; }
+  int lane() const { return lane_; }
+  void set_section(const std::string& name) { section_ = name; }
+  std::uint32_t local_generation() const { return local_gen_; }
+
+  // --- buffer registry ---
+  /// Registers a global buffer (idempotent per base pointer; the first
+  /// registration's name, size and scale win). Returns the buffer id the
+  /// spans carry. `touched_scale` converts host bytes to *modeled* device
+  /// bytes for the counter-honesty accounting: the emulation may store an
+  /// element wider than the device layout does (e.g. 64-bit host column
+  /// indices for the paper's 32-bit `col_idx` array). Shadow race/bounds
+  /// tracking always uses host bytes.
+  int register_global(const char* name, const void* base, std::size_t bytes,
+                      double touched_scale = 1.0);
+
+  // --- access events (byte ranges) ---
+  void on_global_access(int buffer, std::size_t byte_offset, std::size_t len,
+                        bool is_write);
+  void on_local_access(const char* name, std::size_t arena_offset,
+                       std::size_t len, bool is_write);
+
+  // --- violation events raised by the spans ---
+  void report_oob_global(int buffer, long long index, std::size_t span_size);
+  void report_oob_local(const char* name, long long index,
+                        std::size_t span_size);
+  void report_stale_local(const char* name, std::uint32_t allocated_gen);
+
+  /// Counter honesty, called once after all groups ran: the merged recorded
+  /// counters must cover the touched bytes (and not exceed them by more
+  /// than the modeling-convention factor).
+  void finish(const LaunchCounters& recorded);
+
+  CheckReport take_report();
+
+ private:
+  /// Most recent access of one kind (read or write) to one byte.
+  struct Access {
+    std::int64_t group = -1;
+    std::int32_t lane = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t local_gen = 0;  ///< arena generation (local shadow only)
+    bool valid = false;
+  };
+  struct ShadowByte {
+    Access write, read;
+  };
+  struct Buffer {
+    std::string name;
+    const std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    double touched_scale = 1.0;  ///< host-byte → modeled-byte factor
+    std::vector<ShadowByte> shadow;
+  };
+
+  Access current_access() const;
+  void check_conflicts(const std::string& buffer_name, const ShadowByte& cell,
+                       std::size_t byte_index, bool is_write, bool global);
+  void add_finding(FindingKind kind, const std::string& buffer,
+                   long long index, const std::string& detail);
+
+  std::string kernel_;
+  CheckOptions options_;
+  CheckReport report_;
+  std::set<std::string> seen_keys_;  ///< dedup keys of emitted findings
+
+  std::vector<Buffer> globals_;
+  std::vector<ShadowByte> local_shadow_;  ///< indexed by arena byte offset
+
+  std::size_t group_ = 0;
+  int group_size_ = 1;
+  int lane_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t local_gen_ = 0;
+  std::string section_;
+
+  double touched_global_ = 0;
+  double touched_local_ = 0;
+};
+
+}  // namespace alsmf::devsim::check

@@ -1,0 +1,87 @@
+#include "devsim/check/report.hpp"
+
+#include <sstream>
+
+namespace alsmf::devsim::check {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kOutOfBoundsGlobal: return "out_of_bounds_global";
+    case FindingKind::kOutOfBoundsLocal: return "out_of_bounds_local";
+    case FindingKind::kIntraGroupRace: return "intra_group_race";
+    case FindingKind::kCrossGroupRace: return "cross_group_race";
+    case FindingKind::kStaleLocalSpan: return "stale_local_span";
+    case FindingKind::kCounterUnderReport: return "counter_under_report";
+    case FindingKind::kCounterOverReport: return "counter_over_report";
+  }
+  return "unknown";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << ::alsmf::devsim::check::to_string(kind) << " in kernel '" << kernel
+     << "'";
+  if (!section.empty()) os << " section " << section;
+  os << " group " << group << " lane " << lane;
+  if (!buffer.empty()) os << " buffer '" << buffer << "'";
+  if (index >= 0) os << " index " << index;
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::string Finding::to_json() const {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << ::alsmf::devsim::check::to_string(kind)
+     << "\",\"kernel\":\"" << json_escape(kernel)
+     << "\",\"section\":\"" << json_escape(section)
+     << "\",\"buffer\":\"" << json_escape(buffer)
+     << "\",\"group\":" << group
+     << ",\"lane\":" << lane
+     << ",\"index\":" << index
+     << ",\"detail\":\"" << json_escape(detail) << "\"}";
+  return os.str();
+}
+
+void CheckReport::merge(const CheckReport& other) {
+  findings.insert(findings.end(), other.findings.begin(),
+                  other.findings.end());
+  total_findings += other.total_findings;
+  launches += other.launches;
+  touched_global_bytes += other.touched_global_bytes;
+  touched_local_bytes += other.touched_local_bytes;
+}
+
+std::string CheckReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"total_findings\":" << total_findings
+     << ",\"launches\":" << launches
+     << ",\"touched_global_bytes\":" << touched_global_bytes
+     << ",\"touched_local_bytes\":" << touched_local_bytes
+     << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i) os << ",";
+    os << findings[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace alsmf::devsim::check

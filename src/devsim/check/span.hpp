@@ -1,0 +1,243 @@
+// Typed accessors for checked kernel execution.
+//
+// GlobalSpan<T> wraps a global buffer handed to a kernel via
+// ctx.global_span(); LocalSpan<T> is what ctx.local_alloc() returns. Both
+// behave like plain spans, but every *element* access (read/write/operator[])
+// is bounds-checked, and — when the launch runs with validate=true — routed
+// through the LaunchChecker's shadow memory for race and counter-honesty
+// analysis.
+//
+// Two access styles coexist:
+//  * element style: `v = s.read(i)` / `s.write(i, v)` / `s[i] += v` — checked
+//    and recorded individually;
+//  * bulk style: compute on the raw pointer (`s.data()`, `s.begin()`) and
+//    declare the touched range with `mark_read(off, n)` / `mark_write(off,
+//    n)`. This keeps tight loops bit-identical to the unchecked build while
+//    the shadow still sees every byte.
+//
+// data()/begin()/end() are deliberate UNCHECKED escapes: anything done
+// through them without a mark_* call is invisible to the checker.
+//
+// In unchecked launches (no checker attached) element accesses still
+// bounds-check and throw Error, so plain runs fail fast instead of
+// corrupting memory; the raw escapes stay free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "devsim/check/checker.hpp"
+
+namespace alsmf::devsim::check {
+
+namespace detail {
+
+[[noreturn]] inline void throw_oob(const char* what, long long index,
+                                   std::size_t size) {
+  throw Error(std::string(what) + " index " + std::to_string(index) +
+              " out of bounds for " + std::to_string(size) + " elements");
+}
+
+/// Write-back proxy so `span[i]`, `span[i] = v` and `span[i] += v` all route
+/// through the owning span's checked read/write.
+template <class Span, class T>
+class Ref {
+ public:
+  Ref(const Span* span, std::size_t index) : span_(span), index_(index) {}
+  operator T() const { return span_->read(index_); }
+  const Ref& operator=(T v) const {
+    span_->write(index_, v);
+    return *this;
+  }
+  const Ref& operator+=(T v) const { return *this = span_->read(index_) + v; }
+  const Ref& operator-=(T v) const { return *this = span_->read(index_) - v; }
+  const Ref& operator*=(T v) const { return *this = span_->read(index_) * v; }
+
+ private:
+  const Span* span_;
+  std::size_t index_;
+};
+
+}  // namespace detail
+
+template <class T>
+class GlobalSpan {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  GlobalSpan() = default;
+  GlobalSpan(T* data, std::size_t size) : data_(data), size_(size) {}
+  GlobalSpan(T* data, std::size_t size, LaunchChecker* checker, int buffer)
+      : data_(data), size_(size), checker_(checker), buffer_(buffer) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // UNCHECKED escapes — pair with mark_read/mark_write in checked kernels.
+  T* data() const { return data_; }
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+
+  value_type read(std::size_t i) const {
+    if (i >= size_) {
+      if (!oob(i)) return value_type{};
+    }
+    if (checker_) {
+      checker_->on_global_access(buffer_, i * sizeof(T), sizeof(T),
+                                 /*is_write=*/false);
+    }
+    return data_[i];
+  }
+
+  void write(std::size_t i, value_type v) const
+    requires(!std::is_const_v<T>)
+  {
+    if (i >= size_) {
+      if (!oob(i)) return;
+    }
+    if (checker_) {
+      checker_->on_global_access(buffer_, i * sizeof(T), sizeof(T),
+                                 /*is_write=*/true);
+    }
+    data_[i] = v;
+  }
+
+  /// Declares that elements [offset, offset+count) were read through the
+  /// raw pointer. No-op without a checker.
+  void mark_read(std::size_t offset, std::size_t count) const {
+    mark(offset, count, /*is_write=*/false);
+  }
+  void mark_write(std::size_t offset, std::size_t count) const {
+    mark(offset, count, /*is_write=*/true);
+  }
+
+  detail::Ref<GlobalSpan, value_type> operator[](std::size_t i) const {
+    return {this, i};
+  }
+
+ private:
+  friend class detail::Ref<GlobalSpan, value_type>;
+
+  /// Returns false after reporting (checked mode: suppress and continue);
+  /// throws in unchecked mode.
+  bool oob(std::size_t i) const {
+    if (checker_) {
+      checker_->report_oob_global(buffer_, static_cast<long long>(i), size_);
+      return false;
+    }
+    detail::throw_oob("global span", static_cast<long long>(i), size_);
+  }
+
+  void mark(std::size_t offset, std::size_t count, bool is_write) const {
+    if (count == 0) return;
+    if (offset + count > size_) {
+      if (!oob(offset + count - 1)) return;
+    }
+    if (checker_) {
+      checker_->on_global_access(buffer_, offset * sizeof(T),
+                                 count * sizeof(T), is_write);
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  LaunchChecker* checker_ = nullptr;
+  int buffer_ = -1;
+};
+
+template <class T>
+class LocalSpan {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  LocalSpan() = default;
+  LocalSpan(T* data, std::size_t size) : data_(data), size_(size) {}
+  LocalSpan(T* data, std::size_t size, LaunchChecker* checker,
+            const char* name, std::size_t arena_offset, std::uint32_t gen)
+      : data_(data),
+        size_(size),
+        checker_(checker),
+        name_(name),
+        arena_offset_(arena_offset),
+        gen_(gen) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // UNCHECKED escapes — pair with mark_read/mark_write in checked kernels.
+  T* data() const { return data_; }
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+
+  value_type read(std::size_t i) const {
+    if (!usable(i)) return value_type{};
+    if (checker_) {
+      checker_->on_local_access(name_, arena_offset_ + i * sizeof(T),
+                                sizeof(T), /*is_write=*/false);
+    }
+    return data_[i];
+  }
+
+  void write(std::size_t i, value_type v) const
+    requires(!std::is_const_v<T>)
+  {
+    if (!usable(i)) return;
+    if (checker_) {
+      checker_->on_local_access(name_, arena_offset_ + i * sizeof(T),
+                                sizeof(T), /*is_write=*/true);
+    }
+    data_[i] = v;
+  }
+
+  void mark_read(std::size_t offset, std::size_t count) const {
+    mark(offset, count, /*is_write=*/false);
+  }
+  void mark_write(std::size_t offset, std::size_t count) const {
+    mark(offset, count, /*is_write=*/true);
+  }
+
+  detail::Ref<LocalSpan, value_type> operator[](std::size_t i) const {
+    return {this, i};
+  }
+
+ private:
+  friend class detail::Ref<LocalSpan, value_type>;
+
+  /// Stale-generation and bounds gate; returns false when the access must
+  /// be suppressed (already reported), throws on bounds in unchecked mode.
+  bool usable(std::size_t i) const {
+    if (checker_ && gen_ != checker_->local_generation()) {
+      checker_->report_stale_local(name_, gen_);
+      return false;
+    }
+    if (i >= size_) {
+      if (checker_) {
+        checker_->report_oob_local(name_, static_cast<long long>(i), size_);
+        return false;
+      }
+      detail::throw_oob("local span", static_cast<long long>(i), size_);
+    }
+    return true;
+  }
+
+  void mark(std::size_t offset, std::size_t count, bool is_write) const {
+    if (count == 0) return;
+    if (!usable(offset + count - 1)) return;
+    if (checker_) {
+      checker_->on_local_access(name_, arena_offset_ + offset * sizeof(T),
+                                count * sizeof(T), is_write);
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  LaunchChecker* checker_ = nullptr;
+  const char* name_ = "local";
+  std::size_t arena_offset_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+}  // namespace alsmf::devsim::check

@@ -16,6 +16,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
+#include "devsim/check/span.hpp"
 #include "devsim/counters.hpp"
 #include "devsim/profile.hpp"
 
@@ -25,20 +26,20 @@ class GroupCtx {
  public:
   GroupCtx(const DeviceProfile& profile, std::size_t group_id, int group_size,
            bool functional, SectionCounters& counters,
-           aligned_vector<std::byte>& arena)
+           aligned_vector<std::byte>& arena,
+           check::LaunchChecker* checker = nullptr)
       : profile_(&profile),
         group_id_(group_id),
         group_size_(group_size),
         functional_(functional),
         sections_(&counters),
         cur_(&counters.at("")),
-        arena_(&arena) {
+        arena_(&arena),
+        checker_(checker) {
     // Fixed-capacity bump arena: never reallocates during the kernel so
     // earlier local_alloc spans stay valid.
-    const std::size_t cap = profile.has_hw_local_mem
-                                ? profile.local_mem_bytes
-                                : kEmulatedLocalCapacity;
-    if (arena_->size() < cap) arena_->resize(cap);
+    if (arena_->size() < local_capacity()) arena_->resize(local_capacity());
+    if (checker_) checker_->begin_group(group_id_, group_size_);
   }
 
   // --- Shape ---
@@ -60,36 +61,82 @@ class GroupCtx {
 
   /// Switches the active accounting section (e.g. "S1"). Subsequent
   /// recording calls accumulate under this name.
-  void section(const std::string& name) { cur_ = &sections_->at(name); }
+  void section(const std::string& name) {
+    cur_ = &sections_->at(name);
+    if (checker_) checker_->set_section(name);
+  }
+
+  // --- Checked execution (LaunchConfig.validate) ---
+  /// True when this launch runs under the shadow-memory checker.
+  bool validate() const { return checker_ != nullptr; }
+  check::LaunchChecker* checker() const { return checker_; }
+
+  /// Declares which lane the following accessor traffic belongs to, for
+  /// race attribution. No cost is recorded; a no-op without a checker.
+  void set_lane(int lane) {
+    if (checker_) checker_->set_lane(lane);
+  }
+
+  /// Work-group barrier sequence point: accessor traffic before and after
+  /// the call can never race intra-group. Records no cost (kernels price
+  /// barriers through their section formulas); a no-op without a checker.
+  void group_barrier() {
+    if (checker_) checker_->barrier();
+  }
+
+  /// Wraps a host buffer as a checked global accessor. The name keys the
+  /// shadow registry, so pass the same name for the same buffer.
+  /// `device_element_bytes` (default sizeof(T)) is the element width of the
+  /// *modeled* device layout when it differs from the host representation —
+  /// e.g. the paper's col_idx array is 32-bit on device but int64 on the
+  /// host — and only affects counter-honesty accounting.
+  template <class T>
+  check::GlobalSpan<T> global_span(const char* name, T* data, std::size_t n,
+                                   std::size_t device_element_bytes =
+                                       sizeof(T)) {
+    if (!checker_) return {data, n};
+    const int buffer = checker_->register_global(
+        name, static_cast<const void*>(data), n * sizeof(T),
+        static_cast<double>(device_element_bytes) /
+            static_cast<double>(sizeof(T)));
+    return {data, n, checker_, buffer};
+  }
+
+  /// Per-group scratch-pad capacity: the hardware scratch-pad size, or the
+  /// emulation cap on devices that back local memory with cached DRAM.
+  std::size_t local_capacity() const {
+    return profile_->has_hw_local_mem ? profile_->local_mem_bytes
+                                      : kEmulatedLocalCapacity;
+  }
 
   /// Scratch-pad bytes still allocatable in this group.
   std::size_t local_remaining() const {
-    const std::size_t cap = profile_->has_hw_local_mem
-                                ? profile_->local_mem_bytes
-                                : kEmulatedLocalCapacity;
-    return cap > offset_ ? cap - offset_ : 0;
+    return local_capacity() > offset_ ? local_capacity() - offset_ : 0;
   }
 
   // --- Local (scratch-pad) memory ---
   /// Allocates `n` elements of group-shared scratch-pad. On devices with a
   /// hardware scratch-pad the per-group capacity is enforced (an OpenCL
   /// kernel requesting more fails to launch). The arena resets per group.
+  /// `local_alloc(0)` is well-defined: an empty span, no capacity consumed.
   template <class T>
-  std::span<T> local_alloc(std::size_t n) {
+  check::LocalSpan<T> local_alloc(std::size_t n, const char* name = "local") {
+    if (n == 0) return {};
     const std::size_t bytes = n * sizeof(T);
     const std::size_t aligned = (bytes + 63) / 64 * 64;
     const std::size_t new_offset = offset_ + aligned;
-    if (profile_->has_hw_local_mem) {
-      ALSMF_CHECK_MSG(new_offset <= profile_->local_mem_bytes,
-                      "local memory request exceeds device capacity");
-    } else {
-      ALSMF_CHECK_MSG(new_offset <= kEmulatedLocalCapacity,
-                      "emulated local memory request too large");
-    }
+    ALSMF_CHECK_MSG(new_offset <= local_capacity(),
+                    profile_->has_hw_local_mem
+                        ? "local memory request exceeds device capacity"
+                        : "emulated local memory request too large");
     auto* p = reinterpret_cast<T*>(arena_->data() + offset_);
+    const std::size_t at = offset_;
     offset_ = new_offset;
     if (new_offset > cur_->local_alloc_peak) {
       cur_->local_alloc_peak = new_offset;
+    }
+    if (checker_) {
+      return {p, n, checker_, name, at, checker_->local_generation()};
     }
     return {p, n};
   }
@@ -168,6 +215,7 @@ class GroupCtx {
   SectionCounters* sections_;
   LaunchCounters* cur_;
   aligned_vector<std::byte>* arena_;
+  check::LaunchChecker* checker_ = nullptr;
   std::size_t offset_ = 0;
 };
 

@@ -1,8 +1,10 @@
 #include "devsim/device.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
+#include "devsim/check/checker.hpp"
 #include "common/timer.hpp"
 #include "robust/fault_injection.hpp"
 
@@ -16,22 +18,39 @@ LaunchResult Device::launch(const std::string& name,
   }
   Timer wall;
 
-  // Per-worker accumulation avoids false sharing and locks on the hot path.
-  const unsigned workers = pool_->size();
-  std::vector<SectionCounters> partial(workers);
-  std::vector<aligned_vector<std::byte>> arenas(workers);
-
-  pool_->parallel_for(0, config.num_groups,
-                      [&](std::size_t b, std::size_t e, unsigned w) {
-                        for (std::size_t g = b; g < e; ++g) {
-                          GroupCtx ctx(profile_, g, config.group_size,
-                                       config.functional, partial[w], arenas[w]);
-                          kernel(ctx);
-                        }
-                      });
-
   SectionCounters merged;
-  for (const auto& p : partial) merged.merge(p);
+  std::optional<check::LaunchChecker> checker;
+  if (config.validate) {
+    // Checked execution: serial group order on the calling thread keeps the
+    // shadow memory lock-free and the finding order deterministic.
+    ALSMF_CHECK_MSG(config.functional,
+                    "validate=true requires a functional launch");
+    checker.emplace(name, check_options_);
+    aligned_vector<std::byte> arena;
+    for (std::size_t g = 0; g < config.num_groups; ++g) {
+      GroupCtx ctx(profile_, g, config.group_size, config.functional, merged,
+                   arena, &*checker);
+      kernel(ctx);
+    }
+  } else {
+    // Per-worker accumulation avoids false sharing and locks on the hot
+    // path.
+    const unsigned workers = pool_->size();
+    std::vector<SectionCounters> partial(workers);
+    std::vector<aligned_vector<std::byte>> arenas(workers);
+
+    pool_->parallel_for(0, config.num_groups,
+                        [&](std::size_t b, std::size_t e, unsigned w) {
+                          for (std::size_t g = b; g < e; ++g) {
+                            GroupCtx ctx(profile_, g, config.group_size,
+                                         config.functional, partial[w],
+                                         arenas[w]);
+                            kernel(ctx);
+                          }
+                        });
+
+    for (const auto& p : partial) merged.merge(p);
+  }
 
   LaunchResult result;
   result.counters = merged.total();
@@ -41,6 +60,11 @@ LaunchResult Device::launch(const std::string& name,
   result.time = estimate_time(result.counters, profile_);
   result.wall_seconds = wall.seconds();
   if (trace_) trace_->record(profile_.name, name, result.time);
+  if (checker) {
+    checker->finish(result.counters);
+    result.check = checker->take_report();
+    check_report_.merge(result.check);
+  }
 
   // Attribute per-section stats. Sections share the launch's shape (groups,
   // group size) so utilization is modeled consistently, but the launch

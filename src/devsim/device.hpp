@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "devsim/check/report.hpp"
 #include "devsim/context.hpp"
 #include "devsim/cost_model.hpp"
 #include "devsim/counters.hpp"
@@ -24,6 +25,11 @@ struct LaunchConfig {
   /// When false the kernel only records activity (no arithmetic); modeled
   /// time is identical, wall time is much smaller.
   bool functional = true;
+  /// Checked execution: route accessor traffic through the shadow-memory
+  /// checker. Groups then run serially on the calling thread (deterministic
+  /// diagnostics, no locks) — modeled time is unchanged, wall time grows.
+  /// Requires functional=true. See docs/kernel-checking.md.
+  bool validate = false;
 };
 
 /// One kernel launch result.
@@ -31,6 +37,7 @@ struct LaunchResult {
   LaunchCounters counters;  ///< all sections merged
   TimeEstimate time;
   double wall_seconds = 0;
+  check::CheckReport check;  ///< populated only for validate=true launches
 };
 
 /// Aggregated statistics for one kernel-name/section pair.
@@ -83,6 +90,14 @@ class Device {
   /// trace event (null detaches). Not owned.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Tolerances applied to subsequent validate=true launches.
+  check::CheckOptions& check_options() { return check_options_; }
+
+  /// All findings accumulated across validate=true launches since
+  /// construction / last reset_check_report().
+  const check::CheckReport& check_report() const { return check_report_; }
+  void reset_check_report() { check_report_ = {}; }
+
  private:
   KernelStats& stats_for(const std::string& name);
 
@@ -90,6 +105,8 @@ class Device {
   ThreadPool* pool_;
   std::vector<std::pair<std::string, KernelStats>> stats_;
   TraceRecorder* trace_ = nullptr;
+  check::CheckOptions check_options_;
+  check::CheckReport check_report_;
 };
 
 }  // namespace alsmf::devsim

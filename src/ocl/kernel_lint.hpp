@@ -21,14 +21,32 @@ struct LintReport {
   std::string to_string() const;
 };
 
+/// Device constraints the lint can check against. All limits default to
+/// "unknown" (0), which skips the corresponding check, so existing call
+/// sites are unaffected.
+struct LintLimits {
+  /// Per-work-group scratch-pad capacity (DeviceProfile::local_mem_bytes).
+  /// When non-zero, statically-sized `__local` declarations are summed per
+  /// kernel and flagged if they exceed it.
+  std::size_t local_mem_bytes = 0;
+};
+
 /// Structural checks over an OpenCL C source:
 ///  * balanced (), {}, []
 ///  * exactly `expected_kernels` __kernel entry points
 ///  * every barrier() is inside a __kernel body
+///  * no barrier() inside control flow guarded by get_local_id /
+///    get_global_id or an alias derived from them (tokenizer-based: such a
+///    barrier is reached by a lane-dependent subset of the group —
+///    undefined behaviour in OpenCL)
 ///  * __local usage only in kernels that declare __local buffers or take
 ///    __local parameters
+///  * per-kernel statically-sized __local declarations within
+///    limits.local_mem_bytes (sizes evaluated through #define constants and
+///    `typedef ... real_t`)
 ///  * no tab characters / trailing whitespace (style)
 LintReport lint_kernel_source(const std::string& source,
-                              int expected_kernels = 1);
+                              int expected_kernels = 1,
+                              const LintLimits& limits = {});
 
 }  // namespace alsmf::ocl

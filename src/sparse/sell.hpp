@@ -67,6 +67,15 @@ class SellMatrix {
     return values_[offset(s, lane, j)];
   }
 
+  /// Backing arrays and the flat position of (s, lane, j) in them — used by
+  /// the checked-execution accessors to mark exactly the entries a lane
+  /// touches.
+  const aligned_vector<index_t>& col_idx() const { return col_idx_; }
+  const aligned_vector<real>& values() const { return values_; }
+  std::size_t entry_offset(index_t s, int lane, nnz_t j) const {
+    return offset(s, lane, j);
+  }
+
   /// Reconstructs the CSR (for round-trip verification).
   Csr to_csr() const;
 

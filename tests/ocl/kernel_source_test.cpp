@@ -186,5 +186,139 @@ TEST(KernelLint, FlagsBarrierOutsideKernel) {
   EXPECT_FALSE(r.clean());
 }
 
+// --- divergent-barrier detection (tokenizer) ---
+
+TEST(KernelLint, FlagsBarrierInsideGetLocalIdConditional) {
+  const auto r = lint_kernel_source(
+      "__kernel void f(__local float* t) {\n"
+      "  if (get_local_id(0) == 0) {\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "}\n",
+      1);
+  ASSERT_FALSE(r.clean());
+  EXPECT_NE(r.to_string().find("lane-divergent"), std::string::npos);
+  EXPECT_EQ(r.issues[0].line, 3);
+}
+
+TEST(KernelLint, TracksLaneAliasesThroughAssignments) {
+  // lx aliases get_local_id, p is derived from lx: both divergent.
+  const auto r = lint_kernel_source(
+      "__kernel void f(__local float* t) {\n"
+      "  const int lx = get_local_id(0);\n"
+      "  const int p = lx * 2;\n"
+      "  if (p < 4) barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "}\n",
+      1);
+  ASSERT_FALSE(r.clean());
+  EXPECT_EQ(r.issues[0].line, 4);
+}
+
+TEST(KernelLint, FlagsBarrierInsideDivergentLoop) {
+  const auto r = lint_kernel_source(
+      "__kernel void f(__local float* t, int n) {\n"
+      "  for (int i = get_local_id(0); i < n; i += 32) {\n"
+      "    t[i] = 0;\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "}\n",
+      1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(KernelLint, FlagsBarrierInDivergentElseBranch) {
+  const auto r = lint_kernel_source(
+      "__kernel void f(__local float* t) {\n"
+      "  const int lx = get_local_id(0);\n"
+      "  if (lx == 0) {\n"
+      "    t[0] = 1;\n"
+      "  } else {\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "}\n",
+      1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(KernelLint, AcceptsBarrierAfterDivergentScopeCloses) {
+  // The generated kernels' shape: lane-strided loop, then a barrier at
+  // group scope. Uniform (group-id based) conditions are also fine.
+  const auto r = lint_kernel_source(
+      "__kernel void f(__local float* t, int n) {\n"
+      "  const int lx = get_local_id(0);\n"
+      "  const int g = get_group_id(0);\n"
+      "  for (int i = lx; i < n; i += 32) t[i] = 0;\n"
+      "  if (lx == 0) t[0] = 1;\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  if (g == 0) { barrier(CLK_LOCAL_MEM_FENCE); }\n"
+      "}\n",
+      1);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+// --- __local capacity check ---
+
+TEST(KernelLint, FlagsLocalDeclarationsOverCapacity) {
+  const std::string src =
+      "#define K 16\n"
+      "typedef float real_t;\n"
+      "__kernel void f() {\n"
+      "  __local real_t tile[K * K];\n"  // 1024 bytes
+      "  __local real_t extra[K];\n"     // + 64 bytes
+      "}\n";
+  LintLimits limits;
+  limits.local_mem_bytes = 1024;
+  const auto r = lint_kernel_source(src, 1, limits);
+  ASSERT_FALSE(r.clean());
+  EXPECT_NE(r.to_string().find("1088 bytes"), std::string::npos);
+  EXPECT_NE(r.to_string().find("1024 bytes"), std::string::npos);
+
+  limits.local_mem_bytes = 2048;
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+  // Limit 0 = unknown device: check skipped (existing call sites).
+  EXPECT_TRUE(lint_kernel_source(src, 1).clean());
+}
+
+TEST(KernelLint, CapacityUsesRealTypedefWidth) {
+  const std::string src =
+      "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+      "typedef double real_t;\n"
+      "__kernel void f() {\n"
+      "  __local real_t a[100];\n"  // 800 bytes as double
+      "}\n";
+  LintLimits limits;
+  limits.local_mem_bytes = 512;
+  EXPECT_FALSE(lint_kernel_source(src, 1, limits).clean());
+  limits.local_mem_bytes = 1024;
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+}
+
+TEST(KernelLint, LocalPointerParametersAreExempt) {
+  const std::string src =
+      "void helper(__local float* a, __local float* b) { a[0] = b[0]; }\n"
+      "__kernel void f(__local float* t) { helper(t, t); }\n";
+  LintLimits limits;
+  limits.local_mem_bytes = 1;  // any declaration would trip this
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+}
+
+TEST(KernelLint, GeneratedKernelsRespectGpuScratchpad) {
+  // The paper's K20c has a 48 KiB scratch-pad; every generated variant at
+  // the default configuration must fit (and must not barrier divergently).
+  LintLimits limits;
+  limits.local_mem_bytes = 48 * 1024;
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    const std::string src = batched_kernel_source(v, config());
+    const LintReport report = lint_kernel_source(src, 1, limits);
+    EXPECT_TRUE(report.clean()) << v.name() << ":\n" << report.to_string();
+  }
+  // An implausibly small scratch-pad is detected on the staging variant.
+  limits.local_mem_bytes = 256;
+  const std::string staged =
+      batched_kernel_source(AlsVariant::batch_local(), config());
+  EXPECT_FALSE(lint_kernel_source(staged, 1, limits).clean());
+}
+
 }  // namespace
 }  // namespace alsmf::ocl
