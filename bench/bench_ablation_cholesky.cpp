@@ -8,7 +8,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Ablation — Cholesky vs LU for the S3 solve",
                "§V-A (S3 optimization, largest effect on YMR4)");

@@ -18,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Ablation — divergence remedies on the K20c",
                "flat vs +sorted rows vs SELL-C-sigma vs thread batching");

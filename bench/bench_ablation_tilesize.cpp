@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Ablation — staging tile size vs occupancy on the K20c",
                "local-memory tile sizing (§III-C2, Fig. 5)");

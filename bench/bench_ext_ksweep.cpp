@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Extension — latent factor sweep: ours vs cuMF on K20c",
                "§V-A (cuMF is tuned for k = 100; our advantage is at small k)");

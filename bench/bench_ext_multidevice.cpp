@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Extension — multi-device strong scaling (modeled K20c cards)",
                "cuMF-style data parallelism with all-gather communication");

@@ -8,7 +8,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Figure 10 — execution time vs threads per group",
                "Fig. 10(a-d) (GPU min at 16/32; CPU prefers small groups; "

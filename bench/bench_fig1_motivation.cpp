@@ -7,7 +7,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Figure 1 — flat baseline: OpenMP on 16-core CPU vs CUDA on K20c",
                "Fig. 1 (log-scale execution time, 4 datasets, 5 iters, k=10)");

@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Figure 7 — ours vs SAC'15 and vs HPDC'16 (cuMF)",
                "Fig. 7 (paper: 5.5x on E5-2670, 21.2x on K20c, 2.2-6.8x vs cuMF)");

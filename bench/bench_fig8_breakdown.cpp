@@ -8,7 +8,7 @@
 int main(int argc, char** argv) {
   using namespace alsmf;
   using namespace alsmf::bench;
-  const double extra = argc > 1 ? std::stod(argv[1]) : 1.0;
+  const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Figure 8 — S1/S2/S3 breakdown while optimizing step by step",
                "Fig. 8(a-d) (Netflix on K20c; paper: 65/19/16 -> 68/19/13 -> "

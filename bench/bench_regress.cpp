@@ -1,0 +1,173 @@
+// bench_regress: the pinned-seed canonical perf suite behind CI's perf gate.
+//
+// Runs three canonical workloads and writes a schema-stable RegressReport
+// (BENCH_regress.json by default):
+//   * train_smoke        — functional ALS on a synthetic MovieLens-shaped
+//                          matrix: final loss/RMSE and modeled seconds;
+//   * variant_sweep      — accounting-mode modeled seconds for all 8 code
+//                          variants on the same matrix (the Fig. 6 axis);
+//   * serve_closed_loop  — closed-loop serving smoke: request conservation,
+//                          throughput and tail latency.
+// Modeled/deterministic metrics carry gate=true and fail --compare when they
+// move past the tolerance; wall-clock and throughput numbers are recorded
+// with gate=false (machine-dependent, informational only).
+//
+//   bench_regress [--smoke] [--seed N] [--json-out BENCH_regress.json]
+//                 [--compare baseline.json] [--tolerance 0.25]
+//
+// Exit status: 0 on success (and a passing compare), 1 on a failed compare.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "als/solver.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "data/synthetic.hpp"
+#include "devsim/profile.hpp"
+#include "obs/events.hpp"
+#include "obs/regress.hpp"
+#include "recsys/recommender.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace alsmf;
+
+SyntheticSpec regress_spec(bool smoke, std::uint64_t seed) {
+  // MovieLens-shaped: ~5x more users than items, ~20 ratings per user.
+  SyntheticSpec spec;
+  spec.users = smoke ? 1500 : 6000;
+  spec.items = smoke ? 300 : 1200;
+  spec.nnz = smoke ? 30000 : 120000;
+  spec.seed = seed;
+  return spec;
+}
+
+void run_train_smoke(obs::RegressReport& report, const Csr& train) {
+  AlsOptions options;
+  options.k = 8;
+  options.iterations = 3;
+  options.functional = true;
+  const AlsVariant variant = AlsVariant::from_mask(7);
+  devsim::Device device(devsim::profile_by_name("gpu"));
+  AlsSolver solver(train, options, variant, device);
+  obs::EventStream events;
+  RunConfig config;
+  config.events = &events;
+  Timer wall;
+  const RunReport run = solver.run(config);
+  report.add("train_smoke.final_loss", solver.train_loss(), "loss");
+  report.add("train_smoke.final_rmse", solver.train_rmse(), "rmse");
+  report.add("train_smoke.modeled_seconds", run.modeled_seconds, "s");
+  report.add("train_smoke.iteration_events",
+             static_cast<double>(events.size()), "count",
+             /*lower_is_better=*/false);
+  report.add("train_smoke.wall_seconds", wall.seconds(), "s",
+             /*lower_is_better=*/true, /*gate=*/false);
+  std::printf("train_smoke: loss %.4f rmse %.4f modeled %.4fs (%d iters)\n",
+              solver.train_loss(), solver.train_rmse(), run.modeled_seconds,
+              run.iterations);
+}
+
+void run_variant_sweep(obs::RegressReport& report, const Csr& train) {
+  AlsOptions options = bench::paper_options();
+  options.iterations = 2;
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant variant = AlsVariant::from_mask(mask);
+    devsim::Device device(devsim::profile_by_name("gpu"));
+    AlsSolver solver(train, options, variant, device);
+    const RunReport run = solver.run(RunConfig{});
+    report.add("variant_sweep." + variant.name() + ".modeled_seconds",
+               run.modeled_seconds, "s");
+    std::printf("variant_sweep: %-22s %.6f modeled s\n",
+                variant.name().c_str(), run.modeled_seconds);
+  }
+}
+
+void run_serve_closed_loop(obs::RegressReport& report, const Csr& train,
+                           bool smoke, std::uint64_t seed) {
+  AlsOptions options;
+  options.k = 8;
+  options.iterations = 2;
+  options.functional = true;
+  Recommender rec;
+  rec.train(train, options, devsim::profile_by_name("cpu"),
+            AlsVariant::from_mask(7));
+
+  serve::ServiceOptions serve_options;
+  serve_options.max_batch = 32;
+  serve_options.max_wait_us = 100;
+  serve_options.cache_capacity = 256;
+  serve::RecommendService service(
+      serve::snapshot_from_recommender(rec, options.lambda), serve_options);
+
+  const std::size_t requests = smoke ? 2000 : 10000;
+  Rng rng(seed);
+  Timer wall;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto user = static_cast<index_t>(
+        rng() % static_cast<std::uint64_t>(rec.users()));
+    (void)service.topn(user, 10);
+  }
+  const double seconds = wall.seconds();
+  service.stop();
+
+  const auto& m = service.metrics();
+  const auto violations = m.registry().check_assertions();
+  for (const auto& v : violations) {
+    std::printf("serve_closed_loop: ASSERTION VIOLATED: %s\n", v.c_str());
+  }
+  report.add("serve_closed_loop.completed",
+             static_cast<double>(m.completed()), "count",
+             /*lower_is_better=*/false);
+  report.add("serve_closed_loop.assertion_violations",
+             static_cast<double>(violations.size()), "count");
+  report.add("serve_closed_loop.qps",
+             seconds > 0 ? static_cast<double>(requests) / seconds : 0.0,
+             "qps", /*lower_is_better=*/false, /*gate=*/false);
+  report.add("serve_closed_loop.p99_total_us", m.total_us_percentile(0.99),
+             "us", /*lower_is_better=*/true, /*gate=*/false);
+  std::printf(
+      "serve_closed_loop: %zu requests in %.3fs (%.0f qps), p99 %.1fus\n",
+      requests, seconds,
+      seconds > 0 ? static_cast<double>(requests) / seconds : 0.0,
+      m.total_us_percentile(0.99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = alsmf::bench::parse_bench_args(argc, argv);
+  const std::string out_path =
+      args.json_out.empty() ? "BENCH_regress.json" : args.json_out;
+
+  obs::RegressReport report;
+  report.seed = args.seed;
+  report.smoke = args.smoke;
+
+  const Csr train = generate_synthetic_csr(regress_spec(args.smoke, args.seed));
+  std::printf("# bench_regress: %s suite, seed %llu, %lld x %lld, %lld nnz\n",
+              args.smoke ? "smoke" : "full",
+              static_cast<unsigned long long>(args.seed),
+              static_cast<long long>(train.rows()),
+              static_cast<long long>(train.cols()),
+              static_cast<long long>(train.nnz()));
+
+  run_train_smoke(report, train);
+  run_variant_sweep(report, train);
+  run_serve_closed_loop(report, train, args.smoke, args.seed);
+
+  report.write_file(out_path);
+  std::printf("# wrote %s (%zu metrics)\n", out_path.c_str(),
+              report.metrics.size());
+
+  if (const auto baseline_path = args.cli.get("compare")) {
+    const double tolerance = args.cli.get_double("tolerance", 0.25);
+    const auto baseline = obs::RegressReport::load_file(*baseline_path);
+    const auto result = obs::compare_reports(baseline, report, tolerance);
+    std::printf("%s", result.summary().c_str());
+    return result.ok ? 0 : 1;
+  }
+  return 0;
+}

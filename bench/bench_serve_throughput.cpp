@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
@@ -290,9 +291,10 @@ void print_row(const char* mode, const RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliArgs args(argc, argv);
+  const auto bench_args = alsmf::bench::parse_bench_args(argc, argv);
+  const CliArgs& args = bench_args.cli;
   Config config;
-  if (args.has_flag("smoke")) {
+  if (bench_args.smoke) {
     config.users = 800;
     config.items = 400;
     config.k = 8;
@@ -313,7 +315,7 @@ int main(int argc, char** argv) {
   config.foldin_pct = static_cast<int>(args.get_long("foldin-pct", config.foldin_pct));
   config.zipf = args.get_double("zipf", config.zipf);
   config.topn = static_cast<int>(args.get_long("topn", config.topn));
-  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  config.seed = bench_args.seed;
 
   std::printf(
       "# serving throughput: %lld users x %lld items, k=%d, %zu requests "

@@ -7,6 +7,24 @@
 
 namespace alsmf::bench {
 
+BenchArgs parse_bench_args(int argc, const char* const* argv) {
+  BenchArgs args{CliArgs(argc, argv), 1.0, false, 42, ""};
+  args.scale = args.cli.get_double("scale", 1.0);
+  // Legacy convention: a bare numeric positional is the scale multiplier.
+  if (!args.cli.positional().empty()) {
+    try {
+      args.scale = std::stod(args.cli.positional().front());
+    } catch (const std::exception&) {
+      // Non-numeric positional: leave the flag value in place.
+    }
+  }
+  args.smoke = args.cli.has_flag("smoke");
+  if (args.smoke) args.scale *= 8.0;
+  args.seed = static_cast<std::uint64_t>(args.cli.get_long("seed", 42));
+  args.json_out = args.cli.get_or("json-out", "");
+  return args;
+}
+
 double default_scale(const DatasetInfo& info) {
   const double target_nnz = 5e5;
   double scale = static_cast<double>(info.nnz) / target_nnz;
@@ -43,7 +61,7 @@ RunTimes run_als(const BenchDataset& data, const AlsOptions& options,
                  const devsim::DeviceProfile& profile) {
   devsim::Device device(profile);
   AlsSolver solver(data.train, options, variant, device);
-  solver.run();
+  solver.run(RunConfig{});
   RunTimes t;
   t.replica = device.modeled_seconds();
   t.full = device.modeled_seconds_scaled(data.scale);

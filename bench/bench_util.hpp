@@ -9,16 +9,36 @@
 // The paper's published numbers correspond to the `full` column's shape.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "als/options.hpp"
+#include "common/cli.hpp"
 #include "data/datasets.hpp"
 #include "devsim/device.hpp"
 #include "sparse/csr.hpp"
 
 namespace alsmf::bench {
+
+/// Flags shared by every bench main:
+///   --scale S     extra downscale multiplier (>1 shrinks the replicas);
+///                 a bare numeric positional argument is accepted too (the
+///                 legacy `bench_figN 8` calling convention)
+///   --smoke       quick CI-sized run (multiplies the scale by 8)
+///   --seed N      RNG seed for benches that randomize
+///   --json-out F  machine-readable output path for benches that export one
+/// Bench-specific flags stay available through `cli`.
+struct BenchArgs {
+  CliArgs cli;
+  double scale = 1.0;  ///< effective scale (smoke multiplier applied)
+  bool smoke = false;
+  std::uint64_t seed = 42;
+  std::string json_out;
+};
+
+BenchArgs parse_bench_args(int argc, const char* const* argv);
 
 struct BenchDataset {
   std::string abbr;

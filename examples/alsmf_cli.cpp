@@ -4,8 +4,12 @@
 //                       [--iters 10] [--device cpu|gpu|mic] [--profile file]
 //                       [--wr] [--variant auto|learned|0..7]
 //                       [--checkpoint-dir dir] [--checkpoint-every N]
+//                       [--metrics-out m.prom] [--events-out e.jsonl]
+//                       [--trace-out t.json]
 //                       (crash-safe: rerunning the same command resumes from
-//                       the newest valid checkpoint in dir)
+//                       the newest valid checkpoint in dir; the three *-out
+//                       flags write Prometheus text, a per-iteration JSONL
+//                       event stream, and a Chrome trace with wall spans)
 //   alsmf_cli predict   --model m.bin --user U --item I
 //   alsmf_cli recommend --model m.bin --user U [--n 10] [--ratings r.txt]
 //   alsmf_cli evaluate  --model m.bin --test t.txt
@@ -37,6 +41,8 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "devsim/profile_io.hpp"
+#include "obs/events.hpp"
+#include "obs/registry.hpp"
 #include "recsys/recommender.hpp"
 #include "recsys/tuning.hpp"
 #include "serve/service.hpp"
@@ -84,28 +90,58 @@ int cmd_train(const CliArgs& args) {
         AlsVariant::from_mask(static_cast<unsigned>(std::stoul(variant_arg)));
   }
 
+  const auto ckpt_dir = args.get("checkpoint-dir");
+  const auto metrics_out = args.get("metrics-out");
+  const auto events_out = args.get("events-out");
+  const auto trace_out = args.get("trace-out");
+
   Recommender rec;
   TrainReport report;
-  if (const auto ckpt_dir = args.get("checkpoint-dir")) {
-    // Crash-safe path: drive the solver directly so an interrupted run can
-    // resume from its newest checkpoint instead of restarting.
-    CheckpointConfig config;
-    config.dir = *ckpt_dir;
-    config.every = static_cast<int>(args.get_long("checkpoint-every", 1));
+  if (ckpt_dir || metrics_out || events_out || trace_out) {
+    // Drive the solver directly: checkpointed/resumable runs and runs with
+    // observability sinks attached go through the unified run(RunConfig).
+    RunConfig run_config;
+    if (ckpt_dir) {
+      CheckpointConfig config;
+      config.dir = *ckpt_dir;
+      config.every = static_cast<int>(args.get_long("checkpoint-every", 1));
+      run_config.checkpoint = config;
+      run_config.resume = true;
+    }
+    obs::EventStream events;
+    devsim::TraceRecorder trace;
+    if (events_out) run_config.events = &events;
+    if (trace_out) run_config.trace = &trace;
+    if (metrics_out) run_config.metrics = &obs::Registry::global();
     Timer wall;
     devsim::Device device(profile);
     AlsSolver solver(train, options, variant, device);
-    const auto resumed = solver.resume_latest(config.dir);
-    if (resumed >= 0) {
-      std::cout << "resumed from checkpoint at iteration " << resumed << "\n";
+    const RunReport run_report = solver.run(run_config);
+    if (run_report.resumed_from >= 0) {
+      std::cout << "resumed from checkpoint at iteration "
+                << run_report.resumed_from << "\n";
     }
-    report.modeled_seconds = solver.run_checkpointed(config);
+    report.modeled_seconds = run_report.modeled_seconds;
     report.wall_seconds = wall.seconds();
     report.train_rmse = solver.train_rmse();
     report.variant = variant;
     report.device = profile.name;
     rec = Recommender::from_factors(solver.x(), solver.y());
     std::cout << "robustness: " << solver.robustness_report().to_json() << "\n";
+    if (metrics_out) {
+      std::ofstream out(*metrics_out);
+      out << obs::Registry::global().prometheus_text();
+      std::cout << "metrics: " << *metrics_out << "\n";
+    }
+    if (events_out) {
+      events.write_file(*events_out);
+      std::cout << "events: " << *events_out << " (" << events.size()
+                << " records)\n";
+    }
+    if (trace_out) {
+      trace.write_chrome_trace_file(*trace_out);
+      std::cout << "trace: " << *trace_out << "\n";
+    }
   } else {
     report = rec.train(train, options, profile, variant);
   }

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
         select_variant_heuristic(train, options, profile);
     devsim::Device device(profile);
     AlsSolver solver(train, options, variant, device);
-    const double modeled = solver.run();
+    const double modeled = solver.run(RunConfig{}).modeled_seconds;
     std::printf("%-18s %-18s %14.4f %14.4f %10.4f\n", profile.name.c_str(),
                 variant.name().c_str(), modeled, solver.wall_seconds(),
                 solver.train_rmse());

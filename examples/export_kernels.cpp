@@ -41,9 +41,10 @@ int main(int argc, char** argv) {
   options.iterations = 3;
   devsim::TraceRecorder trace;
   devsim::Device device(devsim::profile_by_name(args.get_or("device", "gpu")));
-  device.set_trace(&trace);
   AlsSolver solver(train, options, AlsVariant::batch_local_reg(), device);
-  solver.run();
+  RunConfig run_config;
+  run_config.trace = &trace;
+  solver.run(run_config);
   trace.write_chrome_trace_file(trace_path);
   std::cout << "wrote a " << trace.events().size()
             << "-event modeled timeline to " << trace_path

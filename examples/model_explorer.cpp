@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     total = cumf.run();
   } else {
     AlsSolver solver(train, options, variant, device);
-    total = solver.run();
+    total = solver.run(RunConfig{}).modeled_seconds;
   }
 
   std::printf("device=%s variant=%s k=%d group=%d  modeled=%.6f s\n\n",

@@ -110,8 +110,8 @@ CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
       if (device.profile().has_hw_local_mem) {
         limits.local_mem_bytes = device.profile().local_mem_bytes;
       }
-      auto lint_one = [&](const std::string& name, const std::string& src) {
-        const ocl::LintReport lint = ocl::lint_kernel_source(src, 1, limits);
+      auto lint_one = [&](const std::string& name, const std::string& source) {
+        const ocl::LintReport lint = ocl::lint_kernel_source(source, 1, limits);
         for (const auto& issue : lint.issues) {
           out.lint_issues.push_back(profile + "/" + name + ": line " +
                                     std::to_string(issue.line) + ": " +

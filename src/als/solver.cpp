@@ -1,6 +1,8 @@
 #include "als/solver.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "als/metrics.hpp"
@@ -9,6 +11,8 @@
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
+#include "obs/events.hpp"
+#include "obs/registry.hpp"
 #include "sparse/convert.hpp"
 
 namespace alsmf {
@@ -135,25 +139,140 @@ void AlsSolver::run_iteration() {
   ++iterations_done_;
 }
 
+namespace {
+
+/// Cumulative cost snapshot used to turn device totals into per-iteration
+/// deltas for the event stream.
+struct CostSnapshot {
+  double modeled = 0, wall = 0;
+  double s1m = 0, s2m = 0, s3m = 0;
+  double s1w = 0, s2w = 0, s3w = 0;
+};
+
+CostSnapshot cost_snapshot(const devsim::Device& device) {
+  CostSnapshot s;
+  s.modeled = device.modeled_seconds();
+  s.wall = device.wall_seconds();
+  s.s1m = device.modeled_seconds_matching("/S1");
+  s.s2m = device.modeled_seconds_matching("/S2");
+  s.s3m = device.modeled_seconds_matching("/S3");
+  s.s1w = device.wall_seconds_matching("/S1");
+  s.s2w = device.wall_seconds_matching("/S2");
+  s.s3w = device.wall_seconds_matching("/S3");
+  return s;
+}
+
+}  // namespace
+
+RunReport AlsSolver::run(const RunConfig& config) {
+  if (config.checkpoint) {
+    ALSMF_CHECK_MSG(!config.checkpoint->dir.empty(), "checkpoint dir required");
+    ALSMF_CHECK(config.checkpoint->every > 0);
+  }
+  ALSMF_CHECK_MSG(!config.resume || config.checkpoint,
+                  "resume requires a checkpoint config");
+
+  RunReport report;
+  if (config.resume) report.resumed_from = resume_latest(config.checkpoint->dir);
+  if (config.metrics) device_.set_metrics(config.metrics);
+  if (config.trace) device_.set_trace(config.trace);
+
+  const int target = config.iterations >= 0
+                         ? iterations_done_ + config.iterations
+                         : options_.iterations;
+  const int start_iteration = iterations_done_;
+  const double modeled_before = device_.modeled_seconds();
+  const double wall_before = device_.wall_seconds();
+  CostSnapshot prev;
+  if (config.events) prev = cost_snapshot(device_);
+
+  while (iterations_done_ < target) {
+    std::optional<devsim::TraceRecorder::Span> span;
+    if (config.trace) {
+      span.emplace(config.trace->span(
+          "solver", "iteration " + std::to_string(iterations_done_ + 1)));
+    }
+    run_iteration();
+    if (span) span->end();
+
+    if (config.checkpoint && (iterations_done_ % config.checkpoint->every == 0 ||
+                              iterations_done_ == target)) {
+      save_checkpoint(
+          robust::checkpoint_path(config.checkpoint->dir, iterations_done_));
+      if (config.checkpoint->keep > 0) {
+        robust::prune_checkpoints(config.checkpoint->dir,
+                                  config.checkpoint->keep);
+      }
+    }
+
+    double loss = std::numeric_limits<double>::quiet_NaN();
+    double rmse = std::numeric_limits<double>::quiet_NaN();
+    if ((config.events || config.metrics) && options_.functional) {
+      loss = train_loss();
+      rmse = train_rmse();
+    }
+
+    if (config.events) {
+      const CostSnapshot cur = cost_snapshot(device_);
+      obs::IterationEvent ev;
+      ev.iteration = iterations_done_;
+      ev.variant = variant_.name();
+      ev.device = device_.profile().name;
+      ev.loss = loss;
+      ev.rmse = rmse;
+      ev.modeled_seconds = cur.modeled - prev.modeled;
+      ev.wall_seconds = cur.wall - prev.wall;
+      ev.s1_modeled_s = cur.s1m - prev.s1m;
+      ev.s2_modeled_s = cur.s2m - prev.s2m;
+      ev.s3_modeled_s = cur.s3m - prev.s3m;
+      ev.s1_wall_s = cur.s1w - prev.s1w;
+      ev.s2_wall_s = cur.s2w - prev.s2w;
+      ev.s3_wall_s = cur.s3w - prev.s3w;
+      ev.guard_nonfinite_rows = report_.nonfinite_rows;
+      ev.guard_redamped_rows = report_.redamped_rows;
+      ev.guard_zeroed_rows = report_.zeroed_rows;
+      ev.solver_fallbacks = report_.solver_fallbacks;
+      ev.kernel_relaunches = report_.kernel_relaunches;
+      config.events->emit(std::move(ev));
+      prev = cur;
+    }
+
+    if (config.metrics) {
+      const obs::Labels labels{{"variant", variant_.name()},
+                               {"device", device_.profile().name}};
+      config.metrics
+          ->counter("als_iterations_total", labels,
+                    "Completed ALS training iterations")
+          .inc();
+      if (!std::isnan(loss)) {
+        config.metrics
+            ->gauge("als_train_loss", labels,
+                    "Training objective after the latest iteration")
+            .set(loss);
+        config.metrics
+            ->gauge("als_train_rmse", labels,
+                    "Training RMSE after the latest iteration")
+            .set(rmse);
+      }
+    }
+  }
+
+  report.iterations = iterations_done_ - start_iteration;
+  report.modeled_seconds = device_.modeled_seconds() - modeled_before;
+  report.wall_seconds = device_.wall_seconds() - wall_before;
+  return report;
+}
+
 double AlsSolver::run() {
-  const double before = device_.modeled_seconds();
-  for (int it = 0; it < options_.iterations; ++it) run_iteration();
-  return device_.modeled_seconds() - before;
+  RunConfig config;
+  config.iterations = options_.iterations;
+  return run(config).modeled_seconds;
 }
 
 double AlsSolver::run_checkpointed(const CheckpointConfig& config) {
-  ALSMF_CHECK_MSG(!config.dir.empty(), "checkpoint dir required");
-  ALSMF_CHECK(config.every > 0);
-  const double before = device_.modeled_seconds();
-  while (iterations_done_ < options_.iterations) {
-    run_iteration();
-    if (iterations_done_ % config.every == 0 ||
-        iterations_done_ == options_.iterations) {
-      save_checkpoint(robust::checkpoint_path(config.dir, iterations_done_));
-      if (config.keep > 0) robust::prune_checkpoints(config.dir, config.keep);
-    }
-  }
-  return device_.modeled_seconds() - before;
+  RunConfig unified;
+  unified.checkpoint = config;
+  return run(unified).modeled_seconds;
 }
 
 std::uint64_t AlsSolver::options_hash() const {

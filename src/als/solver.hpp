@@ -3,6 +3,8 @@
 // alternating half-updates through the selected code variant.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,11 @@
 #include "robust/checkpoint.hpp"
 #include "robust/guards.hpp"
 #include "sparse/csr.hpp"
+
+namespace alsmf::obs {
+class EventStream;
+class Registry;
+}
 
 namespace alsmf {
 
@@ -29,6 +36,42 @@ struct CheckpointConfig {
   std::string dir;
   int every = 1;         ///< save after every N completed iterations
   std::size_t keep = 3;  ///< checkpoints retained (0 = keep all)
+};
+
+/// Unified training-run configuration: one entry point covering plain runs,
+/// periodic checkpointing, resume, and the observability sinks. All pointer
+/// sinks are optional, borrowed, and stay attached to the device after the
+/// run (detach with Device::set_trace(nullptr) / set_metrics(nullptr)).
+struct RunConfig {
+  /// Additional iterations to run in this call; -1 runs until
+  /// iterations_done() reaches options().iterations (the "remaining work"
+  /// semantics checkpoint/resume needs).
+  int iterations = -1;
+  /// When set, saves a crash-safe checkpoint every `every` completed
+  /// iterations and prunes old ones.
+  std::optional<CheckpointConfig> checkpoint;
+  /// Resume from the newest loadable checkpoint in checkpoint->dir before
+  /// iterating (requires `checkpoint`).
+  bool resume = false;
+  /// Per-iteration IterationEvent records (loss/RMSE, step breakdown in
+  /// modeled and wall seconds, guard tallies).
+  obs::EventStream* events = nullptr;
+  /// Metrics registry: attached to the device for per-kernel series, plus
+  /// solver-level als_* series updated each iteration.
+  obs::Registry* metrics = nullptr;
+  /// Trace recorder: attached to the device for launch events, plus one
+  /// wall span per iteration on the "solver" track.
+  devsim::TraceRecorder* trace = nullptr;
+};
+
+/// What a run(RunConfig) call did.
+struct RunReport {
+  int iterations = 0;  ///< iterations executed by this call
+  /// Iteration restored by resume, or -1 (no resume requested or no usable
+  /// checkpoint found).
+  std::int64_t resumed_from = -1;
+  double modeled_seconds = 0;  ///< modeled device-seconds delta of this call
+  double wall_seconds = 0;     ///< wall kernel-seconds delta of this call
 };
 
 /// Per-step (S1/S2/S3) modeled-time breakdown of a run (Fig. 8).
@@ -51,13 +94,17 @@ class AlsSolver {
   /// One full iteration: update X over Y, then Y over X.
   void run_iteration();
 
-  /// Runs options.iterations iterations; returns modeled seconds consumed
-  /// by this solver's launches during the run.
+  /// The training entry point: runs per `config` (checkpointing, resume,
+  /// observability sinks) and reports what happened.
+  RunReport run(const RunConfig& config);
+
+  /// Deprecated shim for run(RunConfig): runs options().iterations more
+  /// iterations, returns the modeled-seconds delta.
   double run();
 
-  /// Like run(), but saves a crash-safe checkpoint every `config.every`
-  /// completed iterations and prunes old ones. Runs only the iterations
-  /// remaining to options().iterations, so it composes with resume_latest.
+  /// Deprecated shim for run(RunConfig): checkpointed run of the
+  /// iterations remaining to options().iterations, returns the
+  /// modeled-seconds delta. Composes with resume_latest.
   double run_checkpointed(const CheckpointConfig& config);
 
   /// Result of run_until: why it stopped and the trajectory.

@@ -1,0 +1,129 @@
+// One JSON module for every emitter in the repo.
+//
+// JsonWriter replaces the per-file hand-rolled string building that used to
+// live in serve_metrics, the robustness report, the checked-execution report
+// and the Chrome-trace writer: it handles escaping, comma placement, nesting
+// and number formatting once. Numbers use the default ostream formatting the
+// old emitters used, so existing output shapes are preserved; non-finite
+// doubles become `null` (JSON has no NaN/Inf).
+//
+// json::parse is the matching minimal reader — enough to load the files we
+// write ourselves (regression baselines, exported stats) without adding a
+// dependency. It is not a general-purpose validating parser: numbers are
+// doubles, object member order is preserved, duplicate keys keep the last.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace alsmf::json {
+
+/// Escapes a string for embedding between JSON quotes.
+std::string escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key; must be followed by exactly one value / begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  template <class T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<long long>(v));
+    } else {
+      return value(static_cast<unsigned long long>(v));
+    }
+  }
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Splices a pre-serialized JSON fragment in value position (e.g. a
+  /// nested report that already knows how to serialize itself).
+  JsonWriter& raw(std::string_view fragment);
+
+  /// key + value in one call.
+  template <class T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  JsonWriter& field_null(std::string_view k) {
+    key(k);
+    return null();
+  }
+  JsonWriter& field_raw(std::string_view k, std::string_view fragment) {
+    key(k);
+    return raw(fragment);
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void before_value();
+
+  std::ostringstream out_;
+  // One frame per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (see the header comment for the supported subset).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  double as_double(double def = 0.0) const { return is_number() ? number_ : def; }
+  bool as_bool(bool def = false) const { return type_ == Type::kBool ? bool_ : def; }
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<Value>& array() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// Like find but throws alsmf::Error when absent.
+  const Value& at(std::string_view key) const;
+
+ private:
+  friend class Parser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one JSON document (throws alsmf::Error on malformed input or
+/// trailing garbage).
+Value parse(std::string_view text);
+
+}  // namespace alsmf::json

@@ -2,25 +2,9 @@
 
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace alsmf::devsim::check {
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out.push_back(ch);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 const char* to_string(FindingKind kind) {
   switch (kind) {
@@ -48,16 +32,18 @@ std::string Finding::to_string() const {
 }
 
 std::string Finding::to_json() const {
-  std::ostringstream os;
-  os << "{\"kind\":\"" << ::alsmf::devsim::check::to_string(kind)
-     << "\",\"kernel\":\"" << json_escape(kernel)
-     << "\",\"section\":\"" << json_escape(section)
-     << "\",\"buffer\":\"" << json_escape(buffer)
-     << "\",\"group\":" << group
-     << ",\"lane\":" << lane
-     << ",\"index\":" << index
-     << ",\"detail\":\"" << json_escape(detail) << "\"}";
-  return os.str();
+  json::JsonWriter w;
+  w.begin_object();
+  w.field("kind", ::alsmf::devsim::check::to_string(kind));
+  w.field("kernel", kernel);
+  w.field("section", section);
+  w.field("buffer", buffer);
+  w.field("group", group);
+  w.field("lane", lane);
+  w.field("index", index);
+  w.field("detail", detail);
+  w.end_object();
+  return w.str();
 }
 
 void CheckReport::merge(const CheckReport& other) {
@@ -70,18 +56,17 @@ void CheckReport::merge(const CheckReport& other) {
 }
 
 std::string CheckReport::to_json() const {
-  std::ostringstream os;
-  os << "{\"total_findings\":" << total_findings
-     << ",\"launches\":" << launches
-     << ",\"touched_global_bytes\":" << touched_global_bytes
-     << ",\"touched_local_bytes\":" << touched_local_bytes
-     << ",\"findings\":[";
-  for (std::size_t i = 0; i < findings.size(); ++i) {
-    if (i) os << ",";
-    os << findings[i].to_json();
-  }
-  os << "]}";
-  return os.str();
+  json::JsonWriter w;
+  w.begin_object();
+  w.field("total_findings", total_findings);
+  w.field("launches", launches);
+  w.field("touched_global_bytes", touched_global_bytes);
+  w.field("touched_local_bytes", touched_local_bytes);
+  w.key("findings").begin_array();
+  for (const auto& f : findings) w.raw(f.to_json());
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace alsmf::devsim::check

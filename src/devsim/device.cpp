@@ -4,8 +4,10 @@
 #include <optional>
 
 #include "common/error.hpp"
-#include "devsim/check/checker.hpp"
+#include "common/json.hpp"
 #include "common/timer.hpp"
+#include "devsim/check/checker.hpp"
+#include "obs/registry.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace alsmf::devsim {
@@ -17,6 +19,7 @@ LaunchResult Device::launch(const std::string& name,
     throw Error("injected fault: kernel launch '" + name + "' failed");
   }
   Timer wall;
+  const double trace_start_s = trace_ ? trace_->now_s() : 0;
 
   SectionCounters merged;
   std::optional<check::LaunchChecker> checker;
@@ -59,7 +62,26 @@ LaunchResult Device::launch(const std::string& name,
   result.counters.group_size = config.group_size;
   result.time = estimate_time(result.counters, profile_);
   result.wall_seconds = wall.seconds();
-  if (trace_) trace_->record(profile_.name, name, result.time);
+  if (trace_) {
+    trace_->record(profile_.name, name, result.time, trace_start_s,
+                   result.wall_seconds);
+  }
+  if (metrics_) {
+    const obs::Labels kernel_labels{{"device", profile_.name},
+                                    {"kernel", name}};
+    metrics_
+        ->counter("devsim_kernel_launches_total", kernel_labels,
+                  "Kernel launches per device/kernel")
+        .inc();
+    metrics_
+        ->gauge("devsim_kernel_modeled_seconds_total", kernel_labels,
+                "Modeled seconds accumulated per device/kernel")
+        .add(result.time.total_s());
+    metrics_
+        ->gauge("devsim_kernel_wall_seconds_total", kernel_labels,
+                "Wall seconds accumulated per device/kernel")
+        .add(result.wall_seconds);
+  }
   if (checker) {
     checker->finish(result.counters);
     result.check = checker->take_report();
@@ -108,6 +130,22 @@ LaunchResult Device::launch(const std::string& name,
     s.time += section_times[i];
     s.launches += 1;
     if (i == heaviest) s.wall_seconds += result.wall_seconds;
+    if (metrics_) {
+      const obs::Labels section_labels{{"device", profile_.name},
+                                       {"kernel", name},
+                                       {"section", entries[i].first}};
+      metrics_
+          ->gauge("devsim_section_modeled_seconds_total", section_labels,
+                  "Modeled seconds per device/kernel/section")
+          .add(section_times[i].total_s());
+      if (i == heaviest) {
+        metrics_
+            ->gauge("devsim_section_wall_seconds_total", section_labels,
+                    "Wall seconds per device/kernel/section (charged to a "
+                    "launch's heaviest section)")
+            .add(result.wall_seconds);
+      }
+    }
   }
   if (entries.empty()) {
     auto& s = stats_for(name);
@@ -154,6 +192,37 @@ double Device::modeled_seconds_matching(const std::string& needle) const {
     if (name.find(needle) != std::string::npos) total += s.time.total_s();
   }
   return total;
+}
+
+double Device::wall_seconds_matching(const std::string& needle) const {
+  double total = 0;
+  for (const auto& [name, s] : stats_) {
+    if (name.find(needle) != std::string::npos) total += s.wall_seconds;
+  }
+  return total;
+}
+
+std::string Device::stats_json() const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.field("device", profile_.name);
+  w.field("modeled_seconds", modeled_seconds());
+  w.field("wall_seconds", wall_seconds());
+  w.key("sections").begin_array();
+  for (const auto& [name, s] : stats_) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("launches", s.launches);
+    w.field("modeled_s", s.time.total_s());
+    w.field("compute_s", s.time.compute_s);
+    w.field("memory_s", s.time.memory_s);
+    w.field("overhead_s", s.time.overhead_s);
+    w.field("wall_s", s.wall_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 void Device::reset_stats() { stats_.clear(); }

@@ -16,6 +16,10 @@
 #include "devsim/profile.hpp"
 #include "devsim/trace.hpp"
 
+namespace alsmf::obs {
+class Registry;
+}
+
 namespace alsmf::devsim {
 
 /// NDRange launch shape: `num_groups` work-groups of `group_size` lanes.
@@ -75,6 +79,9 @@ class Device {
 
   /// Sum of modeled section times whose key contains `needle`.
   double modeled_seconds_matching(const std::string& needle) const;
+  /// Sum of wall seconds whose key contains `needle` (wall time is charged
+  /// to a launch's heaviest section, mirroring stats()).
+  double wall_seconds_matching(const std::string& needle) const;
 
   /// Modeled seconds after scaling every section's extensive counters by
   /// `factor` — extrapolates a downscaled replica's run to the full dataset
@@ -89,6 +96,15 @@ class Device {
   /// Attaches a timeline recorder; every subsequent launch appends one
   /// trace event (null detaches). Not owned.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Attaches a metrics registry; every subsequent launch accumulates
+  /// devsim_kernel_* (per device/kernel) and devsim_section_* (per
+  /// device/kernel/section) series (null detaches). Not owned.
+  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+
+  /// Per-section statistics as one JSON object (modeled + wall seconds,
+  /// launch counts) — the machine-readable face of stats().
+  std::string stats_json() const;
 
   /// Tolerances applied to subsequent validate=true launches.
   check::CheckOptions& check_options() { return check_options_; }
@@ -105,6 +121,7 @@ class Device {
   ThreadPool* pool_;
   std::vector<std::pair<std::string, KernelStats>> stats_;
   TraceRecorder* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
   check::CheckOptions check_options_;
   check::CheckReport check_report_;
 };

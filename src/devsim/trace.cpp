@@ -1,43 +1,78 @@
 #include "devsim/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace alsmf::devsim {
-
-namespace {
-
-/// Minimal JSON string escaping (names are ASCII identifiers here).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    if (ch == '"' || ch == '\\') out.push_back('\\');
-    out.push_back(ch);
-  }
-  return out;
-}
-
-}  // namespace
 
 void TraceRecorder::record(const std::string& device,
                            const std::string& kernel,
                            const TimeEstimate& time) {
+  record(device, kernel, time, -1.0, 0.0);
+}
+
+void TraceRecorder::record(const std::string& device,
+                           const std::string& kernel, const TimeEstimate& time,
+                           double wall_start_s, double wall_duration_s) {
+  std::scoped_lock lk(m_);
   TraceEvent event;
   event.name = kernel;
   event.device = device;
-  event.start_s = device_end_time(device);
+  double end = 0;
+  for (const auto& e : events_) {
+    if (e.device == device) end = std::max(end, e.start_s + e.duration_s);
+  }
+  event.start_s = end;
   event.duration_s = time.total_s();
   event.compute_s = time.compute_s;
   event.memory_s = time.memory_s;
   event.overhead_s = time.overhead_s;
+  event.wall_start_s = wall_start_s;
+  event.wall_duration_s = wall_duration_s;
   events_.push_back(std::move(event));
 }
 
+void TraceRecorder::record_span(const std::string& track,
+                                const std::string& name, double wall_start_s,
+                                double wall_duration_s) {
+  std::scoped_lock lk(m_);
+  SpanEvent event;
+  event.track = track;
+  event.name = name;
+  event.wall_start_s = wall_start_s;
+  event.wall_duration_s = wall_duration_s;
+  spans_.push_back(std::move(event));
+}
+
+TraceRecorder::Span::Span(TraceRecorder* recorder, std::string track,
+                          std::string name)
+    : recorder_(recorder),
+      track_(std::move(track)),
+      name_(std::move(name)),
+      start_s_(recorder->now_s()) {}
+
+TraceRecorder::Span::Span(Span&& other) noexcept
+    : recorder_(other.recorder_),
+      track_(std::move(other.track_)),
+      name_(std::move(other.name_)),
+      start_s_(other.start_s_) {
+  other.recorder_ = nullptr;
+}
+
+void TraceRecorder::Span::end() {
+  if (!recorder_) return;
+  recorder_->record_span(track_, name_, start_s_,
+                         recorder_->now_s() - start_s_);
+  recorder_ = nullptr;
+}
+
 double TraceRecorder::device_end_time(const std::string& device) const {
+  std::scoped_lock lk(m_);
   double end = 0;
   for (const auto& e : events_) {
     if (e.device == device) end = std::max(end, e.start_s + e.duration_s);
@@ -46,29 +81,70 @@ double TraceRecorder::device_end_time(const std::string& device) const {
 }
 
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {
-  // Stable pid per device name.
+  std::scoped_lock lk(m_);
+  // Stable pid per modeled device name, then per wall timeline.
   std::map<std::string, int> pids;
   for (const auto& e : events_) {
     pids.emplace(e.device, static_cast<int>(pids.size()) + 1);
   }
-
-  out << "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& [device, pid] : pids) {
-    if (!first) out << ",";
-    first = false;
-    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-        << ",\"args\":{\"name\":\"" << json_escape(device) << "\"}}";
-  }
+  std::map<std::string, int> wall_pids;
+  const auto wall_pid = [&](const std::string& timeline) {
+    return wall_pids
+        .emplace(timeline,
+                 static_cast<int>(pids.size() + wall_pids.size()) + 1)
+        .first->second;
+  };
   for (const auto& e : events_) {
-    out << ",{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"X\""
-        << ",\"pid\":" << pids.at(e.device) << ",\"tid\":1"
-        << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6
-        << ",\"args\":{\"compute_us\":" << e.compute_s * 1e6
-        << ",\"memory_us\":" << e.memory_s * 1e6
-        << ",\"overhead_us\":" << e.overhead_s * 1e6 << "}}";
+    if (e.wall_start_s >= 0) wall_pid("wall:" + e.device);
   }
-  out << "]}\n";
+  for (const auto& s : spans_) wall_pid("wall:" + s.track);
+
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  const auto process_name = [&](const std::string& name, int pid) {
+    w.begin_object();
+    w.field("name", "process_name").field("ph", "M").field("pid", pid);
+    w.key("args").begin_object().field("name", name).end_object();
+    w.end_object();
+  };
+  for (const auto& [device, pid] : pids) process_name(device, pid);
+  for (const auto& [timeline, pid] : wall_pids) process_name(timeline, pid);
+
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.field("name", e.name).field("ph", "X");
+    w.field("pid", pids.at(e.device)).field("tid", 1);
+    w.field("ts", e.start_s * 1e6).field("dur", e.duration_s * 1e6);
+    w.key("args").begin_object();
+    w.field("compute_us", e.compute_s * 1e6);
+    w.field("memory_us", e.memory_s * 1e6);
+    w.field("overhead_us", e.overhead_s * 1e6);
+    w.end_object();
+    w.end_object();
+    if (e.wall_start_s >= 0) {
+      w.begin_object();
+      w.field("name", e.name).field("ph", "X");
+      w.field("pid", wall_pids.at("wall:" + e.device)).field("tid", 1);
+      w.field("ts", e.wall_start_s * 1e6)
+          .field("dur", e.wall_duration_s * 1e6);
+      w.key("args").begin_object();
+      w.field("modeled_us", e.duration_s * 1e6);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  for (const auto& s : spans_) {
+    w.begin_object();
+    w.field("name", s.name).field("ph", "X");
+    w.field("pid", wall_pids.at("wall:" + s.track)).field("tid", 1);
+    w.field("ts", s.wall_start_s * 1e6).field("dur", s.wall_duration_s * 1e6);
+    w.key("args").begin_object().end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << w.str() << "\n";
 }
 
 void TraceRecorder::write_chrome_trace_file(const std::string& path) const {

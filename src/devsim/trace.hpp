@@ -2,15 +2,20 @@
 //
 // A TraceRecorder attached to launches builds a modeled execution timeline
 // (launches laid end to end per device, with compute/memory attribution)
-// and serializes it as Chrome trace-event JSON — load the file in
-// chrome://tracing or https://ui.perfetto.dev to inspect where a training
-// run's modeled time goes.
+// and, since the observability rework, a *wall-clock* timeline alongside it:
+// every launch records its real start/duration against the recorder's epoch,
+// and callers can open named wall spans (solver iterations, serve batches,
+// I/O phases) via span(). Serialized as Chrome trace-event JSON — load the
+// file in chrome://tracing or https://ui.perfetto.dev; modeled timelines
+// appear as one process per device, wall timelines as "wall:" processes.
 #pragma once
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "devsim/cost_model.hpp"
 
 namespace alsmf::devsim {
@@ -21,25 +26,76 @@ struct TraceEvent {
   double start_s = 0;    ///< modeled start time on that device's timeline
   double duration_s = 0;
   double compute_s = 0, memory_s = 0, overhead_s = 0;
+  /// Wall-clock correlates measured against the recorder's epoch; a
+  /// negative wall_start_s means no wall timing was recorded.
+  double wall_start_s = -1;
+  double wall_duration_s = 0;
+};
+
+/// A named wall-clock interval on a host-side track (no modeled time).
+struct SpanEvent {
+  std::string track;  ///< timeline name, e.g. "solver" or "serve"
+  std::string name;
+  double wall_start_s = 0;
+  double wall_duration_s = 0;
 };
 
 class TraceRecorder {
  public:
-  /// Appends a launch to a device's timeline (events are laid end to end —
-  /// the modeled device executes launches in order).
+  TraceRecorder() = default;
+
+  /// Wall seconds since the recorder was constructed (the trace epoch).
+  double now_s() const { return epoch_.seconds(); }
+
+  /// Appends a launch to a device's modeled timeline (events are laid end
+  /// to end — the modeled device executes launches in order).
   void record(const std::string& device, const std::string& kernel,
               const TimeEstimate& time);
+  /// Same, with the launch's wall-clock interval (relative to the epoch).
+  void record(const std::string& device, const std::string& kernel,
+              const TimeEstimate& time, double wall_start_s,
+              double wall_duration_s);
+
+  /// Records a completed wall-clock span on `track`.
+  void record_span(const std::string& track, const std::string& name,
+                   double wall_start_s, double wall_duration_s);
+
+  /// RAII wall-span: records on destruction (or an explicit end()).
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    ~Span() { end(); }
+    void end();
+
+   private:
+    friend class TraceRecorder;
+    Span(TraceRecorder* recorder, std::string track, std::string name);
+    TraceRecorder* recorder_;
+    std::string track_, name_;
+    double start_s_;
+  };
+  Span span(std::string track, std::string name) {
+    return Span(this, std::move(track), std::move(name));
+  }
 
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<SpanEvent>& spans() const { return spans_; }
   double device_end_time(const std::string& device) const;
 
   /// Chrome trace-event JSON (the "traceEvents" array format). Durations
-  /// are exported in microseconds as the format expects.
+  /// are exported in microseconds as the format expects. Modeled timelines
+  /// come first (one process per device); wall-clock launch timelines and
+  /// spans follow under "wall:<device>" / "wall:<track>" processes.
   void write_chrome_trace(std::ostream& out) const;
   void write_chrome_trace_file(const std::string& path) const;
 
  private:
+  Timer epoch_;
+  mutable std::mutex m_;
   std::vector<TraceEvent> events_;
+  std::vector<SpanEvent> spans_;
 };
 
 }  // namespace alsmf::devsim

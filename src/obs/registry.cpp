@@ -1,0 +1,233 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace alsmf::obs {
+
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+/// Prometheus label-value escaping (backslash, quote, newline).
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '\\') out += "\\\\";
+    else if (ch == '"') out += "\\\"";
+    else if (ch == '\n') out += "\\n";
+    else out.push_back(ch);
+  }
+  return out;
+}
+
+std::string prom_series(const std::string& name, const Labels& labels,
+                        const Labels& extra = {}) {
+  std::string out = name;
+  if (labels.empty() && extra.empty()) return out;
+  out += "{";
+  bool first = true;
+  for (const auto* set : {&labels, &extra}) {
+    for (const auto& [k, v] : *set) {
+      if (!first) out += ",";
+      first = false;
+      out += k + "=\"" + prom_escape(v) + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Metric& Registry::find_or_create(Kind kind, const std::string& name,
+                                           const Labels& labels,
+                                           const std::string& help,
+                                           const Histogram* layout) {
+  ALSMF_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  std::scoped_lock lk(m_);
+  for (auto& m : metrics_) {
+    if (m->name == name && m->labels == labels) {
+      ALSMF_CHECK_MSG(m->kind == kind,
+                      "metric '" + name + "' already registered as a " +
+                          kind_name(static_cast<int>(m->kind)));
+      return *m;
+    }
+  }
+  auto m = std::make_unique<Metric>();
+  m->kind = kind;
+  m->name = name;
+  m->labels = labels;
+  m->help = help;
+  switch (kind) {
+    case Kind::kCounter: m->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: m->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      m->histogram = std::make_unique<HistogramMetric>(*layout);
+      break;
+  }
+  metrics_.push_back(std::move(m));
+  return *metrics_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels,
+                           const std::string& help) {
+  return *find_or_create(Kind::kCounter, name, labels, help, nullptr).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels,
+                       const std::string& help) {
+  return *find_or_create(Kind::kGauge, name, labels, help, nullptr).gauge;
+}
+
+HistogramMetric& Registry::histogram(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help,
+                                     const Histogram& layout) {
+  return *find_or_create(Kind::kHistogram, name, labels, help, &layout)
+              .histogram;
+}
+
+void Registry::add_assertion(const std::string& name, Assertion check) {
+  std::scoped_lock lk(m_);
+  for (auto& [n, fn] : assertions_) {
+    if (n == name) {
+      fn = std::move(check);
+      return;
+    }
+  }
+  assertions_.emplace_back(name, std::move(check));
+}
+
+std::vector<std::string> Registry::check_assertions() const {
+  // Copy the checks out so user callbacks run without the registry lock
+  // (they typically read metrics from this same registry).
+  std::vector<std::pair<std::string, Assertion>> checks;
+  {
+    std::scoped_lock lk(m_);
+    checks = assertions_;
+  }
+  std::vector<std::string> violations;
+  for (const auto& [name, fn] : checks) {
+    const std::string detail = fn();
+    if (!detail.empty()) violations.push_back(name + ": " + detail);
+  }
+  return violations;
+}
+
+std::string Registry::prometheus_text() const {
+  std::scoped_lock lk(m_);
+  std::string out;
+  std::vector<const std::string*> families_done;
+  const auto seen = [&](const std::string& family) {
+    return std::any_of(families_done.begin(), families_done.end(),
+                       [&](const std::string* f) { return *f == family; });
+  };
+  for (const auto& m : metrics_) {
+    if (seen(m->name)) continue;
+    families_done.push_back(&m->name);
+    const Metric* first = m.get();
+    if (!first->help.empty()) {
+      out += "# HELP " + first->name + " " + first->help + "\n";
+    }
+    out += "# TYPE " + first->name + " ";
+    out += first->kind == Kind::kCounter   ? "counter"
+           : first->kind == Kind::kGauge   ? "gauge"
+                                           : "summary";
+    out += "\n";
+    // All series of this family, in registration order.
+    for (const auto& s : metrics_) {
+      if (s->name != first->name) continue;
+      std::ostringstream line;
+      switch (s->kind) {
+        case Kind::kCounter:
+          line << prom_series(s->name, s->labels) << " " << s->counter->value()
+               << "\n";
+          break;
+        case Kind::kGauge:
+          line << prom_series(s->name, s->labels) << " " << s->gauge->value()
+               << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram h = s->histogram->snapshot();
+          static constexpr std::pair<double, const char*> kQuantiles[] = {
+              {0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}};
+          for (const auto& [q, label] : kQuantiles) {
+            line << prom_series(s->name, s->labels, {{"quantile", label}})
+                 << " " << h.percentile(q) << "\n";
+          }
+          line << prom_series(s->name + "_sum", s->labels) << " " << h.sum()
+               << "\n";
+          line << prom_series(s->name + "_count", s->labels) << " "
+               << h.count() << "\n";
+          break;
+        }
+      }
+      out += line.str();
+    }
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("metrics").begin_array();
+  {
+    std::scoped_lock lk(m_);
+    for (const auto& m : metrics_) {
+      w.begin_object();
+      w.field("name", m->name);
+      w.field("type", kind_name(static_cast<int>(m->kind)));
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : m->labels) w.field(k, v);
+      w.end_object();
+      switch (m->kind) {
+        case Kind::kCounter: w.field("value", m->counter->value()); break;
+        case Kind::kGauge: w.field("value", m->gauge->value()); break;
+        case Kind::kHistogram:
+          w.field_raw("value", m->histogram->snapshot().summary_json());
+          break;
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("assertion_violations").begin_array();
+  for (const auto& v : check_assertions()) w.value(v);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void Registry::reset() {
+  std::scoped_lock lk(m_);
+  for (auto& m : metrics_) {
+    switch (m->kind) {
+      case Kind::kCounter: m->counter->reset(); break;
+      case Kind::kGauge: m->gauge->reset(); break;
+      case Kind::kHistogram: m->histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::scoped_lock lk(m_);
+  return metrics_.size();
+}
+
+}  // namespace alsmf::obs

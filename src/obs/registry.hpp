@@ -1,0 +1,162 @@
+// Process-wide metrics registry: the one observability surface every layer
+// reports into (devsim launches, solver iterations, serving traffic).
+//
+// Three metric kinds, all cheap to update from hot paths:
+//   * Counter   — monotone uint64 (lock-free).
+//   * Gauge     — double, set or add (lock-free CAS).
+//   * HistogramMetric — log-bucketed distribution (common/histogram under a
+//     per-metric mutex; updates never contend with unrelated metrics).
+//
+// Metrics are identified by (family name, label set) and created on first
+// use; repeated lookups return the same instance, so handles can be cached.
+// Exposition: Prometheus text format (counters/gauges as-is, histograms as
+// summaries with quantile series) and a JSON document with the same data.
+// Registries can also carry named assertions — cross-metric invariants
+// (e.g. serving's submitted >= completed + shed) checked on demand and
+// reported in the JSON exposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace alsmf::obs {
+
+/// Ordered label set; order is part of the metric identity and of the
+/// exposition output, so keep it consistent per family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(Histogram layout) : h_(std::move(layout)) {}
+
+  void observe(double value) {
+    std::scoped_lock lk(m_);
+    h_.add(value);
+  }
+  /// Consistent copy for percentile math / exposition.
+  Histogram snapshot() const {
+    std::scoped_lock lk(m_);
+    return h_;
+  }
+  double percentile(double p) const {
+    std::scoped_lock lk(m_);
+    return h_.percentile(p);
+  }
+  double mean() const {
+    std::scoped_lock lk(m_);
+    return h_.mean();
+  }
+  std::uint64_t count() const {
+    std::scoped_lock lk(m_);
+    return h_.count();
+  }
+  void reset() {
+    std::scoped_lock lk(m_);
+    h_.clear();
+  }
+
+ private:
+  mutable std::mutex m_;
+  Histogram h_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default instance (CLI tools, single-service setups).
+  /// Libraries take a Registry* so tests and multi-tenant embedders can
+  /// isolate their metrics.
+  static Registry& global();
+
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime. Requesting an existing (name, labels) with a different
+  /// metric kind throws.
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  /// `layout` is used only on first creation of this (name, labels).
+  HistogramMetric& histogram(const std::string& name, const Labels& labels = {},
+                             const std::string& help = "",
+                             const Histogram& layout = Histogram(1e-6, 1.25,
+                                                                 96));
+
+  /// Cross-metric invariant: returns "" when the invariant holds, else a
+  /// human-readable violation. Re-registering a name replaces the check.
+  using Assertion = std::function<std::string()>;
+  void add_assertion(const std::string& name, Assertion check);
+  /// Runs every assertion; returns "name: detail" for each violation.
+  std::vector<std::string> check_assertions() const;
+
+  /// Prometheus text exposition format, families in first-registration
+  /// order (histograms exported as summaries).
+  std::string prometheus_text() const;
+  /// Same data as a JSON document:
+  /// {"metrics":[{name,type,labels,value},...],"assertions":[...]}.
+  std::string json() const;
+
+  /// Zeroes every metric (identities and layouts are retained) — for tests
+  /// and per-run reuse, not for production scrape loops.
+  void reset();
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Metric& find_or_create(Kind kind, const std::string& name,
+                         const Labels& labels, const std::string& help,
+                         const Histogram* layout);
+
+  mutable std::mutex m_;
+  std::vector<std::unique_ptr<Metric>> metrics_;  // insertion-ordered
+  std::vector<std::pair<std::string, Assertion>> assertions_;
+};
+
+}  // namespace alsmf::obs

@@ -77,7 +77,9 @@ TrainReport Recommender::train(const Csr& ratings, const AlsOptions& options,
   opts.functional = true;
   AlsSolver solver(ratings, opts, variant, device);
   TrainReport report;
-  report.modeled_seconds = solver.run();
+  RunConfig run_config;
+  run_config.iterations = opts.iterations;
+  report.modeled_seconds = solver.run(run_config).modeled_seconds;
   report.wall_seconds = wall.seconds();
   report.train_rmse = solver.train_rmse();
   report.variant = variant;

@@ -1,7 +1,8 @@
 #include "robust/guards.hpp"
 
 #include <cmath>
-#include <sstream>
+
+#include "common/json.hpp"
 
 namespace alsmf::robust {
 
@@ -15,14 +16,16 @@ void RobustnessReport::merge(const RobustnessReport& other) {
 }
 
 std::string RobustnessReport::to_json() const {
-  std::ostringstream os;
-  os << "{\"guard_sweeps\":" << guard_sweeps
-     << ",\"nonfinite_rows\":" << nonfinite_rows
-     << ",\"redamped_rows\":" << redamped_rows
-     << ",\"zeroed_rows\":" << zeroed_rows
-     << ",\"solver_fallbacks\":" << solver_fallbacks
-     << ",\"kernel_relaunches\":" << kernel_relaunches << "}";
-  return os.str();
+  json::JsonWriter w;
+  w.begin_object();
+  w.field("guard_sweeps", guard_sweeps);
+  w.field("nonfinite_rows", nonfinite_rows);
+  w.field("redamped_rows", redamped_rows);
+  w.field("zeroed_rows", zeroed_rows);
+  w.field("solver_fallbacks", solver_fallbacks);
+  w.field("kernel_relaunches", kernel_relaunches);
+  w.end_object();
+  return w.str();
 }
 
 namespace {

@@ -1,6 +1,6 @@
 #include "serve/serve_metrics.hpp"
 
-#include <sstream>
+#include "common/json.hpp"
 
 namespace alsmf::serve {
 
@@ -11,72 +11,109 @@ Histogram latency_histogram() { return Histogram(0.5, 1.25, 64); }
 Histogram size_histogram() { return Histogram(1.0, 1.2, 48); }
 }  // namespace
 
-ServeMetrics::ServeMetrics()
-    : queue_us_(latency_histogram()),
-      exec_us_(latency_histogram()),
-      total_us_(latency_histogram()),
-      batch_size_(size_histogram()),
-      queue_depth_(size_histogram()) {}
+ServeMetrics::ServeMetrics(obs::Registry* registry)
+    : owned_registry_(registry ? nullptr : std::make_unique<obs::Registry>()),
+      registry_(registry ? registry : owned_registry_.get()) {
+  auto& r = *registry_;
+  submitted_ = &r.counter("serve_requests_submitted_total", {},
+                          "Requests accepted into the serving queue");
+  completed_ = &r.counter("serve_requests_completed_total", {},
+                          "Requests whose promise was fulfilled");
+  rejected_ = &r.counter("serve_requests_rejected_total", {},
+                         "Requests that failed validation");
+  swaps_ = &r.counter("serve_model_swaps_total", {}, "Hot model swaps");
+  batches_ = &r.counter("serve_batches_total", {}, "Micro-batches drained");
+  shed_queue_full_ = &r.counter("serve_shed_total", {{"reason", "queue_full"}},
+                                "Requests shed before execution");
+  shed_deadline_ = &r.counter("serve_shed_total", {{"reason", "deadline"}},
+                              "Requests shed before execution");
+  circuit_open_ = &r.counter("serve_status_total", {{"status", "circuit_open"}},
+                             "Completed requests with a non-ok status");
+  solve_failures_ =
+      &r.counter("serve_status_total", {{"status", "solve_failed"}},
+                 "Completed requests with a non-ok status");
+  degraded_ = &r.counter("serve_status_total", {{"status", "degraded"}},
+                         "Completed requests with a non-ok status");
+  no_model_ = &r.counter("serve_status_total", {{"status", "no_model"}},
+                         "Completed requests with a non-ok status");
+  for (int kind = 0; kind < 3; ++kind) {
+    by_kind_[kind] =
+        &r.counter("serve_requests_total",
+                   {{"kind", to_string(static_cast<RequestKind>(kind))}},
+                   "Requests submitted per kind");
+  }
+  queue_us_ = &r.histogram("serve_queue_us", {}, "Queue wait per request (µs)",
+                           latency_histogram());
+  exec_us_ = &r.histogram("serve_exec_us", {}, "Batch executor time (µs)",
+                          latency_histogram());
+  total_us_ = &r.histogram("serve_total_us", {},
+                           "End-to-end request latency (µs)",
+                           latency_histogram());
+  batch_size_ = &r.histogram("serve_batch_size", {}, "Drained batch sizes",
+                             size_histogram());
+  queue_depth_ = &r.histogram("serve_queue_depth", {},
+                              "Queue depth after each drain", size_histogram());
+
+  // Conservation of requests: nothing completes or is shed that was not
+  // submitted. Equality holds at quiescence; mid-flight the queue holds the
+  // difference. Capture the counters (registry-owned), not `this`.
+  auto* submitted = submitted_;
+  auto* completed = completed_;
+  auto* shed_full = shed_queue_full_;
+  auto* shed_deadline = shed_deadline_;
+  r.add_assertion("serve_requests_conservation", [=]() -> std::string {
+    const auto sub = submitted->value();
+    const auto acc =
+        completed->value() + shed_full->value() + shed_deadline->value();
+    if (acc <= sub) return "";
+    return "completed+shed = " + std::to_string(acc) + " exceeds submitted = " +
+           std::to_string(sub);
+  });
+}
 
 void ServeMetrics::record_enqueue(RequestKind kind) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  by_kind_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  submitted_->inc();
+  by_kind_[static_cast<int>(kind)]->inc();
 }
 
 void ServeMetrics::record_batch(std::size_t batch_size,
                                 std::size_t queue_depth_after, double exec_us) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  std::scoped_lock lk(m_);
-  batch_size_.add(static_cast<double>(batch_size));
-  queue_depth_.add(static_cast<double>(queue_depth_after));
-  exec_us_.add(exec_us);
+  batches_->inc();
+  batch_size_->observe(static_cast<double>(batch_size));
+  queue_depth_->observe(static_cast<double>(queue_depth_after));
+  exec_us_->observe(exec_us);
 }
 
 void ServeMetrics::record_done(RequestKind, double queue_us, double total_us) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  std::scoped_lock lk(m_);
-  queue_us_.add(queue_us);
-  total_us_.add(total_us);
+  completed_->inc();
+  queue_us_->observe(queue_us);
+  total_us_->observe(total_us);
 }
 
 void ServeMetrics::record_cache_fast_path(double total_us) {
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  std::scoped_lock lk(m_);
-  total_us_.add(total_us);
+  completed_->inc();
+  total_us_->observe(total_us);
 }
 
-void ServeMetrics::record_swap() {
-  swaps_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::record_swap() { swaps_->inc(); }
 
-void ServeMetrics::record_rejected() {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::record_rejected() { rejected_->inc(); }
 
 void ServeMetrics::record_shed(ServeStatus status) {
   if (status == ServeStatus::kRejectedQueueFull) {
-    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    shed_queue_full_->inc();
   } else if (status == ServeStatus::kShedDeadline) {
-    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    shed_deadline_->inc();
   }
 }
 
 void ServeMetrics::record_status(ServeStatus status) {
   switch (status) {
-    case ServeStatus::kCircuitOpen:
-      circuit_open_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ServeStatus::kSolveFailed:
-      solve_failures_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ServeStatus::kDegraded:
-      degraded_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ServeStatus::kNoModel:
-      no_model_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    default:
-      break;
+    case ServeStatus::kCircuitOpen: circuit_open_->inc(); break;
+    case ServeStatus::kSolveFailed: solve_failures_->inc(); break;
+    case ServeStatus::kDegraded: degraded_->inc(); break;
+    case ServeStatus::kNoModel: no_model_->inc(); break;
+    default: break;
   }
 }
 
@@ -86,66 +123,71 @@ double ServeMetrics::qps() const {
 }
 
 double ServeMetrics::total_us_percentile(double p) const {
-  std::scoped_lock lk(m_);
-  return total_us_.percentile(p);
+  return total_us_->percentile(p);
 }
 
 double ServeMetrics::queue_us_percentile(double p) const {
-  std::scoped_lock lk(m_);
-  return queue_us_.percentile(p);
+  return queue_us_->percentile(p);
 }
 
-double ServeMetrics::mean_batch_size() const {
-  std::scoped_lock lk(m_);
-  return batch_size_.mean();
-}
+double ServeMetrics::mean_batch_size() const { return batch_size_->mean(); }
 
 std::string ServeMetrics::to_json(const CacheStats& cache,
                                   const std::string& breaker_json) const {
-  std::ostringstream out;
-  out << "{\"uptime_seconds\":" << uptime_seconds() << ",\"qps\":" << qps()
-      << ",\"requests\":{\"submitted\":" << submitted()
-      << ",\"completed\":" << completed()
-      << ",\"rejected\":" << rejected_.load(std::memory_order_relaxed);
+  json::JsonWriter w;
+  w.begin_object();
+  w.field("uptime_seconds", uptime_seconds());
+  w.field("qps", qps());
+  w.key("requests").begin_object();
+  w.field("submitted", submitted());
+  w.field("completed", completed());
+  w.field("rejected", rejected_->value());
   for (int kind = 0; kind < 3; ++kind) {
-    out << ",\"" << to_string(static_cast<RequestKind>(kind))
-        << "\":" << by_kind_[kind].load(std::memory_order_relaxed);
+    w.field(to_string(static_cast<RequestKind>(kind)),
+            by_kind_[kind]->value());
   }
-  out << "},\"overload\":{\"shed_queue_full\":" << shed_queue_full()
-      << ",\"shed_deadline\":" << shed_deadline()
-      << ",\"circuit_open\":" << circuit_open()
-      << ",\"solve_failures\":" << solve_failures()
-      << ",\"degraded\":" << degraded()
-      << ",\"no_model\":" << no_model_.load(std::memory_order_relaxed) << "}";
-  if (!breaker_json.empty()) out << ",\"breaker\":" << breaker_json;
-  out << ",\"cache\":{\"hits\":" << cache.hits << ",\"misses\":" << cache.misses
-      << ",\"evictions\":" << cache.evictions << ",\"size\":" << cache.size
-      << ",\"hit_rate\":" << cache.hit_rate() << "}"
-      << ",\"swaps\":" << swaps() << ",\"batches\":" << batches();
-  {
-    std::scoped_lock lk(m_);
-    out << ",\"batch_size\":" << batch_size_.summary_json()
-        << ",\"queue_depth\":" << queue_depth_.summary_json()
-        << ",\"latency_us\":{\"queue\":" << queue_us_.summary_json()
-        << ",\"exec\":" << exec_us_.summary_json()
-        << ",\"total\":" << total_us_.summary_json() << "}";
-  }
-  out << "}";
-  return out.str();
+  w.end_object();
+  w.key("overload").begin_object();
+  w.field("shed_queue_full", shed_queue_full());
+  w.field("shed_deadline", shed_deadline());
+  w.field("circuit_open", circuit_open());
+  w.field("solve_failures", solve_failures());
+  w.field("degraded", degraded());
+  w.field("no_model", no_model_->value());
+  w.end_object();
+  if (!breaker_json.empty()) w.field_raw("breaker", breaker_json);
+  w.key("cache").begin_object();
+  w.field("hits", cache.hits);
+  w.field("misses", cache.misses);
+  w.field("evictions", cache.evictions);
+  w.field("size", cache.size);
+  w.field("hit_rate", cache.hit_rate());
+  w.end_object();
+  w.field("swaps", swaps());
+  w.field("batches", batches());
+  w.field_raw("batch_size", batch_size_->snapshot().summary_json());
+  w.field_raw("queue_depth", queue_depth_->snapshot().summary_json());
+  w.key("latency_us").begin_object();
+  w.field_raw("queue", queue_us_->snapshot().summary_json());
+  w.field_raw("exec", exec_us_->snapshot().summary_json());
+  w.field_raw("total", total_us_->snapshot().summary_json());
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 void ServeMetrics::reset() {
   uptime_.reset();
-  submitted_ = completed_ = rejected_ = swaps_ = batches_ = 0;
-  shed_queue_full_ = shed_deadline_ = 0;
-  circuit_open_ = solve_failures_ = degraded_ = no_model_ = 0;
-  for (auto& counter : by_kind_) counter = 0;
-  std::scoped_lock lk(m_);
-  queue_us_.clear();
-  exec_us_.clear();
-  total_us_.clear();
-  batch_size_.clear();
-  queue_depth_.clear();
+  for (obs::Counter* c :
+       {submitted_, completed_, rejected_, swaps_, batches_, shed_queue_full_,
+        shed_deadline_, circuit_open_, solve_failures_, degraded_, no_model_,
+        by_kind_[0], by_kind_[1], by_kind_[2]}) {
+    c->reset();
+  }
+  for (obs::HistogramMetric* h :
+       {queue_us_, exec_us_, total_us_, batch_size_, queue_depth_}) {
+    h->reset();
+  }
 }
 
 }  // namespace alsmf::serve

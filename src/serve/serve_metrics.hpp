@@ -1,16 +1,23 @@
 // Serving metrics: QPS, per-stage latency histograms (queue wait, batch
 // execution, end-to-end), queue depth and batch-size distributions, request
-// counters per kind, swap count. Exported as JSON in the same hand-rolled
-// style as devsim's Chrome-trace writer (no JSON dependency).
+// counters per kind, swap count.
+//
+// Since the observability rework the counters and histograms live in an
+// obs::Registry (passed in, or privately owned when none is given), so
+// serving traffic shows up in the same Prometheus/JSON expositions as the
+// solver and devsim series. The conservation invariant
+//   submitted >= completed + shed_queue_full + shed_deadline
+// (equality once the queue is drained) is registered as a registry-level
+// assertion. The legacy getter and to_json() surfaces are unchanged.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 
 #include "common/histogram.hpp"
 #include "common/timer.hpp"
+#include "obs/registry.hpp"
 #include "serve/request.hpp"
 
 namespace alsmf::serve {
@@ -28,7 +35,10 @@ struct CacheStats {
 
 class ServeMetrics {
  public:
-  ServeMetrics();
+  /// Reports into `registry` when given (must outlive this object); with
+  /// the default null a private registry is created, isolating services
+  /// from one another. Two ServeMetrics on the same registry share series.
+  explicit ServeMetrics(obs::Registry* registry = nullptr);
 
   void record_enqueue(RequestKind kind);
   /// One drained batch: its size, the queue depth left behind, and the
@@ -49,15 +59,15 @@ class ServeMetrics {
   /// fold-in solve failure, degraded/no-model answer).
   void record_status(ServeStatus status);
 
-  std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
-  std::uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
-  std::uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
-  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
-  std::uint64_t shed_queue_full() const { return shed_queue_full_.load(std::memory_order_relaxed); }
-  std::uint64_t shed_deadline() const { return shed_deadline_.load(std::memory_order_relaxed); }
-  std::uint64_t circuit_open() const { return circuit_open_.load(std::memory_order_relaxed); }
-  std::uint64_t solve_failures() const { return solve_failures_.load(std::memory_order_relaxed); }
-  std::uint64_t degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  std::uint64_t submitted() const { return submitted_->value(); }
+  std::uint64_t completed() const { return completed_->value(); }
+  std::uint64_t swaps() const { return swaps_->value(); }
+  std::uint64_t batches() const { return batches_->value(); }
+  std::uint64_t shed_queue_full() const { return shed_queue_full_->value(); }
+  std::uint64_t shed_deadline() const { return shed_deadline_->value(); }
+  std::uint64_t circuit_open() const { return circuit_open_->value(); }
+  std::uint64_t solve_failures() const { return solve_failures_->value(); }
+  std::uint64_t degraded() const { return degraded_->value(); }
   double uptime_seconds() const { return uptime_.seconds(); }
   /// Completed requests per second of uptime.
   double qps() const;
@@ -65,6 +75,12 @@ class ServeMetrics {
   double total_us_percentile(double p) const;
   double queue_us_percentile(double p) const;
   double mean_batch_size() const;
+
+  /// The registry these metrics report into.
+  obs::Registry& registry() { return *registry_; }
+  const obs::Registry& registry() const { return *registry_; }
+  /// Prometheus text exposition of the backing registry.
+  std::string prometheus_text() const { return registry_->prometheus_text(); }
 
   /// Full JSON report; pass the cache's counters to include them, and
   /// optionally the fold-in circuit breaker's JSON object.
@@ -74,20 +90,28 @@ class ServeMetrics {
   void reset();
 
  private:
-  Timer uptime_;
-  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, rejected_{0};
-  std::atomic<std::uint64_t> swaps_{0}, batches_{0};
-  std::atomic<std::uint64_t> shed_queue_full_{0}, shed_deadline_{0};
-  std::atomic<std::uint64_t> circuit_open_{0}, solve_failures_{0};
-  std::atomic<std::uint64_t> degraded_{0}, no_model_{0};
-  std::atomic<std::uint64_t> by_kind_[3] = {};
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
 
-  mutable std::mutex m_;  // guards the histograms
-  Histogram queue_us_;    // enqueue -> batch drain
-  Histogram exec_us_;     // batch executor wall time
-  Histogram total_us_;    // enqueue -> promise fulfilled (incl. cache hits)
-  Histogram batch_size_;
-  Histogram queue_depth_;
+  Timer uptime_;
+  obs::Counter* submitted_;
+  obs::Counter* completed_;
+  obs::Counter* rejected_;
+  obs::Counter* swaps_;
+  obs::Counter* batches_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_deadline_;
+  obs::Counter* circuit_open_;
+  obs::Counter* solve_failures_;
+  obs::Counter* degraded_;
+  obs::Counter* no_model_;
+  obs::Counter* by_kind_[3];
+
+  obs::HistogramMetric* queue_us_;    // enqueue -> batch drain
+  obs::HistogramMetric* exec_us_;     // batch executor wall time
+  obs::HistogramMetric* total_us_;    // enqueue -> promise fulfilled
+  obs::HistogramMetric* batch_size_;
+  obs::HistogramMetric* queue_depth_;
 };
 
 }  // namespace alsmf::serve

@@ -94,6 +94,8 @@ class RecommendService {
   std::size_t queue_depth() const { return batcher_ ? batcher_->queue_depth() : 0; }
   /// Full metrics + cache report as a JSON object.
   std::string stats_json() const;
+  /// Prometheus text exposition of the service's metric registry.
+  std::string prometheus_text() const { return metrics_.prometheus_text(); }
 
   /// Stops the batcher after draining outstanding requests. Subsequent
   /// submits are executed inline (degraded, but never lost). Idempotent.

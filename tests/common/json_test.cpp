@@ -1,0 +1,93 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace alsmf::json {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", 1);
+  w.field("b", "two");
+  w.key("c").begin_array();
+  w.value(1.5).value(true).null();
+  w.end_array();
+  w.key("d").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"two\",\"c\":[1.5,true,null],\"d\":{}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("k\"1", "a\\b\n\t\x01");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"1\":\"a\\\\b\\n\\t\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(0.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,0.5]");
+}
+
+TEST(JsonWriter, IntegerWidths) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(static_cast<std::uint64_t>(18446744073709551615ull));
+  w.value(static_cast<long long>(-9007199254740993ll));
+  w.value(42);  // plain int goes through the template overload
+  w.end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,-9007199254740993,42]");
+}
+
+TEST(JsonWriter, RawSplicesFragments) {
+  JsonWriter inner;
+  inner.begin_object().field("x", 1).end_object();
+  JsonWriter w;
+  w.begin_object();
+  w.field_raw("nested", inner.str());
+  w.key("list").begin_array().raw("{\"y\":2}").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"nested\":{\"x\":1},\"list\":[{\"y\":2}]}");
+}
+
+TEST(JsonParse, RoundTripsWhatWeWrite) {
+  const std::string doc =
+      "{\"a\":1,\"b\":[true,false,null,\"s\\n\"],\"c\":{\"d\":-2.5e2}}";
+  const Value root = parse(doc);
+  ASSERT_TRUE(root.is_object());
+  EXPECT_DOUBLE_EQ(root.at("a").as_double(), 1.0);
+  const auto& arr = root.at("b").array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(arr[3].as_string(), "s\n");
+  EXPECT_DOUBLE_EQ(root.at("c").at("d").as_double(), -250.0);
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_THROW(root.at("missing"), Error);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("{\"a\":}"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{} trailing"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+}
+
+}  // namespace
+}  // namespace alsmf::json

@@ -4,6 +4,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "devsim/device.hpp"
 
@@ -70,6 +71,65 @@ TEST(Trace, DeviceIntegration) {
   device.set_trace(nullptr);
   device.launch("c", {10, 32, true}, [](GroupCtx&) {});
   EXPECT_EQ(trace.events().size(), 2u);  // detached
+}
+
+TEST(Trace, WallSpansRecorded) {
+  TraceRecorder trace;
+  {
+    auto span = trace.span("solver", "iteration 1");
+  }  // records on destruction
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].track, "solver");
+  EXPECT_EQ(trace.spans()[0].name, "iteration 1");
+  EXPECT_GE(trace.spans()[0].wall_start_s, 0.0);
+  EXPECT_GE(trace.spans()[0].wall_duration_s, 0.0);
+}
+
+TEST(Trace, SpanEndIsIdempotentAndMoveSafe) {
+  TraceRecorder trace;
+  auto span = trace.span("t", "a");
+  span.end();
+  span.end();
+  EXPECT_EQ(trace.spans().size(), 1u);
+  auto original = trace.span("t", "b");
+  TraceRecorder::Span moved = std::move(original);
+  moved.end();
+  // The moved-from span must not record a duplicate when it dies.
+  EXPECT_EQ(trace.spans().size(), 2u);
+}
+
+TEST(Trace, DeviceLaunchRecordsWallTiming) {
+  TraceRecorder trace;
+  Device device(k20c());
+  device.set_trace(&trace);
+  device.launch("k", {10, 32, true}, [](GroupCtx& ctx) { ctx.ops_scalar(1e5); });
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_GE(trace.events()[0].wall_start_s, 0.0);
+  EXPECT_GE(trace.events()[0].wall_duration_s, 0.0);
+}
+
+TEST(Trace, ChromeJsonCarriesWallTimelines) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", estimate(0.01, 0.0, 0.0), 0.0, 0.001);
+  trace.record_span("solver", "iteration 1", 0.0, 0.002);
+  std::stringstream s;
+  trace.write_chrome_trace(s);
+  const std::string json = s.str();
+  // Modeled timeline plus the wall-clock correlates.
+  EXPECT_NE(json.find("\"gpu\""), std::string::npos);
+  EXPECT_NE(json.find("wall:gpu"), std::string::npos);
+  EXPECT_NE(json.find("wall:solver"), std::string::npos);
+  EXPECT_NE(json.find("\"modeled_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"iteration 1\""), std::string::npos);
+}
+
+TEST(Trace, LaunchWithoutWallTimingExportsModeledOnly) {
+  TraceRecorder trace;
+  trace.record("gpu", "k", estimate(0.01, 0.0, 0.0));  // wall_start_s = -1
+  EXPECT_DOUBLE_EQ(trace.events()[0].wall_start_s, -1.0);
+  std::stringstream s;
+  trace.write_chrome_trace(s);
+  EXPECT_EQ(s.str().find("wall:"), std::string::npos);
 }
 
 TEST(Trace, FileWrite) {

@@ -1,0 +1,157 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace alsmf::obs {
+namespace {
+
+TEST(Registry, CounterGaugeHistogramBasics) {
+  Registry reg;
+  Counter& c = reg.counter("requests_total");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge& g = reg.gauge("queue_depth");
+  g.set(3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  HistogramMetric& h = reg.histogram("latency_us");
+  h.observe(10.0);
+  h.observe(20.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_NEAR(h.mean(), 15.0, 2.0);  // log buckets quantize
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Registry, GetOrCreateReturnsSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("hits", {{"kind", "topn"}});
+  Counter& b = reg.counter("hits", {{"kind", "topn"}});
+  Counter& other = reg.counter("hits", {{"kind", "score"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x"), Error);
+  EXPECT_THROW(reg.counter(""), Error);
+}
+
+TEST(Registry, PrometheusTextGolden) {
+  Registry reg;
+  reg.counter("requests_total", {{"kind", "topn"}}, "Total requests").inc(3);
+  reg.counter("requests_total", {{"kind", "score"}}).inc(7);
+  reg.gauge("temperature").set(2.5);
+  const std::string expected =
+      "# HELP requests_total Total requests\n"
+      "# TYPE requests_total counter\n"
+      "requests_total{kind=\"topn\"} 3\n"
+      "requests_total{kind=\"score\"} 7\n"
+      "# TYPE temperature gauge\n"
+      "temperature 2.5\n";
+  EXPECT_EQ(reg.prometheus_text(), expected);
+}
+
+TEST(Registry, PrometheusHistogramAsSummary) {
+  Registry reg;
+  HistogramMetric& h = reg.histogram("latency_us", {{"path", "exec"}});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE latency_us summary"), std::string::npos);
+  EXPECT_NE(text.find("latency_us{path=\"exec\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_us{path=\"exec\",quantile=\"0.9\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_us{path=\"exec\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_us_sum{path=\"exec\"}"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_count{path=\"exec\"} 100\n"),
+            std::string::npos);
+}
+
+TEST(Registry, PrometheusLabelEscaping) {
+  Registry reg;
+  reg.counter("c", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("c{path=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(Registry, JsonExpositionParses) {
+  Registry reg;
+  reg.counter("hits", {{"kind", "topn"}}).inc(2);
+  reg.gauge("loss").set(0.25);
+  reg.histogram("lat").observe(5.0);
+  reg.add_assertion("always_fails", [] { return std::string("boom"); });
+
+  const json::Value root = json::parse(reg.json());
+  const auto& metrics = root.at("metrics").array();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].at("name").as_string(), "hits");
+  EXPECT_EQ(metrics[0].at("type").as_string(), "counter");
+  EXPECT_EQ(metrics[0].at("labels").at("kind").as_string(), "topn");
+  EXPECT_DOUBLE_EQ(metrics[0].at("value").as_double(), 2.0);
+  EXPECT_EQ(metrics[1].at("type").as_string(), "gauge");
+  EXPECT_DOUBLE_EQ(metrics[1].at("value").as_double(), 0.25);
+  EXPECT_EQ(metrics[2].at("type").as_string(), "histogram");
+  EXPECT_TRUE(metrics[2].at("value").is_object());
+  const auto& violations = root.at("assertion_violations").array();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].as_string(), "always_fails: boom");
+}
+
+TEST(Registry, AssertionsReportOnlyViolations) {
+  Registry reg;
+  Counter& submitted = reg.counter("submitted");
+  Counter& completed = reg.counter("completed");
+  reg.add_assertion("conservation", [&] {
+    return completed.value() <= submitted.value()
+               ? std::string()
+               : "completed > submitted";
+  });
+  EXPECT_TRUE(reg.check_assertions().empty());
+  completed.inc(2);
+  const auto violations = reg.check_assertions();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0], "conservation: completed > submitted");
+  submitted.inc(2);
+  EXPECT_TRUE(reg.check_assertions().empty());
+  // Re-registering a name replaces the check.
+  reg.add_assertion("conservation", [] { return std::string("replaced"); });
+  ASSERT_EQ(reg.check_assertions().size(), 1u);
+}
+
+TEST(Registry, ResetZeroesButKeepsIdentities) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  HistogramMetric& h = reg.histogram("h");
+  c.inc(9);
+  g.set(4.0);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&c, &reg.counter("c"));  // handle still valid
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace alsmf::obs

@@ -36,7 +36,9 @@ TEST(BatchScore, MatchesBruteForceTopN) {
     for (index_t c = 0; c < m.y.cols(); ++c) score += m.x(4, c) * m.y(item, c);
     bool in_top = false;
     for (const auto& t : top) in_top |= (t.item == item);
-    if (!in_top) EXPECT_LE(score, top.back().score);
+    if (!in_top) {
+      EXPECT_LE(score, top.back().score);
+    }
   }
 }
 
