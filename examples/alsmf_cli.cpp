@@ -25,12 +25,19 @@
 //                       [--items 200] [--nnz 6000] [--k 10] [--json out.json]
 //                       (checked-execution sweep of every kernel variant;
 //                       exits non-zero on any finding — the CI gate)
+//   alsmf_cli analyze-kernels [--profiles cpu,gpu,mic] [--users 300]
+//                       [--items 200] [--nnz 6000] [--k 10] [--group-size 32]
+//                       [--groups 48] [--tile-rows N] [--json out.json]
+//                       (static sweep: deep lint + a per-kernel static
+//                       profile from the access IR, zero launches; exits
+//                       non-zero on any deep-lint diagnostic)
 //
 // Ratings files use the paper's `<userID, itemID, rating>` text format.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "als/analyze_kernels.hpp"
 #include "als/check_kernels.hpp"
 #include "als/learned_select.hpp"
 #include "als/out_of_core.hpp"
@@ -474,6 +481,50 @@ int cmd_check_kernels(const CliArgs& args) {
   return result.clean() ? 0 : 1;
 }
 
+int cmd_analyze_kernels(const CliArgs& args) {
+  AnalyzeKernelsOptions options;
+  options.users = args.get_long("users", options.users);
+  options.items = args.get_long("items", options.items);
+  options.nnz = args.get_long("nnz", options.nnz);
+  options.k = static_cast<int>(args.get_long("k", options.k));
+  options.group_size =
+      static_cast<int>(args.get_long("group-size", options.group_size));
+  options.num_groups = static_cast<std::size_t>(
+      args.get_long("groups", static_cast<long>(options.num_groups)));
+  options.tile_rows = args.get_long("tile-rows", options.tile_rows);
+  if (auto profiles = args.get("profiles")) {
+    options.profiles.clear();
+    std::stringstream ss(*profiles);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) options.profiles.push_back(name);
+    }
+  }
+
+  const auto result = analyze_kernels(options);
+  if (auto json_path = args.get("json")) {
+    std::ofstream out(*json_path);
+    out << result.to_json() << "\n";
+  }
+  for (const auto& entry : result.entries) {
+    const auto& d = entry.data;
+    std::cout << entry.profile << "/" << entry.kernel << ": groups=" << d.groups
+              << " passes=" << d.passes << " tile=" << d.tile_rows
+              << " local=" << d.local_alloc_bytes << "B regs="
+              << d.register_estimate << " offchip="
+              << static_cast<long long>(d.counters.global_bytes +
+                                        d.counters.spill_bytes)
+              << "B scattered=" << d.counters.scattered_accesses << "\n";
+  }
+  for (const auto& issue : result.lint_issues) {
+    std::cout << "deep-lint: " << issue << "\n";
+  }
+  std::cout << "analyze-kernels: " << result.entries.size()
+            << " kernel/profile combinations, " << result.lint_issues.size()
+            << " diagnostic(s)\n";
+  return result.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -481,7 +532,8 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   if (args.positional().empty()) {
     std::cerr << "usage: alsmf_cli <train|predict|recommend|evaluate|tune|"
-                 "shard|train-ooc|rank|serve|devices|check-kernels> "
+                 "shard|train-ooc|rank|serve|devices|check-kernels|"
+                 "analyze-kernels> "
                  "[options]\n";
     return 2;
   }
@@ -498,6 +550,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "devices") return cmd_devices(args);
     if (cmd == "check-kernels") return cmd_check_kernels(args);
+    if (cmd == "analyze-kernels") return cmd_analyze_kernels(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,119 @@
+#include "als/analyze_kernels.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "data/synthetic.hpp"
+#include "devsim/profile.hpp"
+#include "ocl/analyze/deep_lint.hpp"
+#include "ocl/analyze/parser.hpp"
+#include "ocl/kernel_source.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf {
+
+namespace {
+
+namespace az = ocl::analyze;
+
+az::DatasetStats stats_of(const Csr& m) {
+  az::DatasetStats s;
+  s.rows = static_cast<double>(m.rows());
+  s.nnz = static_cast<double>(m.nnz());
+  const auto& rp = m.row_ptr();
+  for (index_t u = 0; u < m.rows(); ++u) {
+    if (rp[static_cast<std::size_t>(u) + 1] > rp[static_cast<std::size_t>(u)])
+      s.nonempty_rows += 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+AnalyzeKernelsResult analyze_kernels(const AnalyzeKernelsOptions& options) {
+  SyntheticSpec spec;
+  spec.users = static_cast<index_t>(options.users);
+  spec.items = static_cast<index_t>(options.items);
+  spec.nnz = static_cast<nnz_t>(options.nnz);
+  spec.seed = options.seed;
+  const az::DatasetStats stats = stats_of(generate_synthetic_csr(spec));
+
+  az::StaticLaunchParams launch;
+  launch.num_groups = options.num_groups;
+  launch.group_size = options.group_size;
+  launch.tile_rows = options.tile_rows;
+
+  ocl::KernelConfig kc;
+  kc.k = options.k;
+  kc.group_size = options.group_size;
+
+  // Every kernel the generator can emit for this configuration.
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.emplace_back("als_update_flat", ocl::flat_kernel_source(kc));
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    sources.emplace_back(ocl::kernel_name(v), ocl::batched_kernel_source(v, kc));
+  }
+  sources.emplace_back("als_update_flat_sell", ocl::sell_kernel_source(kc));
+
+  AnalyzeKernelsResult out;
+  for (const std::string& profile_name : options.profiles) {
+    const devsim::DeviceProfile profile =
+        devsim::profile_by_name(profile_name);
+    az::DeepLintOptions lint_options;
+    lint_options.expected_kernels = 1;
+    lint_options.local_capacity_bytes = devsim::local_capacity_bytes(profile);
+    // Structural lint capacity check: hardware scratch-pads only (emulated
+    // local memory has no hard per-group limit), as in check_kernels.
+    if (profile.has_hw_local_mem) {
+      lint_options.limits.local_mem_bytes = profile.local_mem_bytes;
+    }
+
+    for (const auto& [name, source] : sources) {
+      const ocl::LintReport lint =
+          az::deep_lint_kernel_source(source, lint_options);
+      for (const auto& issue : lint.issues) {
+        out.lint_issues.push_back(profile_name + "/" + name + ": line " +
+                                  std::to_string(issue.line) + ": " +
+                                  issue.message);
+      }
+      if (!lint.clean()) continue;  // unanalyzable sources have no profile
+      const auto kernels =
+          az::lower_kernels(az::parse_translation_unit(source));
+      for (const auto& ir : kernels) {
+        AnalyzeKernelsEntry entry;
+        entry.kernel = name;
+        entry.profile = profile_name;
+        entry.data = az::build_static_profile(ir, stats, launch, profile);
+        entry.json = az::profile_json(entry.data, ir);
+        out.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return out;
+}
+
+std::string AnalyzeKernelsResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"clean\":" << (clean() ? "true" : "false") << ",\"lint_issues\":[";
+  for (std::size_t i = 0; i < lint_issues.size(); ++i) {
+    if (i) os << ",";
+    os << "\"";
+    for (char c : lint_issues[i]) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\"";
+  }
+  os << "],\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"kernel\":\"" << entries[i].kernel << "\",\"profile\":\""
+       << entries[i].profile << "\",\"static_profile\":" << entries[i].json
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace alsmf

@@ -1,0 +1,56 @@
+// The `alsmf analyze-kernels` sweep: the static counterpart of
+// check_kernels.hpp. Every generated OpenCL kernel (the 8 batched variants,
+// the flat baseline, and flat-on-SELL) is deep-linted (ocl/analyze/deep_lint)
+// and lowered to a StaticKernelProfile per device profile — predicted launch
+// counters, scratch-pad peak, register estimate, coalescing classes — with
+// zero launches, checked or otherwise. A clean sweep is the CI gate that the
+// kernel *sources* are analyzable and free of provable defects; the JSON it
+// emits is the per-kernel profile table the docs and the zero-run variant
+// ranker are built on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ocl/analyze/static_profile.hpp"
+
+namespace alsmf {
+
+struct AnalyzeKernelsOptions {
+  /// Synthetic dataset shape the symbolic frequencies are evaluated on
+  /// (same defaults as the checked-execution sweep).
+  long users = 300;
+  long items = 200;
+  long nnz = 6000;
+  int k = 10;
+  std::uint64_t seed = 42;
+  /// Launch shape.
+  std::size_t num_groups = 48;
+  int group_size = 32;
+  long tile_rows = 0;  ///< forced staging tile rows (0 = auto policy)
+  std::vector<std::string> profiles = {"cpu", "gpu", "mic"};
+};
+
+/// One sweep entry: a kernel/profile combination and its static profile.
+struct AnalyzeKernelsEntry {
+  std::string kernel;
+  std::string profile;
+  ocl::analyze::StaticKernelProfile data;
+  std::string json;  ///< profile_json(data, ir): figures + access table
+};
+
+struct AnalyzeKernelsResult {
+  std::vector<AnalyzeKernelsEntry> entries;
+  /// Deep-lint diagnostics ("profile/kernel: line N: message"). Includes
+  /// parse failures: an unanalyzable kernel fails the gate.
+  std::vector<std::string> lint_issues;
+
+  bool clean() const { return lint_issues.empty(); }
+  std::string to_json() const;
+};
+
+/// Runs the sweep. Throws only on setup errors; diagnostics are returned.
+AnalyzeKernelsResult analyze_kernels(const AnalyzeKernelsOptions& options);
+
+}  // namespace alsmf

@@ -1,0 +1,55 @@
+// Kernel-model constants and sizing policy shared between the dynamic
+// accounting kernels (als/kernels.cpp) and the static analyzer
+// (ocl/analyze/static_profile.cpp). Both sides must price the same launch
+// identically, so the numbers live in exactly one place.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace alsmf::kernel_model {
+
+// Op-count conventions. The batched kernels issue fused multiply-adds over
+// packed lanes: 1 issue-op per scalar fma. The flat baseline's per-row
+// scalar code (Algorithm 2) issues separate mul/add plus the CSR index
+// arithmetic for every element: ~4 ops per fma.
+constexpr double kBatchedOpsPerFma = 1.0;
+constexpr double kFlatOpsPerFma = 4.0;
+
+// §V-B: combining registers + local memory on CPU/MIC defeats the implicit
+// (cross-work-item) vectorizer — the unrolled per-lane scalar accumulators
+// force scalar codegen, roughly tripling S1 issue.
+constexpr double kRegLocalScalarPenalty = 3.0;
+
+/// Registers a lane needs beyond the accumulators (pointers, indices, λ).
+constexpr int kBaseRegisters = 8;
+
+/// Work-groups the auto tile sizing tries to keep resident per compute
+/// unit (occupancy vs. staging-tile size trade-off). Matching the
+/// scheduler's in-flight capacity keeps occupancy at 1.0; the barrier cost
+/// of the resulting smaller tiles is minor (see bench_ablation_tilesize).
+constexpr std::size_t kResidencyTarget = 16;
+
+/// Issue slots a work-group barrier costs each resident bundle.
+constexpr double kBarrierSlots = 30.0;
+
+/// Staging-tile rows for the local-memory variant, given the scratch-pad
+/// bytes still free after the k×k system + rhs allocations. `forced` > 0
+/// pins the size (clamped to 3/4 of the remaining capacity); 0 picks the
+/// auto size that leaves room for kResidencyTarget resident groups.
+inline std::size_t staging_tile_rows(int k, std::size_t local_remaining,
+                                     long forced) {
+  const std::size_t per_row =
+      (static_cast<std::size_t>(k) + 1) * sizeof(real);
+  if (forced > 0) {
+    const std::size_t cap = local_remaining * 3 / 4 / per_row;
+    return std::clamp<std::size_t>(static_cast<std::size_t>(forced), 1,
+                                   std::max<std::size_t>(cap, 1));
+  }
+  const std::size_t budget = local_remaining / kResidencyTarget * 3 / 4;
+  return std::clamp<std::size_t>(budget / per_row, 1, 1024);
+}
+
+}  // namespace alsmf::kernel_model

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "als/kernel_model.hpp"
 #include "als/row_solve.hpp"
 #include "common/error.hpp"
 #include "linalg/cholesky.hpp"
@@ -44,29 +45,13 @@ double solver_flops(LinearSolverKind s, int k) {
                                           : lu_solve_flops(k);
 }
 
-// Op-count conventions. The batched kernels issue fused multiply-adds over
-// packed lanes: 1 issue-op per scalar fma. The flat baseline's per-row
-// scalar code (Algorithm 2) issues separate mul/add plus the CSR index
-// arithmetic for every element: ~4 ops per fma.
-constexpr double kBatchedOpsPerFma = 1.0;
-constexpr double kFlatOpsPerFma = 4.0;
-
-// §V-B: combining registers + local memory on CPU/MIC defeats the implicit
-// (cross-work-item) vectorizer — the unrolled per-lane scalar accumulators
-// force scalar codegen, roughly tripling S1 issue.
-constexpr double kRegLocalScalarPenalty = 3.0;
-
-/// Registers a lane needs beyond the accumulators (pointers, indices, λ).
-constexpr int kBaseRegisters = 8;
-
-/// Work-groups the auto tile sizing tries to keep resident per compute
-/// unit (occupancy vs. staging-tile size trade-off). Matching the
-/// scheduler's in-flight capacity keeps occupancy at 1.0; the barrier cost
-/// of the resulting smaller tiles is minor (see bench_ablation_tilesize).
-constexpr std::size_t kResidencyTarget = 16;
-
-/// Issue slots a work-group barrier costs each resident bundle.
-constexpr double kBarrierSlots = 30.0;
+// Pricing constants shared with the static analyzer (kernel_model.hpp):
+// both sides must charge the same launch identically.
+using kernel_model::kBarrierSlots;
+using kernel_model::kBaseRegisters;
+using kernel_model::kBatchedOpsPerFma;
+using kernel_model::kFlatOpsPerFma;
+using kernel_model::kRegLocalScalarPenalty;
 
 /// The paper's thread-batched kernel: one work-group cooperates on one row,
 /// striding over rows by the launch's group count.
@@ -101,17 +86,8 @@ class BatchedKernel {
     check::LocalSpan<real> tile, rstage;
     std::size_t tile_rows = 0;
     if (v.use_local) {
-      const std::size_t per_row = (static_cast<std::size_t>(k) + 1) * sizeof(real);
-      if (a_.tile_rows > 0) {
-        tile_rows = static_cast<std::size_t>(a_.tile_rows);
-        const std::size_t cap = ctx.local_remaining() * 3 / 4 / per_row;
-        tile_rows = std::clamp<std::size_t>(tile_rows, 1, std::max<std::size_t>(cap, 1));
-      } else {
-        // Auto: leave room for kResidencyTarget groups per compute unit.
-        const std::size_t budget =
-            ctx.local_remaining() / kResidencyTarget * 3 / 4;
-        tile_rows = std::clamp<std::size_t>(budget / per_row, 1, 1024);
-      }
+      tile_rows =
+          kernel_model::staging_tile_rows(k, ctx.local_remaining(), a_.tile_rows);
       tile = ctx.local_alloc<real>(tile_rows * static_cast<std::size_t>(k),
                                    "tile");
       rstage = ctx.local_alloc<real>(tile_rows, "rstage");

@@ -1,11 +1,46 @@
 #include "als/variant_select.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "als/solver.hpp"
+#include "common/error.hpp"
+#include "devsim/cost_model.hpp"
 #include "devsim/device.hpp"
+#include "ocl/analyze/parser.hpp"
+#include "ocl/analyze/static_profile.hpp"
+#include "ocl/kernel_source.hpp"
 
 namespace alsmf {
+
+namespace {
+
+// Shape statistics of the update-X launch (one row of R per batch row).
+ocl::analyze::DatasetStats row_stats(const Csr& m) {
+  ocl::analyze::DatasetStats s;
+  s.rows = static_cast<double>(m.rows());
+  s.nnz = static_cast<double>(m.nnz());
+  const auto& rp = m.row_ptr();
+  for (index_t u = 0; u < m.rows(); ++u) {
+    if (rp[static_cast<std::size_t>(u) + 1] > rp[static_cast<std::size_t>(u)])
+      s.nonempty_rows += 1;
+  }
+  return s;
+}
+
+// Shape statistics of the update-Y launch (the solver maps Rᵀ), computed by
+// scanning col_idx — no transpose is materialized for a static ranking.
+ocl::analyze::DatasetStats col_stats(const Csr& m) {
+  ocl::analyze::DatasetStats s;
+  s.rows = static_cast<double>(m.cols());
+  s.nnz = static_cast<double>(m.nnz());
+  std::vector<char> seen(static_cast<std::size_t>(m.cols()), 0);
+  for (const index_t c : m.col_idx()) seen[static_cast<std::size_t>(c)] = 1;
+  for (const char f : seen) s.nonempty_rows += f;
+  return s;
+}
+
+}  // namespace
 
 std::vector<VariantScore> score_variants(const Csr& train,
                                          const AlsOptions& options,
@@ -31,6 +66,48 @@ std::vector<VariantScore> score_variants(const Csr& train,
 AlsVariant select_variant_empirical(const Csr& train, const AlsOptions& options,
                                     const devsim::DeviceProfile& profile) {
   return score_variants(train, options, profile).front().variant;
+}
+
+std::vector<VariantScore> score_variants_static(
+    const Csr& train, const AlsOptions& options,
+    const devsim::DeviceProfile& profile) {
+  namespace az = ocl::analyze;
+  ocl::KernelConfig kc;
+  kc.k = options.k;
+  kc.group_size = options.group_size;
+  az::StaticLaunchParams launch;
+  launch.num_groups = options.num_groups;
+  launch.group_size = options.group_size;
+  launch.tile_rows = options.tile_rows;
+  const az::DatasetStats stats_x = row_stats(train);
+  const az::DatasetStats stats_y = col_stats(train);
+
+  std::vector<VariantScore> scores;
+  scores.reserve(AlsVariant::kVariantCount);
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    const std::string src = ocl::batched_kernel_source(v, kc);
+    const auto kernels = az::lower_kernels(az::parse_translation_unit(src));
+    ALSMF_CHECK_MSG(kernels.size() == 1, "variant source must hold 1 kernel");
+    const az::StaticKernelProfile px =
+        az::build_static_profile(kernels.front(), stats_x, launch, profile);
+    const az::StaticKernelProfile py =
+        az::build_static_profile(kernels.front(), stats_y, launch, profile);
+    const double per_iter =
+        devsim::estimate_time(px.counters, profile).total_s() +
+        devsim::estimate_time(py.counters, profile).total_s();
+    scores.push_back({v, options.iterations * per_iter});
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const VariantScore& a, const VariantScore& b) {
+                     return a.modeled_seconds < b.modeled_seconds;
+                   });
+  return scores;
+}
+
+AlsVariant select_variant_static(const Csr& train, const AlsOptions& options,
+                                 const devsim::DeviceProfile& profile) {
+  return score_variants_static(train, options, profile).front().variant;
 }
 
 AlsVariant select_variant_heuristic(const Csr& train, const AlsOptions& options,

@@ -6,7 +6,11 @@
 //    one with the smallest modeled time (the paper's approach);
 //  * heuristic  — a feature-based rule distilled from the paper's findings
 //    (the "machine-learning based approach" the paper leaves as future
-//    work, here as an interpretable decision rule).
+//    work, here as an interpretable decision rule);
+//  * static     — zero-run ranking: each variant's generated OpenCL source
+//    is parsed and lowered to the access IR (ocl/analyze/), priced for the
+//    dataset's shape statistics, and pushed through the same devsim cost
+//    model — no training iterations at all.
 #pragma once
 
 #include <string>
@@ -32,6 +36,22 @@ std::vector<VariantScore> score_variants(const Csr& train,
 /// Empirical selector: best entry of score_variants.
 AlsVariant select_variant_empirical(const Csr& train, const AlsOptions& options,
                                     const devsim::DeviceProfile& profile);
+
+/// Scores all 8 batched variants without running any of them: the generated
+/// kernel sources are statically analyzed (ocl/analyze/static_profile.hpp),
+/// the predicted LaunchCounters of both half-updates (X over R, Y over Rᵀ)
+/// are priced by the devsim cost model, and the total is scaled to
+/// options.iterations. Only the dataset *statistics* (row counts, nonzero
+/// counts) are consulted — never the values. Sorted ascending by time.
+std::vector<VariantScore> score_variants_static(
+    const Csr& train, const AlsOptions& options,
+    const devsim::DeviceProfile& profile);
+
+/// Static selector: best entry of score_variants_static. The agreement
+/// contract (enforced by tests) is that the empirically best variant ranks
+/// in the static top-2 on every built-in device profile.
+AlsVariant select_variant_static(const Csr& train, const AlsOptions& options,
+                                 const devsim::DeviceProfile& profile);
 
 /// Feature-based heuristic distilled from the paper's evaluation:
 ///  * GPU  → local + registers (Fig. 6: biggest win, up to 2.6×),

@@ -104,10 +104,7 @@ class GroupCtx {
 
   /// Per-group scratch-pad capacity: the hardware scratch-pad size, or the
   /// emulation cap on devices that back local memory with cached DRAM.
-  std::size_t local_capacity() const {
-    return profile_->has_hw_local_mem ? profile_->local_mem_bytes
-                                      : kEmulatedLocalCapacity;
-  }
+  std::size_t local_capacity() const { return local_capacity_bytes(*profile_); }
 
   /// Scratch-pad bytes still allocatable in this group.
   std::size_t local_remaining() const {
@@ -204,10 +201,6 @@ class GroupCtx {
   }
 
  private:
-  /// Capacity of the emulated scratch-pad on CPU/MIC (OpenCL-on-CPU backs
-  /// local memory with ordinary cached allocations; 4 MiB is generous).
-  static constexpr std::size_t kEmulatedLocalCapacity = 4u << 20;
-
   const DeviceProfile* profile_;
   std::size_t group_id_;
   int group_size_;

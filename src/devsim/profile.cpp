@@ -96,6 +96,13 @@ DeviceProfile xeon_phi_31sp() {
   return p;
 }
 
+std::size_t local_capacity_bytes(const DeviceProfile& p) {
+  // OpenCL-on-CPU backs local memory with ordinary cached allocations;
+  // 4 MiB is a generous emulation cap.
+  constexpr std::size_t kEmulatedLocalCapacity = 4u << 20;
+  return p.has_hw_local_mem ? p.local_mem_bytes : kEmulatedLocalCapacity;
+}
+
 DeviceProfile profile_by_name(const std::string& name) {
   std::string n = name;
   std::transform(n.begin(), n.end(), n.begin(),

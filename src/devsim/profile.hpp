@@ -107,4 +107,10 @@ DeviceProfile xeon_phi_31sp();
 /// Preset lookup by short name: "gpu"/"k20c", "cpu"/"e5-2670", "mic"/"31sp".
 DeviceProfile profile_by_name(const std::string& name);
 
+/// Per-group scratch-pad capacity on `p`: the hardware scratch-pad size, or
+/// the emulation cap on devices that back OpenCL local memory with cached
+/// DRAM (CPU/MIC). Shared by the execution context and the static kernel
+/// analyzer so both model the same staging-tile budget.
+std::size_t local_capacity_bytes(const DeviceProfile& p);
+
 }  // namespace alsmf::devsim

@@ -1,0 +1,188 @@
+// Access-pattern IR: each __kernel lowered into (a) a table of raw memory
+// references with affine-index classification, (b) loop nest records with
+// trip counts parameterized by dataset statistics, and (c) traffic/op
+// records at *traversal* granularity — the unit the devsim accounting
+// kernels charge at (one gathered y-row fetch, one staged-tile replay, one
+// segment-stream element), so the static profile (static_profile.hpp) and
+// the dynamic counters are directly comparable.
+//
+// Frequencies are symbolic: a record's multiplicity is
+//   factor × rows^per_row × ω̄^per_nnz × ⌈ω̄/T⌉^per_chunk × (ω̄/⌈ω̄/T⌉)^chunk_body
+// evaluated against DatasetStats (rows = nonempty rows, ω̄ = mean nnz per
+// nonempty row, T = staging tile rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ocl/analyze/ast.hpp"
+
+namespace alsmf::ocl::analyze {
+
+enum class MemSpace { kGlobal, kLocal, kPrivate };
+
+enum class Coalescing {
+  kUnitStride,  // consecutive lanes touch consecutive elements
+  kStrided,     // constant non-unit lane stride
+  kGathered,    // data-dependent base (indirect addressing)
+  kUniform,     // lane-invariant address (broadcast)
+};
+
+/// Symbolic per-launch multiplicity of a loop body / access / statement.
+struct Freq {
+  double factor = 1.0;  // compile-time constant trips (K loops, unrolling)
+  int per_row = 0;      // exponent of nonempty-row count
+  int per_nnz = 0;      // exponent of mean nnz/row
+  int per_chunk = 0;    // exponent of ⌈ω̄ / tile_rows⌉
+  int chunk_body = 0;   // exponent of the average chunk size ω̄/⌈ω̄/T⌉
+
+  Freq times(const Freq& o) const {
+    Freq f = *this;
+    f.factor *= o.factor;
+    f.per_row += o.per_row;
+    f.per_nnz += o.per_nnz;
+    f.per_chunk += o.per_chunk;
+    f.chunk_body += o.chunk_body;
+    return f;
+  }
+  /// rows/omega/chunks/chunk_avg supplied by the evaluation environment.
+  double eval(double rows, double omega, double chunks,
+              double chunk_avg) const;
+};
+
+struct LoopIR {
+  enum class Kind {
+    kRowStride,   // for (u = group; u < rows; u += stride): rows over groups
+    kNnz,         // trip count = the row's nonzero count
+    kChunked,     // base += TILE over the row's nonzeros
+    kChunkBody,   // z < chunk inside a chunked loop
+    kLanePart,    // for (i = lx; i < N; i += WS): lanes partition N
+    kFixed,       // compile-time trip count
+    kDataDep,     // data-dependent bound treated as nnz-like (SELL lanes)
+  };
+  Kind kind = Kind::kFixed;
+  double trips = 1;        // kFixed: exact; kLanePart: partitioned bound
+  std::string bound;       // human-readable bound
+  int line = 0;
+  int depth = 0;
+};
+
+/// One memory reference in the source (per AST index expression).
+struct RefIR {
+  std::string buffer;
+  MemSpace space = MemSpace::kGlobal;
+  bool is_store = false;
+  Coalescing coalescing = Coalescing::kUniform;
+  int elem_bytes = 4;
+  long lane_coeff = 0;      // coefficient of the lane id in the index
+  int bank_conflict = 1;    // modeled scratch-pad conflict degree (local)
+  bool hot = false;         // under a per-nnz / chunk-body loop
+  bool lane_partitioned = false;  // executed inside a lane-partitioned loop
+  bool divergent_guard = false;   // under lane-dependent control flow
+  bool zero_weight = false;       // in an empty-row early-exit branch
+  int loop_depth = 0;
+  int line = 0;
+  std::string index;        // pretty-printed index expression
+};
+
+/// Traffic at traversal granularity (what the cost comparison uses).
+struct TrafficIR {
+  enum class Kind {
+    kGatherTraversal,  // global gathered stream: 1 access of span bytes;
+                       // first per stream is cold, the rest re-traverse
+    kLocalTraversal,   // staged-tile stream replay from the scratch-pad
+    kStreamRead,       // coalesced global stream read, span bytes per trip
+    kStreamWrite,      // coalesced global store
+    kScatterWrite,     // 1 scattered access of span bytes per trip
+    kLocalRead,        // broadcast scratch-pad read, span bytes per trip
+    kLocalWrite,       // scratch-pad store, span bytes per trip
+    kPrivateUpdate,    // dyn-indexed private accumulator update (8 B)
+  };
+  Kind kind = Kind::kStreamRead;
+  std::string buffer;
+  double span_bytes = 4;   // group-level useful bytes per traversal/trip
+  Freq freq;
+  bool lane_partitioned = false;  // cooperative staging: no passes scaling,
+                                  // no gather/latency issue cost
+  int order = 0;  // statement order (cold-vs-reread within a stream)
+  int line = 0;
+};
+
+/// Hot accumulation statements (the S1/S2 fma work).
+struct OpIR {
+  Freq freq;
+  double ops_per_trip = 1;  // per lane
+  bool vectorized = false;
+  bool s1_class = false;  // reads the operand stream directly (k-sum work);
+                          // false = reduction over already-loaded values
+  int line = 0;
+};
+
+struct BarrierIR {
+  Freq freq;       // per enclosing chunk/row
+  bool hot = false;  // inside the chunked staging loop (priced)
+  bool divergent = false;
+  int line = 0;
+};
+
+struct LocalDeclIR {
+  std::string name;
+  long elems = 0;     // -1 when the extent is not a compile-time constant
+  int elem_bytes = 4;
+  int line = 0;
+};
+
+struct PrivateArrayIR {
+  std::string name;
+  long elems = 0;
+  bool dynamically_indexed = false;
+  int line = 0;
+};
+
+struct ArgIR {
+  std::string name;
+  std::string type;
+  bool is_pointer = false;
+  bool is_global = false;
+  bool used = false;
+  int line = 0;
+};
+
+struct KernelIR {
+  std::string name;
+  bool batched_mapping = false;  // row loop over groups vs one item per row
+  long k = 0;                    // from #define K
+  long ws = 0;                   // from #define WS
+  long tile_rows_define = 0;     // from #define TILE_ROWS
+
+  std::vector<ArgIR> args;
+  std::vector<LoopIR> loops;
+  std::vector<RefIR> refs;
+  std::vector<TrafficIR> traffic;
+  std::vector<OpIR> ops;
+  std::vector<BarrierIR> barriers;
+  std::vector<LocalDeclIR> locals;
+  std::vector<PrivateArrayIR> private_arrays;
+
+  /// Kernel calls a single-lane solve helper per row (`if (lx == 0) f(...)`).
+  bool has_lane0_solve = false;
+  /// Unrolled per-lane scalar accumulators (the registers optimization).
+  bool has_unrolled_accumulators = false;
+  /// Hot-loop scratch-pad staging (the local-memory optimization).
+  bool has_local_staging = false;
+  /// Explicit vector accumulation (vloadN + .sN components).
+  bool has_vector_ops = false;
+
+  long declared_local_bytes() const;
+  int max_bank_conflict() const;
+};
+
+/// Lowers every __kernel in the translation unit. Throws ParseError when a
+/// kernel uses constructs the lowering cannot classify.
+std::vector<KernelIR> lower_kernels(const TranslationUnit& tu);
+
+const char* to_string(Coalescing c);
+const char* to_string(TrafficIR::Kind k);
+const char* to_string(LoopIR::Kind k);
+
+}  // namespace alsmf::ocl::analyze

@@ -1,0 +1,54 @@
+// Shared lexical layer of the OpenCL-C tooling: the tokenizer, comment
+// stripper, `#define` table, constant-expression evaluator and type sizing
+// that both the structural lint (ocl/kernel_lint) and the static analyzer
+// (ocl/analyze) are built on. One lexer means the two layers can never
+// disagree about what a token is.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alsmf::ocl::analyze {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+bool is_ident_start(char c);
+bool is_ident_char(char c);
+bool is_identifier(const Token& t);
+
+/// Replaces // and /* */ comments (and nothing else) with whitespace,
+/// preserving line numbers.
+std::string strip_comments(const std::string& source);
+
+/// Splits comment-stripped code into identifiers, numeric literals and
+/// single punctuation characters, with 1-based line numbers.
+std::vector<Token> tokenize(const std::string& code);
+
+/// Object-like `#define NAME value` macros, scanned line by line from
+/// comment-stripped code. Function-like macros are skipped.
+std::map<std::string, std::string> collect_defines(const std::string& code);
+
+/// Tiny constant-expression evaluator: integer literals, #define'd names
+/// (resolved recursively), unary minus, + - * / and parens. Returns false
+/// when the expression involves anything else. Advances `pos`.
+bool eval_const_expr(const std::vector<Token>& toks, std::size_t& pos,
+                     const std::map<std::string, std::string>& defines,
+                     int depth, long& out);
+
+/// Evaluates a whole #define'd name to an integer, if possible.
+bool eval_define(const std::string& name,
+                 const std::map<std::string, std::string>& defines, long& out);
+
+/// sizeof() for the OpenCL scalar/vector types (`float4`, `int2`, ...).
+/// `real_t` resolves to `real_t_bytes`. Returns 0 for unknown types.
+std::size_t type_size(const std::string& name, std::size_t real_t_bytes);
+
+/// Width of `real_t` from a `typedef <type> real_t;` in the token stream
+/// (4 when absent or unreadable).
+std::size_t real_t_width(const std::vector<Token>& toks);
+
+}  // namespace alsmf::ocl::analyze

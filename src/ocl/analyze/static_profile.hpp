@@ -1,0 +1,73 @@
+// Static kernel profile: prices a lowered kernel (ir.hpp) for a dataset and
+// a device profile *without running it*, producing the same LaunchCounters
+// the devsim accounting kernels record dynamically. The pricing rules mirror
+// als/kernels.cpp (shared constants live in als/kernel_model.hpp), which is
+// what makes the static/dynamic agreement tests meaningful and lets the
+// variant ranker (als/variant_select.hpp) reuse the devsim cost model with
+// zero training runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "devsim/counters.hpp"
+#include "devsim/profile.hpp"
+#include "ocl/analyze/ir.hpp"
+
+namespace alsmf::ocl::analyze {
+
+/// The dataset statistics the symbolic frequencies are evaluated against.
+struct DatasetStats {
+  double rows = 0;           ///< rows the launch maps (CSR row count)
+  double nonempty_rows = 0;  ///< rows with at least one nonzero
+  double nnz = 0;            ///< total nonzeros
+
+  double mean_nnz() const {
+    return nonempty_rows > 0 ? nnz / nonempty_rows : 0.0;
+  }
+};
+
+/// Launch shape knobs (mirrors the AlsOptions fields the kernels read).
+struct StaticLaunchParams {
+  std::size_t num_groups = 8192;
+  int group_size = 32;
+  long tile_rows = 0;  ///< forced staging tile rows; 0 = auto policy
+};
+
+/// Everything the analyzer can say about one kernel on one device: resolved
+/// launch shape, static resource figures, and modeled per-launch activity
+/// directly comparable with (and priceable like) dynamic LaunchCounters.
+struct StaticKernelProfile {
+  std::string kernel;
+
+  // Resolved launch shape.
+  std::size_t groups = 0;
+  int group_size = 0;
+  double passes = 1;          ///< lane-coverage passes ⌈k / group_size⌉
+  std::size_t tile_rows = 0;  ///< resolved staging tile rows (0 = none)
+  double chunks = 1;          ///< ⌈mean_nnz / tile_rows⌉
+
+  // Static resource figures.
+  std::size_t local_alloc_bytes = 0;  ///< modeled scratch-pad peak (aligned)
+  long declared_local_bytes = 0;      ///< straight from the __local decls
+  int register_estimate = 0;          ///< honest per-lane estimate
+  int max_bank_conflict = 1;
+  int uncoalesced_hot_stores = 0;
+  int gathered_hot_loads = 0;
+
+  /// Modeled activity of one launch over the whole dataset.
+  devsim::LaunchCounters counters;
+};
+
+/// Prices `ir` on `device` for `stats` under `launch`.
+StaticKernelProfile build_static_profile(const KernelIR& ir,
+                                         const DatasetStats& stats,
+                                         const StaticLaunchParams& launch,
+                                         const devsim::DeviceProfile& device);
+
+/// One JSON object per kernel: the profile figures plus the per-reference
+/// access table and loop nest (the reviewable face of the analysis).
+std::string profile_json(const StaticKernelProfile& profile,
+                         const KernelIR& ir);
+
+}  // namespace alsmf::ocl::analyze

@@ -1,352 +1,105 @@
 #include "ocl/kernel_lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <set>
 #include <sstream>
+
+#include "ocl/analyze/lexer.hpp"
 
 namespace alsmf::ocl {
 
 namespace {
 
-struct Token {
-  std::string text;
-  int line = 0;
+using analyze::Token;
+using analyze::eval_const_expr;
+using analyze::is_identifier;
+using analyze::tokenize;
+using analyze::type_size;
+
+/// Matches `x = ...` / `x op= ...` at token i (excluding `==` comparisons)
+/// and returns the index of the first RHS token, or 0 when not an
+/// assignment.
+std::size_t match_assignment(const std::vector<Token>& t, std::size_t i) {
+  const std::size_t n = t.size();
+  if (i + 1 >= n || !is_identifier(t[i])) return 0;
+  if (t[i + 1].text == "=" && (i + 2 >= n || t[i + 2].text != "=")) {
+    return i + 2;
+  }
+  if (i + 2 < n && t[i + 2].text == "=" && t[i + 1].text.size() == 1 &&
+      std::string("+-*/%&|^").find(t[i + 1].text[0]) != std::string::npos) {
+    return i + 3;
+  }
+  return 0;
+}
+
+/// One data-flow round: identifiers initialised or assigned from an
+/// expression mentioning get_local_id / get_global_id or an
+/// already-divergent identifier become divergent. Works anywhere in the
+/// token stream — including loop-header init/update clauses, which end at
+/// an unbalanced `)` rather than `;`.
+bool rhs_alias_round(const std::vector<Token>& t, std::set<std::string>& div) {
+  bool changed = false;
+  const std::size_t n = t.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t rhs = match_assignment(t, i);
+    if (rhs == 0 || div.count(t[i].text)) continue;
+    int depth = 0;
+    for (std::size_t j = rhs; j < n; ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(") {
+        ++depth;
+      } else if (s == ")") {
+        if (depth == 0) break;  // end of a for-header clause
+        --depth;
+      } else if (depth == 0 && (s == ";" || s == ",")) {
+        break;
+      } else if (div.count(s)) {
+        div.insert(t[i].text);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+/// Scope frame of the structural walk: `{}` blocks and single-statement
+/// if/for/while bodies (popped at `;`).
+struct Scope {
+  bool is_divergent;
+  bool brace;
+  bool is_if;
 };
 
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Splits comment-stripped code into identifiers, numeric literals and
-/// single punctuation characters, with 1-based line numbers.
-std::vector<Token> tokenize(const std::string& code) {
-  std::vector<Token> toks;
-  int line = 1;
-  for (std::size_t i = 0; i < code.size();) {
-    const char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-    } else if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-    } else if (is_ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < code.size() && is_ident_char(code[j])) ++j;
-      toks.push_back({code.substr(i, j - i), line});
-      i = j;
-    } else if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i + 1;
-      while (j < code.size() && (is_ident_char(code[j]) || code[j] == '.')) ++j;
-      toks.push_back({code.substr(i, j - i), line});
-      i = j;
-    } else {
-      toks.push_back({std::string(1, c), line});
-      ++i;
-    }
-  }
-  return toks;
-}
-
-bool is_identifier(const Token& t) { return is_ident_start(t.text[0]); }
-
-/// Collects identifiers whose value is derived from the work-item id:
-/// initialised or assigned from an expression mentioning get_local_id /
-/// get_global_id or another already-divergent identifier. Iterated to a
-/// fixpoint so chained aliases (lx -> p -> d) are caught.
-std::set<std::string> collect_divergent_aliases(const std::vector<Token>& t) {
-  std::set<std::string> div = {"get_local_id", "get_global_id"};
-  const std::size_t n = t.size();
-  for (int round = 0; round < 4; ++round) {
-    bool changed = false;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      if (!is_identifier(t[i])) continue;
-      // `x = ...` or `x op= ...`, excluding `==` comparisons.
-      std::size_t rhs = 0;
-      if (t[i + 1].text == "=" && (i + 2 >= n || t[i + 2].text != "=")) {
-        rhs = i + 2;
-      } else if (i + 2 < n && t[i + 2].text == "=" &&
-                 t[i + 1].text.size() == 1 &&
-                 std::string("+-*/%&|^").find(t[i + 1].text[0]) !=
-                     std::string::npos) {
-        rhs = i + 3;
-      }
-      if (rhs == 0 || div.count(t[i].text)) continue;
-      int depth = 0;
-      for (std::size_t j = rhs; j < n; ++j) {
-        const std::string& s = t[j].text;
-        if (s == "(") {
-          ++depth;
-        } else if (s == ")") {
-          if (depth == 0) break;  // end of a for-header clause
-          --depth;
-        } else if (depth == 0 && (s == ";" || s == ",")) {
-          break;
-        } else if (div.count(s)) {
-          div.insert(t[i].text);
-          changed = true;
-          break;
-        }
-      }
-    }
-    if (!changed) break;
-  }
-  return div;
-}
-
-/// Tiny constant-expression evaluator for __local array extents: integer
-/// literals, #define'd names (resolved recursively), + - * / and parens.
-/// Returns false when the expression involves anything else.
-bool eval_const_expr(const std::vector<Token>& toks, std::size_t& pos,
-                     const std::map<std::string, std::string>& defines,
-                     int depth, long& out);
-
-bool eval_atom(const std::vector<Token>& toks, std::size_t& pos,
-               const std::map<std::string, std::string>& defines, int depth,
-               long& out) {
-  if (depth > 8 || pos >= toks.size()) return false;
-  const std::string& s = toks[pos].text;
-  if (s == "-") {
-    ++pos;
-    if (!eval_atom(toks, pos, defines, depth + 1, out)) return false;
-    out = -out;
-    return true;
-  }
-  if (s == "(") {
-    ++pos;
-    if (!eval_const_expr(toks, pos, defines, depth + 1, out)) return false;
-    if (pos >= toks.size() || toks[pos].text != ")") return false;
-    ++pos;
-    return true;
-  }
-  if (std::isdigit(static_cast<unsigned char>(s[0]))) {
-    if (s.size() > 12 || !std::all_of(s.begin(), s.end(), [](char c) {
-          return std::isdigit(static_cast<unsigned char>(c));
-        })) {
-      return false;
-    }
-    out = std::stol(s);
-    ++pos;
-    return true;
-  }
-  auto it = defines.find(s);
-  if (it == defines.end()) return false;
-  std::vector<Token> sub = tokenize(it->second);
-  std::size_t sp = 0;
-  if (!eval_const_expr(sub, sp, defines, depth + 1, out) || sp != sub.size()) {
-    return false;
-  }
-  ++pos;
-  return true;
-}
-
-bool eval_const_expr(const std::vector<Token>& toks, std::size_t& pos,
-                     const std::map<std::string, std::string>& defines,
-                     int depth, long& out) {
-  long acc = 0;
-  if (!eval_atom(toks, pos, defines, depth, acc)) return false;
-  while (pos < toks.size()) {
-    const std::string& op = toks[pos].text;
-    if (op != "*" && op != "/" && op != "+" && op != "-") break;
-    ++pos;
-    long rhs = 0;
-    if (!eval_atom(toks, pos, defines, depth, rhs)) return false;
-    if (op == "*") {
-      acc *= rhs;
-    } else if (op == "/") {
-      if (rhs == 0) return false;
-      acc /= rhs;
-    } else if (op == "+") {
-      acc += rhs;
-    } else {
-      acc -= rhs;
-    }
-  }
-  out = acc;
-  return true;
-}
-
-/// sizeof() for the OpenCL scalar/vector types that appear in __local
-/// declarations. `real_t` width comes from the typedef in the preamble.
-std::size_t type_size(const std::string& name, std::size_t real_t_bytes) {
-  static const std::map<std::string, std::size_t> kScalar = {
-      {"char", 1},  {"uchar", 1},  {"short", 2}, {"ushort", 2}, {"int", 4},
-      {"uint", 4},  {"float", 4},  {"long", 8},  {"ulong", 8},  {"double", 8},
-  };
-  if (name == "real_t") return real_t_bytes;
-  // Vector types: base type + lane-count suffix (float4, int2, ...).
-  std::size_t split = name.size();
-  while (split > 0 && std::isdigit(static_cast<unsigned char>(name[split - 1]))) {
-    --split;
-  }
-  const auto it = kScalar.find(name.substr(0, split));
-  if (it == kScalar.end() || name.size() - split > 2) return 0;
-  const std::size_t lanes =
-      split < name.size() ? std::stoul(name.substr(split)) : 1;
-  return lanes > 0 && lanes <= 16 ? it->second * lanes : 0;
-}
-
-}  // namespace
-
-std::string LintReport::to_string() const {
-  std::ostringstream os;
-  for (const auto& issue : issues) {
-    os << "line " << issue.line << ": " << issue.message << "\n";
-  }
-  return os.str();
-}
-
-LintReport lint_kernel_source(const std::string& source, int expected_kernels,
-                              const LintLimits& limits) {
-  LintReport report;
-
-  // Strip comments and string literals for the structural passes.
-  std::string code;
-  code.reserve(source.size());
-  {
-    enum class State { kCode, kLine, kBlock } state = State::kCode;
-    for (std::size_t i = 0; i < source.size(); ++i) {
-      const char ch = source[i];
-      const char next = i + 1 < source.size() ? source[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (ch == '/' && next == '/') {
-            state = State::kLine;
-            ++i;
-          } else if (ch == '/' && next == '*') {
-            state = State::kBlock;
-            ++i;
-          } else {
-            code.push_back(ch);
-          }
-          break;
-        case State::kLine:
-          if (ch == '\n') {
-            state = State::kCode;
-            code.push_back('\n');
-          }
-          break;
-        case State::kBlock:
-          if (ch == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          } else if (ch == '\n') {
-            code.push_back('\n');
-          }
-          break;
-      }
-    }
-  }
-
-  // Balanced delimiters with line tracking.
-  std::vector<std::pair<char, int>> stack;
-  int line = 1;
-  for (char ch : code) {
-    if (ch == '\n') ++line;
-    if (ch == '(' || ch == '{' || ch == '[') stack.push_back({ch, line});
-    if (ch == ')' || ch == '}' || ch == ']') {
-      const char open = ch == ')' ? '(' : (ch == '}' ? '{' : '[');
-      if (stack.empty() || stack.back().first != open) {
-        report.issues.push_back({line, std::string("unbalanced '") + ch + "'"});
-      } else {
-        stack.pop_back();
-      }
-    }
-  }
-  for (const auto& [ch, at] : stack) {
-    report.issues.push_back({at, std::string("unclosed '") + ch + "'"});
-  }
-
-  // Kernel entry-point count.
-  int kernels = 0;
-  for (std::size_t pos = code.find("__kernel"); pos != std::string::npos;
-       pos = code.find("__kernel", pos + 1)) {
-    ++kernels;
-  }
-  if (kernels != expected_kernels) {
-    report.issues.push_back(
-        {0, "expected " + std::to_string(expected_kernels) +
-                " __kernel entry point(s), found " + std::to_string(kernels)});
-  }
-
-  // barrier() must appear after the first __kernel.
-  const auto first_kernel = code.find("__kernel");
-  for (std::size_t pos = code.find("barrier("); pos != std::string::npos;
-       pos = code.find("barrier(", pos + 1)) {
-    if (first_kernel == std::string::npos || pos < first_kernel) {
-      int at = 1;
-      for (std::size_t i = 0; i < pos; ++i) {
-        if (code[i] == '\n') ++at;
-      }
-      report.issues.push_back({at, "barrier() outside any kernel"});
-    }
-  }
-
-  // __local usage requires a __local declaration somewhere.
-  const bool uses_local_fence = code.find("CLK_LOCAL_MEM_FENCE") != std::string::npos;
-  const bool declares_local = code.find("__local") != std::string::npos;
-  if (uses_local_fence && !declares_local) {
-    report.issues.push_back({0, "local fence without any __local declaration"});
-  }
-
-  // --- Token-level passes -------------------------------------------------
-  const std::vector<Token> toks = tokenize(code);
+/// Walks the token stream tracking lane-divergent control flow. Two
+/// modes share the walk so they can never disagree about scoping:
+///
+///  * collect mode (`out_div` non-null): identifiers *assigned under a
+///    lane-divergent scope* are marked divergent — their value depends on
+///    which lanes executed the assignment even when the RHS itself is
+///    uniform. This closes the classic control-dependence gap: a loop
+///    bound set inside `if (get_local_id(0) < 4)` is just as
+///    lane-dependent as one computed from get_local_id directly.
+///  * report mode (`report` non-null): barrier() calls reached inside a
+///    divergent scope are flagged, and statically-sized __local
+///    declarations are attributed to their kernel for the capacity check.
+bool walk_scopes(const std::vector<Token>& toks,
+                 const std::set<std::string>& divergent,
+                 std::set<std::string>* out_div, LintReport* report,
+                 const std::map<std::string, std::string>* defines,
+                 std::size_t real_t_bytes, std::map<int, long>* local_bytes,
+                 std::map<int, int>* local_line) {
   const std::size_t n = toks.size();
-  const std::set<std::string> divergent = collect_divergent_aliases(toks);
-
-  // #define constants for sizing __local arrays. Lines survive the comment
-  // strip, so scan `code` line by line.
-  std::map<std::string, std::string> defines;
-  {
-    std::istringstream is(code);
-    std::string ln;
-    while (std::getline(is, ln)) {
-      std::size_t p = ln.find_first_not_of(" \t");
-      if (p == std::string::npos || ln.compare(p, 7, "#define") != 0) continue;
-      p += 7;
-      p = ln.find_first_not_of(" \t", p);
-      if (p == std::string::npos || !is_ident_start(ln[p])) continue;
-      std::size_t q = p;
-      while (q < ln.size() && is_ident_char(ln[q])) ++q;
-      const std::string name = ln.substr(p, q - p);
-      if (q < ln.size() && ln[q] == '(') continue;  // function-like macro
-      defines[name] = ln.substr(q);
-    }
-  }
-
-  // real_t width from `typedef <type> real_t;` in the preamble.
-  std::size_t real_t_bytes = 4;
-  for (std::size_t i = 0; i + 2 < n; ++i) {
-    if (toks[i].text == "typedef" && toks[i + 2].text == "real_t") {
-      real_t_bytes = type_size(toks[i + 1].text, 4);
-      if (real_t_bytes == 0) real_t_bytes = 4;
-      break;
-    }
-  }
-
-  // Divergent-barrier detection. A barrier() reached only by a
-  // lane-dependent subset of the work-group (control flow guarded by
-  // get_local_id / get_global_id or a derived alias) deadlocks or is UB on
-  // real devices. Scopes track both `{}` blocks and single-statement
-  // if/for/while bodies (popped at `;`).
-  //
-  // Alongside, attribute statically-sized __local declarations to the
-  // enclosing kernel for the capacity check.
-  struct Scope {
-    bool is_divergent;
-    bool brace;
-    bool is_if;
-  };
   std::vector<Scope> scopes;
   bool last_if_divergent = false;
   bool pending_else_divergent = false;
-  int kernel_idx = 0;                        // 0 = before any __kernel
-  std::map<int, long> local_bytes;           // kernel -> declared bytes
-  std::map<int, int> local_line;             // kernel -> first decl line
+  bool changed = false;
+  int kernel_idx = 0;  // 0 = before any __kernel
+  const auto in_divergent_flow = [&] {
+    return std::any_of(scopes.begin(), scopes.end(),
+                       [](const Scope& s) { return s.is_divergent; });
+  };
   for (std::size_t i = 0; i < n; ++i) {
     const std::string& t = toks[i].text;
     if (t == "__kernel") {
@@ -409,14 +162,13 @@ LintReport lint_kernel_source(const std::string& source, int expected_kernels,
         }
       }
     } else if (t == "barrier" && i + 1 < n && toks[i + 1].text == "(") {
-      if (std::any_of(scopes.begin(), scopes.end(),
-                      [](const Scope& s) { return s.is_divergent; })) {
-        report.issues.push_back(
+      if (report && in_divergent_flow()) {
+        report->issues.push_back(
             {toks[i].line,
              "barrier() inside lane-divergent control flow (condition "
              "depends on get_local_id/get_global_id)"});
       }
-    } else if (t == "__local") {
+    } else if (t == "__local" && report) {
       std::size_t j = i + 1;
       while (j < n && (toks[j].text == "const" || toks[j].text == "volatile" ||
                        toks[j].text == "restrict" ||
@@ -432,17 +184,122 @@ LintReport lint_kernel_source(const std::string& source, int expected_kernels,
       long count = 1;
       if (j < n && toks[j].text == "[") {
         std::size_t p = j + 1;
-        if (!eval_const_expr(toks, p, defines, 0, count) || p >= n ||
+        if (!eval_const_expr(toks, p, *defines, 0, count) || p >= n ||
             toks[p].text != "]") {
           continue;  // extent not a compile-time constant we can read
         }
       }
       const std::size_t elem = type_size(type, real_t_bytes);
       if (elem == 0 || count < 0) continue;
-      local_bytes[kernel_idx] += count * static_cast<long>(elem);
-      if (!local_line.count(kernel_idx)) local_line[kernel_idx] = toks[i].line;
+      (*local_bytes)[kernel_idx] += count * static_cast<long>(elem);
+      if (!local_line->count(kernel_idx)) {
+        (*local_line)[kernel_idx] = toks[i].line;
+      }
+    } else if (out_div && in_divergent_flow()) {
+      const std::size_t rhs = match_assignment(toks, i);
+      if (rhs != 0 && !out_div->count(toks[i].text)) {
+        out_div->insert(toks[i].text);
+        changed = true;
+      }
     }
   }
+  return changed;
+}
+
+/// Divergent-alias fixpoint: direct RHS aliasing and control-dependent
+/// assignment, iterated together until stable.
+std::set<std::string> collect_divergent_aliases(const std::vector<Token>& t) {
+  std::set<std::string> div = {"get_local_id", "get_global_id"};
+  for (int round = 0; round < 8; ++round) {
+    bool changed = rhs_alias_round(t, div);
+    changed |= walk_scopes(t, div, &div, nullptr, nullptr, 4, nullptr, nullptr);
+    if (!changed) break;
+  }
+  return div;
+}
+
+}  // namespace
+
+std::string LintReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& issue : issues) {
+    os << "line " << issue.line << ": " << issue.message << "\n";
+  }
+  return os.str();
+}
+
+LintReport lint_kernel_source(const std::string& source, int expected_kernels,
+                              const LintLimits& limits) {
+  LintReport report;
+
+  // Strip comments for the structural passes.
+  const std::string code = analyze::strip_comments(source);
+
+  // Balanced delimiters with line tracking.
+  std::vector<std::pair<char, int>> stack;
+  int line = 1;
+  for (char ch : code) {
+    if (ch == '\n') ++line;
+    if (ch == '(' || ch == '{' || ch == '[') stack.push_back({ch, line});
+    if (ch == ')' || ch == '}' || ch == ']') {
+      const char open = ch == ')' ? '(' : (ch == '}' ? '{' : '[');
+      if (stack.empty() || stack.back().first != open) {
+        report.issues.push_back({line, std::string("unbalanced '") + ch + "'"});
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+  for (const auto& [ch, at] : stack) {
+    report.issues.push_back({at, std::string("unclosed '") + ch + "'"});
+  }
+
+  // Kernel entry-point count.
+  int kernels = 0;
+  for (std::size_t pos = code.find("__kernel"); pos != std::string::npos;
+       pos = code.find("__kernel", pos + 1)) {
+    ++kernels;
+  }
+  if (kernels != expected_kernels) {
+    report.issues.push_back(
+        {0, "expected " + std::to_string(expected_kernels) +
+                " __kernel entry point(s), found " + std::to_string(kernels)});
+  }
+
+  // barrier() must appear after the first __kernel.
+  const auto first_kernel = code.find("__kernel");
+  for (std::size_t pos = code.find("barrier("); pos != std::string::npos;
+       pos = code.find("barrier(", pos + 1)) {
+    if (first_kernel == std::string::npos || pos < first_kernel) {
+      int at = 1;
+      for (std::size_t i = 0; i < pos; ++i) {
+        if (code[i] == '\n') ++at;
+      }
+      report.issues.push_back({at, "barrier() outside any kernel"});
+    }
+  }
+
+  // __local usage requires a __local declaration somewhere.
+  const bool uses_local_fence =
+      code.find("CLK_LOCAL_MEM_FENCE") != std::string::npos;
+  const bool declares_local = code.find("__local") != std::string::npos;
+  if (uses_local_fence && !declares_local) {
+    report.issues.push_back({0, "local fence without any __local declaration"});
+  }
+
+  // --- Token-level passes -------------------------------------------------
+  const std::vector<Token> toks = tokenize(code);
+  const std::size_t n = toks.size();
+  const std::set<std::string> divergent = collect_divergent_aliases(toks);
+  const std::map<std::string, std::string> defines =
+      analyze::collect_defines(code);
+  const std::size_t real_t_bytes = analyze::real_t_width(toks);
+
+  // Structural walk: divergent barriers + per-kernel __local sizing.
+  std::map<int, long> local_bytes;  // kernel -> declared bytes
+  std::map<int, int> local_line;    // kernel -> first decl line
+  walk_scopes(toks, divergent, nullptr, &report, &defines, real_t_bytes,
+              &local_bytes, &local_line);
 
   if (limits.local_mem_bytes > 0) {
     for (const auto& [idx, bytes] : local_bytes) {
@@ -454,6 +311,44 @@ LintReport lint_kernel_source(const std::string& source, int expected_kernels,
                  " bytes, exceeding device local memory of " +
                  std::to_string(limits.local_mem_bytes) + " bytes"});
       }
+    }
+  }
+
+  // Work-group size limit: a `reqd_work_group_size` attribute or the WS
+  // constant the kernel was generated for must fit the device.
+  if (limits.max_work_group_size > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (toks[i].text != "reqd_work_group_size") continue;
+      std::size_t p = i + 1;
+      if (p >= n || toks[p].text != "(") continue;
+      ++p;
+      long total = 1;
+      bool ok = true;
+      for (int dim = 0; dim < 3 && ok; ++dim) {
+        long v = 0;
+        ok = eval_const_expr(toks, p, defines, 0, v) && v > 0;
+        total *= v;
+        if (dim < 2) {
+          ok = ok && p < n && toks[p].text == ",";
+          ++p;
+        }
+      }
+      if (ok && total > static_cast<long>(limits.max_work_group_size)) {
+        report.issues.push_back(
+            {toks[i].line,
+             "reqd_work_group_size of " + std::to_string(total) +
+                 " exceeds device maximum work-group size of " +
+                 std::to_string(limits.max_work_group_size)});
+      }
+    }
+    long ws = 0;
+    if (analyze::eval_define("WS", defines, ws) &&
+        ws > static_cast<long>(limits.max_work_group_size)) {
+      report.issues.push_back(
+          {0, "kernel generated for work-group size WS=" + std::to_string(ws) +
+                  ", exceeding device maximum work-group size of " +
+                  std::to_string(limits.max_work_group_size) +
+                  " (staging tiles and lane loops assume WS lanes)"});
     }
   }
 

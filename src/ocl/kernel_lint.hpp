@@ -29,6 +29,12 @@ struct LintLimits {
   /// When non-zero, statically-sized `__local` declarations are summed per
   /// kernel and flagged if they exceed it.
   std::size_t local_mem_bytes = 0;
+  /// Maximum work-group size the device can launch. When non-zero, a
+  /// `reqd_work_group_size(x, y, z)` attribute whose product exceeds it is
+  /// flagged, as is a `#define WS n` generated work-group constant larger
+  /// than it (the generated kernels' staging tiles and lane loops assume
+  /// WS resident lanes).
+  std::size_t max_work_group_size = 0;
 };
 
 /// Structural checks over an OpenCL C source:
@@ -44,6 +50,13 @@ struct LintLimits {
 ///  * per-kernel statically-sized __local declarations within
 ///    limits.local_mem_bytes (sizes evaluated through #define constants and
 ///    `typedef ... real_t`)
+///  * work-group size within limits.max_work_group_size (both
+///    reqd_work_group_size attributes and the generated WS constant)
+///
+/// Divergence tracking follows aliases through both data flow (assigned
+/// from a divergent expression, including in loop headers) and control
+/// dependence (assigned under a lane-divergent branch or loop), iterated
+/// to a fixpoint.
 ///  * no tab characters / trailing whitespace (style)
 LintReport lint_kernel_source(const std::string& source,
                               int expected_kernels = 1,

@@ -33,6 +33,12 @@ std::string batched_kernel_source(const AlsVariant& variant,
 /// row, Algorithm 2).
 std::string flat_kernel_source(const KernelConfig& config);
 
+/// OpenCL C source of the flat update over SELL-C-sigma storage (the
+/// format-side divergence remedy; sparse/sell.hpp): one work-group per
+/// slice, one lane per row, column-major slice layout so lane loads of the
+/// CSR segment are unit-stride.
+std::string sell_kernel_source(const KernelConfig& config);
+
 /// The preamble shared by all kernels (types, Cholesky helpers).
 std::string kernel_preamble(const KernelConfig& config);
 
@@ -42,8 +48,8 @@ std::string build_options(const KernelConfig& config);
 /// Kernel entry-point name for a variant ("als_update_batch_local_reg"...).
 std::string kernel_name(const AlsVariant& variant);
 
-/// Writes all 9 kernels (8 batched variants + flat) into a directory, one
-/// .cl file each; returns the number of files written.
+/// Writes all 10 kernels (8 batched variants + flat + SELL) into a
+/// directory, one .cl file each; returns the number of files written.
 int write_kernel_files(const std::string& directory,
                        const KernelConfig& config);
 

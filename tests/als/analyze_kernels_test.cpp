@@ -1,0 +1,90 @@
+// The analyze-kernels sweep (the static CI gate): every generated kernel on
+// every built-in profile must deep-lint clean and produce a well-formed
+// StaticKernelProfile, and the JSON the gate emits must parse.
+#include "als/analyze_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "als/options.hpp"
+#include "common/json.hpp"
+
+namespace alsmf {
+namespace {
+
+AnalyzeKernelsOptions small_options() {
+  AnalyzeKernelsOptions o;
+  o.users = 120;
+  o.items = 80;
+  o.nnz = 1500;
+  o.profiles = {"cpu", "gpu"};
+  return o;
+}
+
+TEST(AnalyzeKernels, SweepIsCleanAndCoversEveryKernel) {
+  const auto result = analyze_kernels(small_options());
+  EXPECT_TRUE(result.clean()) << result.to_json();
+  // 8 batched + flat + SELL, per profile.
+  EXPECT_EQ(result.entries.size(), 2 * (AlsVariant::kVariantCount + 2));
+  std::set<std::string> kernels;
+  for (const auto& e : result.entries) {
+    kernels.insert(e.kernel);
+    EXPECT_GT(e.data.counters.useful_flops, 0.0) << e.kernel;
+    EXPECT_GT(e.data.register_estimate, 0) << e.kernel;
+    EXPECT_GT(e.data.groups, 0u) << e.kernel;
+    EXPECT_FALSE(e.json.empty()) << e.kernel;
+  }
+  EXPECT_EQ(kernels.size(), AlsVariant::kVariantCount + 2);
+  EXPECT_TRUE(kernels.count("als_update_flat"));
+  EXPECT_TRUE(kernels.count("als_update_flat_sell"));
+  EXPECT_TRUE(kernels.count("als_update_batch_local_reg"));
+}
+
+TEST(AnalyzeKernels, LocalVariantsReportStagingOthersDoNot) {
+  const auto result = analyze_kernels(small_options());
+  for (const auto& e : result.entries) {
+    const bool is_local = e.kernel.find("_local") != std::string::npos;
+    if (is_local) {
+      EXPECT_GT(e.data.tile_rows, 0u) << e.kernel;
+      EXPECT_GT(e.data.declared_local_bytes, 0) << e.kernel;
+    } else {
+      EXPECT_EQ(e.data.tile_rows, 0u) << e.kernel;
+    }
+  }
+}
+
+TEST(AnalyzeKernels, EmittedJsonParses) {
+  const auto result = analyze_kernels(small_options());
+  const json::Value root = json::parse(result.to_json());
+  const json::Value* clean = root.find("clean");
+  ASSERT_NE(clean, nullptr);
+  const json::Value* entries = root.find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_FALSE(entries->array().empty());
+  // Spot-check one embedded static profile.
+  const json::Value& first = entries->array().front();
+  ASSERT_NE(first.find("kernel"), nullptr);
+  const json::Value* sp = first.find("static_profile");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_NE(sp->find("counters"), nullptr);
+  EXPECT_NE(sp->find("accesses"), nullptr);
+  EXPECT_NE(sp->find("resources"), nullptr);
+}
+
+TEST(AnalyzeKernels, ForcedTinyTileShowsMultiChunkStaging) {
+  AnalyzeKernelsOptions o = small_options();
+  o.tile_rows = 4;
+  const auto result = analyze_kernels(o);
+  EXPECT_TRUE(result.clean());
+  bool saw_chunked = false;
+  for (const auto& e : result.entries) {
+    if (e.kernel.find("_local") == std::string::npos) continue;
+    EXPECT_EQ(e.data.tile_rows, 4u) << e.kernel;
+    saw_chunked |= e.data.chunks > 1;
+  }
+  EXPECT_TRUE(saw_chunked);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,158 @@
+// Static/dynamic agreement: the analyzer's predicted launch activity
+// (ocl/analyze/static_profile.hpp, computed from the generated OpenCL source
+// alone) must match what the devsim accounting kernels actually record, on
+// every variant and device profile. Off-chip traffic is held to 10% (the
+// analyzer statically charges the row_ptr walk the dynamic path streams);
+// on-chip and op counters are near-exact, and the scratch-pad peak is exact.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "als/kernels.hpp"
+#include "devsim/cost_model.hpp"
+#include "devsim/device.hpp"
+#include "ocl/analyze/parser.hpp"
+#include "ocl/analyze/static_profile.hpp"
+#include "ocl/kernel_source.hpp"
+#include "sparse/convert.hpp"
+
+namespace alsmf {
+namespace {
+
+constexpr int kRows = 300;
+constexpr int kCols = 200;
+constexpr int kK = 10;
+constexpr int kWs = 32;
+constexpr std::size_t kGroups = 48;
+
+// Deterministic ragged matrix with distinct columns per row (5..34 nnz;
+// gcd(7, kCols) = 1 keeps (u + e*7) % kCols collision-free for e < 29).
+Csr make_train() {
+  Coo coo(kRows, kCols);
+  for (int u = 0; u < kRows; ++u) {
+    const int deg = 5 + (u % 30);
+    for (int e = 0; e < deg; ++e) {
+      coo.add(u, (u + e * 7) % kCols, 1.0f);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+ocl::analyze::DatasetStats stats_of(const Csr& r) {
+  ocl::analyze::DatasetStats s;
+  s.rows = static_cast<double>(r.rows());
+  s.nnz = static_cast<double>(r.nnz());
+  for (index_t u = 0; u < r.rows(); ++u) {
+    if (r.row_nnz(u) > 0) s.nonempty_rows += 1;
+  }
+  return s;
+}
+
+double offchip(const devsim::LaunchCounters& c,
+               const devsim::DeviceProfile& p) {
+  return static_cast<double>(c.global_bytes) +
+         devsim::scattered_bytes_moved(c, p);
+}
+
+void expect_near_pct(double got, double want, double pct,
+                     const std::string& what) {
+  if (want == 0) {
+    EXPECT_EQ(got, 0) << what;
+    return;
+  }
+  EXPECT_NEAR(got / want, 1.0, pct / 100.0) << what << ": static " << got
+                                            << " vs dynamic " << want;
+}
+
+void check_agreement(const devsim::DeviceProfile& profile, long tile_rows) {
+  const Csr r = make_train();
+  const ocl::analyze::DatasetStats stats = stats_of(r);
+  Matrix src(kCols, kK, 0.1f);
+
+  ocl::KernelConfig cfg;
+  cfg.k = kK;
+  cfg.group_size = kWs;
+  ocl::analyze::StaticLaunchParams launch;
+  launch.num_groups = kGroups;
+  launch.group_size = kWs;
+  launch.tile_rows = tile_rows;
+
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    const std::string label =
+        profile.name + "/" + v.name() + "/tile" + std::to_string(tile_rows);
+
+    // Dynamic: one accounting-only launch of the devsim kernel.
+    devsim::Device device(profile);
+    Matrix dst(kRows, kK);
+    UpdateArgs args;
+    args.r = &r;
+    args.src = &src;
+    args.dst = &dst;
+    args.k = kK;
+    args.variant = v;
+    args.tile_rows = tile_rows;
+    const devsim::LaunchCounters dyn =
+        launch_update(device, "u", args, kGroups, kWs, /*functional=*/false)
+            .counters;
+
+    // Static: lower the generated OpenCL source and price it.
+    const auto kernels = ocl::analyze::lower_kernels(
+        ocl::analyze::parse_translation_unit(ocl::batched_kernel_source(v, cfg)));
+    ASSERT_EQ(kernels.size(), 1u);
+    const ocl::analyze::StaticKernelProfile sp =
+        ocl::analyze::build_static_profile(kernels.front(), stats, launch,
+                                           profile);
+    const devsim::LaunchCounters& st = sp.counters;
+
+    // The acceptance bound: off-chip traffic within 10%.
+    expect_near_pct(offchip(st, profile), offchip(dyn, profile), 10.0,
+                    label + " offchip bytes");
+    // On-chip traffic and issue counts mirror the same formulas: 1%.
+    expect_near_pct(static_cast<double>(st.local_bytes),
+                    static_cast<double>(dyn.local_bytes), 1.0,
+                    label + " local bytes");
+    expect_near_pct(static_cast<double>(st.spill_bytes),
+                    static_cast<double>(dyn.spill_bytes), 1.0,
+                    label + " spill bytes");
+    expect_near_pct(st.lane_ops_scalar, dyn.lane_ops_scalar, 1.0,
+                    label + " scalar lane-ops");
+    expect_near_pct(st.lane_ops_vector, dyn.lane_ops_vector, 1.0,
+                    label + " vector lane-ops");
+    expect_near_pct(st.useful_flops, dyn.useful_flops, 1.0,
+                    label + " useful flops");
+    // Resource figures are exact: same allocation and sizing rules.
+    EXPECT_EQ(st.local_alloc_peak, dyn.local_alloc_peak) << label;
+    EXPECT_EQ(st.register_demand_peak, dyn.register_demand_peak) << label;
+    EXPECT_EQ(st.groups, dyn.groups) << label;
+  }
+}
+
+TEST(StaticAgreement, CpuPinnedTile) {
+  check_agreement(devsim::profile_by_name("cpu"), 64);
+}
+
+TEST(StaticAgreement, GpuPinnedTile) {
+  check_agreement(devsim::profile_by_name("gpu"), 64);
+}
+
+TEST(StaticAgreement, MicPinnedTile) {
+  check_agreement(devsim::profile_by_name("mic"), 64);
+}
+
+TEST(StaticAgreement, CpuAutoTile) {
+  check_agreement(devsim::profile_by_name("cpu"), 0);
+}
+
+TEST(StaticAgreement, GpuAutoTile) {
+  check_agreement(devsim::profile_by_name("gpu"), 0);
+}
+
+TEST(StaticAgreement, GpuTinyTileMultiChunk) {
+  // A deliberately tiny tile forces multi-chunk staging (chunks > 1), the
+  // regime where the per-chunk barrier and re-fill pricing matter.
+  check_agreement(devsim::profile_by_name("gpu"), 4);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -77,6 +77,50 @@ TEST(VariantSelect, HeuristicAgreesWithEmpiricalOnNetflix) {
   }
 }
 
+TEST(VariantSelect, StaticScoresAllEightSortedAscending) {
+  const Csr train = make_replica("YMR4", 8.0);
+  const auto scores = score_variants_static(train, opts(), devsim::k20c());
+  ASSERT_EQ(scores.size(), AlsVariant::kVariantCount);
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_LE(scores[i - 1].modeled_seconds, scores[i].modeled_seconds);
+  }
+  for (const auto& s : scores) EXPECT_GT(s.modeled_seconds, 0.0);
+}
+
+TEST(VariantSelect, StaticRankingPutsEmpiricalBestInTopTwo) {
+  // The zero-run contract: the variant the empirical selector finds by
+  // actually running all 8 must sit in the static ranking's top 2, on
+  // every built-in device profile.
+  for (const char* dataset : {"YMR4", "NTFX"}) {
+    const Csr train = make_replica(dataset, 64.0);
+    for (const char* dev : {"gpu", "cpu", "mic"}) {
+      const auto profile = devsim::profile_by_name(dev);
+      const AlsVariant best = select_variant_empirical(train, opts(), profile);
+      const auto ranked = score_variants_static(train, opts(), profile);
+      EXPECT_TRUE(best == ranked[0].variant || best == ranked[1].variant)
+          << dataset << "/" << dev << ": empirical best " << best.name()
+          << " not in static top-2 (" << ranked[0].variant.name() << ", "
+          << ranked[1].variant.name() << ")";
+    }
+  }
+}
+
+TEST(VariantSelect, StaticSelectorNeverRunsButStaysCompetitive) {
+  // select_variant_static's pick must be within 25% of the empirical
+  // optimum's modeled time — same bar the heuristic is held to.
+  const Csr train = make_replica("NTFX", 128.0);
+  for (const char* dev : {"gpu", "cpu", "mic"}) {
+    const auto profile = devsim::profile_by_name(dev);
+    const AlsVariant pick = select_variant_static(train, opts(), profile);
+    const auto scores = score_variants(train, opts(), profile);
+    double pick_time = 0;
+    for (const auto& s : scores) {
+      if (s.variant == pick) pick_time = s.modeled_seconds;
+    }
+    EXPECT_LE(pick_time, scores.front().modeled_seconds * 1.25) << dev;
+  }
+}
+
 TEST(VariantSelect, RecommendedGroupSizeCoversK) {
   const auto gpu = devsim::k20c();
   // §V-E: smallest size >= k (rounded to scheduling granularity).

@@ -1,0 +1,78 @@
+// Golden-hash pinning of the kernel generator's output (what export_kernels
+// writes): an unreviewed byte change to any emitted OpenCL source fails
+// here. The sources are the deployment artifact — drift must be deliberate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ocl/kernel_source.hpp"
+#include "robust/crc32.hpp"
+
+namespace alsmf::ocl {
+namespace {
+
+// CRC-32 (robust/crc32.hpp) of each generated source at the default
+// configuration (k=10, WS=32, TILE_ROWS=256, float).
+//
+// Regenerating after a DELIBERATE generator change: run the test; each
+// mismatch prints the new hash in this table's format — paste it here and
+// re-review the emitted source (`build/examples/export_kernels --out DIR`
+// writes the .cl files for inspection).
+const std::vector<std::pair<std::string, std::uint32_t>> kGolden = {
+    {"als_update_batch", 0x457af81du},
+    {"als_update_batch_reg", 0x1a2ac42du},
+    {"als_update_batch_local", 0x22139236u},
+    {"als_update_batch_local_reg", 0xa1c374ffu},
+    {"als_update_batch_vec", 0x019dcfb7u},
+    {"als_update_batch_reg_vec", 0xc6b2d618u},
+    {"als_update_batch_local_vec", 0x5ca36e84u},
+    {"als_update_batch_local_reg_vec", 0x819b91c6u},
+    {"als_update_flat", 0x79497cc7u},
+    {"als_update_flat_sell", 0xfd6b2f65u},
+};
+
+std::string source_of(const std::string& name, const KernelConfig& c) {
+  if (name == "als_update_flat") return flat_kernel_source(c);
+  if (name == "als_update_flat_sell") return sell_kernel_source(c);
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    if (kernel_name(v) == name) return batched_kernel_source(v, c);
+  }
+  ADD_FAILURE() << "unknown kernel name " << name;
+  return "";
+}
+
+TEST(GoldenKernels, EveryGeneratedSourceMatchesItsPinnedHash) {
+  const KernelConfig c;  // defaults = what export_kernels emits
+  ASSERT_EQ(kGolden.size(), AlsVariant::kVariantCount + 2)
+      << "a kernel was added or removed: extend kGolden";
+  for (const auto& [name, want] : kGolden) {
+    const std::string src = source_of(name, c);
+    const std::uint32_t got = robust::crc32(src.data(), src.size());
+    char line[96];
+    std::snprintf(line, sizeof(line), "    {\"%s\", 0x%08xu},", name.c_str(),
+                  got);
+    EXPECT_EQ(got, want)
+        << name << " drifted from its golden hash.\n"
+        << "If the generator change is deliberate, update its entry to:\n"
+        << line << "\n"
+        << "then re-review the source via: export_kernels --out <dir>";
+  }
+}
+
+TEST(GoldenKernels, HashesAreConfigSensitive) {
+  // Sanity of the pinning itself: a different build configuration must not
+  // collide with the golden hashes (k and WS are baked into the preamble).
+  KernelConfig c;
+  c.k = 12;
+  for (const auto& [name, want] : kGolden) {
+    const std::string src = source_of(name, c);
+    EXPECT_NE(robust::crc32(src.data(), src.size()), want) << name;
+  }
+}
+
+}  // namespace
+}  // namespace alsmf::ocl

@@ -1,0 +1,130 @@
+// Structural-lint regression tests for the limit checks and the taint
+// rules around them: work-group size limits, control-dependent divergence,
+// and the #define/typedef arithmetic the __local sizing relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ocl/kernel_lint.hpp"
+
+namespace alsmf::ocl {
+namespace {
+
+TEST(KernelLintLimits, FlagsReqdWorkGroupSizeOverDeviceMaximum) {
+  const std::string src =
+      "__attribute__((reqd_work_group_size(16, 16, 1)))\n"
+      "__kernel void f(__global float* out) { out[0] = 1; }\n";
+  LintLimits limits;
+  limits.max_work_group_size = 128;
+  const auto r = lint_kernel_source(src, 1, limits);
+  ASSERT_FALSE(r.clean());
+  EXPECT_NE(r.to_string().find("256"), std::string::npos);
+  EXPECT_NE(r.to_string().find("128"), std::string::npos);
+
+  limits.max_work_group_size = 256;
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+  // 0 = unknown device: check skipped.
+  EXPECT_TRUE(lint_kernel_source(src, 1).clean());
+}
+
+TEST(KernelLintLimits, FlagsGeneratedWsOverDeviceMaximum) {
+  const std::string src =
+      "#define WS 512\n"
+      "__kernel void f(__global float* out) { out[0] = 1; }\n";
+  LintLimits limits;
+  limits.max_work_group_size = 256;
+  const auto r = lint_kernel_source(src, 1, limits);
+  ASSERT_FALSE(r.clean());
+  EXPECT_NE(r.to_string().find("WS=512"), std::string::npos);
+
+  limits.max_work_group_size = 512;
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+}
+
+TEST(KernelLintLimits, BarrierInLoopBoundedByControlDependentValue) {
+  // lim is assigned under a lane-divergent branch, so the loop trip count
+  // diverges across lanes and the barrier deadlocks.
+  const std::string src =
+      "__kernel void f(__local float* t) {\n"
+      "  int lim = 0;\n"
+      "  if (get_local_id(0) < 4) lim = 8;\n"
+      "  for (int i = 0; i < lim; ++i) {\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "}\n";
+  const auto r = lint_kernel_source(src, 1);
+  ASSERT_FALSE(r.clean());
+  EXPECT_NE(r.to_string().find("lane-divergent"), std::string::npos);
+}
+
+TEST(KernelLintLimits, UniformControlDependenceStaysClean) {
+  // The same shape conditioned on the group id is uniform per group.
+  const std::string src =
+      "__kernel void f(__local float* t) {\n"
+      "  int lim = 0;\n"
+      "  if (get_group_id(0) < 4) lim = 8;\n"
+      "  for (int i = 0; i < lim; ++i) {\n"
+      "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  }\n"
+      "}\n";
+  const auto r = lint_kernel_source(src, 1);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+// --- #define / typedef arithmetic in the __local sizing ---
+
+TEST(KernelLintLimits, SizesLocalsThroughChainedDefines) {
+  const std::string src =
+      "#define K 10\n"
+      "#define TILE_ROWS 8\n"
+      "#define TILE_ELEMS (TILE_ROWS * K)\n"
+      "typedef float real_t;\n"
+      "__kernel void f(__global real_t* out) {\n"
+      "  __local real_t tile[TILE_ELEMS + K];\n"  // 90 floats = 360 bytes
+      "  tile[0] = 1;\n"
+      "  out[0] = tile[0];\n"
+      "}\n";
+  LintLimits limits;
+  limits.local_mem_bytes = 256;
+  const auto r = lint_kernel_source(src, 1, limits);
+  ASSERT_FALSE(r.clean());
+  EXPECT_NE(r.to_string().find("360"), std::string::npos);
+  limits.local_mem_bytes = 512;
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+}
+
+TEST(KernelLintLimits, RedefinedRealTypedefChangesElementWidth) {
+  // real_t re-typedef'd to double doubles every extent.
+  const std::string src =
+      "#define N 64\n"
+      "typedef double real_t;\n"
+      "__kernel void f(__global real_t* out) {\n"
+      "  __local real_t a[N];\n"  // 512 bytes as double
+      "  a[0] = 1;\n"
+      "  out[0] = a[0];\n"
+      "}\n";
+  LintLimits limits;
+  limits.local_mem_bytes = 384;
+  EXPECT_FALSE(lint_kernel_source(src, 1, limits).clean());
+  limits.local_mem_bytes = 512;
+  EXPECT_TRUE(lint_kernel_source(src, 1, limits).clean());
+}
+
+TEST(KernelLintLimits, NonConstantExtentIsNotSilentlyUndercounted) {
+  // An extent the evaluator cannot fold must not shrink the total below a
+  // sibling declaration that alone exceeds the budget.
+  const std::string src =
+      "#define K 10\n"
+      "typedef float real_t;\n"
+      "__kernel void f(__global real_t* out, int n) {\n"
+      "  __local real_t big[1024];\n"  // 4096 bytes on its own
+      "  big[0] = 1;\n"
+      "  out[0] = big[0];\n"
+      "}\n";
+  LintLimits limits;
+  limits.local_mem_bytes = 2048;
+  EXPECT_FALSE(lint_kernel_source(src, 1, limits).clean());
+}
+
+}  // namespace
+}  // namespace alsmf::ocl

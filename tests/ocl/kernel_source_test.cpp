@@ -112,10 +112,10 @@ TEST(KernelSource, BuildOptionsEncodeConstants) {
   EXPECT_NE(opts.find("-DWS=64"), std::string::npos);
 }
 
-TEST(KernelSource, WritesAllNineKernelFiles) {
+TEST(KernelSource, WritesAllTenKernelFiles) {
   const std::string dir = ::testing::TempDir() + "/alsmf_kernels";
   std::filesystem::remove_all(dir);
-  EXPECT_EQ(write_kernel_files(dir, config()), 9);
+  EXPECT_EQ(write_kernel_files(dir, config()), 10);
   int count = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     EXPECT_EQ(entry.path().extension(), ".cl");
@@ -125,7 +125,17 @@ TEST(KernelSource, WritesAllNineKernelFiles) {
     EXPECT_TRUE(lint_kernel_source(content, 1).clean()) << entry.path();
     ++count;
   }
-  EXPECT_EQ(count, 9);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(KernelSource, SellKernelLintCleanAndUnitStride) {
+  const std::string src = sell_kernel_source(config());
+  EXPECT_TRUE(lint_kernel_source(src, 1).clean());
+  EXPECT_NE(src.find("__kernel void als_update_flat_sell("),
+            std::string::npos);
+  // The format-side remedy: segment loads are lane-contiguous.
+  EXPECT_NE(src.find("base + z * WS + lane"), std::string::npos);
+  EXPECT_NE(src.find("slice_ptr"), std::string::npos);
 }
 
 TEST(KernelSource, FlatRejectsBatchedGenerator) {
