@@ -7,7 +7,14 @@
 //   * variant_sweep      — accounting-mode modeled seconds for all 8 code
 //                          variants on the same matrix (the Fig. 6 axis);
 //   * serve_closed_loop  — closed-loop serving smoke: request conservation,
-//                          throughput and tail latency.
+//                          throughput and tail latency;
+//   * serve_ivf          — the same service scoring through an IVF index:
+//                          recall@10 against the exhaustive oracle is
+//                          deterministic (pinned seed, exact rescoring) and
+//                          gated, so an index regression fails CI;
+//   * pipeline_smoke     — train → checkpoint → index build → hot swap under
+//                          load, twice; gates swap count, request
+//                          conservation and the staleness assertion.
 // Modeled/deterministic metrics carry gate=true and fail --compare when they
 // move past the tolerance; wall-clock and throughput numbers are recorded
 // with gate=false (machine-dependent, informational only).
@@ -20,13 +27,19 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "als/solver.hpp"
 #include "bench_util.hpp"
 #include "common/timer.hpp"
 #include "data/synthetic.hpp"
 #include "devsim/profile.hpp"
+#include "index/ivf_index.hpp"
 #include "obs/events.hpp"
 #include "obs/regress.hpp"
+#include "pipeline/pipeline.hpp"
+#include "recsys/batch_score.hpp"
+#include "recsys/ranking.hpp"
 #include "recsys/recommender.hpp"
 #include "serve/service.hpp"
 
@@ -135,6 +148,135 @@ void run_serve_closed_loop(obs::RegressReport& report, const Csr& train,
       m.total_us_percentile(0.99));
 }
 
+void run_serve_ivf(obs::RegressReport& report, const Csr& train, bool smoke,
+                   std::uint64_t seed) {
+  AlsOptions options;
+  options.k = 8;
+  options.iterations = 2;
+  options.functional = true;
+  Recommender rec;
+  rec.train(train, options, devsim::profile_by_name("cpu"),
+            AlsVariant::from_mask(7));
+  auto snap = serve::snapshot_from_recommender(rec, options.lambda);
+
+  index::IvfOptions ivf_options;
+  ivf_options.seed = seed;
+  ivf_options.nprobe = 8;
+  serve::attach_ivf_index(*snap, ivf_options);
+  const auto& ann = *snap->ann;
+
+  // Deterministic part, gated: recall@10 of the index against the
+  // exhaustive oracle for a pinned user sample. Build and rescoring are
+  // seeded and exact, so this number only moves when the index moves.
+  const int topn = 10;
+  const auto sample_users = std::min<index_t>(rec.users(), 100);
+  double recall = 0;
+  std::size_t candidates = 0;
+  for (index_t u = 0; u < sample_users; ++u) {
+    const auto exact = topn_from_factor(snap->x.row(u), snap->y, topn);
+    index::IvfQueryStats stats;
+    const auto approx = ann.topn(snap->x.row(u), snap->y, topn,
+                                 ivf_options.nprobe, nullptr, -1, {}, &stats);
+    recall += recall_at_n(approx, exact);
+    candidates += stats.candidates;
+  }
+  recall /= static_cast<double>(sample_users);
+  const double scanned_frac =
+      static_cast<double>(candidates) /
+      (static_cast<double>(sample_users) * static_cast<double>(rec.items()));
+
+  // Throughput part, informational: the same service path with the index
+  // attached (cache off so the scoring path is what is measured).
+  serve::ServiceOptions serve_options;
+  serve_options.max_batch = 32;
+  serve_options.max_wait_us = 100;
+  serve_options.cache_capacity = 0;
+  serve_options.nprobe = ivf_options.nprobe;
+  serve::RecommendService service(std::move(snap), serve_options);
+  const std::size_t requests = smoke ? 2000 : 10000;
+  Rng rng(seed);
+  Timer wall;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto user = static_cast<index_t>(
+        rng() % static_cast<std::uint64_t>(rec.users()));
+    (void)service.topn(user, topn);
+  }
+  const double seconds = wall.seconds();
+  service.stop();
+  const auto violations = service.metrics().registry().check_assertions();
+
+  report.add("serve_ivf.recall_at_10", recall, "recall",
+             /*lower_is_better=*/false);
+  report.add("serve_ivf.scanned_frac", scanned_frac, "frac");
+  report.add("serve_ivf.assertion_violations",
+             static_cast<double>(violations.size()), "count");
+  report.add("serve_ivf.qps",
+             seconds > 0 ? static_cast<double>(requests) / seconds : 0.0,
+             "qps", /*lower_is_better=*/false, /*gate=*/false);
+  std::printf(
+      "serve_ivf: recall@10 %.4f (%d clusters, nprobe %d, %.1f%% scanned), "
+      "%zu requests (%.0f qps)\n",
+      recall, ann.build_stats().clusters, ivf_options.nprobe,
+      100.0 * scanned_frac, requests,
+      seconds > 0 ? static_cast<double>(requests) / seconds : 0.0);
+}
+
+void run_pipeline_smoke(obs::RegressReport& report, const Csr& train,
+                        std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("alsmf_regress_pipeline_" +
+                                   std::to_string(static_cast<unsigned long long>(seed)));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  pipeline::PipelineOptions options;
+  options.als.k = 6;
+  options.als.iterations = 4;  // 2 checkpoints -> 2 swaps
+  options.als.functional = true;
+  options.checkpoint_dir = dir.string();
+  options.checkpoint_every = 2;
+  options.ivf.clusters = 8;
+  options.ivf.seed = seed;
+  options.clients = 2;
+  options.topn = 10;
+  options.load_seed = seed;
+  const auto pipe = pipeline::run_pipeline(train, options);
+  fs::remove_all(dir);
+
+  for (const auto& v : pipe.assertion_violations) {
+    std::printf("pipeline_smoke: ASSERTION VIOLATED: %s\n", v.c_str());
+  }
+  const auto dropped = pipe.requests_submitted - pipe.requests_completed -
+                       pipe.requests_shed;
+  report.add("pipeline_smoke.swaps", static_cast<double>(pipe.swaps), "count",
+             /*lower_is_better=*/false);
+  report.add("pipeline_smoke.index_builds",
+             static_cast<double>(pipe.index_builds), "count",
+             /*lower_is_better=*/false);
+  report.add("pipeline_smoke.checkpoint_load_failures",
+             static_cast<double>(pipe.checkpoint_load_failures), "count");
+  report.add("pipeline_smoke.dropped_requests", static_cast<double>(dropped),
+             "count");
+  report.add("pipeline_smoke.assertion_violations",
+             static_cast<double>(pipe.assertion_violations.size()), "count");
+  // Worst observed staleness depends on thread timing (0 or 1 under the
+  // bound); record it but don't gate the race.
+  report.add("pipeline_smoke.staleness_max",
+             static_cast<double>(pipe.staleness_max), "versions",
+             /*lower_is_better=*/true, /*gate=*/false);
+  report.add("pipeline_smoke.wall_seconds", pipe.wall_seconds, "s",
+             /*lower_is_better=*/true, /*gate=*/false);
+  std::printf(
+      "pipeline_smoke: %d iters, %llu swaps, %llu index builds, "
+      "staleness<=%llu, %llu requests (0 dropped: %s)\n",
+      pipe.iterations, static_cast<unsigned long long>(pipe.swaps),
+      static_cast<unsigned long long>(pipe.index_builds),
+      static_cast<unsigned long long>(pipe.staleness_max),
+      static_cast<unsigned long long>(pipe.requests_submitted),
+      dropped == 0 ? "yes" : "NO");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +299,8 @@ int main(int argc, char** argv) {
   run_train_smoke(report, train);
   run_variant_sweep(report, train);
   run_serve_closed_loop(report, train, args.smoke, args.seed);
+  run_serve_ivf(report, train, args.smoke, args.seed);
+  run_pipeline_smoke(report, train, args.seed);
 
   report.write_file(out_path);
   std::printf("# wrote %s (%zu metrics)\n", out_path.c_str(),

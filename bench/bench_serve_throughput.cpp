@@ -5,11 +5,18 @@
 //   bench_serve_throughput [--users N] [--items N] [--k K] [--requests N]
 //     [--clients N] [--batch N] [--max-wait-us U] [--cache N]
 //     [--foldin-pct P] [--zipf A] [--topn N] [--seed S] [--smoke]
+//     [--index exhaustive|ivf] [--nprobe N] [--clusters N] [--json-out F]
 //     [--overload] [--overload-factor F] [--max-queue N] [--deadline-us U]
 //
 // Each mode replays the same request schedule with `clients` closed-loop
 // threads (a client issues its next request as soon as the previous answer
 // lands). The first 10% of the stream warms the cache and is not measured.
+//
+// --index=ivf adds a third row: the same batched service scoring through an
+// IVF index attached to the snapshot, alongside its recall@topn against the
+// exhaustive oracle on the same pinned schedule — QPS and recall side by
+// side, so the nprobe trade-off is visible in one run. --json-out writes the
+// per-mode table plus the recall/speedup summary machine-readably.
 //
 // --overload adds an open-loop phase: clients submit at `overload-factor`
 // times the capacity just measured by the closed-loop batched run, against a
@@ -20,19 +27,25 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/histogram.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "index/ivf_index.hpp"
 #include "recsys/batch_score.hpp"
 #include "recsys/fold_in.hpp"
+#include "recsys/ranking.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -55,6 +68,9 @@ struct Config {
   int topn = 10;
   std::uint64_t seed = 42;
   real lambda = 0.1f;
+  std::string index_mode = "exhaustive";  // or "ivf"
+  int nprobe = 16;       // partitions probed per query in ivf mode
+  int ivf_clusters = 0;  // 0 = ~2·sqrt(items) heuristic
 };
 
 struct Request {
@@ -94,11 +110,47 @@ std::vector<Request> make_schedule(const Config& config) {
   return schedule;
 }
 
+/// Mixture-of-topics factors with popularity-skewed item norms — the regime
+/// trained ALS factors occupy: items cluster around shared topic/genre
+/// directions and popular items carry larger norms. Iid-uniform rows (the
+/// old generator) have no coarse structure at all, which is the provably
+/// worst case for any partition-based index and does not resemble a trained
+/// model; topic structure is what makes the recall/QPS trade-off here
+/// representative.
 std::shared_ptr<ModelSnapshot> make_model(const Config& config) {
   Rng rng(config.seed ^ 0xfac70ULL);
+  constexpr int kTopics = 32;
+  constexpr double kNoise = 0.25;
+  constexpr double kSkew = 0.25;  // item i norm ~ (i+1)^-kSkew, ids by popularity
+  Matrix centers(kTopics, config.k);
+  centers.fill_uniform(rng, -0.5f, 0.5f);
+  auto gauss = [&rng] {
+    double u1 = rng.uniform();
+    const double u2 = rng.uniform();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  };
   Matrix x(config.users, config.k), y(config.items, config.k);
-  x.fill_uniform(rng, -0.5f, 0.5f);
-  y.fill_uniform(rng, -0.5f, 0.5f);
+  for (index_t i = 0; i < config.items; ++i) {
+    const auto t = static_cast<index_t>(
+        rng.bounded(static_cast<std::uint64_t>(kTopics)));
+    const real scale = static_cast<real>(
+        2.0 * std::pow(static_cast<double>(i + 1), -kSkew));
+    const real* c = centers.row(t).data();
+    real* row = y.row(i).data();
+    for (int d = 0; d < config.k; ++d) {
+      row[d] = scale * (c[d] + static_cast<real>(kNoise * gauss()));
+    }
+  }
+  for (index_t u = 0; u < config.users; ++u) {
+    const auto t = static_cast<index_t>(
+        rng.bounded(static_cast<std::uint64_t>(kTopics)));
+    const real* c = centers.row(t).data();
+    real* row = x.row(u).data();
+    for (int d = 0; d < config.k; ++d) {
+      row[d] = c[d] + static_cast<real>(kNoise * gauss());
+    }
+  }
   return serve::snapshot_from_factors(std::move(x), std::move(y), config.lambda);
 }
 
@@ -176,12 +228,16 @@ RunResult run_naive(const Config& config, const std::vector<Request>& schedule,
 
 RunResult run_batched(const Config& config,
                       const std::vector<Request>& schedule, std::size_t warmup,
-                      const std::shared_ptr<ModelSnapshot>& model) {
+                      const std::shared_ptr<ModelSnapshot>& model,
+                      std::shared_ptr<const index::IvfIndex> ann = nullptr) {
   serve::ServiceOptions options;
   options.max_batch = config.max_batch;
   options.max_wait_us = config.max_wait_us;
   options.cache_capacity = config.cache;
-  RecommendService service(std::make_shared<ModelSnapshot>(*model), options);
+  options.nprobe = config.nprobe;
+  auto snap = std::make_shared<ModelSnapshot>(*model);
+  snap->ann = std::move(ann);
+  RecommendService service(std::move(snap), options);
   auto result = run_clients(config, schedule, warmup, [&](const Request& request) {
     if (request.foldin) {
       const auto r =
@@ -280,6 +336,51 @@ void run_overload(const Config& config, const std::vector<Request>& schedule,
       offered_qps, seconds, 100.0 * shed_rate, m.total_us_percentile(0.99));
 }
 
+/// Mean recall@topn of the index against the exhaustive oracle, over the
+/// first distinct top-N users of the pinned schedule (the same users the
+/// throughput phases serve).
+double measure_recall(const Config& config, const std::vector<Request>& schedule,
+                      const ModelSnapshot& model, const index::IvfIndex& ann) {
+  std::vector<index_t> users;
+  for (const auto& request : schedule) {
+    if (request.foldin) continue;
+    if (std::find(users.begin(), users.end(), request.user) == users.end()) {
+      users.push_back(request.user);
+    }
+    if (users.size() >= 200) break;
+  }
+  const BiasModel* bias = model.has_bias ? &model.bias : nullptr;
+  double recall = 0;
+  for (const index_t u : users) {
+    const auto exact = topn_from_factor(model.x.row(u), model.y, config.topn,
+                                        bias, u);
+    const auto approx = ann.topn(model.x.row(u), model.y, config.topn,
+                                 config.nprobe, bias, u);
+    recall += recall_at_n(approx, exact);
+  }
+  return users.empty() ? 1.0 : recall / static_cast<double>(users.size());
+}
+
+double qps_of(const RunResult& r) {
+  return r.seconds > 0 ? static_cast<double>(r.measured) / r.seconds : 0.0;
+}
+
+void json_mode(json::JsonWriter& w, const char* mode, const RunResult& r,
+               double recall) {
+  w.begin_object();
+  w.field("mode", mode);
+  w.field("requests", static_cast<unsigned long long>(r.measured));
+  w.field("qps", qps_of(r));
+  w.field("p50_us", r.latency_us.percentile(0.50));
+  w.field("p95_us", r.latency_us.percentile(0.95));
+  w.field("p99_us", r.latency_us.percentile(0.99));
+  w.field("cache_hit_rate", r.cache_hit_rate);
+  w.field("mean_batch", r.mean_batch);
+  // Exhaustive modes are their own oracle: recall 1 by construction.
+  w.field("recall_at_n", recall);
+  w.end_object();
+}
+
 void print_row(const char* mode, const RunResult& r) {
   std::printf("%-8s %9zu %8.3f %9.0f %8.1f %8.1f %8.1f %9.3f %10.1f\n", mode,
               r.measured, r.seconds,
@@ -316,6 +417,15 @@ int main(int argc, char** argv) {
   config.zipf = args.get_double("zipf", config.zipf);
   config.topn = static_cast<int>(args.get_long("topn", config.topn));
   config.seed = bench_args.seed;
+  config.index_mode = args.get_or("index", config.index_mode);
+  config.nprobe = static_cast<int>(args.get_long("nprobe", config.nprobe));
+  config.ivf_clusters =
+      static_cast<int>(args.get_long("clusters", config.ivf_clusters));
+  if (config.index_mode != "exhaustive" && config.index_mode != "ivf") {
+    std::fprintf(stderr, "unknown --index mode '%s' (exhaustive|ivf)\n",
+                 config.index_mode.c_str());
+    return 2;
+  }
 
   std::printf(
       "# serving throughput: %lld users x %lld items, k=%d, %zu requests "
@@ -338,11 +448,66 @@ int main(int argc, char** argv) {
   const auto batched = run_batched(config, schedule, warmup, model);
   print_row("batched", batched);
 
-  const double naive_qps = static_cast<double>(naive.measured) / naive.seconds;
-  const double batched_qps =
-      static_cast<double>(batched.measured) / batched.seconds;
+  const double naive_qps = qps_of(naive);
+  const double batched_qps = qps_of(batched);
   std::printf("# speedup: %.2fx (batched vs naive QPS)\n",
               batched_qps / naive_qps);
+
+  RunResult ivf;
+  double ivf_recall = 0;
+  std::shared_ptr<const index::IvfIndex> ann;
+  if (config.index_mode == "ivf") {
+    index::IvfOptions ivf_options;
+    ivf_options.clusters = config.ivf_clusters;
+    ivf_options.seed = config.seed;
+    if (config.nprobe > 0) ivf_options.nprobe = config.nprobe;
+    ann = index::IvfIndex::build(model->y, ivf_options,
+                                 model->has_bias ? &model->bias : nullptr);
+    const auto& bs = ann->build_stats();
+    std::printf("# ivf: clusters=%d nprobe=%d build=%.3fs imbalance=%.2f\n",
+                bs.clusters, config.nprobe, bs.build_seconds, bs.imbalance);
+    ivf_recall = measure_recall(config, schedule, *model, *ann);
+    ivf = run_batched(config, schedule, warmup, model, ann);
+    print_row("ivf", ivf);
+    std::printf(
+        "# ivf: recall@%d %.4f vs exhaustive oracle, speedup %.2fx vs batched "
+        "exhaustive (%.2fx vs naive)\n",
+        config.topn, ivf_recall, qps_of(ivf) / batched_qps,
+        qps_of(ivf) / naive_qps);
+  }
+
+  if (!bench_args.json_out.empty()) {
+    json::JsonWriter w;
+    w.begin_object();
+    w.field("bench", "serve_throughput");
+    w.field("seed", static_cast<unsigned long long>(config.seed));
+    w.field("users", static_cast<long long>(config.users));
+    w.field("items", static_cast<long long>(config.items));
+    w.field("k", config.k);
+    w.field("topn", config.topn);
+    w.field("zipf", config.zipf);
+    w.field("cache", static_cast<unsigned long long>(config.cache));
+    w.field("index", config.index_mode);
+    w.key("modes").begin_array();
+    json_mode(w, "naive", naive, 1.0);
+    json_mode(w, "batched", batched, 1.0);
+    if (ann) json_mode(w, "ivf", ivf, ivf_recall);
+    w.end_array();
+    w.field("speedup_batched_vs_naive", batched_qps / naive_qps);
+    if (ann) {
+      w.field("speedup_ivf_vs_batched", qps_of(ivf) / batched_qps);
+      w.key("ivf").begin_object();
+      w.field("clusters", ann->build_stats().clusters);
+      w.field("nprobe", config.nprobe);
+      w.field("build_seconds", ann->build_stats().build_seconds);
+      w.field("imbalance", ann->build_stats().imbalance);
+      w.field("recall_at_n", ivf_recall);
+      w.end_object();
+    }
+    w.end_object();
+    std::ofstream(bench_args.json_out) << w.str() << "\n";
+    std::printf("# wrote %s\n", bench_args.json_out.c_str());
+  }
 
   if (args.has_flag("overload")) {
     const double factor = args.get_double("overload-factor", 2.0);

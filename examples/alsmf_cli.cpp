@@ -19,7 +19,21 @@
 //   alsmf_cli rank      --model m.bin --train r.txt --test t.txt [--n 10]
 //   alsmf_cli serve     --model m.bin [--batch 64] [--max-wait-us 200]
 //                       [--cache 4096] [--lambda 0.1] [--max-queue 0]
-//                       [--deadline-us 0]
+//                       [--deadline-us 0] [--index exhaustive|ivf]
+//                       [--nprobe 16] [--clusters 0]
+//                       (--index=ivf scores top-N through an IVF index built
+//                       over the item factors; `swap` rebuilds the index for
+//                       the incoming model so the pair stays matched)
+//   alsmf_cli pipeline  --ratings r.txt --checkpoint-dir dir [--k 10]
+//                       [--iters 10] [--checkpoint-every 1] [--device cpu]
+//                       [--index exhaustive|ivf] [--nprobe 16] [--clusters 0]
+//                       [--clients 2] [--zipf 1.05] [--topn 10] [--seed 42]
+//                       [--max-staleness 1] [--resume]
+//                       (continuous train -> checkpoint -> index build ->
+//                       hot-swap loop under closed-loop Zipf load; prints the
+//                       pipeline report JSON and exits non-zero if any
+//                       invariant — request conservation, staleness bound —
+//                       was violated)
 //   alsmf_cli devices   [--profile file]
 //   alsmf_cli check-kernels [--profiles cpu,gpu,mic] [--users 300]
 //                       [--items 200] [--nnz 6000] [--k 10] [--json out.json]
@@ -48,8 +62,10 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "devsim/profile_io.hpp"
+#include "index/ivf_index.hpp"
 #include "obs/events.hpp"
 #include "obs/registry.hpp"
+#include "pipeline/pipeline.hpp"
 #include "recsys/recommender.hpp"
 #include "recsys/tuning.hpp"
 #include "serve/service.hpp"
@@ -346,12 +362,24 @@ int cmd_serve(const CliArgs& args) {
       static_cast<std::size_t>(args.get_long("cache", 4096));
   options.max_queue = static_cast<std::size_t>(args.get_long("max-queue", 0));
   options.default_deadline_us = args.get_long("deadline-us", 0);
+  const std::string index_mode = args.get_or("index", "exhaustive");
+  if (index_mode != "exhaustive" && index_mode != "ivf") {
+    std::cerr << "unknown --index mode '" << index_mode
+              << "' (exhaustive|ivf)\n";
+    return 2;
+  }
+  options.nprobe = static_cast<int>(args.get_long("nprobe", 16));
+  index::IvfOptions ivf_options;
+  ivf_options.clusters = static_cast<int>(args.get_long("clusters", 0));
+  ivf_options.nprobe = options.nprobe;
 
   const Recommender rec = Recommender::load_file(*model_path);
-  serve::RecommendService service(serve::snapshot_from_recommender(rec, lambda),
-                                  options);
+  auto snap = serve::snapshot_from_recommender(rec, lambda);
+  if (index_mode == "ivf") serve::attach_ivf_index(*snap, ivf_options);
+  serve::RecommendService service(std::move(snap), options);
   std::cout << "serving " << rec.users() << " users x " << rec.items()
-            << " items (model v" << service.model_version() << "); "
+            << " items (model v" << service.model_version() << ", "
+            << index_mode << " top-N); "
             << "commands: rec, predict, foldin, swap, stats, quit\n";
 
   std::string line;
@@ -398,7 +426,11 @@ int cmd_serve(const CliArgs& args) {
         std::string path;
         in >> path;
         const Recommender next = Recommender::load_file(path);
-        service.swap_model(serve::snapshot_from_recommender(next, lambda));
+        auto next_snap = serve::snapshot_from_recommender(next, lambda);
+        // Rebuild the index for the incoming factors: the snapshot always
+        // carries a matched model+index pair through the swap.
+        if (index_mode == "ivf") serve::attach_ivf_index(*next_snap, ivf_options);
+        service.swap_model(std::move(next_snap));
         std::cout << "# swapped to model v" << service.model_version() << " ("
                   << path << ")\n";
       } else if (cmd == "stats") {
@@ -413,6 +445,56 @@ int cmd_serve(const CliArgs& args) {
     }
   }
   std::cout << service.stats_json() << "\n";
+  return 0;
+}
+
+int cmd_pipeline(const CliArgs& args) {
+  const auto ratings_path = args.get("ratings");
+  const auto checkpoint_dir = args.get("checkpoint-dir");
+  if (!ratings_path || !checkpoint_dir) {
+    std::cerr << "pipeline requires --ratings and --checkpoint-dir\n";
+    return 2;
+  }
+  const std::string index_mode = args.get_or("index", "ivf");
+  if (index_mode != "exhaustive" && index_mode != "ivf") {
+    std::cerr << "unknown --index mode '" << index_mode
+              << "' (exhaustive|ivf)\n";
+    return 2;
+  }
+
+  Coo ratings = read_ratings_file(*ratings_path);
+  ratings.canonicalize();  // raw logs may repeat (user, item) pairs
+  const Csr train = coo_to_csr(ratings);
+
+  pipeline::PipelineOptions options;
+  options.als.k = static_cast<int>(args.get_long("k", 10));
+  options.als.lambda = static_cast<real>(args.get_double("lambda", 0.1));
+  options.als.iterations = static_cast<int>(args.get_long("iters", 10));
+  options.als.functional = true;
+  options.device = args.get_or("device", "cpu");
+  options.checkpoint_dir = *checkpoint_dir;
+  options.checkpoint_every =
+      static_cast<int>(args.get_long("checkpoint-every", 1));
+  options.resume = args.has_flag("resume");
+  options.use_index = index_mode == "ivf";
+  options.ivf.clusters = static_cast<int>(args.get_long("clusters", 0));
+  options.ivf.nprobe = static_cast<int>(args.get_long("nprobe", 16));
+  options.serve.nprobe = options.ivf.nprobe;
+  options.clients = static_cast<int>(args.get_long("clients", 2));
+  options.zipf = args.get_double("zipf", 1.05);
+  options.topn = static_cast<int>(args.get_long("topn", 10));
+  options.load_seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  options.max_staleness =
+      static_cast<int>(args.get_long("max-staleness", 1));
+
+  const auto report = pipeline::run_pipeline(train, options);
+  std::cout << report.to_json() << "\n";
+  if (!report.ok()) {
+    for (const auto& v : report.assertion_violations) {
+      std::cerr << "invariant violated: " << v << "\n";
+    }
+    return 1;
+  }
   return 0;
 }
 
@@ -532,7 +614,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   if (args.positional().empty()) {
     std::cerr << "usage: alsmf_cli <train|predict|recommend|evaluate|tune|"
-                 "shard|train-ooc|rank|serve|devices|check-kernels|"
+                 "shard|train-ooc|rank|serve|pipeline|devices|check-kernels|"
                  "analyze-kernels> "
                  "[options]\n";
     return 2;
@@ -548,6 +630,7 @@ int main(int argc, char** argv) {
     if (cmd == "train-ooc") return cmd_train_ooc(args);
     if (cmd == "rank") return cmd_rank(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "pipeline") return cmd_pipeline(args);
     if (cmd == "devices") return cmd_devices(args);
     if (cmd == "check-kernels") return cmd_check_kernels(args);
     if (cmd == "analyze-kernels") return cmd_analyze_kernels(args);

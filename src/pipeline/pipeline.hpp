@@ -1,0 +1,98 @@
+// Continuous train → checkpoint → index-build → hot-swap serving pipeline.
+//
+// The production loop the serving and robustness subsystems were built for,
+// closed end to end:
+//
+//   trainer ──AlsSolver::run──▶ crash-safe checkpoints (robust/checkpoint)
+//      ▲ backpressure                │ poll newest
+//      │                            ▼
+//   publisher: load checkpoint ─▶ build IVF index ─▶ service.swap_model
+//                                                        ▲
+//   Zipf load clients ──closed-loop top-N──────────────--┘
+//
+// Guarantees, asserted through the shared obs::Registry:
+//   * zero dropped requests — every submitted request completes or is shed
+//     with a status (serve_requests_conservation, equality at drain);
+//   * bounded staleness — the served snapshot never trails the newest
+//     loadable checkpoint by more than `max_staleness` versions. The
+//     trainer enforces it by backpressure: it pauses after a checkpoint
+//     until the publisher catches up, so the bound holds by construction,
+//     not by luck of scheduling.
+//   * graceful fallback — a checkpoint that fails to load (fault injection
+//     at FaultSite::kIoRead, torn file, CRC mismatch) is skipped; the
+//     service keeps answering from the previous published version and the
+//     publisher retries on the next poll.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "als/options.hpp"
+#include "als/kernels.hpp"
+#include "index/ivf_index.hpp"
+#include "obs/registry.hpp"
+#include "serve/service.hpp"
+#include "sparse/csr.hpp"
+
+namespace alsmf::pipeline {
+
+struct PipelineOptions {
+  // --- training ------------------------------------------------------------
+  AlsOptions als;               ///< als.iterations = total iterations to train
+  std::string device = "cpu";   ///< devsim profile name
+  std::string checkpoint_dir;   ///< required; checkpoints + resume live here
+  int checkpoint_every = 1;     ///< iterations per checkpoint (= per version)
+  std::size_t checkpoints_keep = 3;
+  /// Resume from the newest loadable checkpoint in checkpoint_dir (the
+  /// crash-recovery path; see docs/robustness.md).
+  bool resume = false;
+
+  // --- index ---------------------------------------------------------------
+  bool use_index = true;        ///< attach an IVF index to every snapshot
+  index::IvfOptions ivf;
+
+  // --- serving / load ------------------------------------------------------
+  serve::ServiceOptions serve;  ///< batching/cache/nprobe knobs
+  int clients = 2;              ///< closed-loop load threads
+  double zipf = 1.05;           ///< user popularity skew
+  int topn = 10;
+  std::uint64_t load_seed = 42;
+
+  // --- pipeline ------------------------------------------------------------
+  long poll_us = 200;           ///< publisher poll interval
+  /// Max checkpoints the trainer may run ahead of the served version.
+  int max_staleness = 1;
+  /// Registry for serving + pipeline series and assertions; null = a
+  /// registry private to this run.
+  obs::Registry* metrics = nullptr;
+};
+
+struct PipelineReport {
+  int iterations = 0;               ///< training iterations run
+  std::int64_t resumed_from = -1;   ///< checkpoint iteration resumed, or -1
+  std::uint64_t swaps = 0;          ///< snapshots hot-swapped into serving
+  std::uint64_t checkpoint_load_failures = 0;
+  std::uint64_t index_builds = 0;
+  double index_build_seconds = 0;   ///< total across builds
+  std::uint64_t staleness_max = 0;  ///< worst observed versions-behind
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t cache_hits = 0;
+  double wall_seconds = 0;
+  /// Registry assertion violations at drain (empty = all invariants held:
+  /// zero drops, staleness bound).
+  std::vector<std::string> assertion_violations;
+
+  bool ok() const { return assertion_violations.empty(); }
+  std::string to_json() const;
+};
+
+/// Runs the full pipeline to completion: trains `options.als.iterations`
+/// iterations with periodic checkpoints, publishes every checkpoint (as
+/// model + freshly built index) into a RecommendService under closed-loop
+/// Zipf load, and returns the evidence. Throws alsmf::Error on
+/// misconfiguration (empty checkpoint_dir, no iterations).
+PipelineReport run_pipeline(const Csr& train, const PipelineOptions& options);
+
+}  // namespace alsmf::pipeline

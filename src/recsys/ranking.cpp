@@ -119,4 +119,30 @@ RankingMetrics evaluate_ranking(const Csr& train, const Csr& test,
   return m;
 }
 
+double recall_at_n(std::span<const index_t> approx,
+                   std::span<const index_t> exact) {
+  if (exact.empty()) return 1.0;
+  std::vector<index_t> want(exact.begin(), exact.end());
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  std::vector<index_t> got(approx.begin(), approx.end());
+  std::sort(got.begin(), got.end());
+  got.erase(std::unique(got.begin(), got.end()), got.end());
+  std::size_t hits = 0;
+  for (const index_t item : got) {
+    if (std::binary_search(want.begin(), want.end(), item)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(want.size());
+}
+
+double recall_at_n(const std::vector<Recommendation>& approx,
+                   const std::vector<Recommendation>& exact) {
+  std::vector<index_t> a, e;
+  a.reserve(approx.size());
+  e.reserve(exact.size());
+  for (const auto& r : approx) a.push_back(r.item);
+  for (const auto& r : exact) e.push_back(r.item);
+  return recall_at_n(std::span<const index_t>(a), std::span<const index_t>(e));
+}
+
 }  // namespace alsmf

@@ -2,9 +2,11 @@
 // feedback recommenders (hit rate, precision/recall, NDCG, per-user AUC).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "recsys/recommender.hpp"
 #include "sparse/csr.hpp"
 
 namespace alsmf {
@@ -26,5 +28,15 @@ RankingMetrics evaluate_ranking(const Csr& train, const Csr& test,
 
 /// DCG of a single ranked 0/1 relevance list (log2 discounts).
 double dcg_at_n(const std::vector<int>& relevance, int n);
+
+/// Recall@N of an approximate top-N list against the exact one, in the
+/// pairwise-set form |approx ∩ exact| / |exact|: order is ignored, only
+/// membership counts, so ties reordered by an ANN index don't hurt a result
+/// that returns the same set. An empty exact list yields 1 (nothing to
+/// recall). Duplicates are counted once.
+double recall_at_n(std::span<const index_t> approx,
+                   std::span<const index_t> exact);
+double recall_at_n(const std::vector<Recommendation>& approx,
+                   const std::vector<Recommendation>& exact);
 
 }  // namespace alsmf

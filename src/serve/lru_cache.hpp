@@ -4,7 +4,11 @@
 // get() only returns an entry whose tag matches the caller's current
 // version, so a result computed against a pre-swap snapshot can never be
 // served after the swap — even if a slow in-flight request inserts it after
-// invalidate_all() ran. Hit/miss counters are exposed for serving metrics.
+// invalidate_all() ran. Because an ANN index swap (swap_index) also
+// publishes a new snapshot version, the same two mechanisms — eager
+// invalidate_all plus the lazy version tag — cover index swaps: a top-N
+// list computed by the old index can never be served against the new one.
+// Hit/miss counters are exposed for serving metrics.
 #pragma once
 
 #include <atomic>
@@ -35,7 +39,7 @@ class TopNCache {
   void put(index_t user, int n, std::uint64_t version,
            std::vector<Recommendation> topn);
 
-  /// Drops every entry (called on model swap).
+  /// Drops every entry (called on model and index swaps).
   void invalidate_all();
 
   std::size_t size() const;

@@ -1,6 +1,7 @@
 #include "serve/model_store.hpp"
 
 #include "common/error.hpp"
+#include "index/ivf_index.hpp"
 #include "recsys/recommender.hpp"
 
 namespace alsmf::serve {
@@ -29,6 +30,11 @@ std::shared_ptr<ModelSnapshot> snapshot_from_factors(Matrix x, Matrix y,
   return snap;
 }
 
+void attach_ivf_index(ModelSnapshot& snap, const index::IvfOptions& options) {
+  snap.ann = index::IvfIndex::build(snap.y, options,
+                                    snap.has_bias ? &snap.bias : nullptr);
+}
+
 ModelStore::ModelStore(std::shared_ptr<ModelSnapshot> initial) {
   if (initial) publish(std::move(initial));
 }
@@ -37,6 +43,11 @@ std::uint64_t ModelStore::publish(std::shared_ptr<ModelSnapshot> next) {
   ALSMF_CHECK_MSG(next != nullptr, "publishing a null snapshot");
   ALSMF_CHECK_MSG(next->x.cols() == next->y.cols(),
                   "snapshot factor rank mismatch");
+  // A mismatched model+index pair must never become visible to readers.
+  ALSMF_CHECK_MSG(!next->ann || (next->ann->items() == next->y.rows() &&
+                                 next->ann->k() == next->y.cols()),
+                  "snapshot index was built for a different item factor "
+                  "matrix shape");
   const std::uint64_t v = next_version_.fetch_add(1, std::memory_order_relaxed);
   next->version = v;
   snap_.store(std::shared_ptr<const ModelSnapshot>(std::move(next)),

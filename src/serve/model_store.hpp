@@ -21,6 +21,11 @@ namespace alsmf {
 class Recommender;
 }
 
+namespace alsmf::index {
+class IvfIndex;
+struct IvfOptions;
+}
+
 namespace alsmf::serve {
 
 struct ModelSnapshot {
@@ -30,6 +35,12 @@ struct ModelSnapshot {
   bool has_bias = false;
   real lambda = 0.1f;  ///< regularization used for fold-in row solves
   std::uint64_t version = 0;  ///< assigned by ModelStore::publish
+  /// Optional ANN top-N index over `y`. Built before publish and immutable
+  /// alongside the factors, so one snapshot acquire always yields a matched
+  /// model+index pair — there is no window where a request could score
+  /// against one model version and probe an index built for another.
+  /// Null = exhaustive scoring.
+  std::shared_ptr<const index::IvfIndex> ann;
 
   index_t users() const { return x.rows(); }
   index_t items() const { return y.rows(); }
@@ -43,6 +54,11 @@ std::shared_ptr<ModelSnapshot> snapshot_from_recommender(const Recommender& rec,
 /// Wraps raw factor matrices (moved in) into a snapshot.
 std::shared_ptr<ModelSnapshot> snapshot_from_factors(Matrix x, Matrix y,
                                                      real lambda = 0.1f);
+
+/// Builds an IVF index over `snap->y` (honoring the snapshot's bias model)
+/// and attaches it. Call before publishing; the snapshot must not be
+/// visible to readers yet.
+void attach_ivf_index(ModelSnapshot& snap, const index::IvfOptions& options);
 
 class ModelStore {
  public:

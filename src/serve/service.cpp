@@ -9,6 +9,7 @@
 #include "als/row_solve.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "index/ivf_index.hpp"
 #include "linalg/batched.hpp"
 #include "linalg/vecops.hpp"
 #include "recsys/batch_score.hpp"
@@ -77,6 +78,7 @@ RecommendService::RecommendService(std::shared_ptr<ModelSnapshot> initial,
     : options_(options),
       pool_(options.pool ? options.pool : &ThreadPool::global()),
       cache_(options.cache_capacity),
+      metrics_(options.registry),
       breaker_(options.breaker) {
   if (initial) store_.publish(std::move(initial));
   BatcherOptions batcher_options;
@@ -167,6 +169,18 @@ std::uint64_t RecommendService::swap_model(std::shared_ptr<ModelSnapshot> next) 
   cache_.invalidate_all();
   metrics_.record_swap();
   return version;
+}
+
+std::uint64_t RecommendService::swap_index(
+    std::shared_ptr<const index::IvfIndex> ann) {
+  const auto snap = store_.current();
+  ALSMF_CHECK_MSG(snap != nullptr, "swap_index before any model is published");
+  // Same factors, new (or no) index, published as a fresh snapshot version:
+  // the version tag is what lets the cache reject a stale top-N that a slow
+  // in-flight batch computed with the old index.
+  auto next = std::make_shared<ModelSnapshot>(*snap);
+  next->ann = std::move(ann);
+  return swap_model(std::move(next));
 }
 
 void RecommendService::set_popularity_fallback(
@@ -331,9 +345,14 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
             break;
           }
           case RequestKind::kTopN: {
-            result.topn = topn_from_factor(
-                snap->x.row(request.user), snap->y, request.n,
-                snap->has_bias ? &snap->bias : nullptr, request.user);
+            const auto* bias = snap->has_bias ? &snap->bias : nullptr;
+            result.topn =
+                snap->ann
+                    ? snap->ann->topn(snap->x.row(request.user), snap->y,
+                                      request.n, options_.nprobe, bias,
+                                      request.user)
+                    : topn_from_factor(snap->x.row(request.user), snap->y,
+                                       request.n, bias, request.user);
             cache_.put(request.user, request.n, snap->version, result.topn);
             break;
           }
@@ -342,9 +361,12 @@ void RecommendService::execute_batch(std::vector<ServeRequest>&& batch) {
             result.factor.assign(factor, factor + k);
             std::vector<index_t> exclude = request.fold_items;
             std::sort(exclude.begin(), exclude.end());
-            result.topn = topn_from_factor(
-                result.factor, snap->y, request.n,
-                snap->has_bias ? &snap->bias : nullptr, -1, exclude);
+            const auto* bias = snap->has_bias ? &snap->bias : nullptr;
+            result.topn =
+                snap->ann ? snap->ann->topn(result.factor, snap->y, request.n,
+                                            options_.nprobe, bias, -1, exclude)
+                          : topn_from_factor(result.factor, snap->y, request.n,
+                                             bias, -1, exclude);
             break;
           }
         }

@@ -43,6 +43,14 @@ struct ServiceOptions {
   /// Fold-in circuit breaker: repeated solve failures temporarily fail
   /// fold-ins fast (kCircuitOpen) instead of burning batch slots.
   robust::CircuitBreakerOptions breaker;
+  /// Partitions scanned per top-N query when the snapshot carries an ANN
+  /// index; <= 0 uses the index's build-time default. Ignored for
+  /// exhaustive snapshots.
+  int nprobe = 0;
+  /// Metrics registry the service reports into; null = a private registry
+  /// owned by the service's ServeMetrics (the pipeline driver passes one
+  /// shared registry so serving, index and staleness series co-reside).
+  obs::Registry* registry = nullptr;
 };
 
 class RecommendService {
@@ -80,6 +88,16 @@ class RecommendService {
   /// finish on the old snapshot, later batches use the new one, and the
   /// result cache is invalidated. Returns the new version.
   std::uint64_t swap_model(std::shared_ptr<ModelSnapshot> next);
+
+  /// Publishes a rebuilt ANN index for the *current* factors (e.g. new
+  /// cluster/nprobe parameters, or attaching/detaching the index) as a new
+  /// snapshot version. The result cache is invalidated exactly as on a
+  /// model swap — eagerly, plus lazily via the version tag — so a top-N
+  /// list computed by the old index can never be served afterwards. Null
+  /// detaches the index (back to exhaustive scoring). Returns the new
+  /// version; requires a published snapshot.
+  std::uint64_t swap_index(std::shared_ptr<const index::IvfIndex> ann);
+
   std::shared_ptr<const ModelSnapshot> snapshot() const { return store_.current(); }
   std::uint64_t model_version() const { return store_.version(); }
 

@@ -1,0 +1,208 @@
+// IVF index invariants: deterministic builds, exact-scan degeneration
+// (nprobe = clusters is bit-identical to the exhaustive path), recall at
+// moderate nprobe, and drop-in semantics (bias, exclude, edge cases).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "index/ivf_index.hpp"
+#include "linalg/vecops.hpp"
+#include "recsys/batch_score.hpp"
+#include "recsys/ranking.hpp"
+
+namespace alsmf::index {
+namespace {
+
+Matrix random_factors(index_t rows, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, k);
+  m.fill_uniform(rng, -0.5f, 0.5f);
+  return m;
+}
+
+/// Topic-structured factors: items cluster around shared centers, the
+/// regime ALS item factors occupy (and the one an IVF index targets).
+/// Iid-uniform rows have no coarse structure for k-means to find.
+Matrix clustered_factors(index_t rows, int k, int topics, real noise,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix centers(topics, k);
+  centers.fill_uniform(rng, -1.0f, 1.0f);
+  Matrix m(rows, k);
+  for (index_t i = 0; i < rows; ++i) {
+    const auto t = static_cast<index_t>(
+        rng.bounded(static_cast<std::uint64_t>(topics)));
+    const real* c = centers.row(t).data();
+    real* row = m.row(i).data();
+    for (int d = 0; d < k; ++d) {
+      row[d] = c[d] + static_cast<real>(rng.uniform(-noise, noise));
+    }
+  }
+  return m;
+}
+
+TEST(IvfIndex, BuildIsDeterministicForSameInputs) {
+  const auto y = random_factors(300, 8, 7);
+  IvfOptions options;
+  options.clusters = 12;
+  const auto a = IvfIndex::build(y, options);
+  const auto b = IvfIndex::build(y, options);
+  ASSERT_EQ(a->clusters(), b->clusters());
+  for (int p = 0; p < a->clusters(); ++p) {
+    const auto pa = a->partition(p);
+    const auto pb = b->partition(p);
+    ASSERT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+  }
+  const auto q = random_factors(1, 8, 99);
+  const auto ta = a->topn(q.row(0), y, 10);
+  const auto tb = b->topn(q.row(0), y, 10);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].item, tb[i].item);
+    EXPECT_EQ(ta[i].score, tb[i].score);
+  }
+}
+
+TEST(IvfIndex, PartitionsCoverEveryItemExactlyOnce) {
+  const auto y = random_factors(257, 6, 11);
+  IvfOptions options;
+  options.clusters = 9;
+  const auto index = IvfIndex::build(y, options);
+  std::vector<index_t> seen;
+  for (int p = 0; p < index->clusters(); ++p) {
+    const auto part = index->partition(p);
+    seen.insert(seen.end(), part.begin(), part.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<index_t> want(257);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(seen, want);
+}
+
+TEST(IvfIndex, FullProbeIsBitIdenticalToExhaustive) {
+  const auto y = random_factors(400, 8, 3);
+  const auto x = random_factors(25, 8, 4);
+  IvfOptions options;
+  options.clusters = 16;
+  const auto index = IvfIndex::build(y, options);
+  for (index_t u = 0; u < x.rows(); ++u) {
+    const auto exact = topn_from_factor(x.row(u), y, 10);
+    const auto approx = index->topn(x.row(u), y, 10, index->clusters());
+    ASSERT_EQ(approx.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(approx[i].item, exact[i].item) << "user " << u << " rank " << i;
+      EXPECT_EQ(approx[i].score, exact[i].score);
+    }
+  }
+}
+
+TEST(IvfIndex, ModerateNprobeKeepsHighRecallWithFarLessWork) {
+  const auto y = clustered_factors(2000, 16, 24, 0.25f, 5);
+  const auto x = random_factors(50, 16, 6);
+  IvfOptions options;
+  const auto index = IvfIndex::build(y, options);
+  double recall = 0;
+  std::size_t candidates = 0;
+  const int nprobe = std::max(1, index->clusters() / 4);
+  for (index_t u = 0; u < x.rows(); ++u) {
+    const auto exact = topn_from_factor(x.row(u), y, 10);
+    IvfQueryStats stats;
+    const auto approx =
+        index->topn(x.row(u), y, 10, nprobe, nullptr, -1, {}, &stats);
+    recall += recall_at_n(approx, exact);
+    candidates += stats.candidates;
+    EXPECT_LE(stats.probed, nprobe);
+    // Every returned score is exact: identical arithmetic to the
+    // exhaustive path's dot product.
+    for (const auto& rec : approx) {
+      EXPECT_EQ(rec.score, vdot(x.row(u).data(), y.row(rec.item).data(), 16));
+    }
+  }
+  recall /= static_cast<double>(x.rows());
+  EXPECT_GE(recall, 0.95);
+  // Far fewer exact rescorings than an exhaustive scan would do.
+  EXPECT_LT(candidates, static_cast<std::size_t>(50) * 2000 / 2);
+}
+
+TEST(IvfIndex, RespectsExcludeListLikeExhaustivePath) {
+  const auto y = random_factors(120, 4, 13);
+  const auto q = random_factors(1, 4, 14);
+  const auto index = IvfIndex::build(y, IvfOptions{.clusters = 6});
+  const auto unrestricted = index->topn(q.row(0), y, 5, index->clusters());
+  std::vector<index_t> exclude;
+  for (const auto& rec : unrestricted) exclude.push_back(rec.item);
+  std::sort(exclude.begin(), exclude.end());
+  const auto rest =
+      index->topn(q.row(0), y, 5, index->clusters(), nullptr, -1, exclude);
+  const auto exact = topn_from_factor(q.row(0), y, 5, nullptr, -1, exclude);
+  ASSERT_EQ(rest.size(), exact.size());
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    EXPECT_EQ(rest[i].item, exact[i].item);
+    EXPECT_FALSE(std::binary_search(exclude.begin(), exclude.end(),
+                                    rest[i].item));
+  }
+}
+
+TEST(IvfIndex, BiasModelMatchesExhaustiveRanking) {
+  const index_t items = 500;
+  const auto y = random_factors(items, 8, 21);
+  const auto q = random_factors(3, 8, 22);
+  Rng rng(23);
+  Matrix ub(3, 1), ib(items, 1);
+  ub.fill_uniform(rng, -0.3f, 0.3f);
+  ib.fill_uniform(rng, -0.8f, 0.8f);  // item bias can dominate the ranking
+  const BiasModel bias = BiasModel::from_parts(3.5f, ub, ib);
+  const auto index = IvfIndex::build(y, IvfOptions{.clusters = 20}, &bias);
+  for (index_t u = 0; u < 3; ++u) {
+    const auto exact = topn_from_factor(q.row(u), y, 10, &bias, u);
+    const auto approx =
+        index->topn(q.row(u), y, 10, index->clusters(), &bias, u);
+    ASSERT_EQ(approx.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(approx[i].item, exact[i].item);
+      EXPECT_EQ(approx[i].score, exact[i].score);
+    }
+    // Cold-user form (negative user: μ + b_i only), as fold-in uses it.
+    const auto cold_exact = topn_from_factor(q.row(u), y, 10, &bias, -1);
+    const auto cold = index->topn(q.row(u), y, 10, index->clusters(), &bias, -1);
+    ASSERT_EQ(cold.size(), cold_exact.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(cold[i].item, cold_exact[i].item);
+    }
+  }
+}
+
+TEST(IvfIndex, EdgeCasesSmallCatalogsAndDegenerateRequests) {
+  // Catalog smaller than the default cluster heuristic.
+  const auto tiny = random_factors(3, 4, 31);
+  const auto index = IvfIndex::build(tiny);
+  const auto q = random_factors(1, 4, 32);
+  const auto all = index->topn(q.row(0), tiny, 10);
+  EXPECT_EQ(all.size(), 3u);  // n > items returns every item
+  EXPECT_TRUE(index->topn(q.row(0), tiny, 0).empty());
+  // One item, one cluster.
+  const auto one = random_factors(1, 4, 33);
+  const auto single = IvfIndex::build(one, IvfOptions{.clusters = 1});
+  EXPECT_EQ(single->topn(q.row(0), one, 5).size(), 1u);
+  // nprobe larger than clusters clamps.
+  EXPECT_EQ(index->topn(q.row(0), tiny, 2, 1000).size(), 2u);
+}
+
+TEST(IvfIndex, BuildStatsDescribeThePartitioning) {
+  const auto y = random_factors(600, 8, 41);
+  IvfOptions options;
+  options.clusters = 24;
+  const auto index = IvfIndex::build(y, options);
+  const auto& stats = index->build_stats();
+  EXPECT_EQ(stats.clusters, 24);
+  EXPECT_EQ(stats.items, 600);
+  EXPECT_GE(stats.imbalance, 1.0);
+  EXPECT_GE(stats.build_seconds, 0.0);
+  EXPECT_LT(stats.empty_partitions, 24);
+}
+
+}  // namespace
+}  // namespace alsmf::index

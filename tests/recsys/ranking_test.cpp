@@ -107,5 +107,35 @@ TEST(Ranking, RandomFactorsScoreNearChanceAuc) {
   EXPECT_NEAR(m.auc, 0.5, 0.1);  // uninformed ranking
 }
 
+TEST(RecallAtN, PairwiseSetOverlap) {
+  const std::vector<index_t> exact{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{1, 2, 3, 4, 5}, exact), 1.0);
+  // Order is ignored: same set, permuted.
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{5, 3, 1, 4, 2}, exact), 1.0);
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{1, 2, 3, 9, 8}, exact), 0.6);
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{7, 8, 9}, exact), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{}, exact), 0.0);
+}
+
+TEST(RecallAtN, EmptyExactListRecallsTrivially) {
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{1, 2}, std::vector<index_t>{}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{}, std::vector<index_t>{}),
+                   1.0);
+}
+
+TEST(RecallAtN, DuplicatesCountOnce) {
+  EXPECT_DOUBLE_EQ(recall_at_n(std::vector<index_t>{1, 1, 1},
+                               std::vector<index_t>{1, 2, 2}),
+                   0.5);
+}
+
+TEST(RecallAtN, RecommendationOverloadUsesItems) {
+  const std::vector<Recommendation> approx{{3, 9.0f}, {1, 8.0f}};
+  const std::vector<Recommendation> exact{{1, 8.5f}, {2, 8.2f}};
+  // Scores differ (ANN rescoring vs oracle); only item membership counts.
+  EXPECT_DOUBLE_EQ(recall_at_n(approx, exact), 0.5);
+}
+
 }  // namespace
 }  // namespace alsmf

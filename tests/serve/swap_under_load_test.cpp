@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+#include "index/ivf_index.hpp"
 #include "recsys/batch_score.hpp"
 #include "recsys/fold_in.hpp"
 #include "serve/service.hpp"
@@ -120,6 +122,96 @@ TEST(SwapUnderLoad, EveryAnswerComesFromExactlyOneSnapshot) {
     }
   }
   EXPECT_EQ(service.metrics().swaps(), kSwaps);
+}
+
+// Same hammer, but every published snapshot carries a freshly built IVF
+// index (a model+index PAIR swap). Scores must still be internally
+// consistent with exactly one snapshot: the index rescoring runs against
+// the same snapshot's factors, so a torn model/index pairing would surface
+// as a score outside the valid per-version set.
+TEST(SwapUnderLoad, ModelAndIndexPairsSwapAtomically) {
+  ServiceOptions options;
+  options.max_batch = 8;
+  options.max_wait_us = 100;
+  options.cache_capacity = 64;
+  options.nprobe = 2;  // partial probing: the index is really in the path
+  index::IvfOptions ivf;
+  ivf.clusters = 4;
+
+  auto paired_snapshot = [&](std::uint64_t version) {
+    auto snap = snapshot_for_next_version(version);
+    attach_ivf_index(*snap, ivf);
+    return snap;
+  };
+
+  RecommendService service(paired_snapshot(1), options);
+
+  constexpr int kProducers = 4;
+  constexpr int kRequestsPerProducer = 200;
+  constexpr std::uint64_t kSwaps = 25;
+
+  std::atomic<int> torn{0};
+  std::atomic<int> completed{0};
+
+  std::vector<std::jthread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kRequestsPerProducer; ++i) {
+        const auto user = static_cast<index_t>((p * 31 + i) % kUsers);
+        if (i % 2 == 0) {
+          const auto r = service.topn(user, 5);
+          if (r.model_version < 1 || r.model_version > kSwaps + 1) {
+            torn.fetch_add(1);
+          }
+          if (r.topn.size() != 5u) torn.fetch_add(1);
+          for (const auto& rec : r.topn) {
+            if (rec.score != expected_score(r.model_version)) torn.fetch_add(1);
+          }
+        } else {
+          const auto r = service.fold_in({0, 1}, {3.0f, 4.0f}, 3);
+          if (r.model_version < 1 || r.model_version > kSwaps + 1) {
+            torn.fetch_add(1);
+          }
+          const Matrix y(kItems, kRank, fill_of(r.model_version));
+          const auto direct =
+              fold_in_user(y, std::vector<index_t>{0, 1},
+                           std::vector<real>{3.0f, 4.0f}, 0.1f);
+          if (r.factor != direct) torn.fetch_add(1);
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+
+  std::uint64_t published = 1;
+  for (std::uint64_t s = 0; s < kSwaps; ++s) {
+    published = service.swap_model(paired_snapshot(published + 1));
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  producers.clear();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(completed.load(), kProducers * kRequestsPerProducer);
+  EXPECT_EQ(published, kSwaps + 1);
+  // The final snapshot still has its index attached and answers through it.
+  ASSERT_NE(service.snapshot()->ann, nullptr);
+  const auto r = service.topn(1, 5);
+  EXPECT_EQ(r.model_version, kSwaps + 1);
+  for (const auto& rec : r.topn) {
+    EXPECT_EQ(rec.score, expected_score(kSwaps + 1));
+  }
+}
+
+// Publishing a snapshot whose index was built for different factors must be
+// rejected before it becomes visible — the no-mismatch guarantee's backstop.
+TEST(SwapUnderLoad, MismatchedIndexPairIsRejectedAtPublish) {
+  RecommendService service(snapshot_for_next_version(1), {});
+  Matrix other(kItems + 3, kRank, 1.0f);  // wrong item count
+  auto bad = snapshot_for_next_version(2);
+  bad->ann = index::IvfIndex::build(other, index::IvfOptions{.clusters = 2});
+  EXPECT_THROW(service.swap_model(std::move(bad)), Error);
+  // The rejected publish left the served version untouched.
+  EXPECT_EQ(service.model_version(), 1u);
 }
 
 }  // namespace
