@@ -14,7 +14,12 @@
 //                          gated, so an index regression fails CI;
 //   * pipeline_smoke     — train → checkpoint → index build → hot swap under
 //                          load, twice; gates swap count, request
-//                          conservation and the staleness assertion.
+//                          conservation and the staleness assertion;
+//   * elastic_faults     — multi-device training with one of four modeled
+//                          cards killed mid-run: the coordinator must
+//                          repartition and finish with factors bitwise
+//                          equal to the no-fault run (rmse_delta_pct gated
+//                          at zero), plus gated recovery counters.
 // Modeled/deterministic metrics carry gate=true and fail --compare when they
 // move past the tolerance; wall-clock and throughput numbers are recorded
 // with gate=false (machine-dependent, informational only).
@@ -23,12 +28,15 @@
 //                 [--compare baseline.json] [--tolerance 0.25]
 //
 // Exit status: 0 on success (and a passing compare), 1 on a failed compare.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include <filesystem>
 
+#include "als/metrics.hpp"
+#include "als/multi_device.hpp"
 #include "als/solver.hpp"
 #include "bench_util.hpp"
 #include "common/timer.hpp"
@@ -39,6 +47,7 @@
 #include "obs/regress.hpp"
 #include "pipeline/pipeline.hpp"
 #include "recsys/batch_score.hpp"
+#include "robust/fault_injection.hpp"
 #include "recsys/ranking.hpp"
 #include "recsys/recommender.hpp"
 #include "serve/service.hpp"
@@ -277,6 +286,61 @@ void run_pipeline_smoke(obs::RegressReport& report, const Csr& train,
       dropped == 0 ? "yes" : "NO");
 }
 
+void run_elastic_faults(obs::RegressReport& report, const Csr& train,
+                        std::uint64_t seed) {
+  AlsOptions options;
+  options.k = 8;
+  options.iterations = 3;
+  options.functional = true;
+  const AlsVariant variant = AlsVariant::from_mask(7);
+  const std::vector<devsim::DeviceProfile> profiles(4, devsim::k20c());
+
+  // No-fault reference run on the same fleet.
+  MultiDeviceAls clean(train, options, variant, profiles);
+  clean.run();
+  const double rmse_clean = rmse(train, clean.x(), clean.y());
+
+  // Kill card 1 at its third update launch; the coordinator must detect
+  // the loss, repartition over the survivors and still converge. Row
+  // solves are partition-independent, so the recovered factors are
+  // bitwise equal to the clean run and the RMSE delta is exactly zero.
+  robust::FaultPlan plan;
+  plan.seed = seed;
+  plan.exact[static_cast<int>(robust::FaultSite::kDeviceFailure)] = {
+      robust::fault_key(1, 2)};
+  robust::ScopedFaultInjector scoped(plan);
+  MultiDeviceAls faulted(train, options, variant, profiles);
+  const double modeled = faulted.run();
+  const double rmse_fault = rmse(train, faulted.x(), faulted.y());
+  const auto& er = faulted.elastic_report();
+
+  const double delta_pct =
+      rmse_clean > 0 ? 100.0 * std::abs(rmse_fault - rmse_clean) / rmse_clean
+                     : 0.0;
+  report.add("elastic_faults.rmse_delta_pct", delta_pct, "pct");
+  report.add("elastic_faults.final_rmse", rmse_fault, "rmse");
+  report.add("elastic_faults.device_failures",
+             static_cast<double>(er.device_failures), "count",
+             /*lower_is_better=*/false);
+  report.add("elastic_faults.repartitions",
+             static_cast<double>(er.repartitions), "count",
+             /*lower_is_better=*/false);
+  report.add("elastic_faults.recoveries", static_cast<double>(er.recoveries),
+             "count", /*lower_is_better=*/false);
+  report.add("elastic_faults.devices_alive",
+             static_cast<double>(er.devices_alive), "count",
+             /*lower_is_better=*/false);
+  report.add("elastic_faults.modeled_seconds", modeled, "s");
+  report.add("elastic_faults.mttr_mean_seconds", er.mttr_mean_seconds(), "s");
+  std::printf(
+      "elastic_faults: rmse %.4f (delta %.4f%%), %llu failure(s), "
+      "%llu repartition(s), %d/4 alive, modeled %.4fs, mttr %.4fs\n",
+      rmse_fault, delta_pct,
+      static_cast<unsigned long long>(er.device_failures),
+      static_cast<unsigned long long>(er.repartitions), er.devices_alive,
+      modeled, er.mttr_mean_seconds());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +365,7 @@ int main(int argc, char** argv) {
   run_serve_closed_loop(report, train, args.smoke, args.seed);
   run_serve_ivf(report, train, args.smoke, args.seed);
   run_pipeline_smoke(report, train, args.seed);
+  run_elastic_faults(report, train, args.seed);
 
   report.write_file(out_path);
   std::printf("# wrote %s (%zu metrics)\n", out_path.c_str(),

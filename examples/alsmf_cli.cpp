@@ -10,6 +10,17 @@
 //                       the newest valid checkpoint in dir; the three *-out
 //                       flags write Prometheus text, a per-iteration JSONL
 //                       event stream, and a Chrome trace with wall spans)
+//   alsmf_cli train-multi --ratings r.txt [--model m.bin] [--k 10]
+//                       [--lambda 0.1] [--iters 10] [--wr] [--variant 0..7]
+//                       [--devices N|gpu,gpu,cpu] [--device cpu|gpu|mic]
+//                       [--fail-at STEP|DEV:STEP] [--straggler-prob P]
+//                       [--link-fault-prob P] [--device-fail-prob P]
+//                       [--seed S] [--deadline-factor 3.0]
+//                       [--checkpoint-dir dir] [--checkpoint-every N]
+//                       [--metrics-out m.prom] [--report-out r.json]
+//                       (elastic multi-device training under an injected
+//                       fault schedule; prints a JSON recovery report and
+//                       exits non-zero if any run invariant was violated)
 //   alsmf_cli predict   --model m.bin --user U --item I
 //   alsmf_cli recommend --model m.bin --user U [--n 10] [--ratings r.txt]
 //   alsmf_cli evaluate  --model m.bin --test t.txt
@@ -51,8 +62,12 @@
 #include <iostream>
 #include <sstream>
 
+#include <cstdlib>
+
 #include "als/analyze_kernels.hpp"
 #include "als/check_kernels.hpp"
+#include "als/metrics.hpp"
+#include "als/multi_device.hpp"
 #include "als/learned_select.hpp"
 #include "als/out_of_core.hpp"
 #include "als/solver.hpp"
@@ -63,8 +78,12 @@
 #include "common/error.hpp"
 #include "devsim/profile_io.hpp"
 #include "index/ivf_index.hpp"
+#include "common/json.hpp"
 #include "obs/events.hpp"
 #include "obs/registry.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/fault_metrics.hpp"
+#include "robust/guards.hpp"
 #include "pipeline/pipeline.hpp"
 #include "recsys/recommender.hpp"
 #include "recsys/tuning.hpp"
@@ -176,6 +195,139 @@ int cmd_train(const CliArgs& args) {
             << "\n  train RMSE: " << report.train_rmse << "\n  model: "
             << *model_path << "\n";
   return 0;
+}
+
+// Elastic multi-device training with optional fault injection. Prints a
+// JSON recovery report; exits non-zero when a run invariant is violated
+// (metrics conservation assertions, non-finite factors, incomplete run).
+int cmd_train_multi(const CliArgs& args) {
+  const auto ratings_path = args.get("ratings");
+  if (!ratings_path) {
+    std::cerr << "train-multi requires --ratings\n";
+    return 2;
+  }
+  Coo ratings = read_ratings_file(*ratings_path);
+  ratings.canonicalize();
+  const Csr train = coo_to_csr(ratings);
+
+  AlsOptions options;
+  options.k = static_cast<int>(args.get_long("k", 10));
+  options.lambda = static_cast<real>(args.get_double("lambda", 0.1));
+  options.iterations = static_cast<int>(args.get_long("iters", 10));
+  options.weighted_regularization = args.has_flag("wr");
+  const std::string variant_arg = args.get_or("variant", "3");
+  const AlsVariant variant =
+      AlsVariant::from_mask(static_cast<unsigned>(std::stoul(variant_arg)));
+
+  // --devices N (copies of --device/--profile) or a comma list of names.
+  std::vector<devsim::DeviceProfile> profiles;
+  const std::string devices_arg = args.get_or("devices", "2");
+  if (devices_arg.find_first_not_of("0123456789") == std::string::npos) {
+    const auto n = std::stoul(devices_arg);
+    const auto profile = resolve_profile(args);
+    profiles.assign(n, profile);
+  } else {
+    std::stringstream ss(devices_arg);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) profiles.push_back(devsim::profile_by_name(name));
+    }
+  }
+
+  ElasticOptions elastic;
+  elastic.straggler_deadline_factor =
+      args.get_double("deadline-factor", elastic.straggler_deadline_factor);
+
+  // Fault plan: seeded probabilities plus exact kills. --fail-at takes
+  // STEP or DEV:STEP (0-based shard-launch index of that device).
+  robust::FaultPlan plan;
+  if (auto seed = args.get("seed")) {
+    plan.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  } else if (const char* env = std::getenv("ALSMF_FAULT_SEED")) {
+    plan.seed = std::strtoull(env, nullptr, 10);
+  } else {
+    plan.seed = 42;
+  }
+  plan.probability[static_cast<int>(robust::FaultSite::kStraggler)] =
+      args.get_double("straggler-prob", 0.0);
+  plan.probability[static_cast<int>(robust::FaultSite::kLinkTransfer)] =
+      args.get_double("link-fault-prob", 0.0);
+  plan.probability[static_cast<int>(robust::FaultSite::kDeviceFailure)] =
+      args.get_double("device-fail-prob", 0.0);
+  if (auto fail_at = args.get("fail-at")) {
+    std::uint64_t dev = 0, step = 0;
+    const auto colon = fail_at->find(':');
+    if (colon == std::string::npos) {
+      step = std::strtoull(fail_at->c_str(), nullptr, 10);
+    } else {
+      dev = std::strtoull(fail_at->substr(0, colon).c_str(), nullptr, 10);
+      step = std::strtoull(fail_at->substr(colon + 1).c_str(), nullptr, 10);
+    }
+    plan.exact[static_cast<int>(robust::FaultSite::kDeviceFailure)].push_back(
+        robust::fault_key(dev, step));
+  }
+  robust::ScopedFaultInjector scoped(plan);
+
+  obs::Registry registry;
+  MultiDeviceAls solver(train, options, variant, profiles, elastic);
+  MultiRunConfig config;
+  config.metrics = &registry;
+  if (auto ckpt_dir = args.get("checkpoint-dir")) {
+    CheckpointConfig ckpt;
+    ckpt.dir = *ckpt_dir;
+    ckpt.every = static_cast<int>(args.get_long("checkpoint-every", 1));
+    config.checkpoint = ckpt;
+    config.resume = true;
+  }
+  Timer wall;
+  const MultiRunReport run_report = solver.run(config);
+  robust::export_fault_metrics(scoped.injector(), registry);
+
+  // Run invariants: every metrics assertion, finite factors, a complete run.
+  std::vector<std::string> violations = registry.check_assertions();
+  if (solver.iterations_done() < options.iterations) {
+    violations.push_back("run incomplete: " +
+                         std::to_string(solver.iterations_done()) + " of " +
+                         std::to_string(options.iterations) + " iterations");
+  }
+  if (!robust::nonfinite_rows(solver.x()).empty() ||
+      !robust::nonfinite_rows(solver.y()).empty()) {
+    violations.push_back("non-finite factor rows after training");
+  }
+
+  json::JsonWriter report;
+  report.begin_object()
+      .field("iterations", run_report.iterations)
+      .field("resumed_from", run_report.resumed_from)
+      .field("modeled_seconds", run_report.modeled_seconds)
+      .field("communication_seconds", solver.communication_seconds())
+      .field("wall_seconds", wall.seconds())
+      .field("train_rmse", rmse(train, solver.x(), solver.y()))
+      .field("fault_seed", plan.seed)
+      .field_raw("elastic", run_report.elastic.to_json())
+      .key("violations")
+      .begin_array();
+  for (const auto& v : violations) report.value(v);
+  report.end_array().end_object();
+  std::cout << report.str() << "\n";
+
+  if (auto model_path = args.get("model")) {
+    Recommender::from_factors(solver.x(), solver.y()).save_file(*model_path);
+    std::cout << "model: " << *model_path << "\n";
+  }
+  if (auto metrics_out = args.get("metrics-out")) {
+    std::ofstream out(*metrics_out);
+    out << registry.prometheus_text();
+    std::cout << "metrics: " << *metrics_out << "\n";
+  }
+  if (auto report_out = args.get("report-out")) {
+    std::ofstream out(*report_out);
+    out << report.str() << "\n";
+  }
+  for (const auto& v : violations) {
+    std::cerr << "invariant violated: " << v << "\n";
+  }
+  return violations.empty() ? 0 : 1;
 }
 
 int cmd_predict(const CliArgs& args) {
@@ -613,15 +765,16 @@ int main(int argc, char** argv) {
   using namespace alsmf;
   CliArgs args(argc, argv);
   if (args.positional().empty()) {
-    std::cerr << "usage: alsmf_cli <train|predict|recommend|evaluate|tune|"
-                 "shard|train-ooc|rank|serve|pipeline|devices|check-kernels|"
-                 "analyze-kernels> "
+    std::cerr << "usage: alsmf_cli <train|train-multi|predict|recommend|"
+                 "evaluate|tune|shard|train-ooc|rank|serve|pipeline|devices|"
+                 "check-kernels|analyze-kernels> "
                  "[options]\n";
     return 2;
   }
   const std::string& cmd = args.positional().front();
   try {
     if (cmd == "train") return cmd_train(args);
+    if (cmd == "train-multi") return cmd_train_multi(args);
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "recommend") return cmd_recommend(args);
     if (cmd == "evaluate") return cmd_evaluate(args);

@@ -1,0 +1,45 @@
+#include "devsim/faults.hpp"
+
+#include "common/error.hpp"
+
+namespace alsmf::devsim {
+
+FaultModel::FaultModel(std::size_t devices, FaultModelOptions options)
+    : options_(options),
+      launch_occurrence_(devices, 0),
+      transfer_occurrence_(devices, 0) {
+  ALSMF_CHECK_MSG(devices > 0, "fault model needs at least one device");
+  ALSMF_CHECK_MSG(options_.straggler_slowdown_min >= 1.0 &&
+                      options_.straggler_slowdown_max >=
+                          options_.straggler_slowdown_min,
+                  "straggler slowdown range must be >= 1 and ordered");
+}
+
+LaunchFault FaultModel::on_launch(std::size_t device) {
+  using robust::FaultSite;
+  const std::uint64_t key =
+      robust::fault_key(device, launch_occurrence_[device]++);
+  LaunchFault fault;
+  if (robust::fault_at_keyed(FaultSite::kDeviceFailure, key)) {
+    fault.device_lost = true;
+    return fault;
+  }
+  if (robust::fault_at_keyed(FaultSite::kStraggler, key)) {
+    // Severity from the same keyed stream so it replays with the decision.
+    const auto* injector = robust::installed_fault_injector();
+    const double u =
+        injector ? injector->uniform_keyed(FaultSite::kStraggler, key, 1) : 0.0;
+    fault.slowdown = options_.straggler_slowdown_min +
+                     u * (options_.straggler_slowdown_max -
+                          options_.straggler_slowdown_min);
+  }
+  return fault;
+}
+
+bool FaultModel::on_transfer_attempt(std::size_t device) {
+  const std::uint64_t key =
+      robust::fault_key(device, transfer_occurrence_[device]++);
+  return robust::fault_at_keyed(robust::FaultSite::kLinkTransfer, key);
+}
+
+}  // namespace alsmf::devsim

@@ -1,0 +1,62 @@
+// Per-device / per-link fault model for multi-device training.
+//
+// Wraps the robust::fault_injection distributed sites (kDeviceFailure,
+// kStraggler, kLinkTransfer) behind device-indexed occurrence keys: every
+// decision is a pure function of (plan seed, site, device, the device's own
+// occurrence counter), never of a globally shared counter, so an elastic
+// coordinator launching shards from concurrent threads replays a fault
+// schedule bit-for-bit from one seed.
+//
+// With no injector installed every query is a pair of relaxed atomic loads
+// and the model reports a permanently healthy fleet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "robust/fault_injection.hpp"
+
+namespace alsmf::devsim {
+
+struct FaultModelOptions {
+  /// Straggler slowdown factors are drawn uniformly from this range,
+  /// deterministically per (seed, device, occurrence).
+  double straggler_slowdown_min = 4.0;
+  double straggler_slowdown_max = 16.0;
+};
+
+/// Outcome of one shard-launch health query.
+struct LaunchFault {
+  bool device_lost = false;  ///< permanent failure: the launch never ran
+  double slowdown = 1.0;     ///< >1 when a transient straggler fault fired
+};
+
+class FaultModel {
+ public:
+  explicit FaultModel(std::size_t devices, FaultModelOptions options = {});
+
+  std::size_t devices() const { return launch_occurrence_.size(); }
+
+  /// Consults kDeviceFailure then kStraggler for `device`'s next launch.
+  /// Advances the device's launch occurrence. Thread-safe across distinct
+  /// devices (the coordinator queries each device from one thread).
+  LaunchFault on_launch(std::size_t device);
+
+  /// True when `device`'s next interconnect transfer attempt faults
+  /// (kLinkTransfer). Advances the device's transfer occurrence.
+  bool on_transfer_attempt(std::size_t device);
+
+  std::uint64_t launch_occurrences(std::size_t device) const {
+    return launch_occurrence_[device];
+  }
+  std::uint64_t transfer_occurrences(std::size_t device) const {
+    return transfer_occurrence_[device];
+  }
+
+ private:
+  FaultModelOptions options_;
+  std::vector<std::uint64_t> launch_occurrence_;
+  std::vector<std::uint64_t> transfer_occurrence_;
+};
+
+}  // namespace alsmf::devsim

@@ -16,24 +16,24 @@ const char* to_string(FaultSite site) {
     case FaultSite::kSolve: return "solve";
     case FaultSite::kIoRead: return "io_read";
     case FaultSite::kFoldInSolve: return "fold_in_solve";
+    case FaultSite::kDeviceFailure: return "device_failure";
+    case FaultSite::kStraggler: return "straggler";
+    case FaultSite::kLinkTransfer: return "link_transfer";
   }
   return "unknown";
 }
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
 
-bool FaultInjector::should_fault(FaultSite site) {
+bool FaultInjector::decide(FaultSite site, std::uint64_t key) {
   const auto s = static_cast<std::size_t>(site);
-  const std::uint64_t index =
-      occurrences_[s].fetch_add(1, std::memory_order_relaxed);
-
-  bool fire = std::find(plan_.exact[s].begin(), plan_.exact[s].end(), index) !=
+  bool fire = std::find(plan_.exact[s].begin(), plan_.exact[s].end(), key) !=
               plan_.exact[s].end();
   if (!fire && plan_.probability[s] > 0.0) {
-    // Counter-based draw: hash (seed, site, index) through splitmix64 so the
+    // Counter-based draw: hash (seed, site, key) through splitmix64 so the
     // decision is a pure function of the occurrence, not of scheduling.
     std::uint64_t state = plan_.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)) ^
-                          (index * 0xbf58476d1ce4e5b9ULL);
+                          (key * 0xbf58476d1ce4e5b9ULL);
     const double u =
         static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
     fire = u < plan_.probability[s];
@@ -43,10 +43,35 @@ bool FaultInjector::should_fault(FaultSite site) {
   // Respect the overall fault budget.
   if (budget_used_.fetch_add(1, std::memory_order_relaxed) >=
       plan_.max_faults) {
+    suppressed_[s].fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   triggered_[s].fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+bool FaultInjector::should_fault(FaultSite site) {
+  const auto s = static_cast<std::size_t>(site);
+  // The classic counter-based identity: atomically claim this site's next
+  // occurrence index, then decide on it.
+  const std::uint64_t index =
+      occurrences_[s].fetch_add(1, std::memory_order_relaxed);
+  return decide(site, index);
+}
+
+bool FaultInjector::should_fault_keyed(FaultSite site, std::uint64_t key) {
+  occurrences_[static_cast<std::size_t>(site)].fetch_add(
+      1, std::memory_order_relaxed);
+  return decide(site, key);
+}
+
+double FaultInjector::uniform_keyed(FaultSite site, std::uint64_t key,
+                                    std::uint64_t salt) const {
+  const auto s = static_cast<std::size_t>(site);
+  std::uint64_t state = plan_.seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)) ^
+                        (key * 0xbf58476d1ce4e5b9ULL) ^
+                        (salt * 0x94d049bb133111ebULL);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t FaultInjector::occurrences(FaultSite site) const {
@@ -57,6 +82,15 @@ std::uint64_t FaultInjector::occurrences(FaultSite site) const {
 std::uint64_t FaultInjector::triggered(FaultSite site) const {
   return triggered_[static_cast<std::size_t>(site)].load(
       std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::suppressed(FaultSite site) const {
+  return suppressed_[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected(FaultSite site) const {
+  return triggered(site) + suppressed(site);
 }
 
 std::uint64_t FaultInjector::total_triggered() const {
@@ -76,6 +110,11 @@ FaultInjector* installed_fault_injector() {
 bool fault_at(FaultSite site) {
   FaultInjector* injector = g_injector.load(std::memory_order_acquire);
   return injector != nullptr && injector->should_fault(site);
+}
+
+bool fault_at_keyed(FaultSite site, std::uint64_t key) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  return injector != nullptr && injector->should_fault_keyed(site, key);
 }
 
 }  // namespace alsmf::robust

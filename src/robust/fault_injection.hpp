@@ -23,8 +23,14 @@ enum class FaultSite : int {
   kSolve = 1,         ///< solve_normal_equations poisons its result with NaN
   kIoRead = 2,        ///< checkpoint reads behave as if truncated
   kFoldInSolve = 3,   ///< serving fold-in solve fails (feeds the breaker)
+  // Distributed sites, queried through the keyed API (decisions depend on a
+  // caller-chosen key — e.g. (device, half-step) — not on a shared counter,
+  // so concurrent coordinator threads replay identically from one seed).
+  kDeviceFailure = 4,  ///< a simulated device dies permanently
+  kStraggler = 5,      ///< a shard launch runs slowed by a drawn factor
+  kLinkTransfer = 6,   ///< one interconnect transfer attempt fails
 };
-inline constexpr int kFaultSiteCount = 4;
+inline constexpr int kFaultSiteCount = 7;
 
 const char* to_string(FaultSite site);
 
@@ -46,16 +52,36 @@ class FaultInjector {
   /// occurrence faults. Thread-safe; deterministic per occurrence index.
   bool should_fault(FaultSite site);
 
+  /// Keyed decision: deterministic in (seed, site, key) alone. The caller
+  /// supplies the occurrence identity (e.g. fault_key(device, step)), so
+  /// concurrent callers racing on a shared counter cannot perturb replay.
+  /// Exact-plan entries for the site match against `key`. Occurrence and
+  /// triggered counters still advance (for the metrics exposition).
+  bool should_fault_keyed(FaultSite site, std::uint64_t key);
+
+  /// Deterministic uniform draw in [0, 1) from (seed, site, key, salt) —
+  /// the source for fault *severities* (e.g. straggler slowdown factors)
+  /// so they replay with the decisions. Does not advance any counter.
+  double uniform_keyed(FaultSite site, std::uint64_t key,
+                       std::uint64_t salt) const;
+
   std::uint64_t occurrences(FaultSite site) const;
   std::uint64_t triggered(FaultSite site) const;
+  /// Decisions that matched the plan but were withheld by `max_faults`.
+  std::uint64_t suppressed(FaultSite site) const;
+  /// triggered + suppressed: every occurrence the plan selected.
+  std::uint64_t injected(FaultSite site) const;
   std::uint64_t total_triggered() const;
 
   const FaultPlan& plan() const { return plan_; }
 
  private:
+  bool decide(FaultSite site, std::uint64_t key);
+
   FaultPlan plan_;
   std::array<std::atomic<std::uint64_t>, kFaultSiteCount> occurrences_{};
   std::array<std::atomic<std::uint64_t>, kFaultSiteCount> triggered_{};
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> suppressed_{};
   std::atomic<std::uint64_t> budget_used_{0};
 };
 
@@ -66,6 +92,18 @@ FaultInjector* installed_fault_injector();
 
 /// True when an installed injector decides this occurrence faults.
 bool fault_at(FaultSite site);
+
+/// Keyed variant of fault_at for the distributed sites; false when no
+/// injector is installed.
+bool fault_at_keyed(FaultSite site, std::uint64_t key);
+
+/// Canonical key for per-device occurrences at the distributed sites:
+/// device index in the high bits, the device's own occurrence counter (its
+/// half-step / transfer-attempt index) in the low 32.
+constexpr std::uint64_t fault_key(std::uint64_t device,
+                                  std::uint64_t occurrence) {
+  return (device << 32) | (occurrence & 0xffffffffULL);
+}
 
 /// RAII install/uninstall for tests.
 class ScopedFaultInjector {

@@ -1,0 +1,58 @@
+#include "robust/fault_metrics.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace alsmf::robust {
+
+namespace {
+
+// Advances `c` so its value equals `target` (counters are monotone; a
+// repeated export after more faults only ever moves forward).
+void advance_to(obs::Counter& c, std::uint64_t target) {
+  const std::uint64_t cur = c.value();
+  if (target > cur) c.inc(target - cur);
+}
+
+}  // namespace
+
+void export_fault_metrics(const FaultInjector& injector,
+                          obs::Registry& registry) {
+  for (int s = 0; s < kFaultSiteCount; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    const obs::Labels labels{{"site", to_string(site)}};
+    auto& occurrences = registry.counter(
+        "fault_injection_occurrences_total", labels,
+        "decision points reached at this fault site");
+    auto& injected = registry.counter(
+        "fault_injection_injected_total", labels,
+        "plan decisions that selected the occurrence");
+    auto& observed = registry.counter(
+        "fault_injection_observed_total", labels,
+        "faults delivered to production code");
+    auto& suppressed = registry.counter(
+        "fault_injection_suppressed_total", labels,
+        "selected faults withheld by the max_faults budget");
+    advance_to(occurrences, injector.occurrences(site));
+    advance_to(injected, injector.injected(site));
+    advance_to(observed, injector.triggered(site));
+    advance_to(suppressed, injector.suppressed(site));
+
+    registry.add_assertion(
+        std::string("fault_injection_conservation_") + to_string(site),
+        [&injected, &observed, &suppressed]() -> std::string {
+          const auto i = injected.value();
+          const auto o = observed.value();
+          const auto p = suppressed.value();
+          if (i == o + p) return "";
+          return "injected (" + std::to_string(i) + ") != observed (" +
+                 std::to_string(o) + ") + suppressed (" + std::to_string(p) +
+                 ")";
+        });
+  }
+}
+
+}  // namespace alsmf::robust

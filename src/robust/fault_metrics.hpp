@@ -1,0 +1,35 @@
+// Fault-injection exposure into the obs metrics registry.
+//
+// Per site, three monotone counters with an honesty invariant asserted
+// cross-metric in the registry (see obs::Registry::add_assertion):
+//
+//   fault_injection_injected_total{site}   — plan decisions that selected
+//                                            the occurrence (exact index hit
+//                                            or probability draw fired)
+//   fault_injection_observed_total{site}   — faults actually delivered to
+//                                            production code
+//   fault_injection_suppressed_total{site} — selections withheld by the
+//                                            plan's max_faults budget
+//   fault_injection_occurrences_total{site} — every decision point reached
+//
+// The gated invariant: injected == observed + suppressed (per site), i.e.
+// every fault the plan injected is accounted for — either it reached the
+// code under test or the budget swallowed it, never silently dropped.
+#pragma once
+
+namespace alsmf::obs {
+class Registry;
+}
+
+namespace alsmf::robust {
+
+class FaultInjector;
+
+/// Snapshots `injector` counts into `registry` (counters are created on
+/// first use and advanced by the delta since the last export, so repeated
+/// exports stay monotone) and registers the per-site conservation
+/// assertions. Call after a run, before reading the exposition.
+void export_fault_metrics(const FaultInjector& injector,
+                          obs::Registry& registry);
+
+}  // namespace alsmf::robust

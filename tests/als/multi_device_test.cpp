@@ -114,6 +114,80 @@ TEST(MultiDevice, EmptyProfileListRejected) {
       Error);
 }
 
+void expect_partition_invariants(
+    const std::vector<std::pair<index_t, index_t>>& parts, index_t rows) {
+  ASSERT_FALSE(parts.empty());
+  EXPECT_EQ(parts.front().first, 0);
+  EXPECT_EQ(parts.back().second, rows);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    EXPECT_LT(parts[p].first, parts[p].second) << "empty partition " << p;
+    if (p > 0) {
+      EXPECT_EQ(parts[p].first, parts[p - 1].second);
+    }
+  }
+}
+
+TEST(MultiDevice, BalanceSinglePartition) {
+  const Csr m = testing::random_csr(20, 10, 0.3, 166);
+  const auto parts = balance_by_nnz(m, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], (std::pair<index_t, index_t>{0, 20}));
+}
+
+TEST(MultiDevice, BalancePartsEqualToRows) {
+  const Csr m = testing::random_csr(6, 8, 0.5, 167);
+  const auto parts = balance_by_nnz(m, 6);
+  ASSERT_EQ(parts.size(), 6u);  // one row each, all non-empty
+  expect_partition_invariants(parts, 6);
+}
+
+TEST(MultiDevice, BalancePartsExceedingRowsClampsToRowCount) {
+  const Csr m = testing::random_csr(6, 8, 0.5, 168);
+  for (std::size_t parts_requested : {7u, 16u, 100u}) {
+    const auto parts = balance_by_nnz(m, parts_requested);
+    EXPECT_EQ(parts.size(), 6u) << parts_requested << " requested";
+    expect_partition_invariants(parts, 6);
+  }
+}
+
+TEST(MultiDevice, BalanceSingleHotRowProducesNoEmptyShards) {
+  // All the mass in one row used to absorb every partition goal, leaving
+  // empty ranges; now each partition still takes at least one row.
+  Coo coo(8, 50);
+  for (index_t c = 0; c < 50; ++c) coo.add(3, c, 1.0f);
+  for (index_t r = 0; r < 8; ++r) {
+    if (r != 3) coo.add(r, r, 1.0f);
+  }
+  const Csr m = coo_to_csr(coo);
+  for (std::size_t p : {2u, 3u, 4u, 8u}) {
+    const auto parts = balance_by_nnz(m, p);
+    EXPECT_EQ(parts.size(), p);
+    expect_partition_invariants(parts, 8);
+  }
+}
+
+TEST(MultiDevice, BalanceZeroRows) {
+  const Csr empty;
+  const auto parts = balance_by_nnz(empty, 4);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], (std::pair<index_t, index_t>{0, 0}));
+}
+
+TEST(MultiDevice, SkewedTrainingStillMatchesReference) {
+  // End to end through the coordinator: hot-row skew with more devices than
+  // useful partitions still trains to the exact reference factors.
+  Coo coo(10, 40);
+  for (index_t c = 0; c < 40; ++c) coo.add(0, c, 2.0f);
+  for (index_t r = 1; r < 10; ++r) coo.add(r, r, 1.0f);
+  const Csr train = coo_to_csr(coo);
+  const auto ref = reference_als(train, opts());
+  std::vector<devsim::DeviceProfile> profiles(5, devsim::k20c());
+  MultiDeviceAls solver(train, opts(), AlsVariant::batching_only(), profiles);
+  solver.run();
+  EXPECT_EQ(solver.x(), ref.x);
+  EXPECT_EQ(solver.y(), ref.y);
+}
+
 TEST(MultiDevice, MoreDevicesThanRows) {
   const Csr train = testing::random_csr(3, 5, 0.5, 165);
   std::vector<devsim::DeviceProfile> profiles(6, devsim::k20c());

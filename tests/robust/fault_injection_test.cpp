@@ -90,6 +90,76 @@ TEST(FaultInjection, ScopedInstallAndUninstall) {
   EXPECT_EQ(installed_fault_injector(), nullptr);
 }
 
+TEST(FaultInjection, KeyedDecisionsDependOnlyOnSeedSiteAndKey) {
+  FaultPlan plan;
+  plan.seed = fault_seed();
+  plan.probability[static_cast<int>(FaultSite::kDeviceFailure)] = 0.5;
+  FaultInjector a(plan), b(plan);
+  // Same keys queried in opposite orders: decisions must agree pairwise —
+  // the property that makes concurrent coordinator threads replayable.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t dev = 0; dev < 4; ++dev) {
+    for (std::uint64_t occ = 0; occ < 50; ++occ) {
+      keys.push_back(fault_key(dev, occ));
+    }
+  }
+  std::vector<bool> forward;
+  for (const auto key : keys) {
+    forward.push_back(a.should_fault_keyed(FaultSite::kDeviceFailure, key));
+  }
+  for (std::size_t i = keys.size(); i > 0; --i) {
+    EXPECT_EQ(b.should_fault_keyed(FaultSite::kDeviceFailure, keys[i - 1]),
+              static_cast<bool>(forward[i - 1]));
+  }
+  EXPECT_EQ(a.triggered(FaultSite::kDeviceFailure),
+            b.triggered(FaultSite::kDeviceFailure));
+}
+
+TEST(FaultInjection, KeyedExactEntriesMatchTheKey) {
+  FaultPlan plan;
+  plan.exact[static_cast<int>(FaultSite::kStraggler)] = {fault_key(2, 1)};
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.should_fault_keyed(FaultSite::kStraggler,
+                                           fault_key(2, 0)));
+  EXPECT_FALSE(injector.should_fault_keyed(FaultSite::kStraggler,
+                                           fault_key(1, 1)));
+  EXPECT_TRUE(injector.should_fault_keyed(FaultSite::kStraggler,
+                                          fault_key(2, 1)));
+  EXPECT_EQ(injector.occurrences(FaultSite::kStraggler), 3u);
+  EXPECT_EQ(injector.triggered(FaultSite::kStraggler), 1u);
+}
+
+TEST(FaultInjection, SuppressedAccountsForBudgetWithheldFaults) {
+  FaultPlan plan;
+  plan.probability[static_cast<int>(FaultSite::kSolve)] = 1.0;
+  plan.max_faults = 3;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 10; ++i) injector.should_fault(FaultSite::kSolve);
+  EXPECT_EQ(injector.triggered(FaultSite::kSolve), 3u);
+  EXPECT_EQ(injector.suppressed(FaultSite::kSolve), 7u);
+  // The conservation invariant the metrics exposition gates on.
+  EXPECT_EQ(injector.injected(FaultSite::kSolve),
+            injector.triggered(FaultSite::kSolve) +
+                injector.suppressed(FaultSite::kSolve));
+  EXPECT_EQ(injector.injected(FaultSite::kSolve), 10u);
+}
+
+TEST(FaultInjection, UniformKeyedIsDeterministicAndInRange) {
+  FaultPlan plan;
+  plan.seed = fault_seed();
+  FaultInjector a(plan), b(plan);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const double u = a.uniform_keyed(FaultSite::kStraggler, key, 1);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_DOUBLE_EQ(u, b.uniform_keyed(FaultSite::kStraggler, key, 1));
+    // Distinct salts give distinct streams (severity vs decision).
+    EXPECT_NE(u, a.uniform_keyed(FaultSite::kStraggler, key, 2));
+  }
+  // uniform_keyed never advances occurrence counters.
+  EXPECT_EQ(a.occurrences(FaultSite::kStraggler), 0u);
+}
+
 TEST(FaultInjection, SolveFaultsAreRecoveredByGuards) {
   const Csr train = testing::random_csr(40, 30, 0.2, 17);
   AlsOptions o;

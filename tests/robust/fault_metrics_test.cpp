@@ -1,0 +1,104 @@
+#include "robust/fault_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace alsmf::robust {
+namespace {
+
+obs::Labels site_labels(FaultSite site) {
+  return {{"site", to_string(site)}};
+}
+
+TEST(FaultMetrics, ExportsPerSiteCountsAndConservationHolds) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.probability[static_cast<int>(FaultSite::kSolve)] = 1.0;
+  plan.max_faults = 2;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 10; ++i) injector.should_fault(FaultSite::kSolve);
+
+  obs::Registry registry;
+  export_fault_metrics(injector, registry);
+
+  const auto labels = site_labels(FaultSite::kSolve);
+  EXPECT_EQ(
+      registry.counter("fault_injection_occurrences_total", labels).value(),
+      10u);
+  EXPECT_EQ(registry.counter("fault_injection_injected_total", labels).value(),
+            10u);
+  EXPECT_EQ(registry.counter("fault_injection_observed_total", labels).value(),
+            2u);
+  EXPECT_EQ(
+      registry.counter("fault_injection_suppressed_total", labels).value(),
+      8u);
+  // injected == observed + suppressed at every site.
+  EXPECT_TRUE(registry.check_assertions().empty());
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("fault_injection_injected_total"), std::string::npos);
+  EXPECT_NE(text.find("site=\"solve\""), std::string::npos);
+}
+
+TEST(FaultMetrics, RepeatedExportStaysMonotone) {
+  FaultPlan plan;
+  plan.exact[static_cast<int>(FaultSite::kKernelLaunch)] = {0};
+  FaultInjector injector(plan);
+  injector.should_fault(FaultSite::kKernelLaunch);
+
+  obs::Registry registry;
+  export_fault_metrics(injector, registry);
+  export_fault_metrics(injector, registry);  // no new faults: no double count
+  const auto labels = site_labels(FaultSite::kKernelLaunch);
+  EXPECT_EQ(registry.counter("fault_injection_observed_total", labels).value(),
+            1u);
+
+  injector.should_fault(FaultSite::kKernelLaunch);  // occurrence 1: no fault
+  export_fault_metrics(injector, registry);
+  EXPECT_EQ(
+      registry.counter("fault_injection_occurrences_total", labels).value(),
+      2u);
+  EXPECT_EQ(registry.counter("fault_injection_observed_total", labels).value(),
+            1u);
+  EXPECT_TRUE(registry.check_assertions().empty());
+}
+
+TEST(FaultMetrics, ConservationAssertionCatchesDrift) {
+  FaultInjector injector(FaultPlan{});
+  obs::Registry registry;
+  export_fault_metrics(injector, registry);
+  EXPECT_TRUE(registry.check_assertions().empty());
+
+  // Tamper with one side of the invariant: the assertion must flag it.
+  registry
+      .counter("fault_injection_observed_total",
+               site_labels(FaultSite::kDeviceFailure))
+      .inc();
+  const auto violations = registry.check_assertions();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("device_failure"), std::string::npos);
+  EXPECT_NE(violations[0].find("injected"), std::string::npos);
+}
+
+TEST(FaultMetrics, CoversDistributedSites) {
+  FaultPlan plan;
+  plan.exact[static_cast<int>(FaultSite::kLinkTransfer)] = {fault_key(1, 0)};
+  FaultInjector injector(plan);
+  injector.should_fault_keyed(FaultSite::kLinkTransfer, fault_key(1, 0));
+  injector.should_fault_keyed(FaultSite::kLinkTransfer, fault_key(0, 0));
+
+  obs::Registry registry;
+  export_fault_metrics(injector, registry);
+  const auto labels = site_labels(FaultSite::kLinkTransfer);
+  EXPECT_EQ(
+      registry.counter("fault_injection_occurrences_total", labels).value(),
+      2u);
+  EXPECT_EQ(registry.counter("fault_injection_observed_total", labels).value(),
+            1u);
+  EXPECT_TRUE(registry.check_assertions().empty());
+}
+
+}  // namespace
+}  // namespace alsmf::robust
