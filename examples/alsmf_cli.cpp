@@ -56,6 +56,13 @@
 //                       (static sweep: deep lint + a per-kernel static
 //                       profile from the access IR, zero launches; exits
 //                       non-zero on any deep-lint diagnostic)
+//   alsmf_cli verify-kernels [--profiles cpu,gpu,mic] [--k 10]
+//                       [--group-size 32] [--tile-rows N] [--json out.json]
+//                       (static bounds & race verifier over the access IR:
+//                       every reference must be proven in bounds and every
+//                       may-happen-in-parallel pair proven race-free under
+//                       the ALS buffer contracts; unprovable fails — exits
+//                       non-zero on any non-proven verdict, zero launches)
 //
 // Ratings files use the paper's `<userID, itemID, rating>` text format.
 #include <fstream>
@@ -66,6 +73,7 @@
 
 #include "als/analyze_kernels.hpp"
 #include "als/check_kernels.hpp"
+#include "als/verify_kernels.hpp"
 #include "als/metrics.hpp"
 #include "als/multi_device.hpp"
 #include "als/learned_select.hpp"
@@ -759,6 +767,51 @@ int cmd_analyze_kernels(const CliArgs& args) {
   return result.clean() ? 0 : 1;
 }
 
+int cmd_verify_kernels(const CliArgs& args) {
+  VerifyKernelsOptions options;
+  options.k = static_cast<int>(args.get_long("k", options.k));
+  options.group_size =
+      static_cast<int>(args.get_long("group-size", options.group_size));
+  options.tile_rows = args.get_long("tile-rows", options.tile_rows);
+  if (auto profiles = args.get("profiles")) {
+    options.profiles.clear();
+    std::stringstream ss(*profiles);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) options.profiles.push_back(name);
+    }
+  }
+
+  const auto result = verify_kernels(options);
+  if (auto json_path = args.get("json")) {
+    std::ofstream out(*json_path);
+    out << result.to_json() << "\n";
+  }
+  for (const auto& err : result.errors) {
+    std::cout << "error: " << err << "\n";
+  }
+  for (const auto& d : result.diagnostics) {
+    std::cout << d << "\n";
+  }
+  long refs = 0, safe = 0, violating = 0, unprovable = 0;
+  long pairs = 0, races = 0, races_unprovable = 0;
+  for (const auto& e : result.entries) {
+    refs += e.report.refs_total;
+    safe += e.report.refs_proven_safe;
+    violating += e.report.refs_proven_violating;
+    unprovable += e.report.refs_unprovable;
+    pairs += e.report.pairs_checked;
+    races += e.report.races_proven;
+    races_unprovable += e.report.races_unprovable;
+  }
+  std::cout << "verify-kernels: " << result.entries.size()
+            << " kernel/profile combinations, " << refs << " references ("
+            << safe << " proven safe, " << violating << " violating, "
+            << unprovable << " unprovable), " << pairs << " MHP pairs ("
+            << races << " races, " << races_unprovable << " unprovable)\n";
+  return result.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -767,7 +820,7 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::cerr << "usage: alsmf_cli <train|train-multi|predict|recommend|"
                  "evaluate|tune|shard|train-ooc|rank|serve|pipeline|devices|"
-                 "check-kernels|analyze-kernels> "
+                 "check-kernels|analyze-kernels|verify-kernels> "
                  "[options]\n";
     return 2;
   }
@@ -787,6 +840,7 @@ int main(int argc, char** argv) {
     if (cmd == "devices") return cmd_devices(args);
     if (cmd == "check-kernels") return cmd_check_kernels(args);
     if (cmd == "analyze-kernels") return cmd_analyze_kernels(args);
+    if (cmd == "verify-kernels") return cmd_verify_kernels(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

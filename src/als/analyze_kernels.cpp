@@ -73,8 +73,11 @@ AnalyzeKernelsResult analyze_kernels(const AnalyzeKernelsOptions& options) {
       const ocl::LintReport lint =
           az::deep_lint_kernel_source(source, lint_options);
       for (const auto& issue : lint.issues) {
-        out.lint_issues.push_back(profile_name + "/" + name + ": line " +
-                                  std::to_string(issue.line) + ": " +
+        // Clickable <file>:<line>:<col> anchor (col 0 = unknown, still
+        // parseable by editors), profile-qualified for the sweep log.
+        out.lint_issues.push_back(profile_name + "/" + name + ".cl:" +
+                                  std::to_string(issue.line) + ":" +
+                                  std::to_string(issue.col) + ": " +
                                   issue.message);
       }
       if (!lint.clean()) continue;  // unanalyzable sources have no profile

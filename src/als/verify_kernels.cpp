@@ -1,0 +1,300 @@
+#include "als/verify_kernels.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "ocl/analyze/ir.hpp"
+#include "ocl/analyze/parser.hpp"
+
+namespace alsmf {
+
+namespace {
+
+namespace az = ocl::analyze;
+namespace vf = ocl::analyze::verify;
+
+const char* space_name(az::MemSpace s) {
+  switch (s) {
+    case az::MemSpace::kGlobal: return "global";
+    case az::MemSpace::kLocal: return "local";
+    case az::MemSpace::kPrivate: return "private";
+  }
+  return "?";
+}
+
+bool has_arg(const az::KernelIR& ir, const std::string& name) {
+  for (const auto& a : ir.args) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    if (c == '\n') {
+      os << "\\n";
+      continue;
+    }
+    os << c;
+  }
+  os << "\"";
+}
+
+}  // namespace
+
+vf::KernelContract als_kernel_contract(const az::KernelIR& ir) {
+  using vf::BufferContract;
+  using vf::SymExpr;
+  const long k = ir.k > 0 ? ir.k : 1;
+  const long ws = ir.ws > 0 ? ir.ws : 1;
+
+  vf::KernelContract ct;
+  ct.lower = {{"ROWS", 1}, {"COLS", 1}, {"NNZ", 0},
+              {"SLICES", 1}, {"PADDED", 0}};
+
+  BufferContract y;
+  y.has_extent = true;
+  y.extent = SymExpr::sym("COLS", k);
+  ct.buffers["Y"] = y;
+
+  BufferContract x;
+  x.has_extent = true;
+  x.extent = SymExpr::sym("ROWS", k);
+  ct.buffers["X"] = x;
+
+  if (has_arg(ir, "slice_ptr")) {
+    // SELL-C-sigma storage: values/col_idx are padded to PADDED elements,
+    // slice offsets pair with per-lane lengths, perm scatters rows.
+    BufferContract values;
+    values.has_extent = true;
+    values.extent = SymExpr::sym("PADDED");
+    ct.buffers["values"] = values;
+
+    BufferContract col;
+    col.has_extent = true;
+    col.extent = SymExpr::sym("PADDED");
+    col.has_values = true;
+    col.value_min = SymExpr::constant(0);
+    col.value_max = SymExpr::sym("COLS", 1, -1);
+    ct.buffers["col_idx"] = col;
+
+    BufferContract sp;
+    sp.has_extent = true;
+    sp.extent = SymExpr::sym("SLICES", 1, 1);
+    sp.offsets = true;
+    sp.offsets_total = SymExpr::sym("PADDED");
+    sp.has_values = true;
+    sp.value_min = SymExpr::constant(0);
+    sp.value_max = SymExpr::sym("PADDED");
+    sp.paired_lengths = "lane_len";
+    sp.pair_stride = ws;
+    sp.pair_total = SymExpr::sym("PADDED");
+    ct.buffers["slice_ptr"] = sp;
+
+    BufferContract perm;
+    perm.has_extent = true;
+    perm.extent = SymExpr::sym("SLICES", ws);
+    perm.has_values = true;
+    perm.value_min = SymExpr::constant(-1);  // -1 pads short slices
+    perm.value_max = SymExpr::sym("ROWS", 1, -1);
+    perm.injective = true;
+    ct.buffers["perm"] = perm;
+
+    BufferContract len;
+    len.has_extent = true;
+    len.extent = SymExpr::sym("SLICES", ws);
+    len.has_values = true;
+    len.value_min = SymExpr::constant(0);
+    len.value_max = SymExpr::sym("PADDED");
+    ct.buffers["lane_len"] = len;
+
+    ct.has_group_upper = true;
+    ct.group_upper = SymExpr::sym("SLICES");
+  } else {
+    // CSR storage.
+    BufferContract values;
+    values.has_extent = true;
+    values.extent = SymExpr::sym("NNZ");
+    ct.buffers["values"] = values;
+
+    BufferContract col;
+    col.has_extent = true;
+    col.extent = SymExpr::sym("NNZ");
+    col.has_values = true;
+    col.value_min = SymExpr::constant(0);
+    col.value_max = SymExpr::sym("COLS", 1, -1);
+    ct.buffers["col_idx"] = col;
+
+    BufferContract rp;
+    rp.has_extent = true;
+    rp.extent = SymExpr::sym("ROWS", 1, 1);
+    rp.offsets = true;
+    rp.offsets_total = SymExpr::sym("NNZ");
+    rp.has_values = true;
+    rp.value_min = SymExpr::constant(0);
+    rp.value_max = SymExpr::sym("NNZ");
+    ct.buffers["row_ptr"] = rp;
+  }
+
+  ct.scalar_args["rows"] = SymExpr::sym("ROWS");
+
+  // Two consistent shape points: a square one and a ROWS > COLS one (the
+  // latter witnesses output-aliasing overflows that a square grid hides).
+  ct.witness_grid = {
+      {{"ROWS", 8}, {"COLS", 8}, {"NNZ", 32}, {"SLICES", 1}, {"PADDED", 64}},
+      {{"ROWS", 12}, {"COLS", 8}, {"NNZ", 32}, {"SLICES", 1}, {"PADDED", 64}},
+  };
+  return ct;
+}
+
+VerifySourceResult verify_kernel_source(const std::string& source) {
+  VerifySourceResult out;
+  try {
+    const auto kernels = az::lower_kernels(az::parse_translation_unit(source));
+    if (kernels.empty()) {
+      out.errors.push_back("no __kernel function found in source");
+      return out;
+    }
+    for (const auto& ir : kernels) {
+      out.reports.push_back(vf::verify_kernel(ir, als_kernel_contract(ir)));
+    }
+  } catch (const az::ParseError& e) {
+    out.errors.push_back("line " + std::to_string(e.line) + ": " + e.message);
+  } catch (const std::exception& e) {
+    out.errors.push_back(e.what());
+  }
+  return out;
+}
+
+std::vector<std::string> verify_diagnostics(
+    const std::string& kernel,
+    const vf::KernelVerifyReport& report) {
+  std::vector<std::string> out;
+  for (const auto& f : report.bounds_findings) {
+    std::ostringstream os;
+    os << kernel << ".cl:" << f.line << ":" << f.col << ": "
+       << to_string(f.verdict) << " " << space_name(f.space)
+       << (f.is_store ? " store " : " load ") << f.buffer << "[" << f.index
+       << "]: " << f.detail;
+    out.push_back(os.str());
+  }
+  for (const auto& f : report.race_findings) {
+    std::ostringstream os;
+    os << kernel << ".cl:" << f.line_a << ":" << f.col_a << ": "
+       << to_string(f.verdict) << " race on " << space_name(f.space) << " "
+       << f.buffer << " (with " << kernel << ".cl:" << f.line_b << ":"
+       << f.col_b << "): " << f.detail;
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+VerifyKernelsResult verify_kernels(const VerifyKernelsOptions& options) {
+  ocl::KernelConfig kc;
+  kc.k = options.k;
+  kc.group_size = options.group_size;
+  if (options.tile_rows > 0) kc.tile_rows = static_cast<int>(options.tile_rows);
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.emplace_back("als_update_flat", ocl::flat_kernel_source(kc));
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    sources.emplace_back(ocl::kernel_name(v),
+                         ocl::batched_kernel_source(v, kc));
+  }
+  sources.emplace_back("als_update_flat_sell", ocl::sell_kernel_source(kc));
+
+  VerifyKernelsResult out;
+  for (const std::string& profile_name : options.profiles) {
+    for (const auto& [name, source] : sources) {
+      VerifySourceResult sr = verify_kernel_source(source);
+      for (const auto& err : sr.errors) {
+        out.errors.push_back(profile_name + "/" + name + ": " + err);
+      }
+      for (auto& report : sr.reports) {
+        for (auto& d : verify_diagnostics(name, report)) {
+          out.diagnostics.push_back(std::move(d));
+        }
+        VerifyKernelsEntry entry;
+        entry.kernel = name;
+        entry.profile = profile_name;
+        entry.report = std::move(report);
+        out.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return out;
+}
+
+std::string VerifyKernelsResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"clean\":" << (clean() ? "true" : "false") << ",\"errors\":[";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i) os << ",";
+    json_escape(os, errors[i]);
+  }
+  os << "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i) os << ",";
+    json_escape(os, diagnostics[i]);
+  }
+  os << "],\"kernels\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const auto& r = e.report;
+    if (i) os << ",";
+    os << "{\"kernel\":\"" << e.kernel << "\",\"profile\":\"" << e.profile
+       << "\",\"clean\":" << (r.clean() ? "true" : "false")
+       << ",\"bounds\":{\"refs\":" << r.refs_total
+       << ",\"proven_safe\":" << r.refs_proven_safe
+       << ",\"proven_violating\":" << r.refs_proven_violating
+       << ",\"unprovable\":" << r.refs_unprovable << ",\"findings\":[";
+    for (std::size_t j = 0; j < r.bounds_findings.size(); ++j) {
+      const auto& f = r.bounds_findings[j];
+      if (j) os << ",";
+      os << "{\"buffer\":\"" << f.buffer << "\",\"space\":\""
+         << space_name(f.space)
+         << "\",\"store\":" << (f.is_store ? "true" : "false")
+         << ",\"verdict\":\"" << to_string(f.verdict)
+         << "\",\"line\":" << f.line << ",\"col\":" << f.col << ",\"index\":";
+      json_escape(os, f.index);
+      os << ",\"detail\":";
+      json_escape(os, f.detail);
+      os << "}";
+    }
+    os << "]},\"races\":{\"pairs\":" << r.pairs_checked
+       << ",\"proven\":" << r.races_proven
+       << ",\"unprovable\":" << r.races_unprovable << ",\"findings\":[";
+    for (std::size_t j = 0; j < r.race_findings.size(); ++j) {
+      const auto& f = r.race_findings[j];
+      if (j) os << ",";
+      os << "{\"buffer\":\"" << f.buffer << "\",\"space\":\""
+         << space_name(f.space) << "\",\"verdict\":\"" << to_string(f.verdict)
+         << "\",\"cross_group\":" << (f.cross_group ? "true" : "false")
+         << ",\"a\":\"" << f.line_a << ":" << f.col_a << "\",\"b\":\""
+         << f.line_b << ":" << f.col_b << "\",\"detail\":";
+      json_escape(os, f.detail);
+      os << "}";
+    }
+    os << "]},\"widths\":[";
+    for (std::size_t j = 0; j < r.widths.size(); ++j) {
+      const auto& w = r.widths[j];
+      if (j) os << ",";
+      os << "{\"buffer\":\"" << w.buffer << "\",\"space\":\""
+         << space_name(w.space) << "\",\"mixed\":"
+         << (w.mixed ? "true" : "false") << ",\"widths\":[";
+      for (std::size_t b = 0; b < w.widths.size(); ++b) {
+        if (b) os << ",";
+        os << w.widths[b];
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace alsmf

@@ -1,0 +1,91 @@
+// The `alsmf verify-kernels` sweep: the proof-carrying counterpart of
+// analyze_kernels.hpp. Every generated OpenCL kernel is lowered to the
+// access IR and handed to the static bounds & race verifier
+// (ocl/analyze/verify/) together with the ALS buffer contracts (CSR / SELL
+// shapes, value ranges, offset monotonicity, permutation injectivity). The
+// gate is strict: a kernel passes only when every reference is
+// proven-safe and every may-happen-in-parallel pair is proven race-free —
+// "unprovable" fails, exactly like a provable violation. The mutation
+// corpus (tests/ocl/defects/) keeps the verdicts honest against checked
+// dynamic execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ocl/analyze/verify/verify.hpp"
+#include "ocl/kernel_source.hpp"
+
+namespace alsmf {
+
+struct VerifyKernelsOptions {
+  int k = 10;
+  std::uint64_t seed = 42;  ///< accepted for CLI parity; contracts are symbolic
+  long users = 300;
+  long items = 200;
+  long nnz = 6000;
+  std::size_t num_groups = 48;
+  int group_size = 32;
+  long tile_rows = 0;  ///< forced TILE_ROWS define (0 = generator default)
+  std::vector<std::string> profiles = {"cpu", "gpu", "mic"};
+};
+
+/// Builds the ALS verification contract for one lowered kernel: CSR
+/// (values/col_idx/row_ptr) or SELL (slice_ptr/perm/lane_len) shapes are
+/// recognized from the argument names. Shared with the defect-corpus tests
+/// so the static leg verifies mutants under the very same assumptions.
+ocl::analyze::verify::KernelContract als_kernel_contract(
+    const ocl::analyze::KernelIR& ir);
+
+/// Verifies every kernel in one source string against the ALS contracts.
+/// Never throws on bad input: parse/lowering failures land in `errors`
+/// (fail closed — clean() is then false).
+struct VerifySourceResult {
+  std::vector<ocl::analyze::verify::KernelVerifyReport> reports;
+  std::vector<std::string> errors;
+
+  bool clean() const {
+    if (!errors.empty() || reports.empty()) return false;
+    for (const auto& r : reports) {
+      if (!r.clean()) return false;
+    }
+    return true;
+  }
+};
+VerifySourceResult verify_kernel_source(const std::string& source);
+
+/// Formats one report's bounds/race findings as clickable
+/// "<kernel>.cl:<line>:<col>: message" diagnostics (one per finding).
+std::vector<std::string> verify_diagnostics(
+    const std::string& kernel,
+    const ocl::analyze::verify::KernelVerifyReport& report);
+
+struct VerifyKernelsEntry {
+  std::string kernel;
+  std::string profile;
+  ocl::analyze::verify::KernelVerifyReport report;
+};
+
+struct VerifyKernelsResult {
+  std::vector<VerifyKernelsEntry> entries;
+  /// Setup/parse failures, "profile/kernel: message" (fail closed).
+  std::vector<std::string> errors;
+  /// Clickable diagnostics, "<kernel>.cl:<line>:<col>: message", one per
+  /// non-proven bounds/race finding.
+  std::vector<std::string> diagnostics;
+
+  bool clean() const {
+    if (!errors.empty() || entries.empty()) return false;
+    for (const auto& e : entries) {
+      if (!e.report.clean()) return false;
+    }
+    return true;
+  }
+  std::string to_json() const;
+};
+
+/// Runs the sweep over all 10 generated kernels per device profile.
+VerifyKernelsResult verify_kernels(const VerifyKernelsOptions& options);
+
+}  // namespace alsmf

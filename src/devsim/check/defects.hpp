@@ -1,0 +1,51 @@
+// Shared defect taxonomy bridging the two kernel-checking legs: the dynamic
+// shadow-memory checker (check/checker.hpp, FindingKind) and the static
+// verifier (ocl/analyze/verify/). The defect-injection corpus
+// (tests/ocl/defects/) asserts both legs flag every mutation with the same
+// class, so the mapping lives here rather than in either leg.
+#pragma once
+
+#include "devsim/check/report.hpp"
+
+namespace alsmf::devsim::check {
+
+enum class DefectClass {
+  kNone,
+  kBoundsGlobal,    ///< access outside a global buffer's extent
+  kBoundsLocal,     ///< access outside a scratch-pad allocation
+  kRaceIntraGroup,  ///< lanes of one group conflict without a barrier
+  kRaceCrossGroup,  ///< global-buffer conflict between work-groups
+  kStaleLocal,      ///< scratch-pad span used after its group's arena reset
+  kCounterHonesty,  ///< recorded traffic diverges from touched bytes
+};
+
+inline const char* to_string(DefectClass c) {
+  switch (c) {
+    case DefectClass::kNone: return "none";
+    case DefectClass::kBoundsGlobal: return "bounds-global";
+    case DefectClass::kBoundsLocal: return "bounds-local";
+    case DefectClass::kRaceIntraGroup: return "race-intra-group";
+    case DefectClass::kRaceCrossGroup: return "race-cross-group";
+    case DefectClass::kStaleLocal: return "stale-local";
+    case DefectClass::kCounterHonesty: return "counter-honesty";
+  }
+  return "?";
+}
+
+/// Dynamic-leg mapping: the defect class a checked-execution finding
+/// witnesses.
+inline DefectClass defect_class(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kOutOfBoundsGlobal: return DefectClass::kBoundsGlobal;
+    case FindingKind::kOutOfBoundsLocal: return DefectClass::kBoundsLocal;
+    case FindingKind::kIntraGroupRace: return DefectClass::kRaceIntraGroup;
+    case FindingKind::kCrossGroupRace: return DefectClass::kRaceCrossGroup;
+    case FindingKind::kStaleLocalSpan: return DefectClass::kStaleLocal;
+    case FindingKind::kCounterUnderReport:
+    case FindingKind::kCounterOverReport:
+      return DefectClass::kCounterHonesty;
+  }
+  return DefectClass::kNone;
+}
+
+}  // namespace alsmf::devsim::check

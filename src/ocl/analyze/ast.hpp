@@ -34,6 +34,7 @@ struct Expr {
   std::string name;
   std::vector<ExprPtr> kids;
   int line = 0;
+  int col = 0;  // 1-based column, for clickable file:line:col diagnostics
 };
 
 struct Stmt;
@@ -54,6 +55,7 @@ struct Stmt {
   };
   Kind kind = Kind::kExpr;
   int line = 0;
+  int col = 0;
 
   // kDecl
   std::string type;

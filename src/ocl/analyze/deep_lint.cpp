@@ -18,8 +18,9 @@ bool freq_hot(const Freq& f) { return f.per_nnz > 0 || f.chunk_body > 0; }
 
 void check_kernel(const KernelIR& ir, const DeepLintOptions& options,
                   LintReport& report) {
-  const auto add = [&](int line, std::string message) {
-    report.issues.push_back({line, "deep: " + ir.name + ": " + std::move(message)});
+  const auto add = [&](int line, std::string message, int col = 0) {
+    report.issues.push_back(
+        {line, "deep: " + ir.name + ": " + std::move(message), col});
   };
 
   // Uncoalesced global store in a hot loop: every nonzero pays a scattered
@@ -35,7 +36,8 @@ void check_kernel(const KernelIR& ir, const DeepLintOptions& options,
                                       ? "strided"
                                       : "gathered") +
                       " global store to '" + r.buffer +
-                      "' in a hot loop (index " + r.index + ")");
+                      "' in a hot loop (index " + r.index + ")",
+          r.col);
     }
   }
 

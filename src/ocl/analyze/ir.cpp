@@ -160,6 +160,14 @@ Affine aff_scale(const Affine& x, long s) {
 
 bool aff_is_const(const Affine& a) { return a.ok && a.t.empty(); }
 
+AffineIdx aff_export(const Affine& a) {
+  AffineIdx out;
+  out.ok = a.ok;
+  out.c = a.c;
+  out.terms = a.t;
+  return out;
+}
+
 /// Serializes the non-constant part for fold/dedupe keys.
 std::string aff_key(const Affine& a) {
   std::ostringstream os;
@@ -182,6 +190,11 @@ struct Sym {
   bool guarded = false;    // from a `(lx < G) ? buf[lx] : 0` lane load
   bool from_vload = false;
   long guard = 0;
+  // RowNnz: which offsets buffer / lower-offset load it derives from.
+  std::string begin_seg;
+  // ChunkSize: the RowNnz variable and chunked-loop id inside the min().
+  std::string nnz_var;
+  long chunk_base = -1;
 };
 
 struct BufRef {
@@ -261,6 +274,7 @@ class KernelLowerer {
     for (const auto& s : fn_.body) stmt(*s);
     flush_folds();
     out_.has_unrolled_accumulators = scalar_accumulators_.size() >= 4;
+    out_.interval_count = interval_ + 1;
     return std::move(out_);
   }
 
@@ -369,6 +383,12 @@ class KernelLowerer {
           emit_access(e, /*is_store=*/false);
           const std::string tag = "seg#" + std::to_string(seg_id_++);
           seg_buffer_[tag] = b.buffer;
+          IndirectIR ind;
+          ind.tag = tag;
+          ind.buffer = b.buffer;
+          ind.load_index =
+              aff_export(aff_add(b.base, affine_of_probe(*e.kids[1])));
+          out_.indirects.push_back(ind);
           return aff_term(tag);
         }
         return aff_unknown();
@@ -383,7 +403,16 @@ class KernelLowerer {
   Affine scaled(const Affine& a, long s) {
     if (s >= 2 && a.ok && a.c == 0 && a.t.size() == 1 &&
         a.t.begin()->second == 1 && a.t.begin()->first.rfind("seg#", 0) == 0) {
-      return aff_term("gather#" + std::to_string(gather_id_++));
+      const std::string tag = "gather#" + std::to_string(gather_id_++);
+      // The gather inherits the consumed segment load's provenance.
+      if (const IndirectIR* seg =
+              out_.indirect_by_tag(a.t.begin()->first)) {
+        IndirectIR ind = *seg;
+        ind.tag = tag;
+        ind.scale = s;
+        out_.indirects.push_back(ind);
+      }
+      return aff_term(tag);
     }
     return aff_scale(a, s);
   }
@@ -465,6 +494,21 @@ class KernelLowerer {
     return false;
   }
 
+  long current_lane_bound() const {
+    long bound = 0;
+    for (const long b : lane_bound_stack_) {
+      if (bound == 0 || b < bound) bound = b;
+    }
+    return bound;
+  }
+
+  std::vector<long> current_loop_path() const {
+    std::vector<long> path;
+    path.reserve(loops_.size());
+    for (const auto& f : loops_) path.push_back(f.id);
+    return path;
+  }
+
   // ---- reference + traffic emission ----
   /// Lane coefficient of an index. Lane-partitioned loop variables carry
   /// their lane term explicitly (p = lx + n·WS → {lane:1, lpvar:1}), so
@@ -535,7 +579,12 @@ class KernelLowerer {
     ref.zero_weight = zero_depth_ > 0;
     ref.loop_depth = static_cast<int>(loops_.size());
     ref.line = e.line;
+    ref.col = e.col;
     ref.index = print(*e.kids[1]);
+    ref.affine = aff_export(idx);
+    ref.interval = interval_;
+    ref.lane_bound = current_lane_bound();
+    ref.loop_path = current_loop_path();
     out_.refs.push_back(ref);
 
     if (b.space == MemSpace::kPrivate) {
@@ -671,6 +720,7 @@ class KernelLowerer {
         b.divergent = divergent_depth_ > 0;
         b.line = s.line;
         out_.barriers.push_back(b);
+        ++interval_;  // a barrier opens a new MHP interval
         break;
       }
       case Stmt::Kind::kReturn:
@@ -706,7 +756,11 @@ class KernelLowerer {
       env_[s.name] = Sym{};
       return;
     }
-    env_[s.name] = classify_init(*s.init, s.line);
+    Sym sym = classify_init(*s.init, s.line);
+    if (sym.kind == Sym::Kind::kRowNnz && !sym.begin_seg.empty()) {
+      out_.row_nnz.push_back({s.name, sym.buffer, sym.begin_seg});
+    }
+    env_[s.name] = sym;
   }
 
   Sym classify_init(const Expr& e, int line) {
@@ -716,6 +770,24 @@ class KernelLowerer {
         e.kids.size() == 2) {
       if (contains_row_nnz(*e.kids[0]) || contains_row_nnz(*e.kids[1])) {
         sym.kind = Sym::Kind::kChunkSize;
+        // Record which RowNnz variable and chunked-loop base appear inside
+        // `min(TILE_ROWS, omega - base)` so chunk-bounded loops can be
+        // linked back to them by the verifier.
+        std::set<std::string> ids;
+        collect_idents(e, ids);
+        for (const auto& id : ids) {
+          auto it = env_.find(id);
+          if (it == env_.end()) continue;
+          if (it->second.kind == Sym::Kind::kRowNnz) sym.nnz_var = id;
+          if (it->second.kind == Sym::Kind::kAffine &&
+              it->second.aff.ok && it->second.aff.t.size() == 1) {
+            const std::string& tag = it->second.aff.t.begin()->first;
+            if (tag.rfind("loopvar#", 0) == 0 &&
+                it->second.aff.t.begin()->second == 1) {
+              sym.chunk_base = std::stol(tag.substr(8));
+            }
+          }
+        }
         return sym;
       }
     }
@@ -752,6 +824,29 @@ class KernelLowerer {
       f.lane_part = in_lane_region();
       f.freq = freq_;
       f.line = line;
+
+      Affine vidx = b.base;
+      vidx.c += off.c * vw;
+      RefIR ref;
+      ref.buffer = b.buffer;
+      ref.space = b.space;
+      ref.elem_bytes = b.elem_bytes;
+      ref.coalescing = classify(vidx);
+      ref.lane_coeff = lane_coeff_of(vidx);
+      ref.hot = freq_hot();
+      ref.lane_partitioned = in_lane_region();
+      ref.divergent_guard = divergent_depth_ > 0;
+      ref.zero_weight = zero_depth_ > 0;
+      ref.loop_depth = static_cast<int>(loops_.size());
+      ref.line = line;
+      ref.col = e.col;
+      ref.index = print(*e.kids[1]) + " + " + std::to_string(off.c * vw);
+      ref.affine = aff_export(vidx);
+      ref.interval = interval_;
+      ref.lane_bound = current_lane_bound();
+      ref.vec_elems = static_cast<int>(vw);
+      ref.loop_path = current_loop_path();
+      out_.refs.push_back(ref);
 
       sym.kind = Sym::Kind::kStreamVar;
       sym.buffer = b.buffer;
@@ -797,7 +892,12 @@ class KernelLowerer {
         ref.zero_weight = zero_depth_ > 0;
         ref.loop_depth = static_cast<int>(loops_.size());
         ref.line = line;
+        ref.col = load->col;
         ref.index = print(*load->kids[1]);
+        ref.affine = aff_export(idx);
+        ref.interval = interval_;
+        ref.lane_bound = guard;  // lanes >= guard take the 0 arm
+        ref.loop_path = current_loop_path();
         out_.refs.push_back(ref);
 
         if (zero_depth_ == 0) {
@@ -845,6 +945,8 @@ class KernelLowerer {
       if (!plus.empty() && !minus.empty() &&
           seg_buffer_[plus] == seg_buffer_[minus]) {
         sym.kind = Sym::Kind::kRowNnz;
+        sym.buffer = seg_buffer_[minus];
+        sym.begin_seg = minus;
         return sym;
       }
     }
@@ -1027,6 +1129,7 @@ class KernelLowerer {
     if (s.cond) mark_used_expr(*s.cond);
     const Expr& c = *s.cond;
     bool zero = false, divergent = false;
+    long lane_bound = 0;
 
     if (c.kind == Expr::Kind::kBinary) {
       const bool lhs_nnz = contains_row_nnz(*c.kids[0]);
@@ -1041,9 +1144,29 @@ class KernelLowerer {
       if (!zero && c.name == ">=" && l.ok && l.coeff("row") == 1 &&
           body_exits(s.body)) {
         zero = true;
+        out_.row_bounded = true;
+        if (c.kids[1]->kind == Expr::Kind::kIdent) {
+          out_.row_bound_var = c.kids[1]->name;
+        }
       }
       if (!zero && (l.coeff("lane") != 0 || lane_coeff_of(l) != 0)) {
         divergent = true;
+      }
+      // `if (lane < C)` bounds the lane id of every reference in the body.
+      if (c.name == "<" && l.ok && l.c == 0 && l.t.size() == 1 &&
+          l.coeff("lane") == 1 && aff_is_const(r) && r.c > 0) {
+        lane_bound = r.c;
+      }
+      // `if (v < 0) return;` on an indirect value (SELL slice padding):
+      // everything after the guard sees v >= 0.
+      if (c.name == "<" && l.ok && l.c == 0 && l.t.size() == 1 &&
+          aff_is_const(r) && r.c == 0 && body_exits(s.body)) {
+        const auto& [tag, coeff] = *l.t.begin();
+        if (coeff == 1 && tag.rfind("seg#", 0) == 0) {
+          for (auto& ind : out_.indirects) {
+            if (ind.tag == tag) ind.nonneg_guarded = true;
+          }
+        }
       }
     }
 
@@ -1062,7 +1185,9 @@ class KernelLowerer {
 
     if (zero) ++zero_depth_;
     if (divergent) ++divergent_depth_;
+    if (lane_bound > 0) lane_bound_stack_.push_back(lane_bound);
     stmt_list(s.body);
+    if (lane_bound > 0) lane_bound_stack_.pop_back();
     if (zero) --zero_depth_;
     if (divergent) --divergent_depth_;
     stmt_list(s.else_body);
@@ -1181,6 +1306,10 @@ class KernelLowerer {
       frame.kind = LoopIR::Kind::kRowStride;
       mult.per_row = 1;
       env_[var] = make_affine_sym(aff_term("row"));
+      out_.row_bounded = true;
+      if (bound.kind == Expr::Kind::kIdent) {
+        out_.row_bound_var = bound.name;
+      }
     } else if (init_aff.ok && init_aff.c == 0 &&
                init_aff.coeff("lane") == 1 && step_c > 1) {
       frame.kind = LoopIR::Kind::kLanePart;
@@ -1257,6 +1386,25 @@ class KernelLowerer {
     lir.bound = print(bound);
     lir.line = s.line;
     lir.depth = static_cast<int>(loops_.size());
+    lir.id = frame.id;
+    lir.step = step_c > 0 ? step_c : 1;
+    lir.step_down = step_down;
+    lir.bound_inclusive = c.name == "<=";
+    lir.init_affine = aff_export(init_aff);
+    lir.bound_affine = aff_export(bound_aff);
+    if (bound.kind == Expr::Kind::kIdent) lir.bound_var = bound.name;
+    lir.lane_span = frame.lane_span;
+    lir.lane_region = frame.lane_region;
+    if (bound_sym) {
+      if (bound_sym->kind == Sym::Kind::kRowNnz) {
+        lir.nnz_var = bound.name;
+      } else if (bound_sym->kind == Sym::Kind::kChunkSize) {
+        lir.nnz_var = bound_sym->nnz_var;
+        lir.chunk_link = bound_sym->chunk_base;
+      }
+    }
+    lir.entry_interval = interval_;
+    const std::size_t lir_idx = out_.loops.size();
     out_.loops.push_back(lir);
 
     const Freq saved = freq_;
@@ -1267,6 +1415,10 @@ class KernelLowerer {
     loops_.pop_back();
     freq_ = saved;
     env_.erase(var);
+
+    out_.loops[lir_idx].exit_interval = interval_;
+    out_.loops[lir_idx].body_has_barrier =
+        interval_ != out_.loops[lir_idx].entry_interval;
   }
 
   /// Mean value of an affine over enclosing fixed loops (for triangular
@@ -1310,9 +1462,11 @@ class KernelLowerer {
   std::set<std::string> replayed_this_stmt_;
   std::map<std::string, Fold> folds_;
   std::vector<LoopFrame> loops_;
+  std::vector<long> lane_bound_stack_;
   Freq freq_;
   int divergent_depth_ = 0;
   int zero_depth_ = 0;
+  int interval_ = 0;
   int order_ = 0;
   long seg_id_ = 0;
   long gather_id_ = 0;

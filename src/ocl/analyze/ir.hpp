@@ -12,12 +12,36 @@
 // nonempty row, T = staging tile rows).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "ocl/analyze/ast.hpp"
 
 namespace alsmf::ocl::analyze {
+
+/// Exported affine index form `c + Σ coeff·term` over the lowering's
+/// symbolic terms. Term tags:
+///   "lane" / "group" / "ngroups" / "row"  — work-item identity
+///   "loopvar#<id>" / "lpvar#<id>"         — surrounding loop variables
+///                                           (lpvar: the multiple-of-WS part
+///                                           of a lane-partitioned variable)
+///   "seg#<n>"                             — an unscaled global int load
+///                                           (CSR segment pointers)
+///   "gather#<n>"                          — a global int load scaled by a
+///                                           constant ≥ 2 (row addressing)
+/// The verifier (analyze/verify/) resolves term ranges through the loop
+/// table and the indirect-load table below.
+struct AffineIdx {
+  bool ok = true;  // false: the index contains something non-affine
+  long c = 0;
+  std::map<std::string, long> terms;
+
+  long coeff(const std::string& tag) const {
+    auto it = terms.find(tag);
+    return it == terms.end() ? 0 : it->second;
+  }
+};
 
 enum class MemSpace { kGlobal, kLocal, kPrivate };
 
@@ -65,6 +89,25 @@ struct LoopIR {
   std::string bound;       // human-readable bound
   int line = 0;
   int depth = 0;
+
+  // --- verifier-facing structure (analyze/verify/) ---
+  long id = -1;            // matches "loopvar#<id>" / "lpvar#<id>" terms
+  long step = 1;           // constant step (1 for ++/--)
+  bool step_down = false;  // for (i = C; i >= 0; --i)
+  bool bound_inclusive = false;  // condition used <=
+  AffineIdx init_affine;   // affine of the init expression (ok=false: unknown)
+  AffineIdx bound_affine;  // affine of the bound expression
+  std::string bound_var;   // bound identifier name ("rows", "omega", "chunk")
+  std::string nnz_var;     // the RowNnz variable the bound derives from
+                           // (kNnz/kChunked: the bound itself; kChunkBody and
+                           // chunk-bounded kLanePart: via the ChunkSize min())
+  long chunk_link = -1;    // kChunkBody / chunk-bounded kLanePart: id of the
+                           // enclosing kChunked loop whose base offsets it
+  long lane_span = 0;      // kLanePart with a constant bound
+  bool lane_region = false;      // kLanePart over a chunk/nnz bound
+  int entry_interval = 0;  // barrier interval at loop entry
+  int exit_interval = 0;   // barrier interval at the end of the body
+  bool body_has_barrier = false;
 };
 
 /// One memory reference in the source (per AST index expression).
@@ -82,7 +125,15 @@ struct RefIR {
   bool zero_weight = false;       // in an empty-row early-exit branch
   int loop_depth = 0;
   int line = 0;
+  int col = 0;
   std::string index;        // pretty-printed index expression
+
+  // --- verifier-facing structure (analyze/verify/) ---
+  AffineIdx affine;         // the full symbolic index
+  int interval = 0;         // barrier-interval ordinal (program order)
+  long lane_bound = 0;      // enclosing `if (lane < C)` guard bound (0: none)
+  int vec_elems = 1;        // vloadN: elements [affine, affine + vec_elems)
+  std::vector<long> loop_path;  // ids of enclosing loops, outermost first
 };
 
 /// Traffic at traversal granularity (what the cost comparison uses).
@@ -148,6 +199,25 @@ struct ArgIR {
   int line = 0;
 };
 
+/// Provenance of a "seg#<n>" / "gather#<n>" term: which int buffer the value
+/// was loaded from, at what (affine) index, and the constant scale applied.
+struct IndirectIR {
+  std::string tag;
+  std::string buffer;
+  long scale = 1;          // gather#: the multiplier; seg#: 1
+  AffineIdx load_index;    // index of the load producing the value
+  bool nonneg_guarded = false;  // an `if (v < 0) return;` guard dominates use
+};
+
+/// A `omega = row_ptr[u + 1] - row_ptr[u]` segment-length variable: the
+/// relational fact `begin_seg + omega ≤ total buffer span` the CSR bounds
+/// rule is built on.
+struct RowNnzIR {
+  std::string var;        // declared variable name ("omega", "len")
+  std::string buffer;     // the offsets buffer ("row_ptr")
+  std::string begin_seg;  // seg# tag of the lower-offset load
+};
+
 struct KernelIR {
   std::string name;
   bool batched_mapping = false;  // row loop over groups vs one item per row
@@ -163,6 +233,27 @@ struct KernelIR {
   std::vector<BarrierIR> barriers;
   std::vector<LocalDeclIR> locals;
   std::vector<PrivateArrayIR> private_arrays;
+  std::vector<IndirectIR> indirects;
+  std::vector<RowNnzIR> row_nnz;
+
+  /// The row identity is bounded: a `if (row >= bound) return;` launch
+  /// guard (flat mapping) or a row-stride loop bound (batched mapping).
+  bool row_bounded = false;
+  std::string row_bound_var;  // the bounding identifier ("rows")
+  int interval_count = 1;     // number of barrier intervals (program order)
+
+  const LoopIR* loop_by_id(long id) const {
+    for (const auto& l : loops) {
+      if (l.id == id) return &l;
+    }
+    return nullptr;
+  }
+  const IndirectIR* indirect_by_tag(const std::string& tag) const {
+    for (const auto& i : indirects) {
+      if (i.tag == tag) return &i;
+    }
+    return nullptr;
+  }
 
   /// Kernel calls a single-lane solve helper per row (`if (lx == 0) f(...)`).
   bool has_lane0_solve = false;

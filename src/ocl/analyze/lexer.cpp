@@ -58,25 +58,30 @@ std::string strip_comments(const std::string& source) {
 std::vector<Token> tokenize(const std::string& code) {
   std::vector<Token> toks;
   int line = 1;
+  std::size_t line_start = 0;  // offset just past the last newline
+  const auto col_of = [&](std::size_t i) {
+    return static_cast<int>(i - line_start) + 1;
+  };
   for (std::size_t i = 0; i < code.size();) {
     const char c = code[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
     } else if (std::isspace(static_cast<unsigned char>(c))) {
       ++i;
     } else if (is_ident_start(c)) {
       std::size_t j = i + 1;
       while (j < code.size() && is_ident_char(code[j])) ++j;
-      toks.push_back({code.substr(i, j - i), line});
+      toks.push_back({code.substr(i, j - i), line, col_of(i)});
       i = j;
     } else if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i + 1;
       while (j < code.size() && (is_ident_char(code[j]) || code[j] == '.')) ++j;
-      toks.push_back({code.substr(i, j - i), line});
+      toks.push_back({code.substr(i, j - i), line, col_of(i)});
       i = j;
     } else {
-      toks.push_back({std::string(1, c), line});
+      toks.push_back({std::string(1, c), line, col_of(i)});
       ++i;
     }
   }

@@ -14,6 +14,7 @@ namespace alsmf::ocl::analyze {
 struct Token {
   std::string text;
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 };
 
 bool is_ident_start(char c);

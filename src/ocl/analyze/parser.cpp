@@ -47,6 +47,10 @@ class Parser {
     return pos_ < toks_.size() ? toks_[pos_].line
                                : (toks_.empty() ? 0 : toks_.back().line);
   }
+  int col() const {
+    return pos_ < toks_.size() ? toks_[pos_].col
+                               : (toks_.empty() ? 0 : toks_.back().col);
+  }
   const Token& advance() {
     if (eof()) fail("unexpected end of source");
     return toks_[pos_++];
@@ -151,6 +155,7 @@ class Parser {
   StmtPtr parse_stmt() {
     auto s = std::make_unique<Stmt>();
     s->line = line();
+    s->col = col();
     const std::string& t = peek();
     if (t == "{") {
       advance();
@@ -225,6 +230,7 @@ class Parser {
   StmtPtr parse_decl_or_expr_stmt() {
     auto s = std::make_unique<Stmt>();
     s->line = line();
+    s->col = col();
     const std::size_t save = pos_;
     bool is_local = false;
     while (is_qualifier(peek())) {
@@ -268,6 +274,7 @@ class Parser {
     auto e = std::make_unique<Expr>();
     e->kind = k;
     e->line = line();
+    e->col = col();
     return e;
   }
 
@@ -397,11 +404,13 @@ class Parser {
       if (all_digits) {
         auto e = make(Expr::Kind::kIntLit);
         e->line = tok.line;
+        e->col = tok.col;
         e->ival = std::stol(tok.text);
         return e;
       }
       auto e = make(Expr::Kind::kFloatLit);
       e->line = tok.line;
+      e->col = tok.col;
       e->name = tok.text;
       return e;
     }

@@ -223,7 +223,9 @@ std::set<std::string> collect_divergent_aliases(const std::vector<Token>& t) {
 std::string LintReport::to_string() const {
   std::ostringstream os;
   for (const auto& issue : issues) {
-    os << "line " << issue.line << ": " << issue.message << "\n";
+    os << "line " << issue.line;
+    if (issue.col > 0) os << ":" << issue.col;
+    os << ": " << issue.message << "\n";
   }
   return os.str();
 }

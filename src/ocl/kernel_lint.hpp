@@ -13,6 +13,9 @@ namespace alsmf::ocl {
 struct LintIssue {
   int line = 0;
   std::string message;
+  /// 1-based column when the producing pass knows it (IR-backed deep lint
+  /// diagnostics anchored on a reference); 0 when only the line is known.
+  int col = 0;
 };
 
 struct LintReport {

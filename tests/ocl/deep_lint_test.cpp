@@ -52,6 +52,19 @@ TEST(DeepLint, FlagsUncoalescedStoreInHotLoop) {
   ASSERT_FALSE(r.clean());
   EXPECT_TRUE(mentions(r, "uncoalesced")) << r.to_string();
   EXPECT_TRUE(mentions(r, "'out'")) << r.to_string();
+  // IR-anchored diagnostics carry a clickable line:col position.
+  bool positioned = false;
+  for (const auto& issue : r.issues) {
+    if (issue.message.find("uncoalesced") == std::string::npos) continue;
+    EXPECT_GT(issue.line, 0);
+    EXPECT_GT(issue.col, 0);
+    positioned = true;
+    EXPECT_NE(r.to_string().find("line " + std::to_string(issue.line) + ":" +
+                                 std::to_string(issue.col) + ":"),
+              std::string::npos)
+        << r.to_string();
+  }
+  EXPECT_TRUE(positioned);
 }
 
 TEST(DeepLint, ProvesLocalOverflow) {

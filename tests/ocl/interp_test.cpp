@@ -1,0 +1,106 @@
+// The checked AST interpreter must agree with itself across kernel
+// mappings: the flat baseline (one lane per row, private accumulators) and
+// the batched local-memory variant (one group per row, staged tiles,
+// cooperative reduction, shared Cholesky helper) compute the same normal
+// equations, so interpreting both on the same ratings must produce the
+// same X. This pins down the interpreter's SIMT semantics — divergence,
+// barriers, local memory, helper calls — against an independent code path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "devsim/device.hpp"
+#include "devsim/profile.hpp"
+#include "ocl/analyze/interp.hpp"
+#include "ocl/analyze/parser.hpp"
+#include "ocl/kernel_source.hpp"
+
+namespace alsmf {
+namespace {
+
+using ocl::analyze::InterpArg;
+using ocl::analyze::InterpKernel;
+
+struct Problem {
+  std::vector<int> row_ptr, col_idx;
+  std::vector<float> values, y;
+  int rows = 9, cols = 7, k = 10;
+};
+
+Problem make_problem() {
+  Problem p;
+  // Deterministic ragged pattern, including an empty row (row 4) to cover
+  // the omega == 0 early-out in both kernels.
+  p.row_ptr.push_back(0);
+  for (int u = 0; u < p.rows; ++u) {
+    const int nnz = u == 4 ? 0 : 1 + (u * 3) % 5;
+    for (int z = 0; z < nnz; ++z) {
+      p.col_idx.push_back((u + 2 * z) % p.cols);
+      p.values.push_back(0.3f + 0.07f * static_cast<float>((u + z) % 11));
+    }
+    p.row_ptr.push_back(static_cast<int>(p.col_idx.size()));
+  }
+  p.y.resize(static_cast<std::size_t>(p.k) * p.cols);
+  for (std::size_t i = 0; i < p.y.size(); ++i) {
+    p.y[i] = 0.02f + 0.015f * static_cast<float>(i % 17);
+  }
+  return p;
+}
+
+std::vector<float> interpret(const std::string& source,
+                             const std::string& kernel, Problem& p,
+                             std::size_t num_groups, int group_size) {
+  std::vector<float> x(static_cast<std::size_t>(p.k) * p.rows, 0.0f);
+  InterpKernel ik(source, kernel);
+  ik.set_num_groups(static_cast<long>(num_groups));
+  const std::vector<InterpArg> args = {
+      InterpArg::real_buffer(p.values), InterpArg::int_buffer(p.col_idx),
+      InterpArg::int_buffer(p.row_ptr), InterpArg::real_buffer(p.y),
+      InterpArg::real_buffer(x),        InterpArg::int_scalar(p.rows),
+      InterpArg::real_scalar(0.1)};
+  devsim::Device device(devsim::k20c());
+  devsim::LaunchConfig lc;
+  lc.num_groups = num_groups;
+  lc.group_size = group_size;
+  lc.validate = true;
+  const auto result = device.launch(
+      kernel, lc, [&](devsim::GroupCtx& ctx) { ik.run_group(ctx, args); });
+  EXPECT_TRUE(result.check.clean()) << kernel;
+  return x;
+}
+
+TEST(Interp, FlatAndBatchedLocalAgree) {
+  const ocl::KernelConfig kc;  // generator defaults: K=10, WS=32
+  Problem pa = make_problem();
+  Problem pb = make_problem();
+  const std::vector<float> flat = interpret(ocl::flat_kernel_source(kc),
+                                            "als_update_flat", pa, 1, 32);
+  const std::vector<float> batched =
+      interpret(ocl::batched_kernel_source(AlsVariant::batch_local(), kc),
+                ocl::kernel_name(AlsVariant::batch_local()), pb, 3, 32);
+  ASSERT_EQ(flat.size(), batched.size());
+  bool nonzero = false;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(flat[i])) << i;
+    ASSERT_TRUE(std::isfinite(batched[i])) << i;
+    EXPECT_NEAR(flat[i], batched[i], 1e-4f) << i;
+    nonzero |= flat[i] != 0.0f;
+  }
+  EXPECT_TRUE(nonzero);
+  // The empty row must be written as zeros, not left untouched garbage.
+  for (int f = 0; f < 10; ++f) {
+    EXPECT_EQ(flat[static_cast<std::size_t>(4) * 10 + f], 0.0f);
+  }
+}
+
+TEST(Interp, UnsupportedSourceThrowsParseError) {
+  EXPECT_THROW(InterpKernel("__kernel void f() { goto fail; }", "f"),
+               ocl::analyze::ParseError);
+  EXPECT_THROW(InterpKernel("__kernel void f() {}", "missing"),
+               ocl::analyze::ParseError);
+}
+
+}  // namespace
+}  // namespace alsmf
