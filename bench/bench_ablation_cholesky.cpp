@@ -23,12 +23,12 @@ int main(int argc, char** argv) {
     options.solver = LinearSolverKind::kCholesky;
     devsim::Device d_chol(devsim::k20c());
     AlsSolver chol(d.train, options, v, d_chol);
-    chol.run();
+    chol.run({});
 
     options.solver = LinearSolverKind::kLu;
     devsim::Device d_lu(devsim::k20c());
     AlsSolver lu(d.train, options, v, d_lu);
-    lu.run();
+    lu.run({});
 
     const double s3c = d_chol.modeled_seconds_scaled_matching("/S3", d.scale);
     const double s3l = d_lu.modeled_seconds_scaled_matching("/S3", d.scale);

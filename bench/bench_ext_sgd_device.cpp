@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     als_opts.iterations = 1;
     devsim::Device als_device(profile);
     AlsSolver als(d.train, als_opts, AlsVariant::batch_local_reg(), als_device);
-    als.run();
+    als.run({});
     const double als_iter = als_device.modeled_seconds_scaled(d.scale);
 
     std::printf("%-18s %16.4f %16.4f\n", profile.name.c_str(), sgd_epoch,

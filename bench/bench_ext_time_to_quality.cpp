@@ -1,22 +1,72 @@
-// Extension: time-to-quality. Per device, how much modeled time does each
-// solver need to reach a target training RMSE? Couples the functional
-// convergence trajectory with the cost model's per-round prices — the
-// practitioner's actual question ("what should I run on this box?").
+// Extension: time-to-quality across row-solver strategies. Per device, how
+// much modeled time does each S3 strategy (docs/solvers.md) need to reach a
+// target training RMSE? Couples the functional convergence trajectory with
+// the cost model's per-round prices — the practitioner's actual question
+// ("which solver should I run on this box?").
+//
+// Expected shape: the exact Cholesky solve pays the full k³/3 factorization
+// every row; warm-started truncated CG and the subspace sweep pay less per
+// row once the factors settle, at the price of slightly less exact
+// half-updates. Anderson mixing attacks the other axis — fewer outer
+// iterations, paid for with ~1.5x half-updates per mixed iteration
+// (the lookahead acceptance check; docs/solvers.md).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "als/metrics.hpp"
 #include "als/solver.hpp"
-#include "baselines/sgd_device.hpp"
 #include "bench_util.hpp"
 #include "sparse/convert.hpp"
 
+namespace {
+
+using namespace alsmf;
+
+struct SolverLane {
+  const char* label;
+  RowSolverKind row_solver;
+  int anderson_m;  // 0 = plain outer iteration
+};
+
+struct LaneResult {
+  int rounds = 0;
+  double seconds = -1;  // modeled, scaled; -1 = target not reached
+};
+
+LaneResult run_lane(const Csr& train, const devsim::DeviceProfile& profile,
+                    const SolverLane& lane, int k, double target_rmse,
+                    int max_rounds, double scale) {
+  AlsOptions o;
+  o.k = k;
+  o.lambda = 0.05f;
+  o.row_solver = lane.row_solver;
+  o.anderson_m = lane.anderson_m;
+  devsim::Device device(profile);
+  const AlsVariant v = profile.kind == devsim::DeviceKind::kGpu
+                           ? AlsVariant::batch_local_reg()
+                           : AlsVariant::batch_local();
+  AlsSolver solver(train, o, v, device);
+  LaneResult res;
+  while (res.rounds < max_rounds && solver.train_rmse() > target_rmse) {
+    solver.run_iteration();
+    ++res.rounds;
+  }
+  if (solver.train_rmse() <= target_rmse) {
+    res.seconds = device.modeled_seconds_scaled(scale);
+  }
+  return res;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace alsmf;
   using namespace alsmf::bench;
   const double extra = parse_bench_args(argc, argv).scale;
 
   print_header("Extension — modeled time to reach a target RMSE",
-               "ALS (best variant) vs thread-batched SGD per device");
+               "row-solver strategies (cholesky | cg | subspace | +anderson) "
+               "per device");
 
   const auto& info = dataset_by_abbr("MVLE");
   const double scale = std::max(1.0, default_scale(info) * 4.0 * extra);
@@ -24,67 +74,43 @@ int main(int argc, char** argv) {
   spec.planted_rank = 4;
   spec.noise = 0.25;
   spec.integer_ratings = false;
-  const Coo train_coo = generate_synthetic(spec);
-  const Csr train = coo_to_csr(train_coo);
+  const Csr train = coo_to_csr(generate_synthetic(spec));
 
+  const int k = 16;
   const double target_rmse = 0.45;
   const int max_rounds = 40;
-  std::printf("MVLE-shaped replica (1/%.0f), target train RMSE %.2f\n\n",
-              scale, target_rmse);
-  std::printf("%-18s | %8s %16s | %8s %16s\n", "device", "ALS it",
-              "ALS time[s]", "SGD ep", "SGD time[s]");
+  std::printf("MVLE-shaped replica (1/%.0f), k=%d, target train RMSE %.2f\n\n",
+              scale, k, target_rmse);
+
+  const std::vector<SolverLane> lanes = {
+      {"cholesky", RowSolverKind::kCholesky, 0},
+      {"cg", RowSolverKind::kCg, 0},
+      {"subspace", RowSolverKind::kSubspace, 0},
+      {"cholesky+aa3", RowSolverKind::kCholesky, 3},
+  };
+
+  std::printf("%-18s", "device");
+  for (const auto& lane : lanes) std::printf(" | %5s %14s", "it", lane.label);
+  std::printf("\n");
 
   for (const char* dev : {"gpu", "cpu", "mic"}) {
     const auto profile = devsim::profile_by_name(dev);
-
-    // ALS: functional, one iteration at a time until the target.
-    AlsOptions als_opts;
-    als_opts.k = 10;
-    als_opts.lambda = 0.05f;
-    devsim::Device als_device(profile);
-    AlsVariant v = profile.kind == devsim::DeviceKind::kGpu
-                       ? AlsVariant::batch_local_reg()
-                       : AlsVariant::batch_local();
-    AlsSolver als(train, als_opts, v, als_device);
-    int als_rounds = 0;
-    while (als_rounds < max_rounds && als.train_rmse() > target_rmse) {
-      als.run_iteration();
-      ++als_rounds;
-    }
-    const double als_time =
-        als.train_rmse() <= target_rmse
-            ? als_device.modeled_seconds_scaled(scale)
-            : -1;
-
-    DeviceSgdOptions sgd_opts;
-    sgd_opts.k = 10;
-    sgd_opts.epochs = 1;
-    devsim::Device sgd_device(profile);
-    DeviceSgd sgd(train_coo, sgd_opts, sgd_device);
-    int sgd_rounds = 0;
-    while (sgd_rounds < max_rounds && sgd.train_rmse() > target_rmse) {
-      sgd.run_epoch();
-      ++sgd_rounds;
-    }
-    const double sgd_time = sgd.train_rmse() <= target_rmse
-                                ? sgd_device.modeled_seconds_scaled(scale)
-                                : -1;
-
-    auto fmt = [](double t) {
-      static char buf[32];
-      if (t < 0) {
-        std::snprintf(buf, sizeof buf, "%16s", "(not reached)");
+    std::printf("%-18s", profile.name.c_str());
+    for (const auto& lane : lanes) {
+      const LaneResult r =
+          run_lane(train, profile, lane, k, target_rmse, max_rounds, scale);
+      if (r.seconds < 0) {
+        std::printf(" | %5d %14s", r.rounds, "(not reached)");
       } else {
-        std::snprintf(buf, sizeof buf, "%16.4f", t);
+        std::printf(" | %5d %14.4f", r.rounds, r.seconds);
       }
-      return buf;
-    };
-    std::printf("%-18s | %8d %s", profile.name.c_str(), als_rounds,
-                fmt(als_time));
-    std::printf(" | %8d %s\n", sgd_rounds, fmt(sgd_time));
+    }
+    std::printf("\n");
   }
-  std::printf("\nExpected shape: ALS needs few iterations but each is\n"
-              "expensive; SGD epochs are cheap but numerous. Which wins\n"
-              "depends on the device's compute/memory balance.\n");
+  std::printf(
+      "\nExpected shape: cg/subspace shave the per-iteration S3 price;\n"
+      "anderson shaves outer iterations. Whether either beats the exact\n"
+      "solve to the target depends on the device's compute/memory balance\n"
+      "(gated in bench_regress's time_to_quality leg).\n");
   return 0;
 }

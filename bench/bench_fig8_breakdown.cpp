@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   for (const auto& stage : stages) {
     devsim::Device device(devsim::k20c());
     AlsSolver solver(d.train, options, stage.variant, device);
-    solver.run();
+    solver.run({});
     const StepBreakdown b = solver.step_breakdown();
     std::printf("%-34s %8.2f %8.2f %8.2f %14.3f\n", stage.name, b.s1_pct(),
                 b.s2_pct(), b.s3_pct(), device.modeled_seconds_scaled(d.scale));

@@ -286,6 +286,81 @@ void run_pipeline_smoke(obs::RegressReport& report, const Csr& train,
       dropped == 0 ? "yes" : "NO");
 }
 
+// Seconds-to-RMSE-target across the S3 row-solver strategies
+// (docs/solvers.md) on the modeled GPU. The target is the exact solver's
+// RMSE after a pinned number of iterations (plus 2% slack), so the leg
+// gates two things: the per-strategy modeled cost trajectory, and that at
+// least one iterative strategy still beats the exact solve to the target
+// (best_over_cholesky < 1, direction-aware).
+void run_time_to_quality(obs::RegressReport& report, const Csr& train) {
+  const auto profile = devsim::profile_by_name("gpu");
+  const AlsVariant variant = AlsVariant::from_mask(7);
+  const int k = 16;
+  const int reference_iters = 6;
+  const int max_rounds = 24;
+
+  AlsOptions base;
+  base.k = k;
+  base.functional = true;
+
+  // Reference trajectory: the exact solver fixes the quality bar.
+  double target = 0;
+  {
+    devsim::Device device(profile);
+    AlsSolver solver(train, base, variant, device);
+    for (int i = 0; i < reference_iters; ++i) solver.run_iteration();
+    target = solver.train_rmse() * 1.02;
+  }
+
+  struct Lane {
+    const char* label;
+    RowSolverKind row_solver;
+    int anderson_m;
+  };
+  const std::vector<Lane> lanes = {
+      {"cholesky", RowSolverKind::kCholesky, 0},
+      {"cg", RowSolverKind::kCg, 0},
+      {"subspace", RowSolverKind::kSubspace, 0},
+      {"anderson", RowSolverKind::kCholesky, 3},
+  };
+
+  double cholesky_seconds = 0, best_iterative = -1;
+  for (const auto& lane : lanes) {
+    AlsOptions o = base;
+    o.row_solver = lane.row_solver;
+    o.anderson_m = lane.anderson_m;
+    devsim::Device device(profile);
+    AlsSolver solver(train, o, variant, device);
+    int rounds = 0;
+    while (rounds < max_rounds && solver.train_rmse() > target) {
+      solver.run_iteration();
+      ++rounds;
+    }
+    const bool reached = solver.train_rmse() <= target;
+    const double seconds = device.modeled_seconds();
+    const std::string prefix = std::string("time_to_quality.") + lane.label;
+    report.add(prefix + ".modeled_seconds", reached ? seconds : -1, "s");
+    report.add(prefix + ".iterations", static_cast<double>(rounds), "count");
+    if (lane.row_solver == RowSolverKind::kCholesky &&
+        lane.anderson_m == 0) {
+      cholesky_seconds = seconds;
+    } else if (reached &&
+               (best_iterative < 0 || seconds < best_iterative)) {
+      best_iterative = seconds;
+    }
+    std::printf("time_to_quality: %-10s %2d it, modeled %.4fs%s\n",
+                lane.label, rounds, seconds,
+                reached ? "" : " (target not reached)");
+  }
+  // < 1 means some iterative/accelerated strategy beats the exact solve.
+  const double ratio = best_iterative > 0 && cholesky_seconds > 0
+                           ? best_iterative / cholesky_seconds
+                           : 2.0;
+  report.add("time_to_quality.best_over_cholesky", ratio, "ratio");
+  std::printf("time_to_quality: target rmse %.4f, best/cholesky %.4f\n",
+              target, ratio);
+}
+
 void run_elastic_faults(obs::RegressReport& report, const Csr& train,
                         std::uint64_t seed) {
   AlsOptions options;
@@ -362,6 +437,7 @@ int main(int argc, char** argv) {
 
   run_train_smoke(report, train);
   run_variant_sweep(report, train);
+  run_time_to_quality(report, train);
   run_serve_closed_loop(report, train, args.smoke, args.seed);
   run_serve_ivf(report, train, args.smoke, args.seed);
   run_pipeline_smoke(report, train, args.seed);

@@ -3,6 +3,11 @@
 //   alsmf_cli train     --ratings r.txt --model m.bin [--k 10] [--lambda 0.1]
 //                       [--iters 10] [--device cpu|gpu|mic] [--profile file]
 //                       [--wr] [--variant auto|learned|0..7]
+//                       [--row-solver cholesky|cg|subspace] [--cg-iters 3]
+//                       [--subspace-block 0] [--anderson-m 0]
+//                       (--row-solver picks the S3 strategy — see
+//                       docs/solvers.md; --anderson-m M > 0 turns on
+//                       Anderson acceleration of the outer iteration)
 //                       [--checkpoint-dir dir] [--checkpoint-every N]
 //                       [--metrics-out m.prom] [--events-out e.jsonl]
 //                       [--trace-out t.json]
@@ -125,6 +130,11 @@ int cmd_train(const CliArgs& args) {
   options.lambda = static_cast<real>(args.get_double("lambda", 0.1));
   options.iterations = static_cast<int>(args.get_long("iters", 10));
   options.weighted_regularization = args.has_flag("wr");
+  options.row_solver = parse_row_solver(args.get_or("row-solver", "cholesky"));
+  options.cg_iters = static_cast<int>(args.get_long("cg-iters", 3));
+  options.subspace_block =
+      static_cast<int>(args.get_long("subspace-block", 0));
+  options.anderson_m = static_cast<int>(args.get_long("anderson-m", 0));
 
   const auto profile = resolve_profile(args);
   const std::string variant_arg = args.get_or("variant", "auto");

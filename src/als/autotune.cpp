@@ -53,7 +53,7 @@ std::vector<TunedConfig> autotune_all(const Csr& train,
         config.variant = v;
         config.group_size = ws;
         config.tile_rows = tile;
-        config.modeled_seconds = solver.run();
+        config.modeled_seconds = solver.run({}).modeled_seconds;
         results.push_back(config);
       }
     }

@@ -56,7 +56,8 @@ CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
     // Flat baseline + the paper's 8 batched variants. Each run updates a
     // fresh dst so cross-variant state never aliases.
     auto run_variant = [&](const AlsVariant& v, int tile_rows,
-                           const std::string& label) {
+                           const std::string& label,
+                           const RowSolver* row_solver = nullptr) {
       Matrix dst(r.rows(), options.k);
       UpdateArgs args;
       args.r = &r;
@@ -65,6 +66,7 @@ CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
       args.k = options.k;
       args.variant = v;
       args.tile_rows = tile_rows;
+      args.row_solver = row_solver;
       launch_update(device, label, args, options.num_groups,
                     options.group_size, /*functional=*/true,
                     /*validate=*/true);
@@ -82,6 +84,25 @@ CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
                     v.name() + "/tile" +
                         std::to_string(options.forced_tile_rows));
       }
+    }
+
+    // Iterative S3 strategies under shadow-memory checking: the CG kernels
+    // across all 8 variants (warm-start read + per-group solve scratch),
+    // plus one subspace run. The exact runs above already cover cholesky.
+    {
+      AlsOptions strat;
+      strat.k = options.k;
+      strat.row_solver = RowSolverKind::kCg;
+      const auto cg = make_row_solver(strat);
+      for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+        const AlsVariant v = AlsVariant::from_mask(mask);
+        run_variant(v, 0, v.name() + "/cg", cg.get());
+      }
+      strat.row_solver = RowSolverKind::kSubspace;
+      const auto subspace = make_row_solver(strat);
+      run_variant(AlsVariant::batch_local_reg(), 0, "batch_local_reg/subspace",
+                  subspace.get());
+      run_variant(AlsVariant::flat_baseline(), 0, "flat/cg", cg.get());
     }
 
     // Flat over SELL-C-sigma storage.
@@ -122,6 +143,13 @@ CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
       for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
         const AlsVariant v = AlsVariant::from_mask(mask);
         lint_one(ocl::kernel_name(v), ocl::batched_kernel_source(v, kc));
+      }
+      ocl::KernelConfig cg_kc = kc;
+      cg_kc.row_solver = RowSolverKind::kCg;
+      for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+        const AlsVariant v = AlsVariant::from_mask(mask);
+        lint_one(ocl::kernel_name(v, cg_kc.row_solver),
+                 ocl::batched_kernel_source(v, cg_kc));
       }
     }
 

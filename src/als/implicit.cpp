@@ -59,11 +59,17 @@ void implicit_half_update(const Csr& r, const Matrix& src, Matrix& dst,
 
 }  // namespace
 
+void validate(const ImplicitOptions& options) {
+  validate(static_cast<const FactorOptionsBase&>(options));
+  if (options.alpha < 0.0f) {
+    throw Error("invalid alpha = " + std::to_string(options.alpha) +
+                "; the confidence slope must be >= 0 (c = 1 + alpha * r)");
+  }
+}
+
 ImplicitResult implicit_als(const Csr& r, const ImplicitOptions& options,
                             ThreadPool* pool) {
-  ALSMF_CHECK(options.k > 0);
-  ALSMF_CHECK(options.lambda > 0.0f);
-  ALSMF_CHECK(options.alpha >= 0.0f);
+  validate(options);
   if (!pool) pool = &ThreadPool::global();
 
   ImplicitResult result;

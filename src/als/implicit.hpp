@@ -12,21 +12,25 @@
 
 #include <cstdint>
 
+#include "als/options.hpp"
 #include "common/thread_pool.hpp"
 #include "linalg/dense.hpp"
 #include "sparse/csr.hpp"
 
 namespace alsmf {
 
-struct ImplicitOptions {
-  int k = 10;
-  real lambda = 0.1f;
+/// Shares k/lambda/iterations/seed with the explicit-ALS family via
+/// FactorOptionsBase; only the confidence slope is implicit-specific.
+struct ImplicitOptions : FactorOptionsBase {
   /// Confidence slope: c = 1 + alpha * r (40 in the original paper's runs;
   /// smaller for already-bounded rating-like counts).
   real alpha = 40.0f;
-  int iterations = 10;
-  std::uint64_t seed = 42;
+
+  ImplicitOptions() { iterations = 10; }
 };
+
+/// Shared-base validation plus the confidence slope.
+void validate(const ImplicitOptions& options);
 
 struct ImplicitResult {
   Matrix x;  ///< m × k user factors

@@ -6,8 +6,6 @@
 #include "als/kernel_model.hpp"
 #include "als/row_solve.hpp"
 #include "common/error.hpp"
-#include "linalg/cholesky.hpp"
-#include "linalg/lu.hpp"
 
 namespace alsmf {
 
@@ -40,11 +38,6 @@ UpdateSpans make_spans(GroupCtx& ctx, const UpdateArgs& a) {
   return s;
 }
 
-double solver_flops(LinearSolverKind s, int k) {
-  return s == LinearSolverKind::kCholesky ? cholesky_solve_flops(k)
-                                          : lu_solve_flops(k);
-}
-
 // Pricing constants shared with the static analyzer (kernel_model.hpp):
 // both sides must charge the same launch identically.
 using kernel_model::kBarrierSlots;
@@ -72,13 +65,24 @@ class BatchedKernel {
     const double pairs = 0.5 * k * (k + 1);
     const AlsVariant& v = a_.variant;
     const bool cpu_like = ctx.profile().kind != DeviceKind::kGpu;
-    const double s3_flops = solver_flops(a_.solver, k);
+    const RowSolver& rs = *a_.row_solver;
+    const double s3_flops = rs.modeled_flops(k);
+    const bool warm_start = rs.uses_warm_start();
 
     // Group-shared scratch: the k×k system and the rhs. The solve scratch
     // is emulation detail (real kernels keep it in registers or private
     // memory depending on the variant), so it stays outside the shadow.
     auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k, "smat");
     auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k), "svec");
+    // Iterative strategies keep their per-row state (warm-started x plus
+    // the CG residual/direction vectors) in the scratch-pad like the
+    // generated _cg kernels do, so occupancy pricing sees the same
+    // footprint the real kernel has.
+    check::LocalSpan<real> solve_scratch;
+    const std::size_t scratch_n = rs.scratch_reals(k);
+    if (scratch_n > 0) {
+      solve_scratch = ctx.local_alloc<real>(scratch_n, "solve_scratch");
+    }
     const UpdateSpans g = make_spans(ctx, a_);
 
     // Staging tile for the local-memory variant: chunks of y rows plus the
@@ -107,10 +111,11 @@ class BatchedKernel {
       record_s1(ctx, omega, k, W, bundles, passes, pairs, cpu_like, v,
                 tile_rows);
       record_s2(ctx, omega, k, W, bundles, passes, v);
-      record_s3(ctx, k, W, bundles, s3_flops);
+      record_s3(ctx, k, W, bundles, s3_flops, warm_start);
 
       if (ctx.functional()) {
-        solve_row(ctx, g, u, smat, svec, tile, rstage, tile_rows);
+        solve_row(ctx, g, u, smat, svec, tile, rstage, tile_rows,
+                  scratch_n > 0 ? solve_scratch.data() : nullptr);
       }
     }
   }
@@ -206,12 +211,15 @@ class BatchedKernel {
   }
 
   void record_s3(GroupCtx& ctx, int k, int W, double bundles,
-                 double s3_flops) const {
+                 double s3_flops, bool warm_start) const {
     ctx.section("S3");
     // The small solve runs on lane 0; the other lanes (and bundles) of the
     // group wait at the trailing barrier.
     ctx.ops_scalar(bundles * W * s3_flops);
     ctx.flops(s3_flops);
+    // Warm-started strategies fetch the row's previous factor value
+    // before overwriting it.
+    if (warm_start) ctx.global_read_scattered(1.0, k * 4.0);
     ctx.global_write_scattered(1.0, k * 4.0);
   }
 
@@ -220,7 +228,7 @@ class BatchedKernel {
                  const check::LocalSpan<real>& svec,
                  const check::LocalSpan<real>& tile,
                  const check::LocalSpan<real>& rstage,
-                 std::size_t tile_rows) const {
+                 std::size_t tile_rows, real* solve_scratch) const {
     const Csr& r = *a_.r;
     const int k = a_.k;
     const auto ku = static_cast<std::size_t>(k);
@@ -278,10 +286,18 @@ class BatchedKernel {
       assemble_normal_equations(cols, vals, *a_.src, lambda, k, smat.data(),
                                 svec.data());
     }
-    solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
     ctx.section("S3");
     ctx.set_lane(0);
     auto dst = a_.dst->row(u);
+    const real* warm = nullptr;
+    if (a_.row_solver->uses_warm_start()) {
+      // The dst row still holds the previous iteration's value — the
+      // natural warm start (zero on the very first X update, matching a
+      // cold start).
+      g.dst.mark_read(static_cast<std::size_t>(u) * ku, ku);
+      warm = dst.data();
+    }
+    a_.row_solver->solve(smat.data(), svec.data(), k, warm, solve_scratch);
     std::copy(svec.begin(), svec.begin() + k, dst.begin());
     g.dst.mark_write(static_cast<std::size_t>(u) * ku, ku);
   }
@@ -303,7 +319,9 @@ class FlatKernel {
     const int W = ctx.simd_width();
     const double pairs = 0.5 * k * (k + 1);
     const bool simt = ctx.profile().kind == DeviceKind::kGpu;
-    const double s3_flops = solver_flops(a_.solver, k);
+    const RowSolver& rs = *a_.row_solver;
+    const double s3_flops = rs.modeled_flops(k);
+    const bool warm_start = rs.uses_warm_start();
     const index_t base = static_cast<index_t>(ctx.group_id()) * ws;
     if (base >= r.rows()) return;
     const index_t end = std::min<index_t>(base + ws, r.rows());
@@ -314,6 +332,11 @@ class FlatKernel {
     // real kernel cannot have.
     auto smat = ctx.local_alloc<real>(static_cast<std::size_t>(k) * k, "smat");
     auto svec = ctx.local_alloc<real>(static_cast<std::size_t>(k), "svec");
+    check::LocalSpan<real> solve_scratch;
+    const std::size_t scratch_n = rs.scratch_reals(k);
+    if (scratch_n > 0) {
+      solve_scratch = ctx.local_alloc<real>(scratch_n, "solve_scratch");
+    }
     const UpdateSpans g = make_spans(ctx, a_);
 
     // Accounting per SIMD bundle: divergence pads every lane to the bundle
@@ -369,6 +392,7 @@ class FlatKernel {
       ctx.ops_flat(lanes * s3_flops);
       ctx.flops(s3_flops * active);
       ctx.private_array_traffic(8.0 * k * k * active);
+      if (warm_start) ctx.global_read_scattered(active, k * 4.0);
       ctx.global_write_scattered(active, k * 4.0);
     }
 
@@ -395,9 +419,15 @@ class FlatKernel {
                               : a_.lambda;
       assemble_normal_equations(cols, r.row_values(u), *a_.src,
                                 lambda, k, smat.data(), svec.data());
-      solve_normal_equations(smat.data(), svec.data(), k, a_.solver);
-      std::copy(svec.begin(), svec.begin() + k, dst.begin());
       ctx.section("S3");
+      const real* warm = nullptr;
+      if (warm_start) {
+        g.dst.mark_read(static_cast<std::size_t>(u) * ku, ku);
+        warm = dst.data();
+      }
+      rs.solve(smat.data(), svec.data(), k, warm,
+               scratch_n > 0 ? solve_scratch.data() : nullptr);
+      std::copy(svec.begin(), svec.begin() + k, dst.begin());
       g.dst.mark_write(static_cast<std::size_t>(u) * ku, ku);
     }
   }
@@ -419,19 +449,29 @@ devsim::LaunchResult launch_update(devsim::Device& device,
   ALSMF_CHECK(args.src->cols() == args.k && args.dst->cols() == args.k);
   ALSMF_CHECK(group_size > 0);
 
+  // A null strategy means the exact solve via args.solver (the
+  // pre-strategy default); the transient instance lives until the launch
+  // returns (Device::launch is synchronous).
+  UpdateArgs a = args;
+  std::unique_ptr<RowSolver> exact;
+  if (!a.row_solver) {
+    exact = make_exact_row_solver(a.solver);
+    a.row_solver = exact.get();
+  }
+
   devsim::LaunchConfig config;
   config.group_size = group_size;
   config.functional = functional;
   config.validate = validate;
-  const auto rows = static_cast<std::size_t>(args.r->rows());
-  if (args.variant.thread_batching) {
+  const auto rows = static_cast<std::size_t>(a.r->rows());
+  if (a.variant.thread_batching) {
     config.num_groups = std::max<std::size_t>(1, std::min(num_groups, rows));
     return device.launch(kernel_name, config,
-                         BatchedKernel(args, config.num_groups));
+                         BatchedKernel(a, config.num_groups));
   }
   config.num_groups = (rows + static_cast<std::size_t>(group_size) - 1) /
                       static_cast<std::size_t>(group_size);
-  return device.launch(kernel_name, config, FlatKernel(args));
+  return device.launch(kernel_name, config, FlatKernel(a));
 }
 
 }  // namespace alsmf

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "als/options.hpp"
+#include "als/row_solver.hpp"
 #include "devsim/device.hpp"
 #include "linalg/dense.hpp"
 #include "sparse/csr.hpp"
@@ -37,6 +38,12 @@ struct UpdateArgs {
   int k = 10;
   AlsVariant variant;
   LinearSolverKind solver = LinearSolverKind::kCholesky;
+  /// S3 row-solver strategy. nullptr = the exact solve selected by
+  /// `solver` (the pre-strategy behavior); launch_update supplies a
+  /// transient exact strategy in that case. The pointee is borrowed and
+  /// must outlive the launch — strategies are stateless and shared safely
+  /// across concurrent groups (scratch is per-group).
+  const RowSolver* row_solver = nullptr;
 };
 
 /// Launches the half-update on `device`. `kernel_name` keys the device's

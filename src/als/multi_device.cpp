@@ -83,6 +83,7 @@ MultiDeviceAls::MultiDeviceAls(const Csr& train, const AlsOptions& options,
       elastic_(elastic),
       fault_model_(std::max<std::size_t>(1, profiles.size()), elastic.faults) {
   ALSMF_CHECK_MSG(!profiles.empty(), "need at least one device profile");
+  row_solver_ = make_row_solver(options_);
   const auto n = profiles.size();
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   for (auto& p : profiles) {
@@ -187,6 +188,15 @@ MultiDeviceAls::ShardOutcome MultiDeviceAls::launch_shard(const Shard& shard,
 
   const int k = options_.k;
   Matrix local(shard.matrix.rows(), k);
+  if (options_.functional && row_solver_->uses_warm_start()) {
+    // Iterative strategies warm-start each row from its previous factor
+    // value; seed the shard-local output with the rows it will overwrite.
+    for (index_t u = 0; u < local.rows(); ++u) {
+      auto from = dst.row(shard.first_row + u);
+      auto to = local.row(u);
+      std::copy(from.begin(), from.end(), to.begin());
+    }
+  }
   UpdateArgs args;
   args.r = &shard.matrix;
   args.src = &src;
@@ -197,6 +207,7 @@ MultiDeviceAls::ShardOutcome MultiDeviceAls::launch_shard(const Shard& shard,
   args.k = k;
   args.variant = variant_;
   args.solver = options_.solver;
+  args.row_solver = row_solver_.get();
 
   for (int attempt = 0;; ++attempt) {
     try {

@@ -231,6 +231,7 @@ class MultiDeviceAls {
   Csr train_, train_t_;
   AlsOptions options_;
   AlsVariant variant_;
+  std::unique_ptr<RowSolver> row_solver_;
   ElasticOptions elastic_;
   std::vector<std::unique_ptr<ThreadPool>> pools_;
   std::vector<std::unique_ptr<devsim::Device>> devices_;

@@ -1,5 +1,7 @@
 #include "als/options.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace alsmf {
@@ -10,6 +12,57 @@ const char* to_string(LinearSolverKind kind) {
     case LinearSolverKind::kLu: return "lu";
   }
   return "?";
+}
+
+const char* to_string(RowSolverKind kind) {
+  switch (kind) {
+    case RowSolverKind::kCholesky: return "cholesky";
+    case RowSolverKind::kCg: return "cg";
+    case RowSolverKind::kSubspace: return "subspace";
+  }
+  return "?";
+}
+
+bool try_parse(const std::string& text, LinearSolverKind& out) {
+  if (text == "cholesky") {
+    out = LinearSolverKind::kCholesky;
+  } else if (text == "lu") {
+    out = LinearSolverKind::kLu;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool try_parse(const std::string& text, RowSolverKind& out) {
+  if (text == "cholesky") {
+    out = RowSolverKind::kCholesky;
+  } else if (text == "cg") {
+    out = RowSolverKind::kCg;
+  } else if (text == "subspace") {
+    out = RowSolverKind::kSubspace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LinearSolverKind parse_linear_solver(const std::string& text) {
+  LinearSolverKind out;
+  if (!try_parse(text, out)) {
+    throw Error("unknown linear solver '" + text +
+                "'; expected one of: cholesky, lu");
+  }
+  return out;
+}
+
+RowSolverKind parse_row_solver(const std::string& text) {
+  RowSolverKind out;
+  if (!try_parse(text, out)) {
+    throw Error("unknown row solver '" + text +
+                "'; expected one of: cholesky, cg, subspace");
+  }
+  return out;
 }
 
 std::string AlsVariant::name() const {
@@ -44,5 +97,55 @@ AlsVariant AlsVariant::batching_only() { return from_mask(0); }
 AlsVariant AlsVariant::batch_local() { return from_mask(2); }
 AlsVariant AlsVariant::batch_local_reg() { return from_mask(3); }
 AlsVariant AlsVariant::batch_vectors() { return from_mask(4); }
+
+void validate(const FactorOptionsBase& options) {
+  if (options.k <= 0) {
+    throw Error("invalid k = " + std::to_string(options.k) +
+                "; the latent dimensionality must be >= 1");
+  }
+  if (!(options.lambda > 0.0f)) {
+    throw Error("invalid lambda = " + std::to_string(options.lambda) +
+                "; the ridge term must be > 0 (it keeps the normal "
+                "equations positive definite)");
+  }
+  if (options.iterations < 0) {
+    throw Error("invalid iterations = " + std::to_string(options.iterations) +
+                "; the iteration budget must be >= 0");
+  }
+}
+
+int AlsOptions::effective_subspace_block() const {
+  if (subspace_block > 0) return std::min(subspace_block, k);
+  return std::min(std::max(2, k / 2), k);
+}
+
+void validate(const AlsOptions& options) {
+  validate(static_cast<const FactorOptionsBase&>(options));
+  if (options.num_groups == 0) {
+    throw Error("invalid num_groups = 0; at least one work-group is needed");
+  }
+  if (options.group_size <= 0) {
+    throw Error("invalid group_size = " + std::to_string(options.group_size) +
+                "; the work-group needs >= 1 lane");
+  }
+  if (options.cg_iters <= 0) {
+    throw Error("invalid cg_iters = " + std::to_string(options.cg_iters) +
+                "; the truncated CG row solver needs >= 1 inner iteration");
+  }
+  if (options.subspace_block < 0 || options.subspace_block > options.k) {
+    throw Error("invalid subspace_block = " +
+                std::to_string(options.subspace_block) +
+                "; expected 0 (auto) or a block size in [1, k = " +
+                std::to_string(options.k) + "]");
+  }
+  if (options.anderson_m < 0) {
+    throw Error("invalid anderson_m = " + std::to_string(options.anderson_m) +
+                "; expected 0 (mixing off) or a positive history window");
+  }
+  if (options.guard_max_attempts < 0 || options.guard_kernel_retries < 0) {
+    throw Error("invalid guard retry knobs; attempts and retries must be "
+                ">= 0");
+  }
+}
 
 }  // namespace alsmf

@@ -10,13 +10,32 @@
 
 namespace alsmf {
 
-/// Which dense solver factorizes the k×k normal equations (step S3).
+/// Which dense solver factorizes the k×k normal equations when a row is
+/// solved exactly (step S3).
 enum class LinearSolverKind {
   kCholesky,  ///< the paper's choice (symmetric positive definite smat)
   kLu,        ///< ablation comparator
 };
 
+/// Row-solver strategy for the per-row normal equations (docs/solvers.md).
+enum class RowSolverKind {
+  kCholesky,  ///< exact solve via LinearSolverKind (the paper's S3)
+  kCg,        ///< truncated conjugate gradient, warm-started from the
+              ///< previous factor row (rusket-style, cg_iters ≈ 3)
+  kSubspace,  ///< iALS++-style block coordinate sweep: d×d subsystems over
+              ///< the k coordinates, warm-started like CG
+};
+
 const char* to_string(LinearSolverKind kind);
+const char* to_string(RowSolverKind kind);
+
+// String ↔ enum helpers shared by the CLI, JSON run events, and checkpoint
+// tooling. The try_parse forms return false on unknown text; the parse_*
+// forms throw an Error naming the bad value and the accepted spellings.
+bool try_parse(const std::string& text, LinearSolverKind& out);
+bool try_parse(const std::string& text, RowSolverKind& out);
+LinearSolverKind parse_linear_solver(const std::string& text);
+RowSolverKind parse_row_solver(const std::string& text);
 
 /// One code variant of the ALS update kernel.
 struct AlsVariant {
@@ -50,18 +69,40 @@ struct AlsVariant {
   friend bool operator==(const AlsVariant&, const AlsVariant&) = default;
 };
 
-/// ALS hyperparameters and launch shape. Paper defaults: k = 10, λ = 0.1,
-/// 5 iterations, thread configuration 8192 × 32.
-struct AlsOptions {
+/// Hyperparameters shared by every factorization trainer in the family —
+/// explicit ALS (AlsOptions), implicit ALS (ImplicitOptions), and the
+/// multi-device driver. One definition, one validation path.
+struct FactorOptionsBase {
   int k = 10;                 ///< latent factor dimensionality
   real lambda = 0.1f;         ///< Tikhonov regularization
-  int iterations = 5;
-  std::uint64_t seed = 42;    ///< random init of Y
+  int iterations = 5;         ///< training iteration budget
+  std::uint64_t seed = 42;    ///< random init of the item factors
+};
+
+/// Validates the shared hyperparameters; throws an Error naming the bad
+/// field, the offending value, and the accepted range.
+void validate(const FactorOptionsBase& options);
+
+/// ALS hyperparameters and launch shape. Paper defaults: k = 10, λ = 0.1,
+/// 5 iterations, thread configuration 8192 × 32.
+struct AlsOptions : FactorOptionsBase {
   std::size_t num_groups = 8192;  ///< work-groups per launch (batched)
   int group_size = 32;            ///< lanes per work-group
   /// Local-memory staging tile rows (0 = auto-sized for occupancy).
   int tile_rows = 0;
   LinearSolverKind solver = LinearSolverKind::kCholesky;
+  /// Row-solver strategy for step S3. kCholesky reproduces the paper's
+  /// exact solve bit-for-bit; kCg and kSubspace trade per-row accuracy for
+  /// time-to-quality (docs/solvers.md).
+  RowSolverKind row_solver = RowSolverKind::kCholesky;
+  /// Truncated-CG inner iterations per row solve (row_solver == kCg).
+  int cg_iters = 3;
+  /// Subspace block size d (row_solver == kSubspace). 0 = auto: max(2, k/2),
+  /// clamped to k.
+  int subspace_block = 0;
+  /// Anderson-mixing history window for the outer (U,V) fixed point;
+  /// 0 disables mixing (plain alternation).
+  int anderson_m = 0;
   /// ALS-WR (Zhou et al., the paper's [3]): scale the ridge term per row by
   /// its rating count, λ_u = λ·|Ω_u| — markedly better generalization on
   /// sparse data at the same per-iteration cost.
@@ -79,6 +120,13 @@ struct AlsOptions {
   int guard_max_attempts = 3;            ///< repair retries before zeroing
   /// Times a failed kernel launch is retried before the error propagates.
   int guard_kernel_retries = 1;
+
+  /// The effective subspace block size (resolves the 0 = auto default).
+  int effective_subspace_block() const;
 };
+
+/// Full validation: the shared base plus the launch shape and the
+/// row-solver knobs.
+void validate(const AlsOptions& options);
 
 }  // namespace alsmf

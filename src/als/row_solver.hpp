@@ -1,0 +1,98 @@
+// Pluggable row-solver strategies for step S3 (docs/solvers.md).
+//
+// Every ALS half-update assembles the same k×k normal equations
+//   (Σ y_i y_iᵀ + λI) x_u = Σ r_ui y_i
+// per row; the strategies differ in how the system is solved:
+//
+//  * cholesky — exact factorization (the paper's S3, bit-identical to the
+//               pre-strategy code path).
+//  * cg       — truncated conjugate gradient, warm-started from the row's
+//               previous factor value (rusket-style, cg_iters ≈ 3).
+//  * subspace — iALS++-style block coordinate sweep: ⌈k/d⌉ exact d×d
+//               solves per row, warm-started like CG.
+//
+// The strategy objects are stateless and shared across work-groups; any
+// per-solve scratch is caller-provided (scratch_reals), so concurrent
+// group execution never races.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "als/options.hpp"
+
+namespace alsmf {
+
+/// Strategy interface for the per-row S3 solve.
+class RowSolver {
+ public:
+  virtual ~RowSolver() = default;
+
+  virtual RowSolverKind kind() const = 0;
+
+  /// Solves smat·x = svec in place (svec becomes x_u). `warm` seeds the
+  /// iterative strategies with the row's previous factor value (nullptr =
+  /// zero start); the exact solve ignores it. `scratch` must hold at least
+  /// scratch_reals(k) reals. Returns false when the solve failed and svec
+  /// was zero-filled.
+  virtual bool solve(real* smat, real* svec, int k, const real* warm,
+                     real* scratch) const = 0;
+
+  /// Whether solve() reads `warm` — prices the extra factor-row fetch and
+  /// decides if the kernel must read dst before overwriting it.
+  virtual bool uses_warm_start() const = 0;
+
+  /// Scratch reals one solve needs (0 for the exact strategy).
+  virtual std::size_t scratch_reals(int k) const = 0;
+
+  /// Modeled flop count of one row solve. S3 pricing: the devsim cost
+  /// model and the static kernel profiles both charge this.
+  virtual double modeled_flops(int k) const = 0;
+};
+
+/// Builds the strategy selected by `options` (row_solver, solver, cg_iters,
+/// subspace_block).
+std::unique_ptr<RowSolver> make_row_solver(const AlsOptions& options);
+
+/// The exact strategy alone — what a null UpdateArgs::row_solver defaults
+/// to (launch_update's pre-strategy compatibility path).
+std::unique_ptr<RowSolver> make_exact_row_solver(LinearSolverKind linear);
+
+/// Flop model of one subspace sweep over all ⌈k/d⌉ blocks (per-block d×d
+/// Cholesky plus the cross-block right-hand-side corrections).
+double subspace_solve_flops(int k, int d);
+
+/// Anderson acceleration (type II) of the outer fixed point z ← G(z),
+/// where z stacks the flattened (X, Y) factors. Keeps a window of the last
+/// m residual/iterate differences and replaces G(z) with the least-squares
+/// combination that minimizes the linearized residual — typically 30–50%
+/// fewer outer iterations at equal quality on ALS (rusket, SNIPPETS.md).
+class AndersonMixer {
+ public:
+  /// `dim` is the stacked iterate length; `m` the history window (≥ 1).
+  AndersonMixer(std::size_t dim, int m);
+
+  /// Given the pre-update iterate z and its fixed-point image g = G(z)
+  /// (both length dim), overwrites g with the mixed next iterate. The
+  /// first call (empty history) and any numerically degenerate window
+  /// fall back to plain g.
+  void mix(const real* z, real* g);
+
+  /// Drops the history (after a trajectory discontinuity, e.g. resume).
+  void reset();
+
+  /// History pairs currently in the window (0 before the second mix call).
+  int depth() const { return static_cast<int>(df_.size()); }
+
+ private:
+  std::size_t dim_;
+  int m_;
+  std::vector<real> prev_g_, prev_f_;
+  double prev_fnorm_sq_ = 0;
+  bool has_prev_ = false;
+  std::vector<std::vector<real>> df_;  ///< residual differences Δf_j
+  std::vector<std::vector<real>> dg_;  ///< image differences Δg_j
+};
+
+}  // namespace alsmf

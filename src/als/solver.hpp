@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,10 +26,13 @@ class Registry;
 namespace alsmf {
 
 /// Hash of everything that determines the training trajectory: k, λ, seed,
-/// regularization mode, linear solver, and the training matrix shape/nnz.
-/// Stored in checkpoints; resume refuses a checkpoint whose hash differs.
-/// Launch shape and guard knobs are excluded — all variants produce
-/// bitwise-identical factors, so their checkpoints are interchangeable.
+/// regularization mode, linear solver, row-solver strategy (plus its
+/// cg_iters / subspace_block knobs when non-exact), Anderson window, and
+/// the training matrix shape/nnz. Stored in checkpoints; resume refuses a
+/// checkpoint whose hash differs. Launch shape and guard knobs are
+/// excluded — all variants produce bitwise-identical factors, so their
+/// checkpoints are interchangeable. Default-solver runs hash identically
+/// to pre-strategy builds, keeping their checkpoints loadable.
 std::uint64_t trajectory_hash(const AlsOptions& options, const Csr& train);
 
 /// Periodic crash-safe checkpointing for run_checkpointed.
@@ -98,15 +102,6 @@ class AlsSolver {
   /// observability sinks) and reports what happened.
   RunReport run(const RunConfig& config);
 
-  /// Deprecated shim for run(RunConfig): runs options().iterations more
-  /// iterations, returns the modeled-seconds delta.
-  double run();
-
-  /// Deprecated shim for run(RunConfig): checkpointed run of the
-  /// iterations remaining to options().iterations, returns the
-  /// modeled-seconds delta. Composes with resume_latest.
-  double run_checkpointed(const CheckpointConfig& config);
-
   /// Result of run_until: why it stopped and the trajectory.
   struct ConvergenceReport {
     int iterations = 0;
@@ -137,6 +132,13 @@ class AlsSolver {
 
   /// Tally of divergence-guard and fault-recovery activity so far.
   const robust::RobustnessReport& robustness_report() const { return report_; }
+
+  /// The S3 strategy this solver runs (selected by options().row_solver).
+  const RowSolver& row_solver() const { return *row_solver_; }
+
+  /// Anderson history pairs currently in the window (0 when mixing is off
+  /// or the history was just reset). Surfaced per iteration in events.
+  int anderson_depth() const { return anderson_ ? anderson_->depth() : 0; }
 
   /// trajectory_hash(options(), train) for this solver's run.
   std::uint64_t options_hash() const;
@@ -181,6 +183,11 @@ class AlsSolver {
   devsim::Device& device_;
   Rng rng_;
   Matrix x_, y_;
+  std::unique_ptr<RowSolver> row_solver_;
+  std::unique_ptr<AndersonMixer> anderson_;  ///< null when anderson_m == 0
+  /// x_ already holds argmin for the current y_ (an accepted Anderson
+  /// candidate's lookahead solve) — the next X half-update is skipped.
+  bool x_fresh_ = false;
   int iterations_done_ = 0;
   robust::RobustnessReport report_;
 };

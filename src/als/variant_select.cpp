@@ -53,7 +53,7 @@ std::vector<VariantScore> score_variants(const Csr& train,
     const AlsVariant v = AlsVariant::from_mask(mask);
     devsim::Device device(profile);
     AlsSolver solver(train, opts, v, device);
-    const double t = solver.run();
+    const double t = solver.run({}).modeled_seconds;
     scores.push_back({v, t});
   }
   std::stable_sort(scores.begin(), scores.end(),

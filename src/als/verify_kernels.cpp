@@ -204,6 +204,13 @@ VerifyKernelsResult verify_kernels(const VerifyKernelsOptions& options) {
     sources.emplace_back(ocl::kernel_name(v),
                          ocl::batched_kernel_source(v, kc));
   }
+  ocl::KernelConfig cg_kc = kc;
+  cg_kc.row_solver = RowSolverKind::kCg;
+  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+    const AlsVariant v = AlsVariant::from_mask(mask);
+    sources.emplace_back(ocl::kernel_name(v, cg_kc.row_solver),
+                         ocl::batched_kernel_source(v, cg_kc));
+  }
   sources.emplace_back("als_update_flat_sell", ocl::sell_kernel_source(kc));
 
   VerifyKernelsResult out;

@@ -1,0 +1,72 @@
+#include "linalg/cg.hpp"
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace alsmf {
+
+namespace {
+
+/// y = a·x for a row-major k×k matrix.
+void matvec(const real* a, int k, const real* x, real* y) {
+  for (int i = 0; i < k; ++i) {
+    const real* arow = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    real s = 0;
+    for (int j = 0; j < k; ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+}
+
+real dot(const real* a, const real* b, int k) {
+  real s = 0;
+  for (int i = 0; i < k; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+int cg_solve(const real* a, int k, const real* b, real* x, int iters,
+             const CgScratch& scratch) {
+  ALSMF_CHECK(scratch.r && scratch.p && scratch.ap);
+  real* r = scratch.r;
+  real* p = scratch.p;
+  real* ap = scratch.ap;
+
+  // r0 = b - a·x0, p0 = r0.
+  matvec(a, k, x, ap);
+  for (int i = 0; i < k; ++i) {
+    r[i] = b[i] - ap[i];
+    p[i] = r[i];
+  }
+  real rs = dot(r, r, k);
+
+  int steps = 0;
+  for (; steps < iters; ++steps) {
+    if (!(rs > real{0})) break;  // converged (or NaN: leave x as-is)
+    matvec(a, k, p, ap);
+    const real pap = dot(p, ap, k);
+    if (!(pap > real{0})) break;  // loss of positive definiteness
+    const real alpha = rs / pap;
+    for (int i = 0; i < k; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const real rs_next = dot(r, r, k);
+    const real beta = rs_next / rs;
+    for (int i = 0; i < k; ++i) p[i] = r[i] + beta * p[i];
+    rs = rs_next;
+  }
+  return steps;
+}
+
+double cg_solve_flops(int k, int iters) {
+  const double kd = k;
+  // Initial residual: one matvec (2k²) plus the subtraction and r·r (3k).
+  // Each step: one matvec (2k²), two dots (4k), three axpys (6k), and the
+  // two scalar divides.
+  return 2.0 * kd * kd + 3.0 * kd +
+         static_cast<double>(iters) * (2.0 * kd * kd + 10.0 * kd + 2.0);
+}
+
+}  // namespace alsmf

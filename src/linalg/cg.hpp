@@ -1,0 +1,34 @@
+// Truncated conjugate gradient for the dense SPD k×k systems of the ALS
+// row solve (docs/solvers.md). A handful of iterations (cg_iters ≈ 3) from
+// a warm start reaches the accuracy ALS needs per outer sweep at a fraction
+// of the exact-factorization flops; run to k iterations it matches the
+// exact solve to rounding (CG's finite-termination property).
+//
+// Like linalg/cholesky.hpp, the routines work in caller-provided buffers so
+// devsim kernels can run them without allocation.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace alsmf {
+
+/// Scratch for one cg_solve call: three k-vectors (residual, search
+/// direction, A·p), caller-allocated.
+struct CgScratch {
+  real* r = nullptr;
+  real* p = nullptr;
+  real* ap = nullptr;
+};
+
+/// Runs `iters` CG steps on the SPD system a·x = b (a row-major k×k).
+/// `x` carries the warm start in and the refined solution out. Stops early
+/// when the residual hits (near) zero. Returns the steps actually taken.
+int cg_solve(const real* a, int k, const real* b, real* x, int iters,
+             const CgScratch& scratch);
+
+/// Flop count of one truncated-CG row solve (`iters` steps plus the
+/// initial-residual matvec); the devsim cost model and the static kernel
+/// profile both price S3 with this.
+double cg_solve_flops(int k, int iters);
+
+}  // namespace alsmf

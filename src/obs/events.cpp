@@ -17,6 +17,8 @@ std::string IterationEvent::to_json() const {
   w.field("iteration", iteration);
   w.field("variant", variant);
   w.field("device", device);
+  w.field("row_solver", row_solver);
+  w.field("anderson_depth", anderson_depth);
   w.field("loss", loss);    // non-finite -> null
   w.field("rmse", rmse);
   w.field("modeled_seconds", modeled_seconds);

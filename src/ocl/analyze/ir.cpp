@@ -246,6 +246,7 @@ class KernelLowerer {
     eval_define("K", tu_.defines, out_.k);
     eval_define("WS", tu_.defines, out_.ws);
     eval_define("TILE_ROWS", tu_.defines, out_.tile_rows_define);
+    eval_define("CG_ITERS", tu_.defines, out_.cg_iters);
 
     for (const auto& p : fn_.params) {
       ArgIR a;
@@ -1178,6 +1179,7 @@ class KernelLowerer {
       const Expr& call = *s.body[0]->cond;
       if (call.name != "barrier" && call.name.rfind("get_", 0) != 0) {
         out_.has_lane0_solve = true;
+        out_.lane0_solve_callee = call.name;
         mark_used_expr(call);
         return;
       }

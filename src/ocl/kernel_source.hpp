@@ -22,6 +22,12 @@ struct KernelConfig {
   int group_size = 32;     ///< work-group size (compile-time constant: WS)
   int tile_rows = 256;     ///< local-memory staging tile rows (local variant)
   bool use_double = false; ///< emit double-precision kernels
+  /// S3 strategy for the batched kernels: cholesky emits the exact
+  /// lane-0 solve; cg emits warm-started truncated conjugate gradient
+  /// (compile-time constant: CG_ITERS). Subspace has no generated form —
+  /// its devsim kernel reuses the cholesky pricing shape.
+  RowSolverKind row_solver = RowSolverKind::kCholesky;
+  int cg_iters = 3;        ///< CG steps (cg row solver only)
 };
 
 /// OpenCL C source of the thread-batched update kernel for `variant`
@@ -48,8 +54,12 @@ std::string build_options(const KernelConfig& config);
 /// Kernel entry-point name for a variant ("als_update_batch_local_reg"...).
 std::string kernel_name(const AlsVariant& variant);
 
-/// Writes all 10 kernels (8 batched variants + flat + SELL) into a
-/// directory, one .cl file each; returns the number of files written.
+/// Entry-point name for a variant × row-solver pair; the cg strategy
+/// appends "_cg" ("als_update_batch_local_reg_cg"...).
+std::string kernel_name(const AlsVariant& variant, RowSolverKind row_solver);
+
+/// Writes all 18 kernels (8 batched variants × {cholesky, cg} + flat +
+/// SELL) into a directory, one .cl file each; returns the number written.
 int write_kernel_files(const std::string& directory,
                        const KernelConfig& config);
 

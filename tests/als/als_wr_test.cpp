@@ -29,7 +29,7 @@ TEST(AlsWr, DeviceMatchesReferenceBitwise) {
   const AlsOptions o = wr_opts();
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, o, AlsVariant::batch_local_reg(), device);
-  solver.run();
+  solver.run({});
   const auto ref = reference_als(train, o);
   EXPECT_EQ(solver.x(), ref.x);
   EXPECT_EQ(solver.y(), ref.y);
@@ -40,10 +40,10 @@ TEST(AlsWr, FlatAndBatchedAgree) {
   const AlsOptions o = wr_opts();
   devsim::Device d1(devsim::k20c());
   AlsSolver batched(train, o, AlsVariant::batching_only(), d1);
-  batched.run();
+  batched.run({});
   devsim::Device d2(devsim::k20c());
   AlsSolver flat(train, o, AlsVariant::flat_baseline(), d2);
-  flat.run();
+  flat.run({});
   EXPECT_EQ(batched.x(), flat.x());
 }
 

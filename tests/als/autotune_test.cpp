@@ -40,7 +40,7 @@ TEST(Autotune, BeatsOrMatchesDefaultConfiguration) {
     AlsOptions o = opts();
     o.functional = false;
     AlsSolver solver(train, o, default_variant, device);
-    const double default_time = solver.run();
+    const double default_time = solver.run({}).modeled_seconds;
     EXPECT_LE(best.modeled_seconds, default_time * (1 + 1e-9)) << dev;
   }
 }

@@ -38,8 +38,9 @@ TEST(CheckKernels, SweepIsCleanAcrossVariantsAndProfiles) {
     ADD_FAILURE() << "lint: " << issue;
   }
   EXPECT_TRUE(result.clean());
-  // flat + 8 variants + 4 forced-tile re-runs + SELL + implicit, x3 profiles.
-  EXPECT_EQ(result.entries.size(), 15u * 3u);
+  // flat + 8 variants + their 8 CG flavors + flat/cg + subspace + 4
+  // forced-tile re-runs + SELL + implicit, x3 profiles.
+  EXPECT_EQ(result.entries.size(), 25u * 3u);
   EXPECT_GT(result.launches, 0u);
 }
 

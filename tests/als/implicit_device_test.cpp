@@ -75,7 +75,7 @@ TEST(DeviceImplicit, CostlierThanExplicitPerIteration) {
   ao.functional = false;
   devsim::Device d2(devsim::k20c());
   AlsSolver explicit_solver(train, ao, AlsVariant::batching_only(), d2);
-  const double explicit_time = explicit_solver.run();
+  const double explicit_time = explicit_solver.run({}).modeled_seconds;
   EXPECT_GE(implicit_time, explicit_time * 0.5);
 }
 

@@ -1,0 +1,367 @@
+// Property tests for the pluggable S3 row-solver strategies
+// (docs/solvers.md): CG's finite-termination agreement with the exact
+// solve, warm-start monotonicity, subspace d = k exactness and sweep
+// convergence, the exact strategy's bitwise delegation, parse round-trips,
+// and Anderson mixing's outer-iteration savings.
+#include "als/row_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "als/metrics.hpp"
+#include "als/row_solve.hpp"
+#include "common/error.hpp"
+#include "als/solver.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/cholesky.hpp"
+#include "testing/util.hpp"
+
+namespace alsmf {
+namespace {
+
+/// A random SPD k×k normal-equations system (smat, svec) with the exact
+/// accumulation order of the real assembly path.
+struct System {
+  std::vector<real> smat, svec;
+  int k;
+};
+
+System random_system(int k, std::uint64_t seed, real lambda = 0.1f) {
+  Rng rng(seed);
+  Matrix y(3 * k, k);
+  y.fill_uniform(rng, -1, 1);
+  std::vector<index_t> cols;
+  std::vector<real> vals;
+  for (index_t i = 0; i < y.rows(); i += 2) {
+    cols.push_back(i);
+    vals.push_back(static_cast<real>(rng.uniform(1, 5)));
+  }
+  System s;
+  s.k = k;
+  s.smat.resize(static_cast<std::size_t>(k) * k);
+  s.svec.resize(static_cast<std::size_t>(k));
+  assemble_normal_equations(cols, vals, y, lambda, k, s.smat.data(),
+                            s.svec.data());
+  return s;
+}
+
+/// ‖smat·x − b‖₂ against the ORIGINAL (unfactorized) system.
+double residual_norm(const System& s, const real* x) {
+  double sq = 0;
+  for (int i = 0; i < s.k; ++i) {
+    double r = -static_cast<double>(s.svec[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < s.k; ++j) {
+      r += static_cast<double>(
+               s.smat[static_cast<std::size_t>(i) * s.k + j]) *
+           static_cast<double>(x[static_cast<std::size_t>(j)]);
+    }
+    sq += r * r;
+  }
+  return std::sqrt(sq);
+}
+
+/// Runs `solver` on a copy of the system; returns the solution vector.
+std::vector<real> solve_copy(const RowSolver& solver, const System& s,
+                             const real* warm = nullptr) {
+  auto smat = s.smat;
+  auto svec = s.svec;
+  std::vector<real> scratch(solver.scratch_reals(s.k));
+  EXPECT_TRUE(
+      solver.solve(smat.data(), svec.data(), s.k, warm, scratch.data()));
+  return svec;
+}
+
+AlsOptions strategy_options(RowSolverKind kind) {
+  AlsOptions o;
+  o.k = 8;
+  o.row_solver = kind;
+  return o;
+}
+
+TEST(RowSolverParse, RoundTripsEveryKind) {
+  for (RowSolverKind kind : {RowSolverKind::kCholesky, RowSolverKind::kCg,
+                             RowSolverKind::kSubspace}) {
+    EXPECT_EQ(parse_row_solver(to_string(kind)), kind);
+  }
+  for (LinearSolverKind kind :
+       {LinearSolverKind::kCholesky, LinearSolverKind::kLu}) {
+    EXPECT_EQ(parse_linear_solver(to_string(kind)), kind);
+  }
+}
+
+TEST(RowSolverParse, RejectsUnknownNamingTheValue) {
+  try {
+    parse_row_solver("qr");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'qr'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("subspace"), std::string::npos);
+  }
+  RowSolverKind out;
+  EXPECT_FALSE(try_parse("", out));
+  LinearSolverKind lout;
+  EXPECT_FALSE(try_parse("qr", lout));
+}
+
+TEST(RowSolverValidate, ActionableErrorsForStrategyKnobs) {
+  AlsOptions o;
+  o.cg_iters = 0;
+  EXPECT_THROW(validate(o), Error);
+  o = AlsOptions{};
+  o.subspace_block = o.k + 1;
+  EXPECT_THROW(validate(o), Error);
+  o = AlsOptions{};
+  o.anderson_m = -1;
+  EXPECT_THROW(validate(o), Error);
+  o = AlsOptions{};
+  EXPECT_NO_THROW(validate(o));
+}
+
+TEST(RowSolver, FactoryBuildsSelectedKind) {
+  for (RowSolverKind kind : {RowSolverKind::kCholesky, RowSolverKind::kCg,
+                             RowSolverKind::kSubspace}) {
+    const auto solver = make_row_solver(strategy_options(kind));
+    EXPECT_EQ(solver->kind(), kind);
+    EXPECT_EQ(solver->uses_warm_start(), kind != RowSolverKind::kCholesky);
+  }
+  EXPECT_EQ(make_exact_row_solver(LinearSolverKind::kLu)->kind(),
+            RowSolverKind::kCholesky);
+}
+
+TEST(RowSolver, CholeskyStrategyBitwiseMatchesDirectSolve) {
+  // The exact strategy must delegate: byte-for-byte the pre-strategy path.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const System s = random_system(9, seed);
+    const auto strategy = make_exact_row_solver(LinearSolverKind::kCholesky);
+    const std::vector<real> via_strategy = solve_copy(*strategy, s);
+    auto smat = s.smat;
+    auto svec = s.svec;
+    ASSERT_TRUE(solve_normal_equations(smat.data(), svec.data(), s.k,
+                                       LinearSolverKind::kCholesky));
+    EXPECT_EQ(via_strategy, svec);  // bitwise
+  }
+}
+
+TEST(RowSolver, CgAtKIterationsMatchesExactSolve) {
+  // CG's finite-termination property: k steps on a k×k SPD system reach
+  // the exact solution up to rounding.
+  for (std::uint64_t seed : {4u, 5u, 6u}) {
+    const System s = random_system(8, seed);
+    const auto exact = make_exact_row_solver(LinearSolverKind::kCholesky);
+    AlsOptions o = strategy_options(RowSolverKind::kCg);
+    o.cg_iters = s.k;
+    const auto cg = make_row_solver(o);
+    const std::vector<real> want = solve_copy(*exact, s);
+    const std::vector<real> got = solve_copy(*cg, s);
+    for (int f = 0; f < s.k; ++f) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(f)],
+                  want[static_cast<std::size_t>(f)], 2e-3)
+          << "seed " << seed << " coord " << f;
+    }
+  }
+}
+
+TEST(RowSolver, CgWarmStartNeverDegradesResidual) {
+  // Truncated CG monotonically shrinks the residual, so starting from any
+  // warm guess must end at least as close as the guess itself.
+  AlsOptions o = strategy_options(RowSolverKind::kCg);
+  o.cg_iters = 2;
+  const auto cg = make_row_solver(o);
+  for (std::uint64_t seed : {7u, 8u, 9u, 10u}) {
+    const System s = random_system(10, seed);
+    Rng rng(seed + 100);
+    std::vector<real> warm(static_cast<std::size_t>(s.k));
+    for (auto& w : warm) w = static_cast<real>(rng.uniform(-2, 2));
+    const double before = residual_norm(s, warm.data());
+    const std::vector<real> refined = solve_copy(*cg, s, warm.data());
+    const double after = residual_norm(s, refined.data());
+    EXPECT_LE(after, before * (1 + 1e-4)) << "seed " << seed;
+    // And strictly better than that from a cold start's first target too:
+    // the refined iterate beats doing nothing.
+    EXPECT_LT(after, before + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(RowSolver, SubspaceFullBlockEqualsExactSolve) {
+  // d = k collapses the sweep to one exact solve of the whole system.
+  for (std::uint64_t seed : {11u, 12u}) {
+    const System s = random_system(7, seed);
+    const auto exact = make_exact_row_solver(LinearSolverKind::kCholesky);
+    AlsOptions o = strategy_options(RowSolverKind::kSubspace);
+    o.k = s.k;
+    o.subspace_block = s.k;
+    const auto subspace = make_row_solver(o);
+    const std::vector<real> want = solve_copy(*exact, s);
+    const std::vector<real> got = solve_copy(*subspace, s);
+    for (int f = 0; f < s.k; ++f) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(f)],
+                  want[static_cast<std::size_t>(f)], 1e-4);
+    }
+  }
+}
+
+TEST(RowSolver, SubspaceSweepsConvergeToExactSolution) {
+  // Block Gauss-Seidel on an SPD system converges: repeated warm-started
+  // sweeps must drive the residual toward zero.
+  const System s = random_system(8, 13);
+  AlsOptions o = strategy_options(RowSolverKind::kSubspace);
+  o.subspace_block = 3;
+  const auto subspace = make_row_solver(o);
+  std::vector<real> x(static_cast<std::size_t>(s.k), real{0});
+  double prev = residual_norm(s, x.data());
+  for (int sweep = 0; sweep < 12; ++sweep) {
+    x = solve_copy(*subspace, s, x.data());
+    const double cur = residual_norm(s, x.data());
+    EXPECT_LE(cur, prev * (1 + 1e-4)) << "sweep " << sweep;
+    prev = cur;
+  }
+  const auto exact = make_exact_row_solver(LinearSolverKind::kCholesky);
+  const std::vector<real> want = solve_copy(*exact, s);
+  for (int f = 0; f < s.k; ++f) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(f)],
+                want[static_cast<std::size_t>(f)], 1e-3);
+  }
+}
+
+TEST(RowSolver, FlopModelsOrderSensibly) {
+  // The bench's premise: the default subspace sweep undercuts the exact
+  // factorization already at k = 16, while truncated CG's O(k²)-per-step
+  // cost only overtakes the O(k³/3) factorization at larger k (~24 for 3
+  // inner steps) — so the CG comparison is pinned at k = 32.
+  const int k = 16;
+  AlsOptions o = strategy_options(RowSolverKind::kCholesky);
+  o.k = k;
+  const double chol = make_row_solver(o)->modeled_flops(k);
+  o.row_solver = RowSolverKind::kSubspace;
+  const double sub = make_row_solver(o)->modeled_flops(k);
+  EXPECT_LT(sub, chol);
+  EXPECT_NEAR(subspace_solve_flops(k, k), cholesky_solve_flops(k), 1e-9);
+
+  const int big = 32;
+  o.row_solver = RowSolverKind::kCholesky;
+  o.k = big;
+  const double chol_big = make_row_solver(o)->modeled_flops(big);
+  o.row_solver = RowSolverKind::kCg;
+  const double cg_big = make_row_solver(o)->modeled_flops(big);
+  EXPECT_LT(cg_big, chol_big);
+}
+
+TEST(Anderson, MixerAcceleratesLinearFixedPoint) {
+  // Scalar-free sanity on a contraction z ← Az + b (A = 0.9·rotation-ish):
+  // mixing must reach the fixed point in far fewer steps.
+  const std::size_t n = 4;
+  const real a[n][n] = {{0.9f, 0.02f, 0, 0},
+                        {0, 0.85f, 0.03f, 0},
+                        {0, 0, 0.8f, 0.04f},
+                        {0.01f, 0, 0, 0.75f}};
+  const real b[n] = {1, 2, 3, 4};
+  auto apply = [&](const std::vector<real>& z) {
+    std::vector<real> g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      real s = b[i];
+      for (std::size_t j = 0; j < n; ++j) s += a[i][j] * z[j];
+      g[i] = s;
+    }
+    return g;
+  };
+  auto iterate = [&](AndersonMixer* mixer) {
+    std::vector<real> z(n, real{0});
+    for (int it = 1; it <= 200; ++it) {
+      std::vector<real> g = apply(z);
+      if (mixer) mixer->mix(z.data(), g.data());
+      real delta = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        delta = std::max(delta, std::fabs(g[i] - z[i]));
+      }
+      z = std::move(g);
+      if (delta < 1e-4f) return it;
+    }
+    return 200;
+  };
+  const int plain = iterate(nullptr);
+  AndersonMixer mixer(n, 3);
+  const int mixed = iterate(&mixer);
+  EXPECT_GE(plain, 40);  // the plain contraction is genuinely slow
+  EXPECT_LE(mixed, plain / 2) << "plain " << plain << " mixed " << mixed;
+}
+
+TEST(Anderson, CutsOuterIterationsToPinnedRmse) {
+  // The headline property: on an overparameterized planted problem (k above
+  // the planted rank, light regularization — the slow linear-tail regime
+  // where mixing pays off), Anderson reaches the plain trajectory's pinned
+  // RMSE in >= 25% fewer outer iterations.
+  SyntheticSpec spec;
+  spec.users = 120;
+  spec.items = 90;
+  spec.nnz = 4000;
+  spec.seed = 31;
+  spec.planted_rank = 4;
+  spec.noise = 0.0;
+  spec.integer_ratings = false;
+  const Csr train = generate_synthetic_csr(spec);
+
+  AlsOptions o;
+  o.k = 12;
+  o.lambda = 0.001f;
+  o.num_groups = 256;
+  const int pin_iters = 48;
+
+  devsim::Device plain_dev(devsim::k20c());
+  AlsSolver plain(train, o, AlsVariant::batch_local_reg(), plain_dev);
+  for (int i = 0; i < pin_iters; ++i) plain.run_iteration();
+  const double target = plain.train_rmse();
+
+  AlsOptions ao = o;
+  ao.anderson_m = 3;
+  devsim::Device mixed_dev(devsim::k20c());
+  AlsSolver mixed(train, ao, AlsVariant::batch_local_reg(), mixed_dev);
+  int used = 0;
+  bool mixed_steps = false;
+  while (used < pin_iters && mixed.train_rmse() > target) {
+    mixed.run_iteration();
+    mixed_steps = mixed_steps || mixed.anderson_depth() > 0;
+    ++used;
+  }
+  ASSERT_LE(mixed.train_rmse(), target);
+  EXPECT_LE(used, (pin_iters * 3) / 4)
+      << "anderson needed " << used << " of " << pin_iters
+      << " plain iterations to rmse " << target;
+  EXPECT_TRUE(mixed_steps);
+}
+
+TEST(SolverStrategies, IterativeStrategiesReachCholeskyQuality) {
+  // End-to-end: cg and subspace half-updates track the exact trajectory's
+  // quality on a small planted problem (slightly looser RMSE allowed).
+  SyntheticSpec spec;
+  spec.users = 90;
+  spec.items = 70;
+  spec.nnz = 2500;
+  spec.seed = 17;
+  spec.planted_rank = 4;
+  spec.noise = 0.1;
+  spec.integer_ratings = false;
+  const Csr train = generate_synthetic_csr(spec);
+
+  AlsOptions o;
+  o.k = 8;
+  o.lambda = 0.05f;
+  o.iterations = 16;
+  o.num_groups = 256;
+
+  auto final_rmse = [&](RowSolverKind kind) {
+    AlsOptions so = o;
+    so.row_solver = kind;
+    devsim::Device device(devsim::k20c());
+    AlsSolver solver(train, so, AlsVariant::batch_local_reg(), device);
+    solver.run({});
+    return solver.train_rmse();
+  };
+  const double chol = final_rmse(RowSolverKind::kCholesky);
+  EXPECT_LE(final_rmse(RowSolverKind::kCg), chol * 1.10);
+  EXPECT_LE(final_rmse(RowSolverKind::kSubspace), chol * 1.10);
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -24,7 +24,7 @@ TEST(Solver, FullRunMatchesReference) {
   const AlsOptions o = opts();
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, o, AlsVariant::batch_local_reg(), device);
-  solver.run();
+  solver.run({});
   const auto ref = reference_als(train, o);
   EXPECT_EQ(solver.x(), ref.x);
   EXPECT_EQ(solver.y(), ref.y);
@@ -58,7 +58,7 @@ TEST(Solver, StepBreakdownSumsToTotal) {
   const Csr train = testing::random_csr(50, 30, 0.2, 11);
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, opts(), AlsVariant::batching_only(), device);
-  solver.run();
+  solver.run({});
   const StepBreakdown b = solver.step_breakdown();
   EXPECT_GT(b.s1, 0.0);
   EXPECT_GT(b.s2, 0.0);
@@ -74,7 +74,7 @@ TEST(Solver, S1DominatesAtPaperConfig) {
   o.k = 10;
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, o, AlsVariant::batching_only(), device);
-  solver.run();
+  solver.run({});
   const StepBreakdown b = solver.step_breakdown();
   EXPECT_GT(b.s1_pct(), b.s2_pct());
 }
@@ -85,7 +85,7 @@ TEST(Solver, AccountingOnlyRunIsFast) {
   o.functional = false;
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, o, AlsVariant::batch_local(), device);
-  solver.run();
+  solver.run({});
   // Factors stay at their initial values.
   EXPECT_DOUBLE_EQ(solver.x().frob2(), 0.0);
   EXPECT_GT(solver.modeled_seconds(), 0.0);
@@ -116,7 +116,7 @@ TEST(Solver, WallSecondsNonNegative) {
   const Csr train = testing::random_csr(20, 20, 0.2, 16);
   devsim::Device device(devsim::xeon_phi_31sp());
   AlsSolver solver(train, opts(), AlsVariant::batch_vectors(), device);
-  solver.run();
+  solver.run({});
   EXPECT_GE(solver.wall_seconds(), 0.0);
 }
 

@@ -42,7 +42,7 @@ TEST(CumfLike, SlowerThanOurSolverAtSmallK) {
 
   devsim::Device ours_device(devsim::k20c());
   AlsSolver ours(train, o, AlsVariant::batch_local_reg(), ours_device);
-  const double ours_time = ours.run();
+  const double ours_time = ours.run({}).modeled_seconds;
 
   EXPECT_GT(cumf_time, ours_time * 1.5);
   EXPECT_LT(cumf_time, ours_time * 20.0);  // but not absurdly slower
@@ -84,7 +84,7 @@ TEST(CumfLike, PaysLibraryLaunchOverheads) {
 
   devsim::Device ours_device(devsim::k20c());
   AlsSolver ours(train, o, AlsVariant::batch_local_reg(), ours_device);
-  ours.run();
+  ours.run({});
   double ours_overhead = 0;
   for (const auto& [name, s] : ours_device.stats()) {
     ours_overhead += s.time.overhead_s;

@@ -131,7 +131,7 @@ TEST(ModelProperties, WarmStartConvergesFasterThanCold) {
   // Cold model after 6 iterations.
   devsim::Device d1(devsim::k20c());
   AlsSolver cold(train, o, AlsVariant::batch_local_reg(), d1);
-  cold.run();
+  cold.run({});
   const double cold_loss = cold.train_loss();
 
   // Warm start from the cold model: a single extra iteration must be at

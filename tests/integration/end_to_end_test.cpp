@@ -62,7 +62,7 @@ TEST(EndToEnd, AllFourReplicasTrainOnAllDevices) {
       AlsSolver solver(train, options,
                        select_variant_heuristic(train, options, profile),
                        device);
-      solver.run();
+      solver.run({});
       EXPECT_GT(solver.modeled_seconds(), 0.0) << info.abbr << " " << dev;
       if (!have_first) {
         first = solver.x();
@@ -90,7 +90,7 @@ TEST(EndToEnd, TextRoundTripThenTrain) {
   options.iterations = 3;
   devsim::Device device(devsim::xeon_e5_2670_dual());
   AlsSolver solver(train, options, AlsVariant::batch_local(), device);
-  solver.run();
+  solver.run({});
   EXPECT_LT(solver.train_rmse(), 1.3);
 }
 
@@ -103,7 +103,7 @@ TEST(EndToEnd, ConvergenceAcrossVariantsIdentical) {
   for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
     devsim::Device device(devsim::k20c());
     AlsSolver solver(train, options, AlsVariant::from_mask(mask), device);
-    solver.run();
+    solver.run({});
     const double loss = solver.train_loss();
     if (reference_loss < 0) {
       reference_loss = loss;

@@ -33,7 +33,7 @@ double run_variant(const Csr& train, const AlsVariant& v,
   o.group_size = group_size;
   devsim::Device device(p);
   AlsSolver solver(train, o, v, device);
-  solver.run();
+  solver.run({});
   return device.modeled_seconds_scaled(kReplicaScale);
 }
 
@@ -200,12 +200,12 @@ TEST(ExperimentShapes, CholeskyBeatsLuOnS3) {
   devsim::Device d_chol(devsim::k20c());
   o.solver = LinearSolverKind::kCholesky;
   AlsSolver chol(train, o, AlsVariant::batch_local_reg(), d_chol);
-  chol.run();
+  chol.run({});
 
   devsim::Device d_lu(devsim::k20c());
   o.solver = LinearSolverKind::kLu;
   AlsSolver lu(train, o, AlsVariant::batch_local_reg(), d_lu);
-  lu.run();
+  lu.run({});
 
   EXPECT_LT(chol.step_breakdown().s3, lu.step_breakdown().s3);
 }
@@ -221,7 +221,7 @@ TEST(ExperimentShapes, Fig8BreakdownNarrative) {
 
   devsim::Device d_batch(devsim::k20c());
   AlsSolver batch(train, o, AlsVariant::batching_only(), d_batch);
-  batch.run();
+  batch.run({});
   const StepBreakdown before = batch.step_breakdown();
   EXPECT_GT(before.s1_pct(), 50.0);  // paper: ~68%
 
@@ -229,7 +229,7 @@ TEST(ExperimentShapes, Fig8BreakdownNarrative) {
   // S2 as well, so use the S1-only toggle for the narrative).
   devsim::Device d_opt(devsim::k20c());
   AlsSolver opt(train, o, AlsVariant::from_mask(1), d_opt);
-  opt.run();
+  opt.run({});
   const StepBreakdown after = opt.step_breakdown();
   EXPECT_LT(after.s1_pct(), before.s1_pct());
   EXPECT_GT(after.s2_pct(), before.s2_pct());

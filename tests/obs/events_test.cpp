@@ -16,6 +16,8 @@ IterationEvent sample_event() {
   e.iteration = 3;
   e.variant = "fused+tiled";
   e.device = "gpu";
+  e.row_solver = "cg";
+  e.anderson_depth = 2;
   e.loss = 12.5;
   e.rmse = 0.75;
   e.modeled_seconds = 0.5;
@@ -39,7 +41,8 @@ IterationEvent sample_event() {
 TEST(Events, IterationEventJsonGolden) {
   const std::string expected =
       "{\"type\":\"iteration\",\"iteration\":3,\"variant\":\"fused+tiled\","
-      "\"device\":\"gpu\",\"loss\":12.5,\"rmse\":0.75,"
+      "\"device\":\"gpu\",\"row_solver\":\"cg\",\"anderson_depth\":2,"
+      "\"loss\":12.5,\"rmse\":0.75,"
       "\"modeled_seconds\":0.5,\"wall_seconds\":0.25,"
       "\"steps\":{\"modeled_s\":{\"s1\":0.1,\"s2\":0.2,\"s3\":0.3},"
       "\"wall_s\":{\"s1\":0.01,\"s2\":0.02,\"s3\":0.03}},"

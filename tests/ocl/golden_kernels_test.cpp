@@ -30,6 +30,14 @@ const std::vector<std::pair<std::string, std::uint32_t>> kGolden = {
     {"als_update_batch_reg_vec", 0xc6b2d618u},
     {"als_update_batch_local_vec", 0x5ca36e84u},
     {"als_update_batch_local_reg_vec", 0x819b91c6u},
+    {"als_update_batch_cg", 0xa9afc7c8u},
+    {"als_update_batch_reg_cg", 0xd270faa7u},
+    {"als_update_batch_local_cg", 0x42e3769bu},
+    {"als_update_batch_local_reg_cg", 0x5a6dd34eu},
+    {"als_update_batch_vec_cg", 0xa3f4bafcu},
+    {"als_update_batch_reg_vec_cg", 0x94b3a95au},
+    {"als_update_batch_local_vec_cg", 0x283870f1u},
+    {"als_update_batch_local_reg_vec_cg", 0x2e23c6c2u},
     {"als_update_flat", 0x79497cc7u},
     {"als_update_flat_sell", 0xfd6b2f65u},
 };
@@ -37,9 +45,15 @@ const std::vector<std::pair<std::string, std::uint32_t>> kGolden = {
 std::string source_of(const std::string& name, const KernelConfig& c) {
   if (name == "als_update_flat") return flat_kernel_source(c);
   if (name == "als_update_flat_sell") return sell_kernel_source(c);
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    if (kernel_name(v) == name) return batched_kernel_source(v, c);
+  for (RowSolverKind rs : {RowSolverKind::kCholesky, RowSolverKind::kCg}) {
+    for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
+      const AlsVariant v = AlsVariant::from_mask(mask);
+      if (kernel_name(v, rs) == name) {
+        KernelConfig with_solver = c;
+        with_solver.row_solver = rs;
+        return batched_kernel_source(v, with_solver);
+      }
+    }
   }
   ADD_FAILURE() << "unknown kernel name " << name;
   return "";
@@ -47,7 +61,7 @@ std::string source_of(const std::string& name, const KernelConfig& c) {
 
 TEST(GoldenKernels, EveryGeneratedSourceMatchesItsPinnedHash) {
   const KernelConfig c;  // defaults = what export_kernels emits
-  ASSERT_EQ(kGolden.size(), AlsVariant::kVariantCount + 2)
+  ASSERT_EQ(kGolden.size(), 2 * AlsVariant::kVariantCount + 2)
       << "a kernel was added or removed: extend kGolden";
   for (const auto& [name, want] : kGolden) {
     const std::string src = source_of(name, c);

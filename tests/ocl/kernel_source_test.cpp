@@ -112,10 +112,10 @@ TEST(KernelSource, BuildOptionsEncodeConstants) {
   EXPECT_NE(opts.find("-DWS=64"), std::string::npos);
 }
 
-TEST(KernelSource, WritesAllTenKernelFiles) {
+TEST(KernelSource, WritesAllEighteenKernelFiles) {
   const std::string dir = ::testing::TempDir() + "/alsmf_kernels";
   std::filesystem::remove_all(dir);
-  EXPECT_EQ(write_kernel_files(dir, config()), 10);
+  EXPECT_EQ(write_kernel_files(dir, config()), 18);
   int count = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     EXPECT_EQ(entry.path().extension(), ".cl");
@@ -125,7 +125,7 @@ TEST(KernelSource, WritesAllTenKernelFiles) {
     EXPECT_TRUE(lint_kernel_source(content, 1).clean()) << entry.path();
     ++count;
   }
-  EXPECT_EQ(count, 10);
+  EXPECT_EQ(count, 18);
 }
 
 TEST(KernelSource, SellKernelLintCleanAndUnitStride) {

@@ -21,8 +21,8 @@ TEST(Verify, AllGeneratedKernelsFullyProvenOnAllProfiles) {
   EXPECT_TRUE(result.clean());
   for (const auto& err : result.errors) ADD_FAILURE() << err;
   for (const auto& d : result.diagnostics) ADD_FAILURE() << d;
-  // flat + 8 batched variants + SELL, x3 profiles.
-  ASSERT_EQ(result.entries.size(), 10u * 3u);
+  // flat + 8 batched variants (cholesky + cg flavors) + SELL, x3 profiles.
+  ASSERT_EQ(result.entries.size(), 18u * 3u);
   for (const auto& e : result.entries) {
     SCOPED_TRACE(e.profile + "/" + e.kernel);
     EXPECT_GT(e.report.refs_total, 0);
@@ -44,7 +44,7 @@ TEST(Verify, ForcedSmallTileStaysProven) {
   const VerifyKernelsResult result = verify_kernels(options);
   EXPECT_TRUE(result.clean());
   for (const auto& d : result.diagnostics) ADD_FAILURE() << d;
-  ASSERT_EQ(result.entries.size(), 10u);
+  ASSERT_EQ(result.entries.size(), 18u);
 }
 
 TEST(Verify, ContractSelectionFollowsStorageFormat) {

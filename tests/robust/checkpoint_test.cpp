@@ -269,10 +269,12 @@ TEST(Checkpoint, KillMidIterationResumeMatchesUninterruptedRun) {
   o.guard_kernel_retries = 0;  // the injected crash must propagate
   const auto dir = fresh_dir("ckpt_kill_resume");
   const CheckpointConfig config{dir.string(), /*every=*/1, /*keep=*/0};
+  RunConfig ckpt_run;
+  ckpt_run.checkpoint = config;
 
   devsim::Device ref_device(devsim::k20c());
   AlsSolver uninterrupted(train, o, AlsVariant::batch_local_reg(), ref_device);
-  uninterrupted.run();
+  uninterrupted.run({});
 
   // Each iteration is two launches; occurrence 6 is iteration 4's update_x.
   // The "crash" kills the run after checkpoints for iterations 1-3 landed.
@@ -282,7 +284,7 @@ TEST(Checkpoint, KillMidIterationResumeMatchesUninterruptedRun) {
     robust::ScopedFaultInjector scoped(plan);
     devsim::Device device(devsim::k20c());
     AlsSolver crashed(train, o, AlsVariant::batch_local_reg(), device);
-    EXPECT_THROW(crashed.run_checkpointed(config), Error);
+    EXPECT_THROW(crashed.run(ckpt_run), Error);
     EXPECT_EQ(crashed.iterations_done(), 3);
   }
   ASSERT_EQ(robust::list_checkpoints(dir.string()).size(), 3u);
@@ -291,7 +293,7 @@ TEST(Checkpoint, KillMidIterationResumeMatchesUninterruptedRun) {
   devsim::Device device(devsim::k20c());
   AlsSolver resumed(train, o, AlsVariant::batch_local_reg(), device);
   EXPECT_EQ(resumed.resume_latest(dir.string()), 3);
-  resumed.run_checkpointed(config);
+  resumed.run(ckpt_run);
   EXPECT_EQ(resumed.iterations_done(), o.iterations);
 
   EXPECT_EQ(resumed.x(), uninterrupted.x());  // bitwise

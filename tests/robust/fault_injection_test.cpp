@@ -176,7 +176,7 @@ TEST(FaultInjection, SolveFaultsAreRecoveredByGuards) {
 
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, o, AlsVariant::batch_local_reg(), device);
-  solver.run();
+  solver.run({});
 
   const auto& injector = scoped.injector();
   const auto faults = injector.triggered(FaultSite::kSolve);
@@ -203,7 +203,7 @@ TEST(FaultInjection, GuardRecoveryIsBitwiseExactForTransientFaults) {
 
   devsim::Device clean_device(devsim::k20c());
   AlsSolver clean(train, o, AlsVariant::batch_local_reg(), clean_device);
-  clean.run();
+  clean.run({});
 
   FaultPlan plan;
   plan.seed = fault_seed();
@@ -211,7 +211,7 @@ TEST(FaultInjection, GuardRecoveryIsBitwiseExactForTransientFaults) {
   ScopedFaultInjector scoped(plan);
   devsim::Device faulty_device(devsim::k20c());
   AlsSolver faulty(train, o, AlsVariant::batch_local_reg(), faulty_device);
-  faulty.run();
+  faulty.run({});
 
   ASSERT_GT(scoped.injector().triggered(FaultSite::kSolve), 0u);
   EXPECT_EQ(faulty.robustness_report().zeroed_rows, 0u);
@@ -230,14 +230,14 @@ TEST(FaultInjection, KernelLaunchFaultIsRetriedTransparently) {
 
   devsim::Device clean_device(devsim::k20c());
   AlsSolver clean(train, o, AlsVariant::batch_local_reg(), clean_device);
-  clean.run();
+  clean.run({});
 
   FaultPlan plan;
   plan.exact[static_cast<int>(FaultSite::kKernelLaunch)] = {0, 3};
   ScopedFaultInjector scoped(plan);
   devsim::Device faulty_device(devsim::k20c());
   AlsSolver faulty(train, o, AlsVariant::batch_local_reg(), faulty_device);
-  faulty.run();
+  faulty.run({});
 
   EXPECT_EQ(faulty.robustness_report().kernel_relaunches, 2u);
   EXPECT_EQ(faulty.x(), clean.x());
@@ -256,7 +256,7 @@ TEST(FaultInjection, BackToBackKernelFaultsExhaustRetriesAndThrow) {
   ScopedFaultInjector scoped(plan);
   devsim::Device device(devsim::k20c());
   AlsSolver solver(train, o, AlsVariant::batch_local_reg(), device);
-  EXPECT_THROW(solver.run(), Error);
+  EXPECT_THROW(solver.run({}), Error);
 }
 
 }  // namespace
