@@ -4,6 +4,10 @@
 // (BENCH_regress.json by default):
 //   * train_smoke        — functional ALS on a synthetic MovieLens-shaped
 //                          matrix: final loss/RMSE and modeled seconds;
+//   * train_fp16_storage — the same problem trained with fp16 factor
+//                          storage: final RMSE and its delta vs the fp32
+//                          run are gated (the quality cost of the narrow
+//                          storage the precision analyzer certifies);
 //   * variant_sweep      — accounting-mode modeled seconds for all 8 code
 //                          variants on the same matrix (the Fig. 6 axis);
 //   * serve_closed_loop  — closed-loop serving smoke: request conservation,
@@ -12,6 +16,10 @@
 //                          recall@10 against the exhaustive oracle is
 //                          deterministic (pinned seed, exact rescoring) and
 //                          gated, so an index regression fails CI;
+//   * serve_quantized    — fp16 and per-row int8 factor snapshots: gated
+//                          recall@10 of exhaustive scoring over the
+//                          quantized factors against the fp32 oracle,
+//                          plus the per-format byte footprint;
 //   * pipeline_smoke     — train → checkpoint → index build → hot swap under
 //                          load, twice; gates swap count, request
 //                          conservation and the staleness assertion;
@@ -50,6 +58,7 @@
 #include "robust/fault_injection.hpp"
 #include "recsys/ranking.hpp"
 #include "recsys/recommender.hpp"
+#include "serve/model_store.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -90,6 +99,39 @@ void run_train_smoke(obs::RegressReport& report, const Csr& train) {
   std::printf("train_smoke: loss %.4f rmse %.4f modeled %.4fs (%d iters)\n",
               solver.train_loss(), solver.train_rmse(), run.modeled_seconds,
               run.iterations);
+}
+
+// fp16-storage training (docs/static-analysis.md "Precision certification"):
+// every freshly solved factor block is rounded through fp16 storage, the
+// training-side twin of the `_f16` kernels the precision analyzer certifies.
+// The leg pins the quality cost of narrow storage: final RMSE and its delta
+// against the fp32 run on the same pinned problem are deterministic, so any
+// movement means the quantization path (or the solver under it) changed.
+void run_train_fp16_storage(obs::RegressReport& report, const Csr& train) {
+  AlsOptions options;
+  options.k = 8;
+  options.iterations = 3;
+  options.functional = true;
+  const AlsVariant variant = AlsVariant::from_mask(7);
+
+  devsim::Device d32(devsim::profile_by_name("gpu"));
+  AlsSolver fp32(train, options, variant, d32);
+  fp32.run(RunConfig{});
+
+  AlsOptions narrow = options;
+  narrow.storage = StoragePrecision::kFp16;
+  devsim::Device d16(devsim::profile_by_name("gpu"));
+  AlsSolver fp16(train, narrow, variant, d16);
+  fp16.run(RunConfig{});
+
+  const double rmse32 = fp32.train_rmse();
+  const double rmse16 = fp16.train_rmse();
+  const double delta_pct =
+      rmse32 > 0 ? 100.0 * std::abs(rmse16 - rmse32) / rmse32 : 0.0;
+  report.add("train_fp16_storage.final_rmse", rmse16, "rmse");
+  report.add("train_fp16_storage.rmse_delta_pct", delta_pct, "pct");
+  std::printf("train_fp16_storage: rmse %.4f vs fp32 %.4f (delta %.4f%%)\n",
+              rmse16, rmse32, delta_pct);
 }
 
 void run_variant_sweep(obs::RegressReport& report, const Csr& train) {
@@ -228,6 +270,52 @@ void run_serve_ivf(obs::RegressReport& report, const Csr& train, bool smoke,
       recall, ann.build_stats().clusters, ivf_options.nprobe,
       100.0 * scanned_frac, requests,
       seconds > 0 ? static_cast<double>(requests) / seconds : 0.0);
+}
+
+// Quantized factor snapshots for serving (docs/serving.md): fp16 and
+// symmetric per-row int8 compression applied at snapshot-build time. The
+// gate is recall@10 of exhaustive scoring over the quantized factors
+// against the fp32 oracle on a pinned user sample — deterministic, so it
+// only moves when the quantizer (or the factors feeding it) moves. The
+// byte footprint per format rides along as a second deterministic gate.
+void run_serve_quantized(obs::RegressReport& report, const Csr& train) {
+  AlsOptions options;
+  options.k = 8;
+  options.iterations = 2;
+  options.functional = true;
+  Recommender rec;
+  rec.train(train, options, devsim::profile_by_name("cpu"),
+            AlsVariant::from_mask(7));
+  const auto exact = serve::snapshot_from_recommender(rec, options.lambda);
+
+  const int topn = 10;
+  const auto sample_users = std::min<index_t>(rec.users(), 100);
+  const struct {
+    const char* label;
+    serve::SnapshotQuantization format;
+  } formats[] = {
+      {"fp16", serve::SnapshotQuantization::kFp16},
+      {"int8", serve::SnapshotQuantization::kInt8},
+  };
+  for (const auto& fmt : formats) {
+    auto snap = std::make_shared<serve::ModelSnapshot>(*exact);
+    serve::quantize_snapshot(*snap, fmt.format);
+    double recall = 0;
+    for (index_t u = 0; u < sample_users; ++u) {
+      const auto oracle = topn_from_factor(exact->x.row(u), exact->y, topn);
+      const auto approx = topn_from_factor(snap->x.row(u), snap->y, topn);
+      recall += recall_at_n(approx, oracle);
+    }
+    recall /= static_cast<double>(sample_users);
+    const double bytes_frac = static_cast<double>(snap->factor_bytes()) /
+                              static_cast<double>(exact->factor_bytes());
+    const std::string prefix = std::string("serve_quantized.") + fmt.label;
+    report.add(prefix + ".recall_at_10", recall, "recall",
+               /*lower_is_better=*/false);
+    report.add(prefix + ".factor_bytes_frac", bytes_frac, "frac");
+    std::printf("serve_quantized: %-4s recall@10 %.4f, %.1f%% of fp32 bytes\n",
+                fmt.label, recall, 100.0 * bytes_frac);
+  }
 }
 
 void run_pipeline_smoke(obs::RegressReport& report, const Csr& train,
@@ -436,10 +524,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(train.nnz()));
 
   run_train_smoke(report, train);
+  run_train_fp16_storage(report, train);
   run_variant_sweep(report, train);
   run_time_to_quality(report, train);
   run_serve_closed_loop(report, train, args.smoke, args.seed);
   run_serve_ivf(report, train, args.smoke, args.seed);
+  run_serve_quantized(report, train);
   run_pipeline_smoke(report, train, args.seed);
   run_elastic_faults(report, train, args.seed);
 

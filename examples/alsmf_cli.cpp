@@ -68,6 +68,16 @@
 //                       may-happen-in-parallel pair proven race-free under
 //                       the ALS buffer contracts; unprovable fails — exits
 //                       non-zero on any non-proven verdict, zero launches)
+//   alsmf_cli analyze-precision [--k 10] [--group-size 32] [--tile-rows N]
+//                       [--omega-max 4096] [--rating-bound 5] [--witness 0|1]
+//                       [--json out.json]
+//                       (static precision certificates for every kernel
+//                       flavor — interval x rounding-error abstract
+//                       interpretation under the ALS operating assumptions —
+//                       plus the dynamic shadow-precision witness on the
+//                       fp16/bf16 flavors; exits non-zero if any flavor is
+//                       overflow-possible, nan-possible at the output store,
+//                       or the static bound fails to dominate the witness)
 //
 // Ratings files use the paper's `<userID, itemID, rating>` text format.
 #include <fstream>
@@ -78,6 +88,7 @@
 
 #include "als/analyze_kernels.hpp"
 #include "als/check_kernels.hpp"
+#include "als/precision_kernels.hpp"
 #include "als/verify_kernels.hpp"
 #include "als/metrics.hpp"
 #include "als/multi_device.hpp"
@@ -777,6 +788,53 @@ int cmd_analyze_kernels(const CliArgs& args) {
   return result.clean() ? 0 : 1;
 }
 
+int cmd_analyze_precision(const CliArgs& args) {
+  PrecisionKernelsOptions options;
+  options.k = static_cast<int>(args.get_long("k", options.k));
+  options.group_size =
+      static_cast<int>(args.get_long("group-size", options.group_size));
+  options.tile_rows = args.get_long("tile-rows", options.tile_rows);
+  options.witness = args.get_long("witness", 1) != 0;
+  auto& as = options.assumptions;
+  as.omega_max = static_cast<double>(args.get_long(
+      "omega-max", static_cast<long>(as.omega_max)));
+  as.rating_bound = static_cast<double>(args.get_long(
+      "rating-bound", static_cast<long>(as.rating_bound)));
+
+  const auto result = analyze_precision_kernels(options);
+  if (auto json_path = args.get("json")) {
+    std::ofstream out(*json_path);
+    out << result.to_json() << "\n";
+  }
+  for (const auto& err : result.errors) {
+    std::cout << "error: " << err << "\n";
+  }
+  std::size_t certified = 0, witnessed = 0;
+  for (const auto& e : result.entries) {
+    const auto& r = e.report;
+    certified += r.certified ? 1 : 0;
+    witnessed += e.witness_ran ? 1 : 0;
+    std::cout << e.kernel << ": storage=" << r.storage
+              << (r.certified ? " certified" : " UNCERTIFIED")
+              << " |x|<=" << r.output_ceiling << " err<=" << r.output.err;
+    if (e.witness_ran) {
+      std::cout << " observed=" << e.observed_err
+                << (e.dominated ? " dominated" : " DOMINANCE-VIOLATED")
+                << (e.witness_overflow ? " OVERFLOWED" : "");
+    }
+    std::cout << "\n";
+    for (const auto& f : r.findings) {
+      if (!ocl::analyze::precision::gates_certification(f.kind)) continue;
+      std::cout << "  " << to_string(f.kind) << " line " << f.line << " "
+                << f.what << ": " << f.message << "\n";
+    }
+  }
+  std::cout << "analyze-precision: " << result.entries.size() << " kernels, "
+            << certified << " certified, " << witnessed
+            << " witnessed, " << result.errors.size() << " error(s)\n";
+  return result.clean() ? 0 : 1;
+}
+
 int cmd_verify_kernels(const CliArgs& args) {
   VerifyKernelsOptions options;
   options.k = static_cast<int>(args.get_long("k", options.k));
@@ -830,7 +888,8 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::cerr << "usage: alsmf_cli <train|train-multi|predict|recommend|"
                  "evaluate|tune|shard|train-ooc|rank|serve|pipeline|devices|"
-                 "check-kernels|analyze-kernels|verify-kernels> "
+                 "check-kernels|analyze-kernels|verify-kernels|"
+                 "analyze-precision> "
                  "[options]\n";
     return 2;
   }
@@ -851,6 +910,7 @@ int main(int argc, char** argv) {
     if (cmd == "check-kernels") return cmd_check_kernels(args);
     if (cmd == "analyze-kernels") return cmd_analyze_kernels(args);
     if (cmd == "verify-kernels") return cmd_verify_kernels(args);
+    if (cmd == "analyze-precision") return cmd_analyze_precision(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return 2;
   } catch (const std::exception& e) {

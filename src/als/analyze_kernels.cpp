@@ -7,7 +7,7 @@
 #include "devsim/profile.hpp"
 #include "ocl/analyze/deep_lint.hpp"
 #include "ocl/analyze/parser.hpp"
-#include "ocl/kernel_source.hpp"
+#include "ocl/kernel_flavors.hpp"
 #include "sparse/csr.hpp"
 
 namespace alsmf {
@@ -47,21 +47,10 @@ AnalyzeKernelsResult analyze_kernels(const AnalyzeKernelsOptions& options) {
   kc.k = options.k;
   kc.group_size = options.group_size;
 
-  // Every kernel the generator can emit for this configuration.
-  std::vector<std::pair<std::string, std::string>> sources;
-  sources.emplace_back("als_update_flat", ocl::flat_kernel_source(kc));
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    sources.emplace_back(ocl::kernel_name(v), ocl::batched_kernel_source(v, kc));
-  }
-  ocl::KernelConfig cg_kc = kc;
-  cg_kc.row_solver = RowSolverKind::kCg;
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    sources.emplace_back(ocl::kernel_name(v, cg_kc.row_solver),
-                         ocl::batched_kernel_source(v, cg_kc));
-  }
-  sources.emplace_back("als_update_flat_sell", ocl::sell_kernel_source(kc));
+  // Every kernel the generator can emit for this configuration, in the
+  // pinned enumeration order (ocl/kernel_flavors.hpp).
+  const std::vector<ocl::KernelFlavor> sources =
+      ocl::enumerate_kernel_flavors(kc);
 
   AnalyzeKernelsResult out;
   for (const std::string& profile_name : options.profiles) {
@@ -76,7 +65,9 @@ AnalyzeKernelsResult analyze_kernels(const AnalyzeKernelsOptions& options) {
       lint_options.limits.local_mem_bytes = profile.local_mem_bytes;
     }
 
-    for (const auto& [name, source] : sources) {
+    for (const ocl::KernelFlavor& flavor : sources) {
+      const std::string& name = flavor.name;
+      const std::string& source = flavor.source;
       const ocl::LintReport lint =
           az::deep_lint_kernel_source(source, lint_options);
       for (const auto& issue : lint.issues) {

@@ -11,7 +11,7 @@
 #include "devsim/device.hpp"
 #include "devsim/profile.hpp"
 #include "ocl/kernel_lint.hpp"
-#include "ocl/kernel_source.hpp"
+#include "ocl/kernel_flavors.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/sell.hpp"
 
@@ -139,17 +139,11 @@ CheckKernelsResult check_kernels(const CheckKernelsOptions& options) {
                                     issue.message);
         }
       };
-      lint_one("als_update_flat", ocl::flat_kernel_source(kc));
-      for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-        const AlsVariant v = AlsVariant::from_mask(mask);
-        lint_one(ocl::kernel_name(v), ocl::batched_kernel_source(v, kc));
-      }
-      ocl::KernelConfig cg_kc = kc;
-      cg_kc.row_solver = RowSolverKind::kCg;
-      for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-        const AlsVariant v = AlsVariant::from_mask(mask);
-        lint_one(ocl::kernel_name(v, cg_kc.row_solver),
-                 ocl::batched_kernel_source(v, cg_kc));
+      // The full flavor enumeration: adds SELL and the narrow-storage
+      // families the hand-rolled lists used to skip.
+      for (const ocl::KernelFlavor& flavor :
+           ocl::enumerate_kernel_flavors(kc)) {
+        lint_one(flavor.name, flavor.source);
       }
     }
 

@@ -23,6 +23,15 @@ const char* to_string(RowSolverKind kind) {
   return "?";
 }
 
+const char* to_string(StoragePrecision precision) {
+  switch (precision) {
+    case StoragePrecision::kFp32: return "fp32";
+    case StoragePrecision::kFp16: return "fp16";
+    case StoragePrecision::kBf16: return "bf16";
+  }
+  return "?";
+}
+
 bool try_parse(const std::string& text, LinearSolverKind& out) {
   if (text == "cholesky") {
     out = LinearSolverKind::kCholesky;
@@ -61,6 +70,28 @@ RowSolverKind parse_row_solver(const std::string& text) {
   if (!try_parse(text, out)) {
     throw Error("unknown row solver '" + text +
                 "'; expected one of: cholesky, cg, subspace");
+  }
+  return out;
+}
+
+bool try_parse(const std::string& text, StoragePrecision& out) {
+  if (text == "fp32" || text == "float") {
+    out = StoragePrecision::kFp32;
+  } else if (text == "fp16" || text == "half") {
+    out = StoragePrecision::kFp16;
+  } else if (text == "bf16" || text == "bfloat16") {
+    out = StoragePrecision::kBf16;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+StoragePrecision parse_storage_precision(const std::string& text) {
+  StoragePrecision out;
+  if (!try_parse(text, out)) {
+    throw Error("unknown storage precision '" + text +
+                "'; expected one of: fp32, fp16, bf16");
   }
   return out;
 }

@@ -26,16 +26,30 @@ enum class RowSolverKind {
               ///< the k coordinates, warm-started like CG
 };
 
+/// Storage width of the factor/rating buffers (the mixed-precision axis,
+/// docs/static-analysis.md "Precision certification"). Accumulation always
+/// runs at real_t width; only what is *stored* — and therefore the off-chip
+/// traffic — narrows. Every non-fp32 kernel flavor must be certified by the
+/// static precision analyzer before it is usable.
+enum class StoragePrecision {
+  kFp32,  ///< store at real_t width (the paper's configuration)
+  kFp16,  ///< IEEE binary16 storage: 11-bit significand, max 65504
+  kBf16,  ///< bfloat16 storage: fp32 exponent range, 8-bit significand
+};
+
 const char* to_string(LinearSolverKind kind);
 const char* to_string(RowSolverKind kind);
+const char* to_string(StoragePrecision precision);
 
 // String ↔ enum helpers shared by the CLI, JSON run events, and checkpoint
 // tooling. The try_parse forms return false on unknown text; the parse_*
 // forms throw an Error naming the bad value and the accepted spellings.
 bool try_parse(const std::string& text, LinearSolverKind& out);
 bool try_parse(const std::string& text, RowSolverKind& out);
+bool try_parse(const std::string& text, StoragePrecision& out);
 LinearSolverKind parse_linear_solver(const std::string& text);
 RowSolverKind parse_row_solver(const std::string& text);
+StoragePrecision parse_storage_precision(const std::string& text);
 
 /// One code variant of the ALS update kernel.
 struct AlsVariant {
@@ -107,6 +121,11 @@ struct AlsOptions : FactorOptionsBase {
   /// its rating count, λ_u = λ·|Ω_u| — markedly better generalization on
   /// sparse data at the same per-iteration cost.
   bool weighted_regularization = false;
+  /// Factor storage width. Non-fp32 runs round every freshly solved factor
+  /// block through the storage format after the half-update — exactly what
+  /// a device storing X/Y at half width would observe — trading a bounded
+  /// RMSE delta (bench_regress fp16_train leg) for halved factor traffic.
+  StoragePrecision storage = StoragePrecision::kFp32;
   /// Functional execution (compute the factors) vs accounting-only
   /// (cost-model sweeps).
   bool functional = true;

@@ -1,0 +1,97 @@
+#include "als/precision_kernels.hpp"
+
+#include <sstream>
+
+#include "ocl/analyze/precision/shadow.hpp"
+#include "ocl/kernel_flavors.hpp"
+
+namespace alsmf {
+
+namespace {
+
+namespace pz = ocl::analyze::precision;
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    if (c == '\n') {
+      os << "\\n";
+      continue;
+    }
+    os << c;
+  }
+  os << "\"";
+}
+
+}  // namespace
+
+PrecisionKernelsResult analyze_precision_kernels(
+    const PrecisionKernelsOptions& options) {
+  ocl::KernelConfig kc;
+  kc.k = options.k;
+  kc.group_size = options.group_size;
+  if (options.tile_rows > 0) kc.tile_rows = static_cast<int>(options.tile_rows);
+
+  PrecisionKernelsResult out;
+  for (const ocl::KernelFlavor& flavor : ocl::enumerate_kernel_flavors(kc)) {
+    try {
+      const auto reports =
+          pz::analyze_source_precision(flavor.source, options.assumptions);
+      for (const auto& report : reports) {
+        // A source holds one kernel plus helpers; only the entry point is
+        // analyzed, but keep the filter in case that changes.
+        if (report.kernel != flavor.name) continue;
+        PrecisionKernelsEntry entry;
+        entry.kernel = flavor.name;
+        entry.report = report;
+        if (options.witness && flavor.storage != StoragePrecision::kFp32) {
+          pz::ShadowWitnessConfig wc;
+          wc.k = options.k;
+          wc.group_size = options.group_size;
+          wc.assumptions = options.assumptions;
+          const pz::ShadowWitness w = pz::run_shadow_witness(
+              flavor.source, flavor.name, flavor.storage, wc);
+          entry.witness_ran = w.ran;
+          entry.observed_err = w.observed_err;
+          entry.witness_overflow = w.overflow_observed;
+          // A witness that failed to run asserts nothing — fail closed.
+          entry.dominated = w.ran && w.observed_err <= report.output.err;
+        }
+        out.entries.push_back(std::move(entry));
+      }
+      if (reports.empty()) {
+        out.errors.push_back(flavor.name + ": no __kernel function found");
+      }
+    } catch (const ocl::analyze::ParseError& e) {
+      out.errors.push_back(flavor.name + ": line " + std::to_string(e.line) +
+                           ": " + e.message);
+    } catch (const std::exception& e) {
+      out.errors.push_back(flavor.name + ": " + std::string(e.what()));
+    }
+  }
+  return out;
+}
+
+std::string PrecisionKernelsResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"clean\":" << (clean() ? "true" : "false") << ",\"errors\":[";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i) os << ",";
+    json_escape(os, errors[i]);
+  }
+  os << "],\"kernels\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (i) os << ",";
+    os << "{\"certificate\":" << pz::to_json(e.report)
+       << ",\"witness\":{\"ran\":" << (e.witness_ran ? "true" : "false")
+       << ",\"observed_err\":" << e.observed_err
+       << ",\"overflow_observed\":" << (e.witness_overflow ? "true" : "false")
+       << ",\"dominated\":" << (e.dominated ? "true" : "false") << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace alsmf

@@ -1,0 +1,63 @@
+// The `alsmf analyze-precision` sweep: the mixed-precision counterpart of
+// verify_kernels.hpp. Every generated kernel flavor
+// (ocl/kernel_flavors.hpp) is run through the static precision analyzer
+// (ocl/analyze/precision/) under the ALS operating assumptions, and every
+// narrow-storage (fp16 / bf16) flavor is additionally cross-checked by the
+// dynamic shadow-precision witness (ocl/analyze/precision/shadow.hpp):
+// the static worst-case error bound must dominate the divergence observed
+// on the seeded witness problem. The gate is strict and fails closed —
+// a parse failure, an uncertified kernel (overflow-possible / nan at the
+// output store / unbounded error), a witness overflow, or a dominance
+// violation all make clean() false (the CLI then exits nonzero).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ocl/analyze/precision/precision.hpp"
+
+namespace alsmf {
+
+struct PrecisionKernelsOptions {
+  int k = 10;
+  int group_size = 32;
+  long tile_rows = 0;   ///< forced TILE_ROWS define (0 = generator default)
+  bool witness = true;  ///< run the dynamic shadow leg on narrow flavors
+  ocl::analyze::precision::PrecisionAssumptions assumptions;
+};
+
+/// One sweep entry: a kernel flavor, its static certificate, and (for
+/// narrow-storage flavors when witnessing is on) the dynamic cross-check.
+struct PrecisionKernelsEntry {
+  std::string kernel;
+  ocl::analyze::precision::PrecisionReport report;
+  bool witness_ran = false;
+  double observed_err = 0;       ///< max |X_shadow - X_exact| on the witness
+  bool witness_overflow = false; ///< non-finite value in the shadow output
+  /// Static bound >= observed divergence. True when no witness ran (the
+  /// fp32 flavors and --no-witness runs assert nothing dynamically).
+  bool dominated = true;
+};
+
+struct PrecisionKernelsResult {
+  std::vector<PrecisionKernelsEntry> entries;
+  /// Parse/lowering failures, "kernel: message" (fail closed).
+  std::vector<std::string> errors;
+
+  bool clean() const {
+    if (!errors.empty() || entries.empty()) return false;
+    for (const auto& e : entries) {
+      if (!e.report.certified || !e.dominated || e.witness_overflow) {
+        return false;
+      }
+    }
+    return true;
+  }
+  std::string to_json() const;
+};
+
+/// Runs the sweep over every flavor of enumerate_kernel_flavors.
+PrecisionKernelsResult analyze_precision_kernels(
+    const PrecisionKernelsOptions& options);
+
+}  // namespace alsmf

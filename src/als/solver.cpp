@@ -9,6 +9,7 @@
 #include "als/reference.hpp"
 #include "als/row_solve.hpp"
 #include "common/error.hpp"
+#include "common/halfprec.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 #include "obs/events.hpp"
@@ -40,6 +41,9 @@ std::uint64_t trajectory_hash(const AlsOptions& options, const Csr& train) {
   }
   if (options.anderson_m > 0) {
     mix(static_cast<std::uint64_t>(options.anderson_m));
+  }
+  if (options.storage != StoragePrecision::kFp32) {
+    mix(static_cast<std::uint64_t>(options.storage));
   }
   mix(static_cast<std::uint64_t>(train.rows()));
   mix(static_cast<std::uint64_t>(train.cols()));
@@ -112,6 +116,27 @@ void AlsSolver::guard_factor(Matrix& dst, const Csr& r, const Matrix& src) {
   robust::guard_rows(dst, resolve, gopt, report_);
 }
 
+void AlsSolver::quantize_factor(Matrix& m) {
+  // Non-fp32 storage rounds every freshly solved factor block through the
+  // storage format (options.hpp). fp16 flushes subnormals to zero, exactly
+  // as the precision analyzer's FTZ model assumes; bf16 keeps fp32's
+  // exponent range so plain rounding suffices.
+  if (options_.storage == StoragePrecision::kFp32 || !options_.functional) {
+    return;
+  }
+  real* p = m.data();
+  const std::size_t n = m.size();
+  if (options_.storage == StoragePrecision::kFp16) {
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = static_cast<real>(fp16_round_ftz(static_cast<float>(p[i])));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = static_cast<real>(bf16_round(static_cast<float>(p[i])));
+    }
+  }
+}
+
 void AlsSolver::update_x() {
   UpdateArgs args;
   args.r = &train_;
@@ -126,6 +151,7 @@ void AlsSolver::update_x() {
   args.row_solver = row_solver_.get();
   launch_with_retry("update_x", args);
   guard_factor(x_, train_, y_);
+  quantize_factor(x_);
 }
 
 void AlsSolver::update_y() {
@@ -142,6 +168,7 @@ void AlsSolver::update_y() {
   args.row_solver = row_solver_.get();
   launch_with_retry("update_y", args);
   guard_factor(y_, train_t_, x_);
+  quantize_factor(y_);
 }
 
 void AlsSolver::set_factors(const Matrix& x, const Matrix& y) {

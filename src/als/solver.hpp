@@ -27,8 +27,9 @@ namespace alsmf {
 
 /// Hash of everything that determines the training trajectory: k, λ, seed,
 /// regularization mode, linear solver, row-solver strategy (plus its
-/// cg_iters / subspace_block knobs when non-exact), Anderson window, and
-/// the training matrix shape/nnz. Stored in checkpoints; resume refuses a
+/// cg_iters / subspace_block knobs when non-exact), Anderson window,
+/// factor storage precision (when non-fp32), and the training matrix
+/// shape/nnz. Stored in checkpoints; resume refuses a
 /// checkpoint whose hash differs. Launch shape and guard knobs are
 /// excluded — all variants produce bitwise-identical factors, so their
 /// checkpoints are interchangeable. Default-solver runs hash identically
@@ -175,6 +176,9 @@ class AlsSolver {
   void launch_with_retry(const char* name, const UpdateArgs& args);
   /// Post-update divergence sweep of `dst` (rows of `r`, solved over `src`).
   void guard_factor(Matrix& dst, const Csr& r, const Matrix& src);
+  /// Rounds a freshly solved factor matrix through the configured storage
+  /// format (no-op for fp32 storage or modeled-only runs).
+  void quantize_factor(Matrix& m);
 
   const Csr& train_;
   Csr train_t_;

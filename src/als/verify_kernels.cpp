@@ -5,6 +5,7 @@
 
 #include "ocl/analyze/ir.hpp"
 #include "ocl/analyze/parser.hpp"
+#include "ocl/kernel_flavors.hpp"
 
 namespace alsmf {
 
@@ -197,26 +198,17 @@ VerifyKernelsResult verify_kernels(const VerifyKernelsOptions& options) {
   kc.group_size = options.group_size;
   if (options.tile_rows > 0) kc.tile_rows = static_cast<int>(options.tile_rows);
 
-  std::vector<std::pair<std::string, std::string>> sources;
-  sources.emplace_back("als_update_flat", ocl::flat_kernel_source(kc));
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    sources.emplace_back(ocl::kernel_name(v),
-                         ocl::batched_kernel_source(v, kc));
-  }
-  ocl::KernelConfig cg_kc = kc;
-  cg_kc.row_solver = RowSolverKind::kCg;
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    sources.emplace_back(ocl::kernel_name(v, cg_kc.row_solver),
-                         ocl::batched_kernel_source(v, cg_kc));
-  }
-  sources.emplace_back("als_update_flat_sell", ocl::sell_kernel_source(kc));
+  // The pinned flavor enumeration (ocl/kernel_flavors.hpp): the fp32
+  // prefix order matches the sweep's historical JSON entry order, the
+  // narrow-storage flavors extend it.
+  const std::vector<ocl::KernelFlavor> sources =
+      ocl::enumerate_kernel_flavors(kc);
 
   VerifyKernelsResult out;
   for (const std::string& profile_name : options.profiles) {
-    for (const auto& [name, source] : sources) {
-      VerifySourceResult sr = verify_kernel_source(source);
+    for (const ocl::KernelFlavor& flavor : sources) {
+      const std::string& name = flavor.name;
+      VerifySourceResult sr = verify_kernel_source(flavor.source);
       for (const auto& err : sr.errors) {
         out.errors.push_back(profile_name + "/" + name + ": " + err);
       }

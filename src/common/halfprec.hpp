@@ -1,0 +1,95 @@
+// Bit-exact narrow-float conversions (IEEE binary16 and bfloat16, both
+// round-to-nearest-even) used by the mixed-precision paths: the shadow-
+// precision interpreter mode (ocl/analyze/interp.hpp), fp16/bf16-storage
+// training (als/solver.hpp), and quantized factor snapshots
+// (serve/model_store.hpp). Header-only so the conversions are identical
+// everywhere a value rounds through storage.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace alsmf {
+
+/// float -> IEEE binary16 bits, round-to-nearest-even. Overflow saturates
+/// to infinity (matching OpenCL vstore_half_rte); subnormal halves are
+/// produced, not flushed.
+inline std::uint16_t fp16_bits(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+  const std::uint32_t em = x & 0x7fffffffu;
+  if (em >= 0x7f800000u) {  // inf / nan (nan keeps a set mantissa bit)
+    return static_cast<std::uint16_t>(
+        sign | 0x7c00u | (em > 0x7f800000u ? 0x200u : 0u));
+  }
+  if (em >= 0x47800000u) return static_cast<std::uint16_t>(sign | 0x7c00u);
+  if (em < 0x38800000u) {  // below min normal 2^-14: subnormal half or zero
+    if (em < 0x33000000u) return sign;  // <= 2^-25 rounds to zero
+    const int shift = 126 - static_cast<int>(em >> 23);  // 14..24
+    const std::uint32_t mant = (em & 0x7fffffu) | 0x800000u;
+    std::uint16_t h = static_cast<std::uint16_t>(mant >> shift);
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t mid = 1u << (shift - 1);
+    if (rem > mid || (rem == mid && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  std::uint16_t h = static_cast<std::uint16_t>(
+      (((em >> 23) - 112u) << 10) | ((em & 0x7fffffu) >> 13));
+  const std::uint32_t rem = em & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;  // carry may
+  return static_cast<std::uint16_t>(sign | h);  // round up into inf: correct
+}
+
+/// IEEE binary16 bits -> float (exact: every half is a float).
+inline float fp16_from_bits(std::uint16_t h) {
+  const float sign = (h & 0x8000u) ? -1.0f : 1.0f;
+  const int exp = (h >> 10) & 0x1f;
+  const int mant = h & 0x3ff;
+  if (exp == 0x1f) {
+    return mant ? std::numeric_limits<float>::quiet_NaN()
+                : sign * std::numeric_limits<float>::infinity();
+  }
+  if (exp == 0) return sign * std::ldexp(static_cast<float>(mant), -24);
+  return sign * std::ldexp(static_cast<float>(mant | 0x400), exp - 25);
+}
+
+/// float -> bfloat16 bits, round-to-nearest-even (the top 16 bits of the
+/// float pattern; bf16 keeps the full fp32 exponent range).
+inline std::uint16_t bf16_bits(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  if ((x & 0x7fffffffu) > 0x7f800000u) {  // nan: quiet it, keep payload bit
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  x += 0x7fffu + ((x >> 16) & 1u);
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+/// bfloat16 bits -> float (exact).
+inline float bf16_from_bits(std::uint16_t b) {
+  const std::uint32_t x = static_cast<std::uint32_t>(b) << 16;
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+/// Round-trips through binary16 storage.
+inline float fp16_round(float f) { return fp16_from_bits(fp16_bits(f)); }
+
+/// Round-trips through binary16 with subnormal results flushed to zero —
+/// the worst-case storage behavior the static analyzer's quantization
+/// error term max(u·|v|, min_normal) is written against; the shadow
+/// interpreter uses this flavor so the dynamic witness exercises FTZ.
+inline float fp16_round_ftz(float f) {
+  const float r = fp16_round(f);
+  return (r != 0.0f && std::fabs(r) < 6.103515625e-5f) ? 0.0f : r;
+}
+
+/// Round-trips through bfloat16 storage (never subnormal below fp32's own
+/// subnormal range, so no separate FTZ flavor is needed).
+inline float bf16_round(float f) { return bf16_from_bits(bf16_bits(f)); }
+
+}  // namespace alsmf

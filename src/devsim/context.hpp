@@ -144,6 +144,9 @@ class GroupCtx {
   void ops_scalar(double ops) { cur_->lane_ops_scalar += ops; }
   /// Records lane-operations executed as explicit vector operations.
   void ops_vector(double ops) { cur_->lane_ops_vector += ops; }
+  /// Vector lane-operations on half-width (fp16/bf16) storage elements;
+  /// priced at doubled effective vector width by the cost model.
+  void ops_vector_half(double ops) { cur_->lane_ops_vector_half += ops; }
   /// Records useful flops (roofline numerator only; no time cost).
   void flops(double n) { cur_->useful_flops += n; }
 

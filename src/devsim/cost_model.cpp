@@ -29,7 +29,11 @@ TimeEstimate estimate_time(const LaunchCounters& counters,
   double slots = counters.lane_ops_scalar /
                      (width * std::max(profile.scalar_efficiency, 1e-6)) +
                  counters.lane_ops_vector /
-                     (width * std::max(profile.vector_efficiency, 1e-6));
+                     (width * std::max(profile.vector_efficiency, 1e-6)) +
+                 // Half-width (fp16/bf16) elements pack two per vector slot:
+                 // the effective bundle width doubles.
+                 counters.lane_ops_vector_half /
+                     (2.0 * width * std::max(profile.vector_efficiency, 1e-6));
 
   // Register spilling adds issue pressure: every spilled element needs an
   // extra load/store slot in addition to its bandwidth cost.

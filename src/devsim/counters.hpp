@@ -20,6 +20,10 @@ struct LaunchCounters {
   double lane_ops_scalar = 0;
   /// Lane-operations executed as explicit vector operations (OpenCL floatN).
   double lane_ops_vector = 0;
+  /// Vector lane-operations on half-width (fp16/bf16) storage elements: a
+  /// SIMD bundle packs twice as many of them, so the cost model prices
+  /// these at double the effective vector width.
+  double lane_ops_vector_half = 0;
 
   // --- Global memory ---
   /// Bytes moved by coalesced/streaming access.
@@ -44,6 +48,7 @@ struct LaunchCounters {
     useful_flops += o.useful_flops;
     lane_ops_scalar += o.lane_ops_scalar;
     lane_ops_vector += o.lane_ops_vector;
+    lane_ops_vector_half += o.lane_ops_vector_half;
     global_bytes += o.global_bytes;
     scattered_accesses += o.scattered_accesses;
     scattered_useful_bytes += o.scattered_useful_bytes;
@@ -66,6 +71,7 @@ struct LaunchCounters {
     c.useful_flops *= s;
     c.lane_ops_scalar *= s;
     c.lane_ops_vector *= s;
+    c.lane_ops_vector_half *= s;
     c.global_bytes *= s;
     c.scattered_accesses *= s;
     c.scattered_useful_bytes *= s;

@@ -92,6 +92,11 @@ struct FunctionDecl {
 struct TranslationUnit {
   std::map<std::string, std::string> defines;  // object-like macros
   std::size_t real_t_bytes = 4;                // from `typedef ... real_t;`
+  // From `typedef <type> storage_t;` — the factor/ratings storage width of
+  // mixed-precision kernel flavors. 0 bytes / empty base: no storage
+  // typedef, buffers are stored at real_t width.
+  std::size_t storage_t_bytes = 0;
+  std::string storage_t_base;  // "half", "bfloat16", ...
   std::vector<FunctionDecl> functions;
 };
 

@@ -19,6 +19,10 @@ using devsim::check::LocalSpan;
   throw ParseError{line, "interp: " + msg};
 }
 
+bool is_narrow_type(const std::string& t) {
+  return t == "storage_t" || t == "half" || t == "bfloat16";
+}
+
 /// Runtime value: scalar int/real, an OpenCL short vector (vloadN result),
 /// a pointer into a buffer, or a per-lane private array.
 struct Value {
@@ -26,6 +30,7 @@ struct Value {
   Kind kind = Kind::kInt;
   long i = 0;
   double r = 0;
+  bool narrow = false;  // declared in a narrow storage type (shadow mode)
   std::vector<double> vec;  // kVec components / kArr storage
 
   // kPtr: space 0 = global real, 1 = global int, 2 = local.
@@ -73,8 +78,9 @@ struct Lane {
 class Machine {
  public:
   Machine(const TranslationUnit& tu, const FunctionDecl& fn,
-          devsim::GroupCtx& ctx, const std::vector<InterpArg>& args)
-      : tu_(tu), fn_(fn), ctx_(ctx) {
+          devsim::GroupCtx& ctx, const std::vector<InterpArg>& args,
+          float (*quantizer)(float))
+      : tu_(tu), fn_(fn), ctx_(ctx), quantizer_(quantizer) {
     if (args.size() != fn.params.size()) {
       fail(fn.line, "kernel '" + fn.name + "' expects " +
                         std::to_string(fn.params.size()) + " arguments, got " +
@@ -102,8 +108,10 @@ class Machine {
   const TranslationUnit& tu_;
   const FunctionDecl& fn_;
   devsim::GroupCtx& ctx_;
+  float (*quantizer_)(float) = nullptr;
   std::vector<Lane> lanes_;
   std::vector<GlobalSpan<float>> greal_;
+  std::vector<bool> greal_narrow_;  // shadow mode: round on load/store
   std::vector<GlobalSpan<int>> gint_;
   std::vector<LocalSpan<float>> locals_;
   // Stable names for local_alloc (LocalSpan keeps the const char*).
@@ -117,6 +125,8 @@ class Machine {
         v.space = 0;
         v.buf = static_cast<int>(greal_.size());
         greal_.push_back(ctx_.global_span(p.name.c_str(), a.real_data, a.n));
+        greal_narrow_.push_back(quantizer_ != nullptr &&
+                                is_narrow_type(p.type));
         break;
       case InterpArg::Kind::kIntBuf:
         v.kind = Value::Kind::kPtr;
@@ -159,9 +169,14 @@ class Machine {
     const auto u = static_cast<std::size_t>(at < 0 ? -1 : at);
     ctx_.set_lane(lane);
     switch (p.space) {
-      case 0:
+      case 0: {
         ctx_.global_read_coalesced(sizeof(float));
-        return greal_[static_cast<std::size_t>(p.buf)].read(u);
+        const double v = greal_[static_cast<std::size_t>(p.buf)].read(u);
+        if (greal_narrow_[static_cast<std::size_t>(p.buf)]) {
+          return static_cast<double>(quantizer_(static_cast<float>(v)));
+        }
+        return v;
+      }
       case 1:
         ctx_.global_read_coalesced(sizeof(int));
         return static_cast<double>(
@@ -180,6 +195,9 @@ class Machine {
     switch (p.space) {
       case 0:
         ctx_.global_write_coalesced(sizeof(float));
+        if (greal_narrow_[static_cast<std::size_t>(p.buf)]) {
+          v = static_cast<double>(quantizer_(static_cast<float>(v)));
+        }
         greal_[static_cast<std::size_t>(p.buf)].write(u,
                                                       static_cast<float>(v));
         return;
@@ -296,7 +314,8 @@ class Machine {
       return;
     }
     const bool real = s.type == "real_t" || s.type == "float" ||
-                      s.type == "double";
+                      s.type == "double" || is_narrow_type(s.type);
+    const bool narrow = quantizer_ != nullptr && is_narrow_type(s.type);
     for (int l : active) {
       Value v;
       if (s.array_extent) {
@@ -306,12 +325,19 @@ class Machine {
             0.0);
       } else if (s.init) {
         const Value init = eval(*s.init, l);
-        v = real ? Value::of_real(init.as_real(s.line))
-                 : (init.kind == Value::Kind::kPtr ? init
-                                                   : Value::of_int(
-                                                         init.as_int(s.line)));
+        if (init.kind == Value::Kind::kVec ||
+            init.kind == Value::Kind::kPtr) {
+          v = init;  // floatN registers and pointer offsets keep their kind
+        } else {
+          v = real ? Value::of_real(init.as_real(s.line))
+                   : Value::of_int(init.as_int(s.line));
+        }
       } else {
         v = real ? Value::of_real(0) : Value::of_int(0);
+      }
+      v.narrow = narrow;
+      if (narrow && v.kind == Value::Kind::kReal) {
+        v.r = static_cast<double>(quantizer_(static_cast<float>(v.r)));
       }
       lanes_[static_cast<std::size_t>(l)].scopes.back()[s.name] = v;
     }
@@ -408,6 +434,13 @@ class Machine {
       }
       case Expr::Kind::kCast: {
         const Value v = eval(*e.kids[0], lane_id);
+        if (is_narrow_type(e.name)) {
+          double r = v.as_real(e.line);
+          if (quantizer_) {
+            r = static_cast<double>(quantizer_(static_cast<float>(r)));
+          }
+          return Value::of_real(r);
+        }
         const bool real = e.name == "real_t" || e.name == "float" ||
                           e.name == "double";
         return real ? Value::of_real(v.as_real(e.line))
@@ -543,6 +576,9 @@ class Machine {
             combine(static_cast<double>(v->i), rhs.as_real(e.line)));
       } else {
         v->r = combine(v->r, rhs.as_real(e.line));
+        if (v->narrow && quantizer_) {
+          v->r = static_cast<double>(quantizer_(static_cast<float>(v->r)));
+        }
       }
       return *v;
     }
@@ -566,6 +602,9 @@ class Machine {
     }
     double& slot = arr->vec[static_cast<std::size_t>(idx)];
     slot = op == "=" ? rhs : combine(slot, rhs);
+    if (arr->narrow && quantizer_) {
+      slot = static_cast<double>(quantizer_(static_cast<float>(slot)));
+    }
     return Value::of_real(slot);
   }
 
@@ -658,7 +697,7 @@ InterpKernel::InterpKernel(const std::string& source,
 
 void InterpKernel::run_group(devsim::GroupCtx& ctx,
                              const std::vector<InterpArg>& args) const {
-  Machine m(tu_, *fn_, ctx, args);
+  Machine m(tu_, *fn_, ctx, args, quantizer_);
   m.num_groups_ = num_groups_hint_ > 0 ? num_groups_hint_ : 1;
   m.run();
 }

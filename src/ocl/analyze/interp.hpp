@@ -80,6 +80,17 @@ class InterpKernel {
   /// get_num_groups(0) must be declared before launching.
   void set_num_groups(long n) { num_groups_hint_ = n; }
 
+  /// Shadow-precision mode (the dynamic witness leg of the precision
+  /// certifier, analyze/precision/shadow.hpp): when set, every element of
+  /// a buffer bound to a storage_t / half / bfloat16 parameter rounds
+  /// through `quantize` on load and store, and every assignment into a
+  /// narrow-typed declaration rounds too — so the fp32-backed spans behave
+  /// like narrow storage while all real_t arithmetic stays exact. Default
+  /// off: plain interpretation is unchanged.
+  void set_storage_quantizer(float (*quantize)(float)) {
+    quantizer_ = quantize;
+  }
+
   /// Interprets one work-group (every lane of ctx.group_size()) in
   /// lock-step. `args` must match the kernel signature positionally.
   void run_group(devsim::GroupCtx& ctx,
@@ -89,6 +100,7 @@ class InterpKernel {
   TranslationUnit tu_;
   const FunctionDecl* fn_ = nullptr;
   long num_groups_hint_ = 0;
+  float (*quantizer_)(float) = nullptr;
 };
 
 }  // namespace alsmf::ocl::analyze

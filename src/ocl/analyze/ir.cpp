@@ -207,7 +207,8 @@ struct BufRef {
 };
 
 bool is_real_type(const std::string& t) {
-  return t == "real_t" || t == "float" || t == "double";
+  return t == "real_t" || t == "float" || t == "double" || t == "storage_t" ||
+         t == "half" || t == "bfloat16";
 }
 
 struct LoopFrame {
@@ -247,6 +248,10 @@ class KernelLowerer {
     eval_define("WS", tu_.defines, out_.ws);
     eval_define("TILE_ROWS", tu_.defines, out_.tile_rows_define);
     eval_define("CG_ITERS", tu_.defines, out_.cg_iters);
+    if (tu_.storage_t_bytes != 0) {
+      out_.storage_bytes = static_cast<int>(tu_.storage_t_bytes);
+      out_.storage_base = tu_.storage_t_base;
+    }
 
     for (const auto& p : fn_.params) {
       ArgIR a;
@@ -262,9 +267,7 @@ class KernelLowerer {
         b.buffer = p.name;
         b.type = p.type;
         b.space = p.is_local ? MemSpace::kLocal : MemSpace::kGlobal;
-        b.elem_bytes = static_cast<int>(
-            type_size(p.type, tu_.real_t_bytes));
-        if (b.elem_bytes == 0) b.elem_bytes = 4;
+        b.elem_bytes = elem_width(p.type);
         buffers_[p.name] = b;
       }
     }
@@ -280,6 +283,17 @@ class KernelLowerer {
   }
 
  private:
+  /// Element width of a declared type. `storage_t` resolves through the
+  /// translation unit's storage typedef (mixed-precision flavors store
+  /// factors at half width while computing in real_t).
+  int elem_width(const std::string& type) const {
+    if (type == "storage_t" && tu_.storage_t_bytes != 0) {
+      return static_cast<int>(tu_.storage_t_bytes);
+    }
+    const int bytes = static_cast<int>(type_size(type, tu_.real_t_bytes));
+    return bytes != 0 ? bytes : 4;
+  }
+
   // ---- identifier usage ----
   void mark_used(const std::string& name) {
     for (auto& a : out_.args) {
@@ -737,10 +751,9 @@ class KernelLowerer {
       long elems = -1;
       Affine ext = affine_of(*s.array_extent);
       if (aff_is_const(ext)) elems = ext.c;
-      const int bytes =
-          static_cast<int>(type_size(s.type, tu_.real_t_bytes));
+      const int bytes = elem_width(s.type);
       if (s.is_local) {
-        out_.locals.push_back({s.name, elems, bytes ? bytes : 4, s.line});
+        out_.locals.push_back({s.name, elems, bytes, s.line});
       } else {
         out_.private_arrays.push_back({s.name, elems, false, s.line});
       }
@@ -749,7 +762,7 @@ class KernelLowerer {
       b.buffer = s.name;
       b.type = s.type;
       b.space = s.is_local ? MemSpace::kLocal : MemSpace::kPrivate;
-      b.elem_bytes = bytes ? bytes : 4;
+      b.elem_bytes = bytes;
       buffers_[s.name] = b;
       return;
     }

@@ -225,6 +225,12 @@ struct KernelIR {
   long ws = 0;                   // from #define WS
   long tile_rows_define = 0;     // from #define TILE_ROWS
   long cg_iters = 0;             // from #define CG_ITERS (0: not a cg kernel)
+  /// Storage width of the factor/rating buffers, from `typedef ... storage_t`
+  /// (4 = plain real_t storage). Narrow storage halves the already-priced
+  /// per-reference byte widths; the static profile additionally retags
+  /// vector ops as half-width (doubled effective SIMD packing).
+  int storage_bytes = 4;
+  std::string storage_base;      // "half" / "bfloat16"; empty = real_t
 
   std::vector<ArgIR> args;
   std::vector<LoopIR> loops;

@@ -192,8 +192,10 @@ std::size_t type_size(const std::string& name, std::size_t real_t_bytes) {
   static const std::map<std::string, std::size_t> kScalar = {
       {"char", 1},  {"uchar", 1},  {"short", 2}, {"ushort", 2}, {"int", 4},
       {"uint", 4},  {"float", 4},  {"long", 8},  {"ulong", 8},  {"double", 8},
+      {"half", 2},
   };
   if (name == "real_t") return real_t_bytes;
+  if (name == "bfloat16") return 2;  // storage-only type (no device arithmetic)
   // Vector types: base type + lane-count suffix (float4, int2, ...).
   std::size_t split = name.size();
   while (split > 0 &&
@@ -215,6 +217,22 @@ std::size_t real_t_width(const std::vector<Token>& toks) {
     }
   }
   return 4;
+}
+
+std::string storage_t_base(const std::vector<Token>& toks) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text == "typedef" && toks[i + 2].text == "storage_t") {
+      return toks[i + 1].text;
+    }
+  }
+  return "";
+}
+
+std::size_t storage_t_width(const std::vector<Token>& toks) {
+  const std::string base = storage_t_base(toks);
+  if (base.empty()) return 0;
+  const std::size_t w = type_size(base, 4);
+  return w == 0 ? 4 : w;
 }
 
 }  // namespace alsmf::ocl::analyze

@@ -52,4 +52,12 @@ std::size_t type_size(const std::string& name, std::size_t real_t_bytes);
 /// (4 when absent or unreadable).
 std::size_t real_t_width(const std::vector<Token>& toks);
 
+/// Underlying type name of a `typedef <type> storage_t;` ("half",
+/// "bfloat16", "float", ...), or "" when the source declares no storage
+/// typedef (factors are stored as real_t).
+std::string storage_t_base(const std::vector<Token>& toks);
+
+/// Width of `storage_t` from its typedef (0 when absent).
+std::size_t storage_t_width(const std::vector<Token>& toks);
+
 }  // namespace alsmf::ocl::analyze

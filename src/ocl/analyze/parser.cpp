@@ -9,7 +9,8 @@ namespace alsmf::ocl::analyze {
 namespace {
 
 bool is_type_name(const std::string& s) {
-  return s == "void" || s == "real_t" || type_size(s, 4) != 0;
+  return s == "void" || s == "real_t" || s == "storage_t" ||
+         type_size(s, 4) != 0;
 }
 
 bool is_qualifier(const std::string& s) {
@@ -25,6 +26,8 @@ class Parser {
   TranslationUnit parse() {
     TranslationUnit tu;
     tu.real_t_bytes = real_t_width(toks_);
+    tu.storage_t_bytes = storage_t_width(toks_);
+    tu.storage_t_base = storage_t_base(toks_);
     while (!eof()) {
       if (peek() == "typedef") {
         while (!eof() && peek() != ";") advance();

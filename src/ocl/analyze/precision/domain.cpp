@@ -1,0 +1,220 @@
+#include "ocl/analyze/precision/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace alsmf::ocl::analyze::precision {
+
+namespace {
+
+double round_err(double maxabs, const FloatFormat& f) {
+  return f.unit_roundoff * maxabs;
+}
+
+AVal hull4(double a, double b, double c, double d) {
+  AVal v;
+  v.lo = std::min(std::min(a, b), std::min(c, d));
+  v.hi = std::max(std::max(a, b), std::max(c, d));
+  return v;
+}
+
+}  // namespace
+
+FloatFormat fp32_format() { return FloatFormat{}; }
+
+FloatFormat fp16_format() {
+  FloatFormat f;
+  f.name = "fp16";
+  f.unit_roundoff = 0x1p-11;
+  f.max_finite = 65504.0;
+  f.min_normal = 0x1p-14;
+  f.flush_subnormals = true;  // FTZ storage is the worst case we certify
+  return f;
+}
+
+FloatFormat bf16_format() {
+  FloatFormat f;
+  f.name = "bf16";
+  f.unit_roundoff = 0x1p-8;
+  f.max_finite = 3.3895313892515355e38;  // 0x7f7f pattern
+  f.min_normal = 1.1754943508222875e-38;
+  f.flush_subnormals = false;  // bf16 normals reach fp32's floor
+  return f;
+}
+
+bool format_for_type(const std::string& type, const std::string& storage_base,
+                     FloatFormat& out) {
+  std::string t = type;
+  if (t == "storage_t") t = storage_base.empty() ? "real_t" : storage_base;
+  if (t == "real_t" || t == "float" || t == "double") {
+    out = fp32_format();  // real_t is modeled at fp32 throughout the repo
+    return true;
+  }
+  if (t == "half") {
+    out = fp16_format();
+    return true;
+  }
+  if (t == "bfloat16") {
+    out = bf16_format();
+    return true;
+  }
+  return false;
+}
+
+double AVal::maxabs() const {
+  return std::max(std::fabs(lo), std::fabs(hi)) + err;
+}
+
+AVal AVal::join(const AVal& o) const {
+  AVal v;
+  v.lo = std::min(lo, o.lo);
+  v.hi = std::max(hi, o.hi);
+  v.err = std::max(err, o.err);
+  v.nan_possible = nan_possible || o.nan_possible;
+  return v;
+}
+
+AVal add(const AVal& a, const AVal& b, const FloatFormat& f) {
+  AVal v;
+  v.lo = a.lo + b.lo;
+  v.hi = a.hi + b.hi;
+  v.err = a.err + b.err;
+  v.err += round_err(v.maxabs(), f);
+  v.nan_possible = a.nan_possible || b.nan_possible;
+  return v;
+}
+
+AVal sub(const AVal& a, const AVal& b, const FloatFormat& f) {
+  return add(a, neg(b), f);
+}
+
+AVal mul(const AVal& a, const AVal& b, const FloatFormat& f) {
+  AVal v = hull4(a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi);
+  // |fl(ab) - a'b'| <= |a|·eb + |b|·ea + ea·eb + u·|ab|.
+  v.err = a.maxabs() * b.err + b.maxabs() * a.err + a.err * b.err;
+  v.err += round_err(v.maxabs(), f);
+  v.nan_possible = a.nan_possible || b.nan_possible;
+  return v;
+}
+
+AVal div(const AVal& a, const AVal& b, const FloatFormat& f) {
+  AVal v;
+  v.nan_possible = a.nan_possible || b.nan_possible;
+  const double bmin = std::min(std::fabs(b.lo), std::fabs(b.hi));
+  if (b.lo - b.err <= 0 && b.hi + b.err >= 0) {
+    // Denominator can vanish (or change sign through zero): poison the
+    // result rather than bound it.
+    v.nan_possible = true;
+    v.lo = -std::numeric_limits<double>::infinity();
+    v.hi = std::numeric_limits<double>::infinity();
+    v.err = std::numeric_limits<double>::infinity();
+    return v;
+  }
+  v = hull4(a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi);
+  v.nan_possible = a.nan_possible || b.nan_possible;
+  // Quotient-rule bound evaluated at the interval extremes.
+  v.err = (a.err + v.maxabs() * b.err) / std::max(bmin - b.err, 1e-300);
+  v.err += round_err(v.maxabs(), f);
+  return v;
+}
+
+AVal neg(const AVal& a) {
+  AVal v;
+  v.lo = -a.hi;
+  v.hi = -a.lo;
+  v.err = a.err;
+  v.nan_possible = a.nan_possible;
+  return v;
+}
+
+AVal sqrt_op(const AVal& a, const FloatFormat& f) {
+  AVal v;
+  v.nan_possible = a.nan_possible;
+  if (a.lo - a.err < 0) v.nan_possible = true;
+  const double lo = std::max(0.0, a.lo);
+  const double hi = std::max(0.0, a.hi);
+  v.lo = std::sqrt(lo);
+  v.hi = std::sqrt(hi);
+  // d sqrt = 1/(2 sqrt): steepest at the interval's low end.
+  v.err = a.err > 0 ? a.err / (2 * std::max(v.lo, std::sqrt(a.err))) : 0;
+  v.err += round_err(v.maxabs(), f);
+  return v;
+}
+
+AVal fabs_op(const AVal& a) {
+  AVal v;
+  if (a.lo >= 0) {
+    v.lo = a.lo;
+    v.hi = a.hi;
+  } else if (a.hi <= 0) {
+    v.lo = -a.hi;
+    v.hi = -a.lo;
+  } else {
+    v.lo = 0;
+    v.hi = std::max(-a.lo, a.hi);
+  }
+  v.err = a.err;
+  v.nan_possible = a.nan_possible;
+  return v;
+}
+
+AVal min_op(const AVal& a, const AVal& b) {
+  AVal v;
+  v.lo = std::min(a.lo, b.lo);
+  v.hi = std::min(a.hi, b.hi);
+  v.err = std::max(a.err, b.err);
+  v.nan_possible = a.nan_possible || b.nan_possible;
+  return v;
+}
+
+AVal max_op(const AVal& a, const AVal& b) {
+  AVal v;
+  v.lo = std::max(a.lo, b.lo);
+  v.hi = std::max(a.hi, b.hi);
+  v.err = std::max(a.err, b.err);
+  v.nan_possible = a.nan_possible || b.nan_possible;
+  return v;
+}
+
+AVal accumulate(const AVal& entry, const AVal& inc, double n,
+                const FloatFormat& f) {
+  AVal v;
+  v.lo = entry.lo + n * std::min(0.0, inc.lo);
+  v.hi = entry.hi + n * std::max(0.0, inc.hi);
+  v.err = entry.err + n * inc.err;
+  v.err += n * round_err(v.maxabs(), f);  // n add roundings at final magnitude
+  v.nan_possible = entry.nan_possible || inc.nan_possible;
+  return v;
+}
+
+Quantized quantize(const AVal& v, const FloatFormat& storage) {
+  Quantized q;
+  q.val = v;
+  q.val.nan_possible = v.nan_possible;
+  const double mag = v.maxabs();
+  const double interval_mag = std::max(std::fabs(v.lo), std::fabs(v.hi));
+  if (!(interval_mag <= storage.max_finite)) {
+    q.overflow_possible = true;  // also catches inf/nan intervals
+  }
+  // Some nonzero value of the (error-widened) interval can land strictly
+  // under the normal range, where FTZ storage loses it entirely.
+  const double lo_w = v.lo - v.err;
+  const double hi_w = v.hi + v.err;
+  const bool nonzero = !(v.lo == 0 && v.hi == 0 && v.err == 0);
+  const double min_mag = (lo_w <= 0 && hi_w >= 0)
+                             ? 0.0
+                             : std::min(std::fabs(lo_w), std::fabs(hi_w));
+  q.subnormal_possible =
+      storage.flush_subnormals && nonzero && min_mag < storage.min_normal;
+  // FTZ can replace any subnormal by 0, so the absolute floor of the
+  // quantization error is a full min_normal; exact storage only loses the
+  // subnormal granularity.
+  const double floor = storage.flush_subnormals
+                           ? storage.min_normal
+                           : storage.min_normal * storage.unit_roundoff * 2;
+  q.val.err = v.err + std::max(storage.unit_roundoff * mag, floor);
+  return q;
+}
+
+}  // namespace alsmf::ocl::analyze::precision

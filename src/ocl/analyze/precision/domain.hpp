@@ -1,0 +1,96 @@
+// The abstract domain of the static precision analyzer (precision.hpp):
+// an interval of the exact (infinite-precision) value combined with an
+// absolute rounding-error bound and a NaN-possibility flag, propagated
+// through each operation with the standard forward error model
+//   fl(a op b) = (a op b)(1 + d),  |d| <= u(format)
+// so after any chain of ops `err` bounds |computed - exact| whenever the
+// exact value stays inside [lo, hi]. Narrow storage formats (fp16 / bf16)
+// add a quantization step that also reports overflow past the format's
+// finite ceiling and flush-to-zero loss below its normal range — the two
+// hazards the certifier gates on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace alsmf::ocl::analyze::precision {
+
+/// A floating-point format as the error model sees it: unit roundoff,
+/// finite ceiling, and the bottom of the normal range (for modeling
+/// flush-to-zero storage, the worst case OpenCL permits for halves).
+struct FloatFormat {
+  const char* name = "fp32";
+  double unit_roundoff = 0x1p-24;
+  double max_finite = 3.4028234663852886e38;
+  double min_normal = 1.1754943508222875e-38;
+  bool flush_subnormals = false;
+};
+
+FloatFormat fp32_format();
+FloatFormat fp16_format();  // u = 2^-11, max 65504, min normal 2^-14, FTZ
+FloatFormat bf16_format();  // u = 2^-8, fp32 exponent range
+
+/// Maps a source-level type name ("half", "bfloat16", "float", "real_t",
+/// "storage_t" via the storage base) to its format; nullptr-like false
+/// return when the name is not a float type.
+bool format_for_type(const std::string& type, const std::string& storage_base,
+                     FloatFormat& out);
+
+/// The abstract value.
+struct AVal {
+  double lo = 0;
+  double hi = 0;
+  double err = 0;         ///< |computed - exact| bound
+  bool nan_possible = false;
+
+  static AVal constant(double v) { return AVal{v, v, 0, false}; }
+  static AVal range(double l, double h, double e = 0) {
+    return AVal{l, h, e, false};
+  }
+
+  /// Largest magnitude the *computed* value can reach: the interval hull
+  /// widened by the error bound.
+  double maxabs() const;
+  /// Interval hull + pointwise max of error/NaN — the join at control-flow
+  /// merges.
+  AVal join(const AVal& o) const;
+};
+
+// Abstract transfer functions. `f` is the compute format (the format the
+// operation rounds in — real_t for every generated accumulator).
+AVal add(const AVal& a, const AVal& b, const FloatFormat& f);
+AVal sub(const AVal& a, const AVal& b, const FloatFormat& f);
+AVal mul(const AVal& a, const AVal& b, const FloatFormat& f);
+AVal div(const AVal& a, const AVal& b, const FloatFormat& f);
+AVal neg(const AVal& a);
+AVal sqrt_op(const AVal& a, const FloatFormat& f);
+AVal fabs_op(const AVal& a);
+AVal min_op(const AVal& a, const AVal& b);
+AVal max_op(const AVal& a, const AVal& b);
+
+/// N-fold accumulation closed form: the post-state of `acc += inc` run
+/// `n` times when `inc`'s abstraction is loop-invariant. Interval: entry
+/// shifted by n times the signed hull of the increment; error: entry + n
+/// per-iteration increment errors + n add roundings at the final
+/// magnitude (the standard  Σ u·|s_i| <= n·u·max|s|  bound).
+AVal accumulate(const AVal& entry, const AVal& inc, double n,
+                const FloatFormat& f);
+
+/// Rounding a value into a (possibly narrower) storage format.
+///
+/// `overflow_possible` is judged on the exact-value interval [lo, hi], not
+/// the error-widened hull: the interval is the range the computation can
+/// reach in infinite precision, and that is the claim the overflow gate
+/// certifies. Roundoff drift is bounded separately by `err` and checked by
+/// the dynamic-dominance leg — drift large enough to overflow on its own
+/// would need err comparable to the format ceiling, which the reported
+/// error bound makes visible (and which poisons to an unbounded-error
+/// finding when it diverges outright).
+struct Quantized {
+  AVal val;
+  bool overflow_possible = false;   ///< interval can pass max_finite
+  bool subnormal_possible = false;  ///< nonzero |v| can land under min_normal
+};
+Quantized quantize(const AVal& v, const FloatFormat& storage);
+
+}  // namespace alsmf::ocl::analyze::precision

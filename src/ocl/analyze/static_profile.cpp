@@ -261,7 +261,10 @@ StaticKernelProfile build_static_profile(const KernelIR& ir,
       if (penalized && o.s1_class) {
         c.lane_ops_scalar += n * kernel_model::kRegLocalScalarPenalty;
       } else if (o.vectorized) {
-        c.lane_ops_vector += n;
+        // Vector loads of half-width storage pack 2x elements per bundle;
+        // the cost model prices lane_ops_vector_half at doubled width.
+        (ir.storage_bytes == 2 ? c.lane_ops_vector_half
+                               : c.lane_ops_vector) += n;
       } else {
         c.lane_ops_scalar += n;
       }
@@ -317,6 +320,9 @@ std::string profile_json(const StaticKernelProfile& profile,
   w.begin_object();
   w.field("kernel", profile.kernel);
   w.field("batched_mapping", ir.batched_mapping);
+  w.field("storage_bytes", ir.storage_bytes);
+  w.field("storage_base", ir.storage_base.empty() ? "real_t"
+                                                  : ir.storage_base);
   w.field("k", ir.k);
   w.field("ws_define", ir.ws);
   w.field("tile_rows_define", ir.tile_rows_define);
@@ -347,6 +353,7 @@ std::string profile_json(const StaticKernelProfile& profile,
   w.field("useful_flops", c.useful_flops);
   w.field("lane_ops_scalar", c.lane_ops_scalar);
   w.field("lane_ops_vector", c.lane_ops_vector);
+  w.field("lane_ops_vector_half", c.lane_ops_vector_half);
   w.field("global_bytes", c.global_bytes);
   w.field("scattered_accesses", c.scattered_accesses);
   w.field("scattered_useful_bytes", c.scattered_useful_bytes);

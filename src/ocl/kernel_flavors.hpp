@@ -1,0 +1,34 @@
+// The single enumeration of every generated kernel flavor. All sweeps that
+// claim to cover "all generated kernels" — golden CRC pinning, deep lint +
+// static profiles (analyze-kernels), the bounds/race verifier
+// (verify-kernels), dynamic checked execution (check-kernels), precision
+// certification (analyze-precision), and file export — derive their lists
+// from enumerate_kernel_flavors, so adding a flavor family here enrolls it
+// in every gate at once and no gate can silently skip one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ocl/kernel_source.hpp"
+
+namespace alsmf::ocl {
+
+/// One generated kernel flavor at a concrete KernelConfig.
+struct KernelFlavor {
+  std::string name;    ///< kernel entry point == exported file stem
+  std::string source;  ///< the generated OpenCL C
+  bool batched = false;
+  AlsVariant variant;  ///< meaningful when batched
+  RowSolverKind row_solver = RowSolverKind::kCholesky;
+  StoragePrecision storage = StoragePrecision::kFp32;
+};
+
+/// Every generated flavor at `config`, in the pinned sweep order:
+/// flat, the 8 batched cholesky variants, the 8 batched cg variants, SELL,
+/// then the 8 batched cholesky variants × {fp16, bf16} storage (34 total).
+/// `config.row_solver` / `config.storage` are overridden per flavor; the
+/// remaining fields (k, group size, tile rows) apply to all of them.
+std::vector<KernelFlavor> enumerate_kernel_flavors(const KernelConfig& config);
+
+}  // namespace alsmf::ocl

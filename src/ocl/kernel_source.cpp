@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "ocl/kernel_flavors.hpp"
 
 namespace alsmf::ocl {
 
@@ -24,6 +25,11 @@ void emit_header_comment(std::ostringstream& os, const std::string& name,
   os << "// variant: " << v.name() << "  (k=" << c.k
      << ", work-group=" << c.group_size << ")\n";
   os << "// mapping: one work-group per row of X; rows strided by group count\n";
+  if (c.storage != StoragePrecision::kFp32) {
+    os << "// storage: " << to_string(c.storage)
+       << " factors/ratings, real_t accumulation (certified by\n";
+    os << "// alsmf_cli analyze-precision before any device runs it)\n";
+  }
   os << "//\n";
 }
 
@@ -37,6 +43,18 @@ std::string kernel_preamble(const KernelConfig& c) {
     os << "typedef double real_t;\n";
   } else {
     os << "typedef float real_t;\n";
+  }
+  if (c.storage != StoragePrecision::kFp32) {
+    // Mixed precision: the factor/rating buffers are *stored* narrow;
+    // every load widens to real_t and all accumulation stays at real_t
+    // width. vloadN on a storage_t pointer reads N storage elements and
+    // widens them (vload_halfN semantics on fp16 hardware).
+    if (c.storage == StoragePrecision::kFp16) {
+      os << "#pragma OPENCL EXTENSION cl_khr_fp16 : enable\n";
+      os << "typedef half storage_t;\n";
+    } else {
+      os << "typedef bfloat16 storage_t;\n";
+    }
   }
   os << "#define K " << c.k << "\n";
   os << "#define WS " << c.group_size << "\n";
@@ -127,6 +145,14 @@ std::string kernel_name(const AlsVariant& v, RowSolverKind row_solver) {
   return name;
 }
 
+std::string kernel_name(const AlsVariant& v, RowSolverKind row_solver,
+                        StoragePrecision storage) {
+  std::string name = kernel_name(v, row_solver);
+  if (storage == StoragePrecision::kFp16) name += "_f16";
+  if (storage == StoragePrecision::kBf16) name += "_bf16";
+  return name;
+}
+
 std::string kernel_name(const AlsVariant& v) {
   if (!v.thread_batching) return "als_update_flat";
   std::string name = "als_update_batch";
@@ -146,18 +172,33 @@ std::string build_options(const KernelConfig& c) {
 std::string batched_kernel_source(const AlsVariant& v,
                                   const KernelConfig& c) {
   ALSMF_CHECK_MSG(v.thread_batching, "use flat_kernel_source for the baseline");
+  const bool mixed = c.storage != StoragePrecision::kFp32;
+  ALSMF_CHECK_MSG(!mixed || c.row_solver == RowSolverKind::kCholesky,
+                  "no mixed-precision CG flavor: the CG iterate's value "
+                  "range is not certifiable against narrow storage");
+  ALSMF_CHECK_MSG(!mixed || !c.use_double,
+                  "mixed precision pairs narrow storage with float "
+                  "accumulation, not double");
   std::ostringstream os;
-  const std::string name = kernel_name(v, c.row_solver);
+  const std::string name = kernel_name(v, c.row_solver, c.storage);
   emit_header_comment(os, name, v, c);
   os << kernel_preamble(c);
 
   const int vw = vector_width_for(c.k);
   os << "__kernel void " << name << "(\n";
-  os << "    __global const real_t* restrict values,\n";
-  os << "    __global const int*    restrict col_idx,\n";
-  os << "    __global const int*    restrict row_ptr,\n";
-  os << "    __global const real_t* restrict Y,\n";
-  os << "    __global real_t*       restrict X,\n";
+  if (mixed) {
+    os << "    __global const storage_t* restrict values,\n";
+    os << "    __global const int*       restrict col_idx,\n";
+    os << "    __global const int*       restrict row_ptr,\n";
+    os << "    __global const storage_t* restrict Y,\n";
+    os << "    __global storage_t*       restrict X,\n";
+  } else {
+    os << "    __global const real_t* restrict values,\n";
+    os << "    __global const int*    restrict col_idx,\n";
+    os << "    __global const int*    restrict row_ptr,\n";
+    os << "    __global const real_t* restrict Y,\n";
+    os << "    __global real_t*       restrict X,\n";
+  }
   os << "    const int rows,\n";
   os << "    const real_t lambda) {\n";
   os << "  const int lx = get_local_id(0);\n";
@@ -185,7 +226,8 @@ std::string batched_kernel_source(const AlsVariant& v,
   os << "    const int begin = row_ptr[u];\n";
   os << "    const int omega = row_ptr[u + 1] - begin;\n";
   os << "    if (omega == 0) {\n";
-  os << "      for (int f = lx; f < K; f += WS) X[u * K + f] = (real_t)0;\n";
+  os << "      for (int f = lx; f < K; f += WS) X[u * K + f] = ("
+     << (mixed ? "storage_t" : "real_t") << ")0;\n";
   os << "      continue;\n";
   os << "    }\n";
   os << "\n";
@@ -305,7 +347,14 @@ std::string batched_kernel_source(const AlsVariant& v,
   }
   os << "    barrier(CLK_LOCAL_MEM_FENCE);\n";
   os << "\n";
-  os << "    for (int f = lx; f < K; f += WS) X[u * K + f] = svec[f];\n";
+  if (mixed) {
+    os << "    // the only narrowing point: the solved row rounds to "
+       << to_string(c.storage) << "\n";
+    os << "    for (int f = lx; f < K; f += WS) X[u * K + f] = "
+          "(storage_t)svec[f];\n";
+  } else {
+    os << "    for (int f = lx; f < K; f += WS) X[u * K + f] = svec[f];\n";
+  }
   os << "    barrier(CLK_LOCAL_MEM_FENCE);\n";
   os << "  }\n";
   os << "}\n";
@@ -617,34 +666,14 @@ std::string write_host_driver(const std::string& directory,
 int write_kernel_files(const std::string& directory, const KernelConfig& c) {
   std::filesystem::create_directories(directory);
   int written = 0;
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    const std::string path =
-        directory + "/" + kernel_name(v) + ".cl";
+  for (const KernelFlavor& flavor : enumerate_kernel_flavors(c)) {
+    const std::string path = directory + "/" + flavor.name + ".cl";
     std::ofstream out(path);
     ALSMF_CHECK_MSG(out.good(), "cannot write " + path);
-    out << batched_kernel_source(v, c);
+    out << flavor.source;
     ++written;
   }
-  // The same 8 variants with the truncated-CG row solver swapped in for S3.
-  KernelConfig cg = c;
-  cg.row_solver = RowSolverKind::kCg;
-  for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-    const AlsVariant v = AlsVariant::from_mask(mask);
-    const std::string path =
-        directory + "/" + kernel_name(v, cg.row_solver) + ".cl";
-    std::ofstream out(path);
-    ALSMF_CHECK_MSG(out.good(), "cannot write " + path);
-    out << batched_kernel_source(v, cg);
-    ++written;
-  }
-  std::ofstream out(directory + "/als_update_flat.cl");
-  ALSMF_CHECK_MSG(out.good(), "cannot write flat kernel");
-  out << flat_kernel_source(c);
-  std::ofstream sell(directory + "/als_update_flat_sell.cl");
-  ALSMF_CHECK_MSG(sell.good(), "cannot write SELL kernel");
-  sell << sell_kernel_source(c);
-  return written + 2;
+  return written;
 }
 
 }  // namespace alsmf::ocl

@@ -28,6 +28,13 @@ struct KernelConfig {
   /// its devsim kernel reuses the cholesky pricing shape.
   RowSolverKind row_solver = RowSolverKind::kCholesky;
   int cg_iters = 3;        ///< CG steps (cg row solver only)
+  /// Storage width of the factor/rating buffers (the mixed-precision axis):
+  /// fp16/bf16 emit a `storage_t` typedef and narrow the values/Y/X
+  /// parameters while every accumulator stays real_t. Only the batched
+  /// cholesky variants have narrow flavors — the CG iterate's value range
+  /// is not certifiable against the fp16 ceiling (docs/static-analysis.md),
+  /// and the flat/SELL baselines are comparison points we keep exact.
+  StoragePrecision storage = StoragePrecision::kFp32;
 };
 
 /// OpenCL C source of the thread-batched update kernel for `variant`
@@ -58,8 +65,15 @@ std::string kernel_name(const AlsVariant& variant);
 /// appends "_cg" ("als_update_batch_local_reg_cg"...).
 std::string kernel_name(const AlsVariant& variant, RowSolverKind row_solver);
 
-/// Writes all 18 kernels (8 batched variants × {cholesky, cg} + flat +
-/// SELL) into a directory, one .cl file each; returns the number written.
+/// Entry-point name for a variant × row-solver × storage triple; fp16
+/// appends "_f16", bf16 appends "_bf16".
+std::string kernel_name(const AlsVariant& variant, RowSolverKind row_solver,
+                        StoragePrecision storage);
+
+/// Writes all 34 kernels (8 batched variants × {cholesky, cg} + flat +
+/// SELL + 8 batched cholesky variants × {fp16, bf16} storage) into a
+/// directory, one .cl file each; returns the number written. The set is
+/// enumerate_kernel_flavors (ocl/kernel_flavors.hpp).
 int write_kernel_files(const std::string& directory,
                        const KernelConfig& config);
 

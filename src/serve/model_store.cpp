@@ -1,10 +1,77 @@
 #include "serve/model_store.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "common/halfprec.hpp"
 #include "index/ivf_index.hpp"
 #include "recsys/recommender.hpp"
 
 namespace alsmf::serve {
+
+const char* to_string(SnapshotQuantization q) {
+  switch (q) {
+    case SnapshotQuantization::kNone: return "fp32";
+    case SnapshotQuantization::kFp16: return "fp16";
+    case SnapshotQuantization::kInt8: return "int8";
+  }
+  return "?";
+}
+
+namespace {
+
+void quantize_fp16(Matrix& m) {
+  real* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    p[i] = static_cast<real>(fp16_round_ftz(static_cast<float>(p[i])));
+  }
+}
+
+/// Symmetric per-row int8: scale = maxabs/127, values snapped to the
+/// reconstruction grid q*scale. An all-zero row keeps scale 0 and stays
+/// exactly zero.
+void quantize_int8(Matrix& m) {
+  const int k = static_cast<int>(m.cols());
+  for (index_t r = 0; r < m.rows(); ++r) {
+    real* row = m.data() + static_cast<std::size_t>(r) * k;
+    real maxabs = 0;
+    for (int j = 0; j < k; ++j) maxabs = std::max(maxabs, std::abs(row[j]));
+    if (maxabs == real{0}) continue;
+    const real scale = maxabs / real{127};
+    for (int j = 0; j < k; ++j) {
+      row[j] = std::round(row[j] / scale) * scale;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t ModelSnapshot::factor_bytes() const {
+  const std::size_t elems = x.size() + y.size();
+  const std::size_t rows =
+      static_cast<std::size_t>(x.rows()) + static_cast<std::size_t>(y.rows());
+  switch (quantization) {
+    case SnapshotQuantization::kNone: return elems * 4;
+    case SnapshotQuantization::kFp16: return elems * 2;
+    case SnapshotQuantization::kInt8: return elems + rows * sizeof(float);
+  }
+  return elems * 4;
+}
+
+void quantize_snapshot(ModelSnapshot& snap, SnapshotQuantization q) {
+  ALSMF_CHECK_MSG(snap.ann == nullptr,
+                  "quantize_snapshot must run before attach_ivf_index so the "
+                  "index is built over the values requests score against");
+  snap.quantization = q;
+  if (q == SnapshotQuantization::kNone) return;
+  if (q == SnapshotQuantization::kFp16) {
+    quantize_fp16(snap.x);
+    quantize_fp16(snap.y);
+  } else {
+    quantize_int8(snap.x);
+    quantize_int8(snap.y);
+  }
+}
 
 std::shared_ptr<ModelSnapshot> snapshot_from_recommender(const Recommender& rec,
                                                          real lambda) {

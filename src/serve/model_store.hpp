@@ -28,6 +28,19 @@ struct IvfOptions;
 
 namespace alsmf::serve {
 
+/// Factor-snapshot compression for serving. Quantization happens once at
+/// snapshot-build time (before the IVF index is attached, so the index is
+/// built over the values requests actually score against); the serving path
+/// keeps scoring in fp32 over the dequantized values, so only the resident
+/// footprint and refresh traffic shrink, not the scoring kernels.
+enum class SnapshotQuantization {
+  kNone,  ///< fp32 factors as trained (4 B/element)
+  kFp16,  ///< IEEE half storage, subnormals flushed (2 B/element)
+  kInt8,  ///< symmetric per-row int8, scale = maxabs/127 (1 B + scale/row)
+};
+
+const char* to_string(SnapshotQuantization q);
+
 struct ModelSnapshot {
   Matrix x;  ///< user factors (users × k)
   Matrix y;  ///< item factors (items × k)
@@ -41,10 +54,16 @@ struct ModelSnapshot {
   /// against one model version and probe an index built for another.
   /// Null = exhaustive scoring.
   std::shared_ptr<const index::IvfIndex> ann;
+  /// Storage format the factors were rounded through (quantize_snapshot).
+  SnapshotQuantization quantization = SnapshotQuantization::kNone;
 
   index_t users() const { return x.rows(); }
   index_t items() const { return y.rows(); }
   int k() const { return static_cast<int>(y.cols()); }
+
+  /// Modeled resident bytes of the factor block under `quantization`
+  /// (int8 includes the per-row fp32 scales).
+  std::size_t factor_bytes() const;
 };
 
 /// Deep-copies a trained Recommender into a publishable snapshot.
@@ -59,6 +78,12 @@ std::shared_ptr<ModelSnapshot> snapshot_from_factors(Matrix x, Matrix y,
 /// and attaches it. Call before publishing; the snapshot must not be
 /// visible to readers yet.
 void attach_ivf_index(ModelSnapshot& snap, const index::IvfOptions& options);
+
+/// Rounds both factor matrices through the requested storage format in
+/// place and records it on the snapshot. Call before attach_ivf_index /
+/// publish, while the snapshot is still private — quantizing a published
+/// snapshot would mutate state concurrent readers are scoring against.
+void quantize_snapshot(ModelSnapshot& snap, SnapshotQuantization q);
 
 class ModelStore {
  public:

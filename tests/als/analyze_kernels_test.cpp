@@ -25,8 +25,8 @@ AnalyzeKernelsOptions small_options() {
 TEST(AnalyzeKernels, SweepIsCleanAndCoversEveryKernel) {
   const auto result = analyze_kernels(small_options());
   EXPECT_TRUE(result.clean()) << result.to_json();
-  // 8 batched + their 8 CG flavors + flat + SELL, per profile.
-  EXPECT_EQ(result.entries.size(), 2 * (2 * AlsVariant::kVariantCount + 2));
+  // 8 batched x {cholesky, cg, fp16, bf16} + flat + SELL, per profile.
+  EXPECT_EQ(result.entries.size(), 2 * (4 * AlsVariant::kVariantCount + 2));
   std::set<std::string> kernels;
   for (const auto& e : result.entries) {
     kernels.insert(e.kernel);
@@ -35,7 +35,7 @@ TEST(AnalyzeKernels, SweepIsCleanAndCoversEveryKernel) {
     EXPECT_GT(e.data.groups, 0u) << e.kernel;
     EXPECT_FALSE(e.json.empty()) << e.kernel;
   }
-  EXPECT_EQ(kernels.size(), 2 * AlsVariant::kVariantCount + 2);
+  EXPECT_EQ(kernels.size(), 4 * AlsVariant::kVariantCount + 2);
   EXPECT_TRUE(kernels.count("als_update_flat"));
   EXPECT_TRUE(kernels.count("als_update_flat_sell"));
   EXPECT_TRUE(kernels.count("als_update_batch_local_reg"));

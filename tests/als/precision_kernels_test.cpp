@@ -1,0 +1,75 @@
+// The analyze-precision sweep driver (what the CLI and the CI gate run):
+// every flavor certifies, every narrow flavor is witnessed and dominated,
+// and the JSON artifact carries the fields CI parses.
+#include "als/precision_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "ocl/kernel_flavors.hpp"
+
+namespace alsmf {
+namespace {
+
+TEST(PrecisionKernels, FullSweepIsClean) {
+  PrecisionKernelsOptions opt;
+  const PrecisionKernelsResult result = analyze_precision_kernels(opt);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.entries.size(), 4 * AlsVariant::kVariantCount + 2);
+  int witnessed = 0;
+  for (const auto& e : result.entries) {
+    EXPECT_TRUE(e.report.certified) << e.kernel;
+    EXPECT_TRUE(e.dominated) << e.kernel;
+    EXPECT_FALSE(e.witness_overflow) << e.kernel;
+    if (e.witness_ran) {
+      ++witnessed;
+      EXPECT_GT(e.observed_err, 0.0) << e.kernel;
+    }
+  }
+  // Every narrow flavor (8 fp16 + 8 bf16) gets the dynamic leg.
+  EXPECT_EQ(witnessed, 2 * static_cast<int>(AlsVariant::kVariantCount));
+  EXPECT_TRUE(result.clean());
+}
+
+TEST(PrecisionKernels, StaticOnlySweepAtForcedTileRows) {
+  // The CI job also certifies at TILE_ROWS=4 (multiple staging chunks per
+  // row); witness off keeps this leg fast.
+  PrecisionKernelsOptions opt;
+  opt.tile_rows = 4;
+  opt.witness = false;
+  const PrecisionKernelsResult result = analyze_precision_kernels(opt);
+  EXPECT_TRUE(result.clean());
+  for (const auto& e : result.entries) {
+    EXPECT_FALSE(e.witness_ran) << e.kernel;
+    EXPECT_TRUE(e.dominated) << e.kernel;  // vacuous without a witness
+  }
+}
+
+TEST(PrecisionKernels, JsonArtifactParsesAndCarriesGateFields) {
+  PrecisionKernelsOptions opt;
+  opt.witness = false;
+  const PrecisionKernelsResult result = analyze_precision_kernels(opt);
+  const std::string text = result.to_json();
+  const json::Value root = json::parse(text);
+  EXPECT_TRUE(root.at("clean").as_bool());
+  const auto& kernels = root.at("kernels");
+  ASSERT_EQ(kernels.array().size(), result.entries.size());
+  const auto& first = kernels.array().front();
+  EXPECT_FALSE(first.at("certificate").at("kernel").as_string().empty());
+  EXPECT_NE(first.find("witness"), nullptr);
+}
+
+TEST(PrecisionKernels, TighterAssumptionsStillCertify) {
+  // A smaller operating envelope can only shrink the bounds: sanity that
+  // the certificate is monotone in the assumptions.
+  PrecisionKernelsOptions opt;
+  opt.witness = false;
+  opt.assumptions.omega_max = 256;
+  const PrecisionKernelsResult result = analyze_precision_kernels(opt);
+  EXPECT_TRUE(result.clean());
+}
+
+}  // namespace
+}  // namespace alsmf

@@ -1,0 +1,139 @@
+// Precision defect corpus: deliberately narrowed accumulators in the
+// mixed-precision kernels must be flagged by BOTH certification legs —
+//
+//   static leg   the precision analyzer reports a gated overflow-possible
+//                finding (the accumulator's exact-value interval crosses
+//                the fp16 finite ceiling under the certified assumptions),
+//   dynamic leg  the shadow-precision witness, driven by the dense
+//                overflow-probe row (omega_max ratings at the assumption
+//                ceilings), observes a non-finite value in the shadow
+//                output.
+//
+// This is the evidence that the certificates mean something: the exact
+// defect the mixed-precision design must prevent (accumulating in
+// storage_t instead of real_t) is caught before and during execution.
+// Suite name deliberately contains "DefectCorpus" — CI runs all corpus
+// suites under ASan via that filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ocl/analyze/precision/precision.hpp"
+#include "ocl/analyze/precision/shadow.hpp"
+#include "ocl/kernel_flavors.hpp"
+#include "testing/kernel_mutator.hpp"
+
+namespace alsmf {
+namespace {
+
+namespace prec = ocl::analyze::precision;
+
+/// A mutation that narrows an accumulator to storage_t. Reuses the
+/// exact-anchor rewrite of testing::apply_mutation; the expected defect is
+/// precision overflow rather than a memory-safety class, so the entries
+/// live here instead of kernel_mutations().
+struct PrecisionMutation {
+  std::string name;
+  std::string kernel;
+  std::string find;
+  std::string replace;
+};
+
+std::vector<PrecisionMutation> precision_mutations() {
+  return {
+      // The ISSUE's canonical defect: the staged kernel's scalar reduction
+      // accumulator narrowed to fp16 (omega_max·R·F = 81920 >> 65504).
+      {"narrow_reduction_accumulator", "als_update_batch_local_f16",
+       "    real_t rsum = (real_t)0;\n",
+       "    storage_t rsum = (storage_t)0;\n"},
+      // The per-lane dot-product array narrowed to fp16: accumulates
+      // factor·factor products past the ceiling.
+      {"narrow_sum_array", "als_update_batch_f16",
+       "    real_t sum[K];\n",
+       "    storage_t sum[K];\n"},
+  };
+}
+
+std::string flavor_source(const std::string& kernel) {
+  for (const ocl::KernelFlavor& f :
+       ocl::enumerate_kernel_flavors(ocl::KernelConfig{})) {
+    if (f.name == kernel) return f.source;
+  }
+  ADD_FAILURE() << "unknown flavor " << kernel;
+  return "";
+}
+
+prec::ShadowWitnessConfig probe_config() {
+  prec::ShadowWitnessConfig wc;
+  // The dense probe row: omega_max max-magnitude ratings against
+  // max-magnitude factors, the input that drives a narrowed accumulator
+  // past 65504 while staying inside the certificate's assumptions.
+  wc.dense_row_nnz = static_cast<int>(wc.assumptions.omega_max);
+  return wc;
+}
+
+TEST(PrecisionDefectCorpus, StaticLegFlagsEveryMutant) {
+  const prec::PrecisionAssumptions as;
+  for (const PrecisionMutation& m : precision_mutations()) {
+    testing::KernelMutation km;
+    km.name = m.name;
+    km.find = m.find;
+    km.replace = m.replace;
+    const std::string src =
+        testing::apply_mutation(flavor_source(m.kernel), km);
+    const prec::PrecisionReport r =
+        prec::analyze_source_precision(src, as)[0];
+    EXPECT_FALSE(r.certified) << m.name;
+    bool overflow_flagged = false;
+    for (const auto& f : r.findings) {
+      if (f.kind == prec::PrecisionFinding::Kind::kOverflowPossible) {
+        overflow_flagged = true;
+        EXPECT_TRUE(prec::gates_certification(f.kind));
+        // The flagged interval actually crosses the fp16 ceiling.
+        EXPECT_GT(std::max(-f.lo, f.hi), 65504.0) << m.name;
+      }
+    }
+    EXPECT_TRUE(overflow_flagged)
+        << m.name << ": no overflow-possible finding";
+  }
+}
+
+TEST(PrecisionDefectCorpus, DynamicLegWitnessesEveryMutant) {
+  for (const PrecisionMutation& m : precision_mutations()) {
+    testing::KernelMutation km;
+    km.name = m.name;
+    km.find = m.find;
+    km.replace = m.replace;
+    const std::string src =
+        testing::apply_mutation(flavor_source(m.kernel), km);
+    const prec::ShadowWitness w = prec::run_shadow_witness(
+        src, m.kernel, StoragePrecision::kFp16, probe_config());
+    ASSERT_TRUE(w.ran) << m.name;
+    EXPECT_TRUE(w.overflow_observed)
+        << m.name << ": dense probe did not overflow the narrow accumulator";
+  }
+}
+
+TEST(PrecisionDefectCorpus, UnmutatedKernelsSurviveTheSameProbe) {
+  // The probe's power comes from discriminating: the legitimate kernels
+  // (real_t accumulation) run the identical dense row without overflow and
+  // stay certified — so a corpus hit is the defect, not the probe.
+  const prec::PrecisionAssumptions as;
+  for (const PrecisionMutation& m : precision_mutations()) {
+    const std::string src = flavor_source(m.kernel);
+    const prec::PrecisionReport r =
+        prec::analyze_source_precision(src, as)[0];
+    EXPECT_TRUE(r.certified) << m.kernel;
+    const prec::ShadowWitness w = prec::run_shadow_witness(
+        src, m.kernel, StoragePrecision::kFp16, probe_config());
+    ASSERT_TRUE(w.ran) << m.kernel;
+    EXPECT_FALSE(w.overflow_observed) << m.kernel;
+    EXPECT_GT(w.observed_err, 0.0) << m.kernel;
+    EXPECT_LE(w.observed_err, r.output.err) << m.kernel;
+  }
+}
+
+}  // namespace
+}  // namespace alsmf

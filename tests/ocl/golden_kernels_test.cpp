@@ -1,27 +1,35 @@
 // Golden-hash pinning of the kernel generator's output (what export_kernels
 // writes): an unreviewed byte change to any emitted OpenCL source fails
 // here. The sources are the deployment artifact — drift must be deliberate.
+//
+// The flavor list comes from enumerate_kernel_flavors, so a new flavor
+// family fails the count assertion below until its hashes are pinned.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "ocl/kernel_source.hpp"
+#include "ocl/kernel_flavors.hpp"
 #include "robust/crc32.hpp"
+#include "testing/golden.hpp"
 
 namespace alsmf::ocl {
 namespace {
 
 // CRC-32 (robust/crc32.hpp) of each generated source at the default
-// configuration (k=10, WS=32, TILE_ROWS=256, float).
+// configuration (k=10, WS=32, TILE_ROWS=256, float compute), in the pinned
+// sweep order: flat, 8 batched cholesky, 8 batched cg, SELL, then the 8
+// batched cholesky variants × {fp16, bf16} storage.
 //
 // Regenerating after a DELIBERATE generator change: run the test; each
 // mismatch prints the new hash in this table's format — paste it here and
 // re-review the emitted source (`build/examples/export_kernels --out DIR`
 // writes the .cl files for inspection).
 const std::vector<std::pair<std::string, std::uint32_t>> kGolden = {
+    {"als_update_flat", 0x79497cc7u},
     {"als_update_batch", 0x457af81du},
     {"als_update_batch_reg", 0x1a2ac42du},
     {"als_update_batch_local", 0x22139236u},
@@ -38,42 +46,40 @@ const std::vector<std::pair<std::string, std::uint32_t>> kGolden = {
     {"als_update_batch_reg_vec_cg", 0x94b3a95au},
     {"als_update_batch_local_vec_cg", 0x283870f1u},
     {"als_update_batch_local_reg_vec_cg", 0x2e23c6c2u},
-    {"als_update_flat", 0x79497cc7u},
     {"als_update_flat_sell", 0xfd6b2f65u},
+    {"als_update_batch_f16", 0xf4bc8155u},
+    {"als_update_batch_reg_f16", 0x0a4b0b19u},
+    {"als_update_batch_local_f16", 0xdf071a55u},
+    {"als_update_batch_local_reg_f16", 0x4f5a08c1u},
+    {"als_update_batch_vec_f16", 0x3a1966bau},
+    {"als_update_batch_reg_vec_f16", 0xf2a23872u},
+    {"als_update_batch_local_vec_f16", 0xfe016964u},
+    {"als_update_batch_local_reg_vec_f16", 0x392f0f26u},
+    {"als_update_batch_bf16", 0x61004c26u},
+    {"als_update_batch_reg_bf16", 0x177c2074u},
+    {"als_update_batch_local_bf16", 0x471e4de2u},
+    {"als_update_batch_local_reg_bf16", 0xd64a8757u},
+    {"als_update_batch_vec_bf16", 0x9130118bu},
+    {"als_update_batch_reg_vec_bf16", 0x0af87036u},
+    {"als_update_batch_local_vec_bf16", 0xc0a419d9u},
+    {"als_update_batch_local_reg_vec_bf16", 0x072fdd63u},
 };
 
-std::string source_of(const std::string& name, const KernelConfig& c) {
-  if (name == "als_update_flat") return flat_kernel_source(c);
-  if (name == "als_update_flat_sell") return sell_kernel_source(c);
-  for (RowSolverKind rs : {RowSolverKind::kCholesky, RowSolverKind::kCg}) {
-    for (unsigned mask = 0; mask < AlsVariant::kVariantCount; ++mask) {
-      const AlsVariant v = AlsVariant::from_mask(mask);
-      if (kernel_name(v, rs) == name) {
-        KernelConfig with_solver = c;
-        with_solver.row_solver = rs;
-        return batched_kernel_source(v, with_solver);
-      }
-    }
-  }
-  ADD_FAILURE() << "unknown kernel name " << name;
-  return "";
-}
+constexpr char kRegen[] = "export_kernels --out <dir>";
 
 TEST(GoldenKernels, EveryGeneratedSourceMatchesItsPinnedHash) {
   const KernelConfig c;  // defaults = what export_kernels emits
-  ASSERT_EQ(kGolden.size(), 2 * AlsVariant::kVariantCount + 2)
-      << "a kernel was added or removed: extend kGolden";
-  for (const auto& [name, want] : kGolden) {
-    const std::string src = source_of(name, c);
-    const std::uint32_t got = robust::crc32(src.data(), src.size());
-    char line[96];
-    std::snprintf(line, sizeof(line), "    {\"%s\", 0x%08xu},", name.c_str(),
-                  got);
-    EXPECT_EQ(got, want)
-        << name << " drifted from its golden hash.\n"
-        << "If the generator change is deliberate, update its entry to:\n"
-        << line << "\n"
-        << "then re-review the source via: export_kernels --out <dir>";
+  const std::vector<KernelFlavor> flavors = enumerate_kernel_flavors(c);
+  // flat + SELL + 8 cholesky + 8 cg + 8 fp16 + 8 bf16.
+  ASSERT_EQ(kGolden.size(), 4 * AlsVariant::kVariantCount + 2)
+      << "a kernel flavor family was added or removed: extend kGolden";
+  ASSERT_EQ(flavors.size(), kGolden.size());
+  for (std::size_t i = 0; i < flavors.size(); ++i) {
+    // The table is in enumeration order, so a reordered sweep fails loudly
+    // instead of silently pinning the wrong source to a name.
+    ASSERT_EQ(flavors[i].name, kGolden[i].first) << "flavor order drifted";
+    testing::expect_golden_crc(flavors[i].name, flavors[i].source,
+                               kGolden[i].second, kRegen);
   }
 }
 
@@ -82,9 +88,10 @@ TEST(GoldenKernels, HashesAreConfigSensitive) {
   // collide with the golden hashes (k and WS are baked into the preamble).
   KernelConfig c;
   c.k = 12;
-  for (const auto& [name, want] : kGolden) {
-    const std::string src = source_of(name, c);
-    EXPECT_NE(robust::crc32(src.data(), src.size()), want) << name;
+  std::map<std::string, std::uint32_t> want(kGolden.begin(), kGolden.end());
+  for (const KernelFlavor& f : enumerate_kernel_flavors(c)) {
+    EXPECT_NE(robust::crc32(f.source.data(), f.source.size()), want.at(f.name))
+        << f.name;
   }
 }
 

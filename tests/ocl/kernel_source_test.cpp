@@ -112,10 +112,11 @@ TEST(KernelSource, BuildOptionsEncodeConstants) {
   EXPECT_NE(opts.find("-DWS=64"), std::string::npos);
 }
 
-TEST(KernelSource, WritesAllEighteenKernelFiles) {
+TEST(KernelSource, WritesAllThirtyFourKernelFiles) {
+  // flat + SELL + 8 cholesky + 8 cg + 8 fp16-storage + 8 bf16-storage.
   const std::string dir = ::testing::TempDir() + "/alsmf_kernels";
   std::filesystem::remove_all(dir);
-  EXPECT_EQ(write_kernel_files(dir, config()), 18);
+  EXPECT_EQ(write_kernel_files(dir, config()), 34);
   int count = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     EXPECT_EQ(entry.path().extension(), ".cl");
@@ -125,7 +126,33 @@ TEST(KernelSource, WritesAllEighteenKernelFiles) {
     EXPECT_TRUE(lint_kernel_source(content, 1).clean()) << entry.path();
     ++count;
   }
-  EXPECT_EQ(count, 18);
+  EXPECT_EQ(count, 34);
+}
+
+TEST(KernelSource, NarrowStorageTypedefAndWideAccumulation) {
+  KernelConfig c = config();
+  c.storage = StoragePrecision::kFp16;
+  const std::string f16 =
+      batched_kernel_source(AlsVariant::batching_only(), c);
+  EXPECT_NE(f16.find("#pragma OPENCL EXTENSION cl_khr_fp16 : enable"),
+            std::string::npos);
+  EXPECT_NE(f16.find("typedef half storage_t"), std::string::npos);
+  // Buffers narrow; every accumulator stays real_t (the certified shape).
+  EXPECT_NE(f16.find("__global const storage_t* restrict Y"),
+            std::string::npos);
+  EXPECT_NE(f16.find("real_t sum[K]"), std::string::npos);
+  EXPECT_EQ(f16.find("storage_t sum"), std::string::npos);
+  EXPECT_NE(kernel_name(AlsVariant::batching_only(), RowSolverKind::kCholesky,
+                        StoragePrecision::kFp16),
+            kernel_name(AlsVariant::batching_only(), RowSolverKind::kCholesky,
+                        StoragePrecision::kFp32));
+
+  c.storage = StoragePrecision::kBf16;
+  const std::string bf16 =
+      batched_kernel_source(AlsVariant::batching_only(), c);
+  EXPECT_NE(bf16.find("typedef bfloat16 storage_t"), std::string::npos);
+  // bf16 needs no fp16 extension.
+  EXPECT_EQ(bf16.find("cl_khr_fp16"), std::string::npos);
 }
 
 TEST(KernelSource, SellKernelLintCleanAndUnitStride) {

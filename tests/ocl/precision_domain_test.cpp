@@ -1,0 +1,144 @@
+// Narrow corners of the precision analyzer's abstract domain: the fp16
+// finite ceiling, flush-to-zero of fp16 subnormals, bf16's coarse mantissa,
+// and NaN propagation through poisoned operations. These pin exactly the
+// hazards the certification gates are built on.
+#include "ocl/analyze/precision/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace alsmf::ocl::analyze::precision {
+namespace {
+
+// --- fp16 finite ceiling (65504) ---
+
+TEST(PrecisionDomain, Fp16CeilingBoundaryIsInclusive) {
+  const FloatFormat f16 = fp16_format();
+  ASSERT_EQ(f16.max_finite, 65504.0);
+  // Exactly at the ceiling: representable, no overflow.
+  EXPECT_FALSE(quantize(AVal::range(-65504.0, 65504.0), f16)
+                   .overflow_possible);
+  // One ulp of headroom past it: the interval can produce a value the
+  // format cannot hold.
+  EXPECT_TRUE(quantize(AVal::range(0.0, 65504.001), f16).overflow_possible);
+  EXPECT_TRUE(quantize(AVal::constant(65505.0), f16).overflow_possible);
+  EXPECT_TRUE(quantize(AVal::constant(-70000.0), f16).overflow_possible);
+}
+
+TEST(PrecisionDomain, OverflowGateJudgesExactIntervalNotErrorHull) {
+  // The gate certifies the exact-value range; roundoff drift is bounded by
+  // err and checked by the dynamic-dominance leg instead (domain.hpp doc).
+  const FloatFormat f16 = fp16_format();
+  AVal v = AVal::range(-60000.0, 60000.0);
+  v.err = 10000.0;  // error-widened hull crosses 65504, interval does not
+  EXPECT_FALSE(quantize(v, f16).overflow_possible);
+}
+
+TEST(PrecisionDomain, Fp16CeilingCoversInfiniteIntervals) {
+  const FloatFormat f16 = fp16_format();
+  AVal poisoned = AVal::range(-std::numeric_limits<double>::infinity(),
+                              std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(quantize(poisoned, f16).overflow_possible);
+}
+
+// --- fp16 subnormal flush-to-zero ---
+
+TEST(PrecisionDomain, Fp16SubnormalFlushDetected) {
+  const FloatFormat f16 = fp16_format();
+  ASSERT_TRUE(f16.flush_subnormals);
+  ASSERT_EQ(f16.min_normal, 0x1p-14);
+  // A value strictly under the normal floor can be flushed to zero.
+  const Quantized tiny = quantize(AVal::constant(1e-5), f16);
+  EXPECT_TRUE(tiny.subnormal_possible);
+  // FTZ loss is charged as a full min_normal into the error bound.
+  EXPECT_GE(tiny.val.err, f16.min_normal);
+  // An interval through zero always admits a flushable value.
+  EXPECT_TRUE(quantize(AVal::range(-1.0, 1.0), f16).subnormal_possible);
+  // Values bounded away from the floor cannot flush.
+  EXPECT_FALSE(quantize(AVal::range(0.5, 2.0), f16).subnormal_possible);
+  // Exact zero loses nothing.
+  EXPECT_FALSE(quantize(AVal::constant(0.0), f16).subnormal_possible);
+}
+
+TEST(PrecisionDomain, Bf16KeepsFp32FloorNoFlush) {
+  const FloatFormat bf = bf16_format();
+  ASSERT_FALSE(bf.flush_subnormals);
+  // The same tiny value is a plain bf16 normal: no FTZ hazard.
+  EXPECT_FALSE(quantize(AVal::constant(1e-5), bf).subnormal_possible);
+  EXPECT_FALSE(quantize(AVal::range(-1.0, 1.0), bf).subnormal_possible);
+}
+
+// --- bf16 mantissa granularity ---
+
+TEST(PrecisionDomain, Bf16GranularityCoarserThanFp16) {
+  const FloatFormat f16 = fp16_format();
+  const FloatFormat bf = bf16_format();
+  ASSERT_EQ(bf.unit_roundoff, 0x1p-8);
+  ASSERT_EQ(f16.unit_roundoff, 0x1p-11);
+  // Quantizing the same unit value: bf16's 8-bit mantissa loses 2^3 times
+  // more than fp16's 11 bits.
+  const double e_bf = quantize(AVal::constant(1.0), bf).val.err;
+  const double e_f16 = quantize(AVal::constant(1.0), f16).val.err;
+  EXPECT_GE(e_bf, 0x1p-8);
+  EXPECT_GE(e_f16, 0x1p-11);
+  EXPECT_GT(e_bf, e_f16);
+  // The trade: bf16 keeps (nearly) fp32's exponent range, so the value
+  // that overflows fp16 stores fine in bf16.
+  EXPECT_TRUE(quantize(AVal::constant(70000.0), f16).overflow_possible);
+  EXPECT_FALSE(quantize(AVal::constant(70000.0), bf).overflow_possible);
+}
+
+// --- NaN propagation ---
+
+TEST(PrecisionDomain, DivisionThroughZeroPoisons) {
+  const FloatFormat f = fp32_format();
+  const AVal num = AVal::constant(1.0);
+  const AVal den = AVal::range(-0.5, 0.5);
+  const AVal q = div(num, den, f);
+  EXPECT_TRUE(q.nan_possible);
+  EXPECT_TRUE(std::isinf(q.err));
+  // Poison survives subsequent arithmetic and joins.
+  EXPECT_TRUE(add(q, AVal::constant(1.0), f).nan_possible);
+  EXPECT_TRUE(mul(q, AVal::constant(0.0), f).nan_possible);
+  EXPECT_TRUE(AVal::constant(1.0).join(q).nan_possible);
+  // And survives quantization into storage.
+  EXPECT_TRUE(quantize(q, fp16_format()).val.nan_possible);
+}
+
+TEST(PrecisionDomain, SqrtOfPossiblyNegativePoisons) {
+  const FloatFormat f = fp32_format();
+  EXPECT_TRUE(sqrt_op(AVal::range(-1.0, 4.0), f).nan_possible);
+  EXPECT_FALSE(sqrt_op(AVal::range(1.0, 4.0), f).nan_possible);
+  // An error bound that can push the argument negative also poisons.
+  AVal v = AVal::range(0.1, 4.0);
+  v.err = 0.5;
+  EXPECT_TRUE(sqrt_op(v, f).nan_possible);
+}
+
+TEST(PrecisionDomain, DivisionBoundedAwayFromZeroStaysClean) {
+  const FloatFormat f = fp32_format();
+  const AVal q = div(AVal::range(-2.0, 2.0), AVal::range(1.0, 4.0), f);
+  EXPECT_FALSE(q.nan_possible);
+  EXPECT_LE(q.hi, 2.0 + 1e-6);
+  EXPECT_GE(q.lo, -2.0 - 1e-6);
+  EXPECT_TRUE(std::isfinite(q.err));
+}
+
+// --- reduction growth (the symbolic-trip closed form) ---
+
+TEST(PrecisionDomain, AccumulateGrowsLinearlyInTrips) {
+  const FloatFormat f = fp32_format();
+  const AVal inc = AVal::range(-20.0, 20.0);  // R·F of the ALS dot products
+  const AVal s1 = accumulate(AVal::constant(0.0), inc, 1.0, f);
+  const AVal s4096 = accumulate(AVal::constant(0.0), inc, 4096.0, f);
+  EXPECT_EQ(s4096.lo, -4096.0 * 20.0);
+  EXPECT_EQ(s4096.hi, 4096.0 * 20.0);
+  // Error: n per-iteration roundings at the final magnitude dominate.
+  EXPECT_GT(s4096.err, 1000.0 * s1.err);
+  EXPECT_GE(s4096.err, 4096.0 * f.unit_roundoff * s4096.hi);
+}
+
+}  // namespace
+}  // namespace alsmf::ocl::analyze::precision

@@ -21,8 +21,9 @@ TEST(Verify, AllGeneratedKernelsFullyProvenOnAllProfiles) {
   EXPECT_TRUE(result.clean());
   for (const auto& err : result.errors) ADD_FAILURE() << err;
   for (const auto& d : result.diagnostics) ADD_FAILURE() << d;
-  // flat + 8 batched variants (cholesky + cg flavors) + SELL, x3 profiles.
-  ASSERT_EQ(result.entries.size(), 18u * 3u);
+  // flat + 8 batched variants (cholesky + cg flavors) + SELL + the
+  // fp16/bf16 storage flavors of the cholesky variants, x3 profiles.
+  ASSERT_EQ(result.entries.size(), 34u * 3u);
   for (const auto& e : result.entries) {
     SCOPED_TRACE(e.profile + "/" + e.kernel);
     EXPECT_GT(e.report.refs_total, 0);
@@ -44,7 +45,7 @@ TEST(Verify, ForcedSmallTileStaysProven) {
   const VerifyKernelsResult result = verify_kernels(options);
   EXPECT_TRUE(result.clean());
   for (const auto& d : result.diagnostics) ADD_FAILURE() << d;
-  ASSERT_EQ(result.entries.size(), 18u);
+  ASSERT_EQ(result.entries.size(), 34u);
 }
 
 TEST(Verify, ContractSelectionFollowsStorageFormat) {
@@ -73,14 +74,25 @@ TEST(Verify, ContractSelectionFollowsStorageFormat) {
 TEST(Verify, WidthPassRecordsElementWidths) {
   const VerifyKernelsResult result = verify_kernels(VerifyKernelsOptions{});
   ASSERT_FALSE(result.entries.empty());
+  const auto narrow = [](const std::string& kernel) {
+    return kernel.find("_f16") != std::string::npos ||
+           kernel.find("_bf16") != std::string::npos;
+  };
   for (const auto& e : result.entries) {
     SCOPED_TRACE(e.profile + "/" + e.kernel);
     EXPECT_FALSE(e.report.widths.empty());
+    bool saw_half = false;
     for (const auto& w : e.report.widths) {
       EXPECT_FALSE(w.mixed) << w.buffer;
       ASSERT_EQ(w.widths.size(), 1u) << w.buffer;
-      EXPECT_EQ(w.widths[0], 4) << w.buffer;  // float / int kernels
+      if (narrow(e.kernel) && w.widths[0] == 2) {
+        saw_half = true;  // storage_t factor buffers in fp16/bf16 flavors
+      } else {
+        EXPECT_EQ(w.widths[0], 4) << w.buffer;  // float / int buffers
+      }
     }
+    // Every narrow flavor must actually surface a 2-byte buffer.
+    EXPECT_EQ(saw_half, narrow(e.kernel));
   }
 }
 

@@ -1,0 +1,123 @@
+// Quantized factor snapshots for serving: fp16 and symmetric per-row int8
+// compression applied at snapshot-build time, before the IVF index exists,
+// so every published model+index pair scores against the same values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/halfprec.hpp"
+#include "common/rng.hpp"
+#include "index/ivf_index.hpp"
+#include "serve/model_store.hpp"
+
+namespace alsmf::serve {
+namespace {
+
+std::shared_ptr<ModelSnapshot> random_snapshot(index_t users = 12,
+                                               index_t items = 9, int k = 6) {
+  Rng rng(42);
+  Matrix x(users, k), y(items, k);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<real>(rng.uniform(-2.0, 2.0));
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = static_cast<real>(rng.uniform(-2.0, 2.0));
+  }
+  return snapshot_from_factors(std::move(x), std::move(y), 0.1f);
+}
+
+TEST(QuantizedSnapshot, Fp16ValuesLandOnTheHalfGrid) {
+  auto snap = random_snapshot();
+  const Matrix before = snap->x;
+  quantize_snapshot(*snap, SnapshotQuantization::kFp16);
+  EXPECT_EQ(snap->quantization, SnapshotQuantization::kFp16);
+  bool any_changed = false;
+  for (std::size_t i = 0; i < snap->x.size(); ++i) {
+    const float v = snap->x.data()[i];
+    EXPECT_EQ(fp16_round_ftz(v), v) << i;
+    EXPECT_NEAR(v, before.data()[i], 2e-3f * std::fabs(before.data()[i]) +
+                                         1e-4f);
+    any_changed = any_changed || v != before.data()[i];
+  }
+  EXPECT_TRUE(any_changed);  // the rounding actually did something
+}
+
+TEST(QuantizedSnapshot, Int8ValuesLandOnThePerRowGrid) {
+  auto snap = random_snapshot();
+  quantize_snapshot(*snap, SnapshotQuantization::kInt8);
+  for (index_t r = 0; r < snap->y.rows(); ++r) {
+    const auto row = snap->y.row(r);
+    real maxabs = 0;
+    for (real v : row) maxabs = std::max(maxabs, std::abs(v));
+    if (maxabs == 0) continue;
+    // maxabs is preserved by symmetric quantization, so the scale is
+    // recoverable from the quantized row itself.
+    const real scale = maxabs / real{127};
+    for (real v : row) {
+      const real q = std::round(v / scale);
+      EXPECT_NEAR(q * scale, v, 1e-6f);
+      EXPECT_LE(std::abs(q), 127.0f);
+    }
+  }
+}
+
+TEST(QuantizedSnapshot, Int8PreservesRankingApproximately) {
+  // The recall property the bench leg gates at scale, in miniature: the
+  // per-row grid is fine enough that scores move by < maxabs/127 per term.
+  auto exact = random_snapshot();
+  auto quant = std::make_shared<ModelSnapshot>(*exact);
+  quantize_snapshot(*quant, SnapshotQuantization::kInt8);
+  const int k = exact->k();
+  for (index_t u = 0; u < exact->users(); ++u) {
+    for (index_t i = 0; i < exact->items(); ++i) {
+      double se = 0, sq = 0;
+      for (int j = 0; j < k; ++j) {
+        se += exact->x(u, j) * exact->y(i, j);
+        sq += quant->x(u, j) * quant->y(i, j);
+      }
+      EXPECT_NEAR(sq, se, 0.05 * k);
+    }
+  }
+}
+
+TEST(QuantizedSnapshot, FactorBytesShrinkWithTheFormat) {
+  auto snap = random_snapshot();
+  const std::size_t fp32 = snap->factor_bytes();
+  quantize_snapshot(*snap, SnapshotQuantization::kFp16);
+  EXPECT_EQ(snap->factor_bytes(), fp32 / 2);
+  snap->quantization = SnapshotQuantization::kInt8;
+  EXPECT_LT(snap->factor_bytes(), fp32 / 2);
+  EXPECT_GT(snap->factor_bytes(), fp32 / 8);  // elems + per-row scales
+}
+
+TEST(QuantizedSnapshot, NoneIsIdentityAndPublishable) {
+  auto snap = random_snapshot();
+  const Matrix before = snap->x;
+  quantize_snapshot(*snap, SnapshotQuantization::kNone);
+  EXPECT_EQ(snap->x, before);
+  ModelStore store;
+  EXPECT_EQ(store.publish(snap), 1u);
+}
+
+TEST(QuantizedSnapshot, RefusesToQuantizeAfterIndexAttach) {
+  // Quantizing after the index is built would publish an index keyed to
+  // values no request scores against.
+  auto snap = random_snapshot();
+  attach_ivf_index(*snap, index::IvfOptions{});
+  EXPECT_THROW(quantize_snapshot(*snap, SnapshotQuantization::kFp16), Error);
+}
+
+TEST(QuantizedSnapshot, QuantizeThenIndexThenPublish) {
+  auto snap = random_snapshot();
+  quantize_snapshot(*snap, SnapshotQuantization::kFp16);
+  attach_ivf_index(*snap, index::IvfOptions{});
+  ModelStore store;
+  EXPECT_EQ(store.publish(snap), 1u);
+  EXPECT_EQ(store.current()->quantization, SnapshotQuantization::kFp16);
+  EXPECT_STREQ(to_string(store.current()->quantization), "fp16");
+}
+
+}  // namespace
+}  // namespace alsmf::serve
